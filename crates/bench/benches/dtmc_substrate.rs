@@ -1,0 +1,110 @@
+//! Benchmarks of the DTMC and channel substrates: transient steps,
+//! steady-state and absorbing solves, convolution, and the special
+//! functions behind Eq. 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whart_channel::math::erfc;
+use whart_channel::{message_failure_probability, EbN0, Modulation};
+use whart_dtmc::{Dtmc, Pmf};
+
+/// A random-ish row-stochastic birth-death chain of n states.
+fn birth_death(n: usize) -> Dtmc {
+    let mut b = Dtmc::builder();
+    let states: Vec<_> = (0..n).map(|i| b.add_state(format!("s{i}"))).collect();
+    for i in 0..n {
+        let up = if i + 1 < n { 0.4 } else { 0.0 };
+        let down = if i > 0 { 0.35 } else { 0.0 };
+        let stay = 1.0 - up - down;
+        if up > 0.0 {
+            b.add_transition(states[i], states[i + 1], up).expect("valid");
+        }
+        if down > 0.0 {
+            b.add_transition(states[i], states[i - 1], down).expect("valid");
+        }
+        b.add_transition(states[i], states[i], stay).expect("valid");
+    }
+    b.build().expect("stochastic")
+}
+
+/// An absorbing chain: a line of n transient states draining into goal and
+/// discard states.
+fn absorbing_line(n: usize) -> Dtmc {
+    let mut b = Dtmc::builder();
+    let states: Vec<_> = (0..n).map(|i| b.add_state(format!("t{i}"))).collect();
+    let goal = b.add_state("goal");
+    let discard = b.add_state("discard");
+    for i in 0..n {
+        let next = if i + 1 < n { states[i + 1] } else { goal };
+        b.add_transition(states[i], next, 0.8).expect("valid");
+        b.add_transition(states[i], discard, 0.2).expect("valid");
+    }
+    b.make_absorbing(goal).expect("valid");
+    b.make_absorbing(discard).expect("valid");
+    b.build().expect("stochastic")
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtmc/transient-100-steps");
+    for n in [10usize, 100, 400] {
+        let chain = birth_death(n);
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+            b.iter(|| chain.transient(black_box(&init), 100).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtmc/steady-state");
+    for n in [10usize, 50, 150] {
+        let chain = birth_death(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+            b.iter(|| black_box(chain).steady_state().expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_absorption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtmc/absorption");
+    for n in [10usize, 50, 150] {
+        let chain = absorbing_line(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+            b.iter(|| black_box(chain).absorption().expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let a = Pmf::negative_binomial(0.8, 3, 64).expect("valid");
+    let g = Pmf::geometric(0.9, 64).expect("valid");
+    c.bench_function("dtmc/convolution-64x64", |b| {
+        b.iter(|| black_box(&a).convolve(black_box(&g)))
+    });
+}
+
+fn bench_channel_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel/math");
+    group.bench_function("erfc", |b| b.iter(|| erfc(black_box(2.6457513))));
+    group.bench_function("oqpsk ber", |b| {
+        b.iter(|| Modulation::Oqpsk.ber(black_box(EbN0::from_linear(7.0))))
+    });
+    group.bench_function("message failure probability", |b| {
+        b.iter(|| message_failure_probability(black_box(1e-4), 1016))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transient,
+    bench_steady_state,
+    bench_absorption,
+    bench_convolution,
+    bench_channel_math
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! One benchmark per paper artifact: the full computation behind every
+//! table and figure of the evaluation, so regressions in any reproduction
+//! path show up as timing changes and the harness cost is documented.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whart_bench::{chain, section_v_model, typical_model};
+use whart_channel::{EbN0, LinkModel, Modulation, WIRELESSHART_MESSAGE_BITS};
+use whart_model::compose::{peer_cycle_probabilities, predict_composition};
+use whart_model::explicit::explicit_chain;
+use whart_model::failure::reachability_with_lost_cycles;
+use whart_model::sweeps::{delay_summaries, paper_availabilities, sweep_hop_count};
+use whart_model::{DelayConvention, LinkDynamics, UtilizationConvention};
+use whart_net::ReportingInterval;
+
+fn fig4_fig5(c: &mut Criterion) {
+    c.bench_function("experiments/fig4+5 explicit chains", |b| {
+        b.iter(|| {
+            let f4 = explicit_chain(&section_v_model(1));
+            let f5 = explicit_chain(&section_v_model(2));
+            black_box((f4.state_count(), f5.state_count()))
+        })
+    });
+}
+
+fn fig6_fig7(c: &mut Criterion) {
+    c.bench_function("experiments/fig6+7 transient + delays", |b| {
+        b.iter(|| {
+            let eval = section_v_model(4).evaluate();
+            let dist = eval.delay_distribution(DelayConvention::Absolute);
+            black_box((eval.reachability(), dist.expectation()))
+        })
+    });
+}
+
+fn fig8_table1_fig9(c: &mut Criterion) {
+    c.bench_function("experiments/fig8+9+table1 availability sweep", |b| {
+        b.iter(|| {
+            let rows = delay_summaries(
+                &paper_availabilities(),
+                ReportingInterval::REGULAR,
+                DelayConvention::Absolute,
+            )
+            .expect("valid");
+            black_box(rows.len())
+        })
+    });
+}
+
+fn fig10(c: &mut Criterion) {
+    c.bench_function("experiments/fig10 hop-count sweep", |b| {
+        b.iter(|| sweep_hop_count(4, 0.83, ReportingInterval::REGULAR).expect("valid"))
+    });
+}
+
+fn fig13_to_16_table2(c: &mut Criterion) {
+    c.bench_function("experiments/fig13-16+table2 network suite", |b| {
+        b.iter(|| {
+            let eval = typical_model(0.83).evaluate().expect("valid");
+            black_box((
+                eval.reachabilities(),
+                eval.mean_delay_ms(DelayConvention::Absolute),
+                eval.utilization(UtilizationConvention::AsEvaluated),
+            ))
+        })
+    });
+}
+
+fn fig17(c: &mut Criterion) {
+    let link = LinkModel::new(0.184, 0.9).expect("valid");
+    c.bench_function("experiments/fig17 recovery trajectory", |b| {
+        b.iter(|| {
+            LinkDynamics::starting_in(black_box(link), whart_channel::LinkState::Down)
+                .up_trajectory(6)
+        })
+    });
+}
+
+fn table3(c: &mut Criterion) {
+    let model = chain(3, 20, 4);
+    c.bench_function("experiments/table3 failure study", |b| {
+        b.iter(|| reachability_with_lost_cycles(black_box(&model), 1).expect("valid"))
+    });
+}
+
+fn fig18_fig19(c: &mut Criterion) {
+    c.bench_function("experiments/fig18+19 interval comparison", |b| {
+        b.iter(|| {
+            let fast = chain(3, 20, 2).evaluate().reachability();
+            let regular = chain(3, 20, 4).evaluate().reachability();
+            black_box(regular - fast)
+        })
+    });
+}
+
+fn table4(c: &mut Criterion) {
+    let peer = LinkModel::from_snr(
+        Modulation::Oqpsk,
+        EbN0::from_linear(7.0),
+        WIRELESSHART_MESSAGE_BITS,
+        0.9,
+    )
+    .expect("valid");
+    let existing = chain(2, 20, 4).evaluate();
+    c.bench_function("experiments/table4 prediction", |b| {
+        b.iter(|| {
+            let g = peer_cycle_probabilities(black_box(peer), ReportingInterval::REGULAR);
+            predict_composition(&g, 1, black_box(&existing)).expect("valid")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig4_fig5,
+    fig6_fig7,
+    fig8_table1_fig9,
+    fig10,
+    fig13_to_16_table2,
+    fig17,
+    table3,
+    fig18_fig19,
+    table4
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks of the hierarchical path model: construction, the fast
+//! transient evaluator (Eq. 5) and its scaling in `Is`, hop count and
+//! `F_up` — the paper's O(Is * F_s * n) complexity claim — plus the
+//! explicit Algorithm-1 chain as the ablation baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whart_bench::{chain, section_v_model};
+use whart_model::explicit::explicit_chain;
+
+fn bench_section_v(c: &mut Criterion) {
+    let model = section_v_model(4);
+    c.bench_function("path/evaluate/section-v Is=4", |b| {
+        b.iter(|| black_box(&model).evaluate())
+    });
+}
+
+fn bench_scaling_in_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path/evaluate/interval-scaling");
+    for is in [1u32, 2, 4, 8, 16, 32] {
+        let model = section_v_model(is);
+        group.bench_with_input(BenchmarkId::from_parameter(is), &model, |b, m| {
+            b.iter(|| black_box(m).evaluate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_hops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path/evaluate/hop-scaling");
+    for hops in [1u32, 2, 4, 8, 16] {
+        let model = chain(hops, hops, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &model, |b, m| {
+            b.iter(|| black_box(m).evaluate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path/evaluate/frame-scaling");
+    for f_up in [7u32, 20, 50, 100] {
+        let model = chain(3, f_up, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(f_up), &model, |b, m| {
+            b.iter(|| black_box(m).evaluate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_explicit_vs_fast(c: &mut Criterion) {
+    // Ablation: the unrolled Algorithm-1 chain (construction + absorbing
+    // analysis) vs the in-place evaluator, same results.
+    let model = section_v_model(4);
+    let mut group = c.benchmark_group("path/explicit-vs-fast");
+    group.bench_function("fast evaluator", |b| b.iter(|| black_box(&model).evaluate()));
+    group.bench_function("explicit chain build", |b| {
+        b.iter(|| explicit_chain(black_box(&model)))
+    });
+    let chain_built = explicit_chain(&model);
+    group.bench_function("explicit chain absorption", |b| {
+        b.iter(|| black_box(&chain_built).cycle_probabilities().expect("solvable"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_section_v,
+    bench_scaling_in_interval,
+    bench_scaling_in_hops,
+    bench_scaling_in_frame,
+    bench_explicit_vs_fast
+);
+criterion_main!(benches);

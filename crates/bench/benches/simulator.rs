@@ -1,0 +1,75 @@
+//! Benchmarks of the Monte-Carlo simulator: per-interval throughput under
+//! both PHY fidelities and the scaling of parallel execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use whart_bench::typical_network;
+use whart_channel::{Blacklist, ChannelConditions};
+use whart_net::ReportingInterval;
+use whart_sim::{PhyMode, Simulator};
+
+const INTERVALS: u64 = 2_000;
+
+fn gilbert_sim() -> Simulator {
+    let net = typical_network(0.83);
+    Simulator::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR, PhyMode::Gilbert)
+        .expect("valid")
+}
+
+fn hopping_sim() -> Simulator {
+    let net = typical_network(0.83);
+    Simulator::from_typical(
+        &net,
+        net.schedule_eta_a(),
+        ReportingInterval::REGULAR,
+        PhyMode::Hopping {
+            conditions: ChannelConditions::uniform(2e-4).expect("valid"),
+            blacklist: Blacklist::new(),
+            message_bits: 1016,
+        },
+    )
+    .expect("valid")
+}
+
+fn bench_phy_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/phy");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INTERVALS));
+    let gilbert = gilbert_sim();
+    group.bench_function("gilbert", |b| b.iter(|| black_box(&gilbert).run(1, INTERVALS)));
+    let hopping = hopping_sim();
+    group.bench_function("hopping", |b| b.iter(|| black_box(&hopping).run(1, INTERVALS)));
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let sim = gilbert_sim();
+    let mut group = c.benchmark_group("simulator/parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(8 * INTERVALS));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(&sim).run_parallel(1, 8 * INTERVALS, w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_analysis(c: &mut Criterion) {
+    // How many simulated intervals one analytical solve is worth: both
+    // produce the ten-path reachability vector.
+    let sim = gilbert_sim();
+    let model = whart_bench::typical_model(0.83);
+    let mut group = c.benchmark_group("simulator/vs-analysis");
+    group.sample_size(10);
+    group.bench_function("analysis (exact)", |b| {
+        b.iter(|| black_box(&model).evaluate().expect("valid"))
+    });
+    group.bench_function("simulation (2k intervals)", |b| {
+        b.iter(|| black_box(&sim).run(1, INTERVALS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phy_modes, bench_parallel_scaling, bench_vs_analysis);
+criterion_main!(benches);

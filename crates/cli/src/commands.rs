@@ -1,0 +1,261 @@
+//! The CLI subcommands.
+
+use crate::spec::NetworkSpec;
+use whart_model::{
+    compose, explicit::explicit_chain, DelayConvention, UtilizationConvention,
+};
+use whart_sim::{PhyMode, Simulator};
+
+/// Runs `analyze`: per-path measures and network aggregates.
+pub fn analyze(spec: &NetworkSpec, json: bool) -> Result<String, String> {
+    let model = spec.to_model()?;
+    let eval = model.evaluate().map_err(|e| e.to_string())?;
+    if json {
+        let payload = serde_json::json!({
+            "paths": eval
+                .reports()
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "route": r.path.to_string(),
+                        "hops": r.path.hop_count(),
+                        "reachability": r.evaluation.reachability(),
+                        "expected_delay_ms":
+                            r.evaluation.expected_delay_ms(DelayConvention::Absolute),
+                        "expected_intervals_to_first_loss":
+                            r.evaluation.expected_intervals_to_first_loss(),
+                        "utilization":
+                            r.evaluation.utilization(UtilizationConvention::AsEvaluated),
+                        "cycle_probabilities":
+                            r.evaluation.cycle_probabilities().as_slice(),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "mean_delay_ms": eval.mean_delay_ms(DelayConvention::Absolute),
+            "network_utilization": eval.utilization(UtilizationConvention::AsEvaluated),
+        });
+        return Ok(serde_json::to_string_pretty(&payload).expect("json values serialize"));
+    }
+    let mut out = String::new();
+    out.push_str("path  hops  reachability  E[delay] ms  E[N] intervals  utilization  route\n");
+    for (i, r) in eval.reports().iter().enumerate() {
+        let delay = r
+            .evaluation
+            .expected_delay_ms(DelayConvention::Absolute)
+            .map_or("-".to_string(), |d| format!("{d:.1}"));
+        out.push_str(&format!(
+            "{:>4}  {:>4}  {:>11.6}  {:>11}  {:>14.1}  {:>11.4}  {}\n",
+            i + 1,
+            r.path.hop_count(),
+            r.evaluation.reachability(),
+            delay,
+            r.evaluation.expected_intervals_to_first_loss(),
+            r.evaluation.utilization(UtilizationConvention::AsEvaluated),
+            r.path,
+        ));
+    }
+    if let Some(mean) = eval.mean_delay_ms(DelayConvention::Absolute) {
+        out.push_str(&format!("overall mean delay E[Gamma] = {mean:.1} ms\n"));
+    }
+    out.push_str(&format!(
+        "network utilization U = {:.4}\n",
+        eval.utilization(UtilizationConvention::AsEvaluated)
+    ));
+    Ok(out)
+}
+
+/// Runs `dot`: the explicit Algorithm-1 DTMC of one path, as Graphviz.
+pub fn dot(spec: &NetworkSpec, path_index: usize) -> Result<String, String> {
+    let model = spec.to_model()?;
+    let path_model = model.path_model(path_index).map_err(|e| e.to_string())?;
+    let chain = explicit_chain(&path_model);
+    Ok(chain.to_dot(&format!("path_{}", path_index + 1)))
+}
+
+/// Runs `simulate`: Monte-Carlo cross-check of the analytical model.
+pub fn simulate(
+    spec: &NetworkSpec,
+    intervals: u64,
+    seed: u64,
+    workers: usize,
+) -> Result<String, String> {
+    let model = spec.to_model()?;
+    let eval = model.evaluate().map_err(|e| e.to_string())?;
+    let (topology, paths, schedule, superframe, interval) = spec.build_parts()?;
+    let sim = Simulator::new(topology, paths, schedule, superframe, interval, PhyMode::Gilbert)
+        .map_err(|e| e.to_string())?;
+    let report = sim.run_parallel(seed, intervals, workers);
+    let mut out = String::new();
+    out.push_str(&format!("{intervals} reporting intervals, seed {seed}\n"));
+    out.push_str("path  analytic R  simulated R  [95% CI]           analytic E[d]  simulated E[d]\n");
+    for (i, r) in eval.reports().iter().enumerate() {
+        let stats = &report.paths[i];
+        let delivered = stats.messages() - stats.lost;
+        let (lo, hi) = whart_sim::wilson_interval(delivered, stats.messages(), 1.96);
+        let ad = r
+            .evaluation
+            .expected_delay_ms(DelayConvention::Absolute)
+            .map_or("-".to_string(), |d| format!("{d:.1}"));
+        let sd = stats.mean_delay_ms().map_or("-".to_string(), |d| format!("{d:.1}"));
+        out.push_str(&format!(
+            "{:>4}  {:>10.6}  {:>11.6}  [{:.6}, {:.6}]  {:>13}  {:>14}\n",
+            i + 1,
+            r.evaluation.reachability(),
+            stats.reachability(),
+            lo,
+            hi,
+            ad,
+            sd,
+        ));
+    }
+    out.push_str(&format!(
+        "network utilization: analytic {:.4}, simulated {:.4}\n",
+        eval.utilization(UtilizationConvention::AsEvaluated),
+        report.network_utilization()
+    ));
+    Ok(out)
+}
+
+/// Runs `predict`: the Section VI-E composition prediction — a new node
+/// attaches via a peer link (measured SNR) to an existing path.
+pub fn predict(spec: &NetworkSpec, path_index: usize, snr: f64) -> Result<String, String> {
+    let model = spec.to_model()?;
+    if path_index >= model.paths().len() {
+        return Err(format!("path index {path_index} out of range"));
+    }
+    let eval = model.evaluate().map_err(|e| e.to_string())?;
+    let existing = &eval.reports()[path_index].evaluation;
+    let peer_link = whart_channel::LinkModel::from_snr(
+        whart_channel::Modulation::Oqpsk,
+        whart_channel::EbN0::from_linear(snr),
+        whart_channel::WIRELESSHART_MESSAGE_BITS,
+        whart_channel::LinkModel::DEFAULT_RECOVERY,
+    )
+    .map_err(|e| e.to_string())?;
+    let peer = compose::peer_cycle_probabilities(peer_link, model.interval());
+    let prediction =
+        compose::predict_composition(&peer, 1, existing).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "peer link: Eb/N0 = {snr}, p_fl = {:.4}, pi(up) = {:.4}\n",
+        peer_link.p_fl(),
+        peer_link.availability()
+    ));
+    out.push_str(&format!(
+        "composed cycle probabilities: {:?}\n",
+        prediction
+            .cycle_probabilities
+            .as_slice()
+            .iter()
+            .map(|p| (p * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    ));
+    out.push_str(&format!(
+        "predicted reachability = {:.4} over {} hops\n",
+        prediction.reachability, prediction.hop_count
+    ));
+    Ok(out)
+}
+
+/// Runs `sensitivity`: ranks physical links by the network-loss reduction
+/// from improving each one (the operator's repair priority list).
+pub fn sensitivity(spec: &NetworkSpec, step: f64) -> Result<String, String> {
+    let model = spec.to_model()?;
+    let ranking = whart_model::sensitivity::rank_link_improvements(
+        &model,
+        whart_model::sensitivity::Objective::TotalLoss,
+        step,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "link repair priorities (availability +{step}, objective: total loss)\n"
+    ));
+    out.push_str("rank  link          pi(up)   loss reduction\n");
+    for (rank, s) in ranking.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>4}  {:<12}  {:.4}   {:+.6}\n",
+            rank + 1,
+            format!("{} - {}", s.link.0, s.link.1),
+            s.availability,
+            s.gain,
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs `example`: prints a ready-made spec.
+pub fn example(which: &str) -> Result<String, String> {
+    match which {
+        "typical" => Ok(NetworkSpec::typical(0.83).to_json()),
+        "section-v" => Ok(NetworkSpec::section_v(0.75).to_json()),
+        other => Err(format!("unknown example '{other}' (try 'typical' or 'section-v')")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_typical_text_output() {
+        let spec = NetworkSpec::typical(0.83);
+        let out = analyze(&spec, false).unwrap();
+        assert!(out.contains("overall mean delay E[Gamma] = 235"), "{out}");
+        assert!(out.contains("network utilization U = 0.28"), "{out}");
+        assert!(out.lines().count() >= 13);
+    }
+
+    #[test]
+    fn analyze_json_output_parses() {
+        let spec = NetworkSpec::section_v(0.75);
+        let out = analyze(&spec, true).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let r = value["paths"][0]["reachability"].as_f64().unwrap();
+        assert!((r - 0.9624).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dot_output_is_graphviz() {
+        let spec = NetworkSpec::section_v(0.75);
+        let out = dot(&spec, 0).unwrap();
+        assert!(out.starts_with("digraph path_1"));
+        assert!(out.contains("R7"));
+        assert!(dot(&spec, 5).is_err());
+    }
+
+    #[test]
+    fn simulate_agrees_with_analysis() {
+        let spec = NetworkSpec::section_v(0.75);
+        let out = simulate(&spec, 20_000, 7, 2).unwrap();
+        assert!(out.contains("analytic R"), "{out}");
+        // The simulated value printed should be near 0.9624.
+        assert!(out.contains("0.96"), "{out}");
+    }
+
+    #[test]
+    fn predict_matches_table_iv() {
+        let spec = NetworkSpec::typical(0.83);
+        // Attach via path 4 (index 3 is 2-hop n4->n1->G) at Eb/N0 = 7: the
+        // Table IV alpha scenario (2-hop existing path).
+        let out = predict(&spec, 3, 7.0).unwrap();
+        assert!(out.contains("0.9946") || out.contains("0.9945"), "{out}");
+        assert!(predict(&spec, 99, 7.0).is_err());
+    }
+
+    #[test]
+    fn sensitivity_ranks_links() {
+        let spec = NetworkSpec::typical(0.83);
+        let out = sensitivity(&spec, 0.05).unwrap();
+        assert!(out.contains("repair priorities"), "{out}");
+        // Ten links ranked.
+        assert_eq!(out.lines().count(), 12, "{out}");
+    }
+
+    #[test]
+    fn examples_render() {
+        assert!(example("typical").unwrap().contains("\"uplink_slots\": 20"));
+        assert!(example("section-v").unwrap().contains("\"uplink_slots\": 7"));
+        assert!(example("nope").is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! `whart` — derive the DTMC performance model of a fully specified
+//! WirelessHART network and compute its measures of interest.
+//!
+//! A Rust rebuild of the analysis tool described in Remke & Wu (DSN 2013).
+//!
+//! ```text
+//! whart analyze  <spec.json> [--json]
+//! whart dot      <spec.json> --path <i>
+//! whart simulate <spec.json> [--intervals N] [--seed S] [--workers W]
+//! whart predict  <spec.json> --path <i> --snr <EbN0>
+//! whart example  <typical|section-v>
+//! ```
+
+mod commands;
+mod spec;
+
+use spec::NetworkSpec;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  whart analyze  <spec.json> [--json]
+  whart dot      <spec.json> --path <i>
+  whart simulate <spec.json> [--intervals N] [--seed S] [--workers W]
+  whart predict  <spec.json> --path <i> --snr <EbN0-linear>
+  whart sensitivity <spec.json> [--step <delta>]
+  whart example  <typical|section-v>
+
+node 0 denotes the gateway; paths are listed source-first and may omit the
+trailing gateway. Link quality accepts {p_fl,p_rc}, {ber}, {snr} or
+{availability}.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "example" => {
+            let which = args.get(1).ok_or("missing example name")?;
+            commands::example(which)
+        }
+        "analyze" | "dot" | "simulate" | "predict" | "sensitivity" => {
+            let path = args.get(1).ok_or("missing spec file")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = NetworkSpec::from_json(&text)?;
+            match command.as_str() {
+                "analyze" => commands::analyze(&spec, has_flag(args, "--json")),
+                "dot" => {
+                    let index = flag_value(args, "--path")?
+                        .ok_or("dot requires --path <i> (1-based)")?;
+                    let index: usize = parse(&index, "--path")?;
+                    commands::dot(&spec, index.checked_sub(1).ok_or("--path is 1-based")?)
+                }
+                "simulate" => {
+                    let intervals =
+                        parse_or(args, "--intervals", 100_000u64)?;
+                    let seed = parse_or(args, "--seed", 42u64)?;
+                    let workers = parse_or(args, "--workers", num_cpus())?;
+                    commands::simulate(&spec, intervals, seed, workers)
+                }
+                "sensitivity" => {
+                    let step = parse_or(args, "--step", 0.05f64)?;
+                    commands::sensitivity(&spec, step)
+                }
+                "predict" => {
+                    let index = flag_value(args, "--path")?
+                        .ok_or("predict requires --path <i> (1-based)")?;
+                    let index: usize = parse(&index, "--path")?;
+                    let snr = flag_value(args, "--snr")?
+                        .ok_or("predict requires --snr <Eb/N0, linear>")?;
+                    let snr: f64 = parse(&snr, "--snr")?;
+                    commands::predict(&spec, index.checked_sub(1).ok_or("--path is 1-based")?, snr)
+                }
+                _ => unreachable!(),
+            }
+        }
+        "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+fn parse_or<T: std::str::FromStr + Copy>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        Some(v) => parse(&v, flag),
+        None => Ok(default),
+    }
+}
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&s(&["help"])).unwrap().contains("usage"));
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["analyze"])).is_err());
+        assert!(run(&s(&["analyze", "/nonexistent.json"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_analyze_from_temp_file() {
+        let dir = std::env::temp_dir().join("whart-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("section_v.json");
+        std::fs::write(&path, commands::example("section-v").unwrap()).unwrap();
+        let out = run(&s(&["analyze", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("0.9624") || out.contains("0.962"), "{out}");
+        let dot = run(&s(&["dot", path.to_str().unwrap(), "--path", "1"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["simulate", "x.json", "--seed", "7"]);
+        assert_eq!(parse_or(&args, "--seed", 42u64).unwrap(), 7);
+        assert_eq!(parse_or(&args, "--intervals", 5u64).unwrap(), 5);
+        assert!(flag_value(&s(&["--path"]), "--path").is_err());
+        assert!(parse::<u64>("abc", "--seed").is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! JSON network specifications.
+//!
+//! The paper's authors built a tool that "automatically derives the
+//! underlying model of a fully specified network". A [`NetworkSpec`] is
+//! that full specification: topology with per-link quality, routing paths,
+//! super-frame, reporting interval and communication schedule. Node `0`
+//! denotes the gateway; field devices are numbered from 1 as in the paper.
+
+use serde::{Deserialize, Serialize};
+use whart_channel::{LinkModel, Modulation, WIRELESSHART_MESSAGE_BITS};
+use whart_model::NetworkModel;
+use whart_net::{NodeId, Path, ReportingInterval, Schedule, Superframe, Topology};
+
+/// How one link's quality is specified; each variant maps onto a
+/// [`LinkModel`] constructor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum LinkQuality {
+    /// Explicit transition probabilities.
+    Transitions {
+        /// Per-slot failure probability.
+        p_fl: f64,
+        /// Per-slot recovery probability.
+        p_rc: f64,
+    },
+    /// Bit error rate at the WirelessHART message length
+    /// (`p_rc` defaults to 0.9).
+    Ber {
+        /// Bit error rate.
+        ber: f64,
+        /// Recovery probability (default 0.9).
+        #[serde(default = "default_recovery")]
+        p_rc: f64,
+    },
+    /// Measured per-bit SNR, converted through the OQPSK curve.
+    Snr {
+        /// Linear Eb/N0.
+        snr: f64,
+        /// Recovery probability (default 0.9).
+        #[serde(default = "default_recovery")]
+        p_rc: f64,
+    },
+    /// Stationary availability `pi(up)` (`p_rc` defaults to 0.9).
+    Availability {
+        /// Stationary UP probability.
+        availability: f64,
+        /// Recovery probability (default 0.9).
+        #[serde(default = "default_recovery")]
+        p_rc: f64,
+    },
+}
+
+fn default_recovery() -> f64 {
+    LinkModel::DEFAULT_RECOVERY
+}
+
+impl LinkQuality {
+    /// Builds the link model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the invalid parameter.
+    pub fn to_link_model(self) -> Result<LinkModel, String> {
+        let model = match self {
+            LinkQuality::Transitions { p_fl, p_rc } => LinkModel::new(p_fl, p_rc),
+            LinkQuality::Ber { ber, p_rc } => {
+                LinkModel::from_ber(ber, WIRELESSHART_MESSAGE_BITS, p_rc)
+            }
+            LinkQuality::Snr { snr, p_rc } => LinkModel::from_snr(
+                Modulation::Oqpsk,
+                whart_channel::EbN0::from_linear(snr),
+                WIRELESSHART_MESSAGE_BITS,
+                p_rc,
+            ),
+            LinkQuality::Availability { availability, p_rc } => {
+                LinkModel::from_availability(availability, p_rc)
+            }
+        };
+        model.map_err(|e| e.to_string())
+    }
+}
+
+/// One bidirectional link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One endpoint (0 = gateway).
+    pub a: u32,
+    /// The other endpoint (0 = gateway).
+    pub b: u32,
+    /// Link quality.
+    #[serde(flatten)]
+    pub quality: LinkQuality,
+}
+
+/// The communication schedule: either built sequentially from a path
+/// priority order (the paper's `eta_a`/`eta_b` style) or given slot by
+/// slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ScheduleSpec {
+    /// `Schedule::sequential` over 0-based path indices, padded to the
+    /// uplink half.
+    Sequential {
+        /// Path priority order (0-based indices into `paths`).
+        order: Vec<usize>,
+    },
+    /// Explicit slots: each entry is `[slot, from, to, path_index]`
+    /// (0-based slot, nodes with 0 = gateway).
+    Explicit {
+        /// The slot assignments.
+        slots: Vec<(usize, u32, u32, usize)>,
+    },
+}
+
+/// A fully specified WirelessHART network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Uplink slots per super-frame (`F_up`).
+    pub uplink_slots: u32,
+    /// Downlink slots (defaults to `uplink_slots`, the paper's symmetric
+    /// frames).
+    #[serde(default)]
+    pub downlink_slots: Option<u32>,
+    /// Reporting interval `Is` (default 4).
+    #[serde(default = "default_interval")]
+    pub reporting_interval: u32,
+    /// Field devices (numbered from 1).
+    pub nodes: Vec<u32>,
+    /// Bidirectional links.
+    pub links: Vec<LinkSpec>,
+    /// Uplink paths as node sequences; a trailing gateway (`0`) is implied
+    /// if missing.
+    pub paths: Vec<Vec<u32>>,
+    /// The communication schedule.
+    pub schedule: ScheduleSpec,
+}
+
+fn default_interval() -> u32 {
+    4
+}
+
+fn node(n: u32) -> NodeId {
+    if n == 0 {
+        NodeId::Gateway
+    } else {
+        NodeId::field(n)
+    }
+}
+
+impl NetworkSpec {
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid spec: {e}"))
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs serialize")
+    }
+
+    /// Builds the analytical network model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn to_model(&self) -> Result<NetworkModel, String> {
+        let (topology, paths, schedule, superframe, interval) = self.build_parts()?;
+        NetworkModel::new(topology, paths, schedule, superframe, interval)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Builds the raw parts (topology, paths, schedule, frame, interval) —
+    /// used by the simulator command.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    #[allow(clippy::type_complexity)]
+    pub fn build_parts(
+        &self,
+    ) -> Result<(Topology, Vec<Path>, Schedule, Superframe, ReportingInterval), String> {
+        let mut topology = Topology::new();
+        for &n in &self.nodes {
+            if n == 0 {
+                return Err("node 0 denotes the gateway and is implicit".into());
+            }
+            topology.add_node(NodeId::field(n)).map_err(|e| e.to_string())?;
+        }
+        for link in &self.links {
+            let model = link.quality.to_link_model()?;
+            topology.connect(node(link.a), node(link.b), model).map_err(|e| e.to_string())?;
+        }
+        let mut paths = Vec::with_capacity(self.paths.len());
+        for route in &self.paths {
+            let mut nodes: Vec<NodeId> = route.iter().map(|&n| node(n)).collect();
+            if nodes.last() != Some(&NodeId::Gateway) {
+                nodes.push(NodeId::Gateway);
+            }
+            paths.push(Path::through(&topology, nodes).map_err(|e| e.to_string())?);
+        }
+        let superframe =
+            Superframe::new(self.uplink_slots, self.downlink_slots.unwrap_or(self.uplink_slots))
+                .map_err(|e| e.to_string())?;
+        let interval =
+            ReportingInterval::new(self.reporting_interval).map_err(|e| e.to_string())?;
+        let schedule = match &self.schedule {
+            ScheduleSpec::Sequential { order } => Schedule::sequential(&paths, order)
+                .map_err(|e| e.to_string())?
+                .padded(self.uplink_slots as usize),
+            ScheduleSpec::Explicit { slots } => {
+                let entries: Vec<(usize, whart_net::ScheduleEntry)> = slots
+                    .iter()
+                    .map(|&(slot, from, to, path_index)| {
+                        (
+                            slot,
+                            whart_net::ScheduleEntry {
+                                hop: whart_net::Hop::new(node(from), node(to)),
+                                path_index,
+                            },
+                        )
+                    })
+                    .collect();
+                Schedule::with_entries(self.uplink_slots as usize, &entries)
+                    .map_err(|e| e.to_string())?
+            }
+        };
+        schedule.validate(&topology, &paths).map_err(|e| e.to_string())?;
+        Ok((topology, paths, schedule, superframe, interval))
+    }
+
+    /// The paper's typical network (Fig. 12) with homogeneous links at the
+    /// given availability, under schedule `eta_a`.
+    pub fn typical(availability: f64) -> NetworkSpec {
+        let quality = LinkQuality::Availability { availability, p_rc: 0.9 };
+        let edges: [(u32, u32); 10] = [
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 1),
+            (5, 1),
+            (6, 2),
+            (7, 3),
+            (8, 3),
+            (9, 6),
+            (10, 7),
+        ];
+        NetworkSpec {
+            uplink_slots: 20,
+            downlink_slots: None,
+            reporting_interval: 4,
+            nodes: (1..=10).collect(),
+            links: edges.iter().map(|&(a, b)| LinkSpec { a, b, quality }).collect(),
+            paths: vec![
+                vec![1],
+                vec![2],
+                vec![3],
+                vec![4, 1],
+                vec![5, 1],
+                vec![6, 2],
+                vec![7, 3],
+                vec![8, 3],
+                vec![9, 6, 2],
+                vec![10, 7, 3],
+            ],
+            schedule: ScheduleSpec::Sequential { order: (0..10).collect() },
+        }
+    }
+
+    /// The Section V example path as a one-path network spec.
+    pub fn section_v(availability: f64) -> NetworkSpec {
+        let quality = LinkQuality::Availability { availability, p_rc: 0.9 };
+        NetworkSpec {
+            uplink_slots: 7,
+            downlink_slots: None,
+            reporting_interval: 4,
+            nodes: vec![1, 2, 3],
+            links: vec![
+                LinkSpec { a: 1, b: 2, quality },
+                LinkSpec { a: 2, b: 3, quality },
+                LinkSpec { a: 3, b: 0, quality },
+            ],
+            paths: vec![vec![1, 2, 3]],
+            schedule: ScheduleSpec::Explicit {
+                slots: vec![(2, 1, 2, 0), (5, 2, 3, 0), (6, 3, 0, 0)],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whart_model::DelayConvention;
+
+    #[test]
+    fn typical_spec_round_trips_through_json() {
+        let spec = NetworkSpec::typical(0.83);
+        let json = spec.to_json();
+        let parsed = NetworkSpec::from_json(&json).unwrap();
+        let model = parsed.to_model().unwrap();
+        assert_eq!(model.paths().len(), 10);
+        let eval = model.evaluate().unwrap();
+        let mean = eval.mean_delay_ms(DelayConvention::Absolute).unwrap();
+        assert!((mean - 235.0).abs() < 1.5, "{mean}");
+    }
+
+    #[test]
+    fn section_v_spec_matches_paper() {
+        let spec = NetworkSpec::section_v(0.75);
+        let model = spec.to_model().unwrap();
+        let eval = model.evaluate().unwrap();
+        let r = eval.reachabilities()[0];
+        assert!((r - 0.9624).abs() < 1e-4, "{r}");
+    }
+
+    #[test]
+    fn quality_variants_parse() {
+        for quality in [
+            r#"{"a":1,"b":0,"p_fl":0.1,"p_rc":0.9}"#,
+            r#"{"a":1,"b":0,"ber":0.0001}"#,
+            r#"{"a":1,"b":0,"snr":7.0}"#,
+            r#"{"a":1,"b":0,"availability":0.83}"#,
+        ] {
+            let link: LinkSpec = serde_json::from_str(quality).unwrap();
+            assert!(link.quality.to_link_model().is_ok(), "{quality}");
+        }
+    }
+
+    #[test]
+    fn snr_quality_matches_table_iv() {
+        let link: LinkSpec = serde_json::from_str(r#"{"a":5,"b":3,"snr":7.0}"#).unwrap();
+        let model = link.quality.to_link_model().unwrap();
+        assert!((model.p_fl() - 0.089).abs() < 5e-4);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        // Unknown node in a link.
+        let spec = NetworkSpec {
+            links: vec![LinkSpec {
+                a: 1,
+                b: 99,
+                quality: LinkQuality::Availability { availability: 0.8, p_rc: 0.9 },
+            }],
+            ..NetworkSpec::section_v(0.8)
+        };
+        assert!(spec.to_model().is_err());
+        // Node 0 in the device list.
+        let spec = NetworkSpec { nodes: vec![0, 1], ..NetworkSpec::section_v(0.8) };
+        assert!(spec.to_model().is_err());
+        // Garbage JSON.
+        assert!(NetworkSpec::from_json("{").is_err());
+    }
+
+    #[test]
+    fn implied_gateway_suffix() {
+        let mut spec = NetworkSpec::section_v(0.8);
+        spec.paths = vec![vec![1, 2, 3, 0]]; // explicit gateway, same result
+        let model = spec.to_model().unwrap();
+        assert_eq!(model.paths()[0].hop_count(), 3);
+    }
+}

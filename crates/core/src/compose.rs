@@ -1,0 +1,252 @@
+//! Path compositionality and performance prediction
+//! (Sections V-D and VI-E).
+//!
+//! The cycle probability function of a composed path is the convolution of
+//! its components' functions (Eq. 12 — the paper's "time-shifted by one"
+//! disappears with 0-based cycle indexing). This predicts the performance
+//! of a route through a peer path *without* rebuilding the DTMC, which is
+//! how a joining node chooses its attachment point (Fig. 20, Table IV).
+
+use crate::error::{ModelError, Result};
+use crate::path::PathEvaluation;
+use whart_channel::LinkModel;
+use whart_dtmc::Pmf;
+use whart_net::ReportingInterval;
+
+/// Composes two cycle probability functions (Eq. 12), truncating to the
+/// reporting interval: a message that needs `i` extra cycles on the peer
+/// path and `j` on the existing path arrives after `i + j` extra cycles.
+pub fn compose_cycle_probabilities(
+    peer: &Pmf,
+    existing: &Pmf,
+    interval: ReportingInterval,
+) -> Pmf {
+    peer.convolve(existing).truncated(interval.cycles() as usize)
+}
+
+/// The cycle probability function of a prospective 1-hop peer path over a
+/// link with the given model: geometric with the link's stationary
+/// availability (the peer link's transition probabilities are all the
+/// prediction needs, Section VI-E).
+pub fn peer_cycle_probabilities(link: LinkModel, interval: ReportingInterval) -> Pmf {
+    Pmf::geometric(link.availability(), interval.cycles() as usize)
+        .expect("availability is a probability")
+}
+
+/// A predicted composed route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionPrediction {
+    /// Cycle probability function of the composed path (Eq. 12, truncated).
+    pub cycle_probabilities: Pmf,
+    /// Predicted reachability (Eq. 6 on the composed function).
+    pub reachability: f64,
+    /// Hop count of the composed path — each extra hop costs one more
+    /// schedule slot, i.e. roughly +10 ms expected delay (the paper's
+    /// tie-break between paths alpha and beta).
+    pub hop_count: usize,
+}
+
+/// Predicts the performance of attaching via a peer path (with the given
+/// cycle function and hop count) to an evaluated existing path.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Inconsistent`] if the peer function is empty.
+pub fn predict_composition(
+    peer: &Pmf,
+    peer_hops: usize,
+    existing: &PathEvaluation,
+) -> Result<CompositionPrediction> {
+    if peer.is_empty() {
+        return Err(ModelError::Inconsistent {
+            reason: "peer path has an empty cycle probability function".into(),
+        });
+    }
+    let composed =
+        compose_cycle_probabilities(peer, existing.cycle_probabilities(), existing.interval());
+    let reachability = composed.total_mass();
+    Ok(CompositionPrediction {
+        cycle_probabilities: composed,
+        reachability,
+        hop_count: peer_hops + existing.hop_count(),
+    })
+}
+
+/// Converts a prediction into a [`PathEvaluation`] so the usual measures
+/// apply (the composed path inherits the existing path's super-frame and
+/// arrival slot; with `extra_slots` more transmissions the arrival slot
+/// shifts accordingly once the schedule is extended).
+pub fn prediction_to_evaluation(
+    prediction: &CompositionPrediction,
+    existing: &PathEvaluation,
+) -> PathEvaluation {
+    PathEvaluation::from_parts(
+        prediction.cycle_probabilities.clone(),
+        existing.arrival_slot_number(),
+        prediction.hop_count,
+        existing.superframe(),
+        existing.interval(),
+    )
+}
+
+/// Ranks candidate attachments the way Section VI-E decides between paths
+/// alpha and beta: maximize reachability; when predictions are within
+/// `reachability_tolerance` of each other, prefer fewer hops (each extra
+/// hop costs a schedule slot and ~10 ms of delay).
+///
+/// Returns candidate indices from best to worst.
+pub fn rank_candidates(
+    candidates: &[CompositionPrediction],
+    reachability_tolerance: f64,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ca, cb) = (&candidates[a], &candidates[b]);
+        if (ca.reachability - cb.reachability).abs() <= reachability_tolerance {
+            ca.hop_count.cmp(&cb.hop_count)
+        } else {
+            cb.reachability.partial_cmp(&ca.reachability).expect("finite reachability")
+        }
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::LinkDynamics;
+    use crate::path::PathModel;
+    use whart_channel::{EbN0, Modulation, WIRELESSHART_MESSAGE_BITS};
+    use whart_net::Superframe;
+
+    /// An existing n-hop path at availability pi, hops in slots 1..=n.
+    fn existing(hops: usize, pi: f64) -> PathEvaluation {
+        let mut b = PathModel::builder();
+        for k in 0..hops {
+            b.add_hop(LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap()), k);
+        }
+        b.superframe(Superframe::symmetric(20).unwrap())
+            .interval(ReportingInterval::REGULAR);
+        b.build().unwrap().evaluate()
+    }
+
+    fn peer_from_snr(snr: f64) -> LinkModel {
+        LinkModel::from_snr(
+            Modulation::Oqpsk,
+            EbN0::from_linear(snr),
+            WIRELESSHART_MESSAGE_BITS,
+            0.9,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_iv_path_alpha() {
+        // Peer n5 -> n3 at Eb/N0 = 7 (p_fl = 0.089) composed with the 2-hop
+        // existing path 1 at pi = 0.83.
+        let peer = peer_cycle_probabilities(peer_from_snr(7.0), ReportingInterval::REGULAR);
+        let prediction = predict_composition(&peer, 1, &existing(2, 0.83)).unwrap();
+        let g = &prediction.cycle_probabilities;
+        assert!((g.get(0) - 0.6274).abs() < 1e-3, "{}", g.get(0));
+        assert!((g.get(1) - 0.2694).abs() < 1e-3);
+        assert!((g.get(2) - 0.0784).abs() < 1e-3);
+        assert!((g.get(3) - 0.0193).abs() < 1e-3);
+        assert!((prediction.reachability - 0.9946).abs() < 1e-3);
+        assert_eq!(prediction.hop_count, 3);
+    }
+
+    #[test]
+    fn table_iv_path_beta() {
+        // Peer n5 -> n4 at Eb/N0 = 6 (p_fl = 0.237) composed with the 1-hop
+        // existing path 2.
+        let peer = peer_cycle_probabilities(peer_from_snr(6.0), ReportingInterval::REGULAR);
+        let prediction = predict_composition(&peer, 1, &existing(1, 0.83)).unwrap();
+        let g = &prediction.cycle_probabilities;
+        assert!((g.get(0) - 0.6573).abs() < 1e-3, "{}", g.get(0));
+        assert!((g.get(1) - 0.2485).abs() < 1e-3);
+        assert!((g.get(2) - 0.0707).abs() < 1e-3);
+        assert!((g.get(3) - 0.0180).abs() < 1e-3);
+        assert!((prediction.reachability - 0.9945).abs() < 1e-3);
+        assert_eq!(prediction.hop_count, 2);
+    }
+
+    #[test]
+    fn ranking_prefers_fewer_hops_on_ties() {
+        // Table IV's conclusion: R_alpha ~ R_beta, so the 2-hop path beta is
+        // preferred.
+        let alpha = predict_composition(
+            &peer_cycle_probabilities(peer_from_snr(7.0), ReportingInterval::REGULAR),
+            1,
+            &existing(2, 0.83),
+        )
+        .unwrap();
+        let beta = predict_composition(
+            &peer_cycle_probabilities(peer_from_snr(6.0), ReportingInterval::REGULAR),
+            1,
+            &existing(1, 0.83),
+        )
+        .unwrap();
+        let order = rank_candidates(&[alpha, beta], 0.001);
+        assert_eq!(order, vec![1, 0]); // beta first
+    }
+
+    #[test]
+    fn ranking_prefers_reachability_outside_tolerance() {
+        let strong = predict_composition(
+            &peer_cycle_probabilities(peer_from_snr(9.0), ReportingInterval::REGULAR),
+            1,
+            &existing(1, 0.948),
+        )
+        .unwrap();
+        let weak = predict_composition(
+            &peer_cycle_probabilities(peer_from_snr(4.0), ReportingInterval::REGULAR),
+            1,
+            &existing(3, 0.693),
+        )
+        .unwrap();
+        let order = rank_candidates(&[weak.clone(), strong.clone()], 1e-6);
+        assert_eq!(order, vec![1, 0]);
+        assert!(strong.reachability > weak.reachability);
+    }
+
+    #[test]
+    fn composition_matches_direct_evaluation() {
+        // Composing two segments evaluated separately must equal evaluating
+        // the full path, when the schedule serves the segments in order
+        // within each frame (peer hops before existing hops).
+        let pi = 0.83;
+        let full = existing(3, pi); // 3 hops in slots 1..3
+        let peer_seg = existing(1, pi);
+        let exist_seg = existing(2, pi);
+        let composed = compose_cycle_probabilities(
+            peer_seg.cycle_probabilities(),
+            exist_seg.cycle_probabilities(),
+            ReportingInterval::REGULAR,
+        );
+        for i in 0..4 {
+            assert!(
+                (composed.get(i) - full.cycle_probabilities().get(i)).abs() < 1e-12,
+                "cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_to_evaluation_supports_measures() {
+        let peer = peer_cycle_probabilities(peer_from_snr(7.0), ReportingInterval::REGULAR);
+        let ex = existing(2, 0.83);
+        let prediction = predict_composition(&peer, 1, &ex).unwrap();
+        let eval = prediction_to_evaluation(&prediction, &ex);
+        assert!((eval.reachability() - prediction.reachability).abs() < 1e-12);
+        assert_eq!(eval.hop_count(), 3);
+        assert!(eval
+            .expected_delay_ms(crate::measures::DelayConvention::Absolute)
+            .is_some());
+    }
+
+    #[test]
+    fn empty_peer_rejected() {
+        let ex = existing(1, 0.83);
+        assert!(predict_composition(&Pmf::default(), 1, &ex).is_err());
+    }
+}

@@ -1,0 +1,625 @@
+//! The hierarchical path model (Section IV) — fast evaluator.
+//!
+//! A [`PathModel`] describes how one message is forwarded along an uplink
+//! path during a reporting interval: per-hop [`LinkDynamics`], the frame
+//! slots the schedule grants each hop, the super-frame shape, the reporting
+//! interval and the TTL. [`PathModel::evaluate`] iterates the transient
+//! distribution `p(t) = p(t-1) P(t)` (Eq. 5) over the `Is * F_up` uplink
+//! slots, with the per-slot transition probabilities inherited from the
+//! link models (Eq. 3), and returns the goal-state probabilities
+//! ([`PathEvaluation`]).
+//!
+//! Timing semantics (calibrated against every number the paper reports —
+//! see DESIGN.md): each of the `Is * F_up` uplink slots applies its
+//! scheduled transmission; a success on the final hop during frame slot
+//! `a0` (1-based) of cycle `i` absorbs into goal state `i` with delay
+//! `((i-1) * (F_up + T_down) + a0) * 10 ms`. Link chains evolve over
+//! *absolute* slots, i.e. they keep evolving through the downlink half.
+
+use crate::dynamics::LinkDynamics;
+use crate::error::{ModelError, Result};
+use whart_dtmc::Pmf;
+use whart_net::{Path, ReportingInterval, Schedule, Superframe, Topology};
+
+/// One scheduled hop of a path model: the transmission of hop `hop` (0-based
+/// position along the path) in frame slot `slot` (0-based within the uplink
+/// half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HopSlot {
+    slot: usize,
+    hop: usize,
+}
+
+/// The hierarchical DTMC model of one uplink path.
+#[derive(Debug, Clone)]
+pub struct PathModel {
+    dynamics: Vec<LinkDynamics>,
+    hop_slots: Vec<HopSlot>,
+    superframe: Superframe,
+    interval: ReportingInterval,
+    ttl: u32,
+}
+
+impl PathModel {
+    /// Starts building a model hop by hop.
+    pub fn builder() -> PathModelBuilder {
+        PathModelBuilder::default()
+    }
+
+    /// Builds the model of `paths[path_index]` from a fully specified
+    /// network: link models are read from the topology (steady-state
+    /// dynamics), slots from the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Net`] if the schedule does not serve the path
+    /// consistently or a hop has no link, and [`ModelError::Inconsistent`]
+    /// if the schedule is longer than the uplink half.
+    pub fn from_network(
+        topology: &Topology,
+        paths: &[Path],
+        schedule: &Schedule,
+        superframe: Superframe,
+        interval: ReportingInterval,
+        path_index: usize,
+    ) -> Result<PathModel> {
+        schedule.validate(topology, paths)?;
+        if schedule.len() > superframe.uplink_slots() as usize {
+            return Err(ModelError::Inconsistent {
+                reason: format!(
+                    "schedule has {} slots but the uplink half only {}",
+                    schedule.len(),
+                    superframe.uplink_slots()
+                ),
+            });
+        }
+        let path = paths.get(path_index).ok_or_else(|| ModelError::Inconsistent {
+            reason: format!("path index {path_index} out of range"),
+        })?;
+        let mut builder = PathModel::builder();
+        for (slot, hop) in schedule.slots_for_path(path_index) {
+            let link = topology.link_for(hop)?;
+            builder.add_hop(LinkDynamics::steady(link), slot);
+        }
+        debug_assert_eq!(builder.hops.len(), path.hop_count());
+        builder.superframe(superframe).interval(interval);
+        builder.build()
+    }
+
+    /// Number of hops.
+    pub fn hop_count(&self) -> usize {
+        self.dynamics.len()
+    }
+
+    /// The 1-based frame slot of the final hop (the paper's `a0`, which
+    /// fixes the arrival slot in every cycle).
+    pub fn arrival_slot_number(&self) -> u32 {
+        self.hop_slots.iter().map(|hs| hs.slot).max().expect("models have >= 1 hop") as u32 + 1
+    }
+
+    /// The super-frame.
+    pub fn superframe(&self) -> Superframe {
+        self.superframe
+    }
+
+    /// The reporting interval.
+    pub fn interval(&self) -> ReportingInterval {
+        self.interval
+    }
+
+    /// The TTL in uplink slots.
+    pub fn ttl(&self) -> u32 {
+        self.ttl
+    }
+
+    /// The per-hop link dynamics.
+    pub fn hop_dynamics(&self) -> &[LinkDynamics] {
+        &self.dynamics
+    }
+
+    /// The `(frame_slot_0_based, hop_index)` assignments.
+    pub(crate) fn hop_slot_pairs(&self) -> Vec<(usize, usize)> {
+        self.hop_slots.iter().map(|hs| (hs.slot, hs.hop)).collect()
+    }
+
+    /// The success probability of hop `hop` when transmitted in cycle
+    /// `cycle` (0-based): the link's transient UP probability at the
+    /// absolute slot of that transmission.
+    pub fn success_probability(&self, hop: usize, cycle: u32) -> f64 {
+        let hs = self.hop_slots.iter().find(|hs| hs.hop == hop).expect("hop exists");
+        let abs_slot =
+            u64::from(cycle) * u64::from(self.superframe.cycle_slots()) + hs.slot as u64;
+        self.dynamics[hop].up_probability(abs_slot)
+    }
+
+    /// The same model under a different reporting interval (the TTL is
+    /// reset to the new interval's default). Used by the failure studies,
+    /// which model a k-cycle link failure as the loss of k cycles of the
+    /// interval (Section VI-C / Table III).
+    pub fn with_interval(&self, interval: ReportingInterval) -> PathModel {
+        let mut model = self.clone();
+        model.interval = interval;
+        model.ttl = interval.cycles() * self.superframe.uplink_slots();
+        model
+    }
+
+    /// Evaluates the model: the transient iteration of Eq. 5 over the whole
+    /// reporting interval.
+    pub fn evaluate(&self) -> PathEvaluation {
+        let n = self.hop_count();
+        let f_up = self.superframe.uplink_slots() as usize;
+        let cycles = self.interval.cycles() as usize;
+        let total = f_up * cycles;
+        let cycle_slots = u64::from(self.superframe.cycle_slots());
+
+        // Which hop (if any) transmits in each frame slot for this path.
+        let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
+        for hs in &self.hop_slots {
+            by_slot[hs.slot] = Some(hs.hop);
+        }
+
+        // position[j] = P(message sits j hops along the path).
+        let mut position = vec![0.0f64; n];
+        position[0] = 1.0;
+        let mut goals = vec![0.0f64; cycles];
+        let mut discard = 0.0f64;
+        let mut expected_transmissions = 0.0f64;
+        let mut goal_trajectory: Vec<Vec<f64>> = Vec::with_capacity(total + 1);
+        goal_trajectory.push(goals.clone());
+
+        for step in 1..=total {
+            let frame_slot = (step - 1) % f_up;
+            let cycle = (step - 1) / f_up;
+            if let Some(hop) = by_slot[frame_slot] {
+                let mass = position[hop];
+                if mass > 0.0 {
+                    expected_transmissions += mass;
+                    let abs_slot = cycle as u64 * cycle_slots + frame_slot as u64;
+                    let ps = self.dynamics[hop].up_probability(abs_slot);
+                    let moved = mass * ps;
+                    position[hop] = mass - moved;
+                    if hop + 1 == n {
+                        goals[cycle] += moved;
+                    } else {
+                        position[hop + 1] += moved;
+                    }
+                }
+            }
+            // TTL expiry: the message is dropped once it has lived `ttl`
+            // uplink slots without reaching the gateway.
+            if step as u32 >= self.ttl {
+                discard += position.iter().sum::<f64>();
+                position.iter_mut().for_each(|p| *p = 0.0);
+                goal_trajectory.push(goals.clone());
+                // Goals no longer change; pad the trajectory to full length.
+                for _ in step + 1..=total {
+                    goal_trajectory.push(goals.clone());
+                }
+                break;
+            }
+            goal_trajectory.push(goals.clone());
+        }
+        // Mass still in flight at the end of the interval is lost.
+        discard += position.iter().sum::<f64>();
+
+        PathEvaluation {
+            cycle_probabilities: goals.iter().copied().collect(),
+            discard_probability: discard,
+            arrival_slot_number: self.arrival_slot_number(),
+            hop_count: n,
+            superframe: self.superframe,
+            interval: self.interval,
+            goal_trajectory,
+            expected_transmissions,
+        }
+    }
+}
+
+/// Builder for [`PathModel`]; see [`PathModel::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct PathModelBuilder {
+    hops: Vec<(LinkDynamics, usize)>,
+    superframe: Option<Superframe>,
+    interval: ReportingInterval,
+    ttl: Option<u32>,
+}
+
+impl PathModelBuilder {
+    /// Adds the next hop of the path with its 0-based frame slot.
+    pub fn add_hop(&mut self, dynamics: LinkDynamics, frame_slot: usize) -> &mut Self {
+        self.hops.push((dynamics, frame_slot));
+        self
+    }
+
+    /// Sets the super-frame (required).
+    pub fn superframe(&mut self, superframe: Superframe) -> &mut Self {
+        self.superframe = Some(superframe);
+        self
+    }
+
+    /// Sets the reporting interval (defaults to the paper's `Is = 4`).
+    pub fn interval(&mut self, interval: ReportingInterval) -> &mut Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Overrides the TTL in uplink slots (defaults to `Is * F_up`, one full
+    /// reporting interval). Values above `Is * F_up` are capped by the
+    /// evaluation horizon — the interval ends regardless.
+    pub fn ttl(&mut self, ttl: u32) -> &mut Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Inconsistent`] if no hops were added, the
+    /// super-frame is missing, a slot lies outside the uplink half, two
+    /// hops share a slot, or the hops' slots are not in path order within
+    /// the frame (the construction used by every schedule in the paper; a
+    /// message can then traverse the whole path in one cycle).
+    pub fn build(&self) -> Result<PathModel> {
+        let superframe = self.superframe.ok_or_else(|| ModelError::Inconsistent {
+            reason: "a super-frame is required".into(),
+        })?;
+        if self.hops.is_empty() {
+            return Err(ModelError::Inconsistent { reason: "a path needs at least one hop".into() });
+        }
+        let f_up = superframe.uplink_slots() as usize;
+        let mut seen = vec![false; f_up];
+        let mut last_slot = None;
+        for (hop, &(_, slot)) in self.hops.iter().enumerate() {
+            if slot >= f_up {
+                return Err(ModelError::Inconsistent {
+                    reason: format!("hop {hop} scheduled in slot {slot}, uplink half is {f_up}"),
+                });
+            }
+            if seen[slot] {
+                return Err(ModelError::Inconsistent {
+                    reason: format!("two hops share frame slot {slot}"),
+                });
+            }
+            seen[slot] = true;
+            if let Some(prev) = last_slot {
+                if slot <= prev {
+                    return Err(ModelError::Inconsistent {
+                        reason: format!(
+                            "hop {hop} scheduled at slot {slot} before its predecessor's slot {prev}"
+                        ),
+                    });
+                }
+            }
+            last_slot = Some(slot);
+        }
+        let interval = self.interval;
+        let horizon = interval.cycles() * superframe.uplink_slots();
+        let ttl = self.ttl.unwrap_or(horizon).min(horizon);
+        if ttl == 0 {
+            return Err(ModelError::Inconsistent { reason: "ttl must be positive".into() });
+        }
+        Ok(PathModel {
+            dynamics: self.hops.iter().map(|(d, _)| d.clone()).collect(),
+            hop_slots: self
+                .hops
+                .iter()
+                .enumerate()
+                .map(|(hop, &(_, slot))| HopSlot { slot, hop })
+                .collect(),
+            superframe,
+            interval,
+            ttl,
+        })
+    }
+}
+
+/// The result of [`PathModel::evaluate`]: the absorption probabilities of
+/// the path DTMC, plus everything the measures of Section V need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathEvaluation {
+    cycle_probabilities: Pmf,
+    discard_probability: f64,
+    arrival_slot_number: u32,
+    hop_count: usize,
+    superframe: Superframe,
+    interval: ReportingInterval,
+    goal_trajectory: Vec<Vec<f64>>,
+    expected_transmissions: f64,
+}
+
+impl PathEvaluation {
+    /// The cycle probability function `g`: entry `i` is the probability the
+    /// message reaches the destination in cycle `i + 1` (the transient
+    /// probability of goal state `R_{a0 + i * F_up}` at the end of the
+    /// interval).
+    pub fn cycle_probabilities(&self) -> &Pmf {
+        &self.cycle_probabilities
+    }
+
+    /// Probability the message is discarded (TTL expiry / interval end).
+    pub fn discard_probability(&self) -> f64 {
+        self.discard_probability
+    }
+
+    /// The 1-based frame slot at which arrivals happen (`a0`).
+    pub fn arrival_slot_number(&self) -> u32 {
+        self.arrival_slot_number
+    }
+
+    /// Number of hops of the evaluated path.
+    pub fn hop_count(&self) -> usize {
+        self.hop_count
+    }
+
+    /// The super-frame the path was evaluated under.
+    pub fn superframe(&self) -> Superframe {
+        self.superframe
+    }
+
+    /// The reporting interval the path was evaluated under.
+    pub fn interval(&self) -> ReportingInterval {
+        self.interval
+    }
+
+    /// The exact expected number of slots in which this path's message was
+    /// actually transmitted during the interval (successful or not) — the
+    /// literal reading of Eq. 10's prose, and what the Monte-Carlo
+    /// simulator's slot counter estimates. Lost messages contribute their
+    /// true attempt count, unlike the published Table II convention (see
+    /// [`crate::UtilizationConvention`]).
+    pub fn expected_transmissions(&self) -> f64 {
+        self.expected_transmissions
+    }
+
+    /// Exact utilization: [`PathEvaluation::expected_transmissions`] over
+    /// the interval's uplink slots.
+    pub fn exact_utilization(&self) -> f64 {
+        self.expected_transmissions
+            / f64::from(self.interval.cycles() * self.superframe.uplink_slots())
+    }
+
+    /// The transient probability of each goal state after every uplink slot:
+    /// `trajectory()[t][i]` is the probability that the message has reached
+    /// goal `i + 1` within the first `t` uplink slots — the curves of the
+    /// paper's Fig. 6.
+    pub fn trajectory(&self) -> &[Vec<f64>] {
+        &self.goal_trajectory
+    }
+
+    /// Constructs an evaluation from raw parts (used by the composition and
+    /// prediction machinery, where cycle probabilities come from Eq. 12
+    /// rather than a transient solve). The trajectory is left empty.
+    pub(crate) fn from_parts(
+        cycle_probabilities: Pmf,
+        arrival_slot_number: u32,
+        hop_count: usize,
+        superframe: Superframe,
+        interval: ReportingInterval,
+    ) -> PathEvaluation {
+        let discard_probability = 1.0 - cycle_probabilities.total_mass();
+        // For composed evaluations the exact attempt count is not derivable
+        // from the cycle function alone; charge delivered messages their
+        // minimum (n + i - 1) and lost ones the worst case, matching the
+        // LostCharged convention.
+        let is = interval.cycles();
+        let mut expected_transmissions = discard_probability * (hop_count as f64 + f64::from(is) - 1.0);
+        for cycle in 1..=is {
+            expected_transmissions += cycle_probabilities.get(cycle as usize - 1)
+                * (hop_count as f64 + f64::from(cycle) - 1.0);
+        }
+        PathEvaluation {
+            cycle_probabilities,
+            discard_probability,
+            arrival_slot_number,
+            hop_count,
+            superframe,
+            interval,
+            goal_trajectory: Vec::new(),
+            expected_transmissions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whart_channel::LinkModel;
+    use whart_net::typical::section_v_example;
+
+    fn steady(pi: f64) -> LinkDynamics {
+        LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap())
+    }
+
+    /// The Section V-A model: 3 hops at slots 3, 6, 7 (1-based), F_up = 7.
+    fn example_model(pi: f64, is: u32) -> PathModel {
+        let mut b = PathModel::builder();
+        b.add_hop(steady(pi), 2).add_hop(steady(pi), 5).add_hop(steady(pi), 6);
+        b.superframe(Superframe::symmetric(7).unwrap())
+            .interval(ReportingInterval::new(is).unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig6_goal_probabilities() {
+        // Section V-A: pi(up) = 0.75, Is = 4 -> goal probabilities
+        // 0.4219 / 0.3164 / 0.1582 / 0.06592, R = 0.9624.
+        let eval = example_model(0.75, 4).evaluate();
+        let g = eval.cycle_probabilities();
+        assert!((g.get(0) - 0.4219).abs() < 1e-4, "{}", g.get(0));
+        assert!((g.get(1) - 0.3164).abs() < 1e-4);
+        assert!((g.get(2) - 0.1582).abs() < 1e-4);
+        assert!((g.get(3) - 0.06592).abs() < 1e-5);
+        assert!((g.total_mass() - 0.9624).abs() < 1e-4);
+        assert!((eval.discard_probability() - 0.0376).abs() < 1e-4);
+        assert_eq!(eval.arrival_slot_number(), 7);
+    }
+
+    #[test]
+    fn matches_negative_binomial_closed_form() {
+        // Steady homogeneous links with an in-order schedule follow the
+        // negative binomial distribution exactly.
+        for &pi in &[0.693, 0.83, 0.948] {
+            for is in 1..=5 {
+                let eval = example_model(pi, is).evaluate();
+                let nb = Pmf::negative_binomial(pi, 3, is as usize).unwrap();
+                for i in 0..is as usize {
+                    assert!(
+                        (eval.cycle_probabilities().get(i) - nb.get(i)).abs() < 1e-12,
+                        "pi={pi} is={is} cycle={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_is_step_shaped() {
+        // Goals only jump at their arrival slots: goal 1 at step 7, goal 2 at
+        // step 14, ... (Fig. 6's step curves).
+        let eval = example_model(0.75, 4).evaluate();
+        let traj = eval.trajectory();
+        assert_eq!(traj.len(), 29);
+        assert_eq!(traj[0], vec![0.0; 4]);
+        assert_eq!(traj[6][0], 0.0);
+        assert!((traj[7][0] - 0.421875).abs() < 1e-12);
+        assert_eq!(traj[13][1], 0.0);
+        assert!((traj[14][1] - 0.31640625).abs() < 1e-9);
+        // Goal probabilities are non-decreasing in time.
+        for w in traj.windows(2) {
+            for (before, after) in w[0].iter().zip(&w[1]) {
+                assert!(*after >= before - 1e-15);
+            }
+        }
+        // Final trajectory row equals the cycle probabilities.
+        for (i, p) in traj[28].iter().enumerate() {
+            assert!((p - eval.cycle_probabilities().get(i)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn one_hop_path_is_geometric() {
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.903), 0);
+        b.superframe(Superframe::symmetric(20).unwrap())
+            .interval(ReportingInterval::new(4).unwrap());
+        let eval = b.build().unwrap().evaluate();
+        let g = Pmf::geometric(0.903, 4).unwrap();
+        for i in 0..4 {
+            assert!((eval.cycle_probabilities().get(i) - g.get(i)).abs() < 1e-12);
+        }
+        assert_eq!(eval.arrival_slot_number(), 1);
+    }
+
+    #[test]
+    fn slot1_transmissions_fire_in_cycle_one() {
+        // The network evaluation requires a transmission scheduled in the
+        // very first slot to be able to serve the message born that cycle
+        // (path 1 under eta_a reaches the gateway in cycle 1 with p).
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.83), 0);
+        b.superframe(Superframe::symmetric(20).unwrap())
+            .interval(ReportingInterval::new(1).unwrap());
+        let eval = b.build().unwrap().evaluate();
+        assert!((eval.cycle_probabilities().get(0) - 0.83).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttl_expiry_discards_early() {
+        // TTL of one frame: only the first cycle can deliver.
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.75), 2).add_hop(steady(0.75), 5).add_hop(steady(0.75), 6);
+        b.superframe(Superframe::symmetric(7).unwrap())
+            .interval(ReportingInterval::new(4).unwrap())
+            .ttl(7);
+        let eval = b.build().unwrap().evaluate();
+        assert!((eval.cycle_probabilities().get(0) - 0.75f64.powi(3)).abs() < 1e-12);
+        assert_eq!(eval.cycle_probabilities().get(1), 0.0);
+        assert!((eval.discard_probability() - (1.0 - 0.75f64.powi(3))).abs() < 1e-12);
+        // Trajectory still spans the whole interval.
+        assert_eq!(eval.trajectory().len(), 29);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let eval = example_model(0.83, 4).evaluate();
+        let total = eval.cycle_probabilities().total_mass() + eval.discard_probability();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_network_matches_hand_built() {
+        let link = LinkModel::from_availability(0.75, 0.9).unwrap();
+        let (topology, path, schedule, superframe) = section_v_example(link).unwrap();
+        let model = PathModel::from_network(
+            &topology,
+            std::slice::from_ref(&path),
+            &schedule,
+            superframe,
+            ReportingInterval::new(4).unwrap(),
+            0,
+        )
+        .unwrap();
+        let eval = model.evaluate();
+        let want = example_model(0.75, 4).evaluate();
+        assert_eq!(eval.cycle_probabilities(), want.cycle_probabilities());
+    }
+
+    #[test]
+    fn builder_validates() {
+        let sf = Superframe::symmetric(7).unwrap();
+        // No hops.
+        let mut b = PathModel::builder();
+        b.superframe(sf);
+        assert!(b.build().is_err());
+        // Missing super-frame.
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.8), 0);
+        assert!(b.build().is_err());
+        // Slot out of range.
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.8), 9);
+        b.superframe(sf);
+        assert!(b.build().is_err());
+        // Duplicate slot.
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.8), 1).add_hop(steady(0.8), 1);
+        b.superframe(sf);
+        assert!(b.build().is_err());
+        // Out-of-order hops.
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.8), 5).add_hop(steady(0.8), 2);
+        b.superframe(sf);
+        assert!(b.build().is_err());
+        // Zero TTL.
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.8), 0);
+        b.superframe(sf).ttl(0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn success_probability_uses_link_dynamics() {
+        let model = example_model(0.83, 4);
+        for hop in 0..3 {
+            for cycle in 0..4 {
+                assert!((model.success_probability(hop, cycle) - 0.83).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inhomogeneous_links_differ_from_homogeneous() {
+        let mut b = PathModel::builder();
+        b.add_hop(steady(0.95), 2).add_hop(steady(0.70), 5).add_hop(steady(0.85), 6);
+        b.superframe(Superframe::symmetric(7).unwrap())
+            .interval(ReportingInterval::new(4).unwrap());
+        let eval = b.build().unwrap().evaluate();
+        // First-cycle probability is the product of the three availabilities.
+        assert!(
+            (eval.cycle_probabilities().get(0) - 0.95 * 0.70 * 0.85).abs() < 1e-12,
+            "{}",
+            eval.cycle_probabilities().get(0)
+        );
+    }
+}

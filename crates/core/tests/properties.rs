@@ -1,0 +1,257 @@
+//! Property-based tests for the hierarchical model: the fast evaluator, the
+//! explicit Algorithm-1 chain, composition and the measures must agree with
+//! each other and with closed forms on randomized configurations.
+
+use proptest::prelude::*;
+use whart_channel::{LinkModel, LinkState};
+use whart_dtmc::Pmf;
+use whart_model::{
+    compose, explicit::explicit_chain, DelayConvention, LinkDynamics, Outage, PathModel,
+    UtilizationConvention,
+};
+use whart_net::{ReportingInterval, Superframe};
+
+/// A random path model: `hops` homogeneous steady links at `pi`, hop `k` in
+/// frame slot `slots[k]` (strictly increasing), interval `is`.
+fn build_model(
+    pis: &[f64],
+    slots: &[usize],
+    f_up: u32,
+    is: u32,
+    ttl: Option<u32>,
+) -> PathModel {
+    let mut b = PathModel::builder();
+    for (k, (&pi, &slot)) in pis.iter().zip(slots).enumerate() {
+        let _ = k;
+        b.add_hop(LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap()), slot);
+    }
+    b.superframe(Superframe::symmetric(f_up).unwrap())
+        .interval(ReportingInterval::new(is).unwrap());
+    if let Some(t) = ttl {
+        b.ttl(t);
+    }
+    b.build().unwrap()
+}
+
+/// Strategy: 1..=4 availabilities in the representable range plus strictly
+/// increasing slots inside an f_up-slot frame.
+fn model_params() -> impl Strategy<Value = (Vec<f64>, Vec<usize>, u32, u32)> {
+    (1usize..=4, 2u32..=10, 1u32..=5).prop_flat_map(|(hops, extra, is)| {
+        let f_up = hops as u32 + extra;
+        (
+            proptest::collection::vec(0.5f64..0.99, hops),
+            proptest::sample::subsequence((0..f_up as usize).collect::<Vec<_>>(), hops),
+            Just(f_up),
+            Just(is),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn explicit_chain_matches_fast_evaluator((pis, slots, f_up, is) in model_params()) {
+        let model = build_model(&pis, &slots, f_up, is, None);
+        let fast = model.evaluate();
+        let slow = explicit_chain(&model).cycle_probabilities().unwrap();
+        for i in 0..is as usize {
+            prop_assert!(
+                (fast.cycle_probabilities().get(i) - slow.get(i)).abs() < 1e-10,
+                "cycle {i}: fast {} vs explicit {}",
+                fast.cycle_probabilities().get(i),
+                slow.get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_mass_is_conserved((pis, slots, f_up, is) in model_params()) {
+        let eval = build_model(&pis, &slots, f_up, is, None).evaluate();
+        let total = eval.reachability() + eval.discard_probability();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+        prop_assert!(eval.cycle_probabilities().as_slice().iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn homogeneous_in_order_paths_are_negative_binomial(
+        pi in 0.5f64..0.99,
+        hops in 1u32..=4,
+        is in 1u32..=5,
+    ) {
+        let slots: Vec<usize> = (0..hops as usize).collect();
+        let pis = vec![pi; hops as usize];
+        let eval = build_model(&pis, &slots, hops, is, None).evaluate();
+        let nb = Pmf::negative_binomial(pi, hops, is as usize).unwrap();
+        for i in 0..is as usize {
+            prop_assert!((eval.cycle_probabilities().get(i) - nb.get(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reachability_is_monotone_in_availability(
+        lo in 0.5f64..0.9,
+        delta in 0.001f64..0.09,
+        hops in 1u32..=4,
+    ) {
+        let slots: Vec<usize> = (0..hops as usize).collect();
+        let worse = build_model(&vec![lo; hops as usize], &slots, hops, 4, None).evaluate();
+        let better =
+            build_model(&vec![lo + delta; hops as usize], &slots, hops, 4, None).evaluate();
+        prop_assert!(better.reachability() >= worse.reachability());
+        // Better links also deliver earlier in expectation.
+        let (db, dw) = (
+            better.expected_delay_ms(DelayConvention::Absolute).unwrap(),
+            worse.expected_delay_ms(DelayConvention::Absolute).unwrap(),
+        );
+        prop_assert!(db <= dw + 1e-9);
+    }
+
+    #[test]
+    fn reachability_is_monotone_in_interval((pis, slots, f_up, _is) in model_params()) {
+        let mut last = 0.0;
+        for is in 1..=6 {
+            let r = build_model(&pis, &slots, f_up, is, None).evaluate().reachability();
+            prop_assert!(r + 1e-12 >= last, "Is={is}: {r} < {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn ttl_only_reduces_reachability((pis, slots, f_up, is) in model_params(), ttl in 1u32..40) {
+        let full = build_model(&pis, &slots, f_up, is, None).evaluate();
+        let limited = build_model(&pis, &slots, f_up, is, Some(ttl)).evaluate();
+        prop_assert!(limited.reachability() <= full.reachability() + 1e-12);
+        // Per-cycle probabilities never increase under a TTL.
+        for i in 0..is as usize {
+            prop_assert!(
+                limited.cycle_probabilities().get(i)
+                    <= full.cycle_probabilities().get(i) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn composition_matches_monolithic_evaluation(
+        pi_a in 0.5f64..0.99,
+        pi_b in 0.5f64..0.99,
+        split in 1usize..=3,
+        is in 1u32..=5,
+    ) {
+        // A 4-hop path split at `split`: composing the two segment
+        // evaluations must equal evaluating the whole path (hops in order,
+        // slots 0..4 in a frame of 4).
+        let hops = 4usize;
+        let pis: Vec<f64> =
+            (0..hops).map(|k| if k < split { pi_a } else { pi_b }).collect();
+        let slots: Vec<usize> = (0..hops).collect();
+        let full = build_model(&pis, &slots, hops as u32, is, None).evaluate();
+
+        let seg1 = build_model(&pis[..split], &slots[..split], hops as u32, is, None).evaluate();
+        let seg2_slots: Vec<usize> = (0..hops - split).collect();
+        let seg2 =
+            build_model(&pis[split..], &seg2_slots, (hops - split) as u32, is, None).evaluate();
+        let composed = compose::compose_cycle_probabilities(
+            seg1.cycle_probabilities(),
+            seg2.cycle_probabilities(),
+            ReportingInterval::new(is).unwrap(),
+        );
+        for i in 0..is as usize {
+            prop_assert!(
+                (composed.get(i) - full.cycle_probabilities().get(i)).abs() < 1e-12,
+                "cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_is_bounded((pis, slots, f_up, is) in model_params()) {
+        let eval = build_model(&pis, &slots, f_up, is, None).evaluate();
+        for convention in [
+            UtilizationConvention::AsEvaluated,
+            UtilizationConvention::LostCharged,
+            UtilizationConvention::Eq10AsPrinted,
+        ] {
+            let u = eval.utilization(convention);
+            prop_assert!((0.0..=1.0).contains(&u), "{convention:?}: {u}");
+        }
+    }
+
+    #[test]
+    fn exact_utilization_is_bracketed_by_conventions((pis, slots, f_up, is) in model_params()) {
+        // AsEvaluated charges lost messages nothing; LostCharged charges
+        // their worst case; the exact expected-transmission count sits in
+        // between. Delivered-message counts coincide across all three.
+        let eval = build_model(&pis, &slots, f_up, is, None).evaluate();
+        let lo = eval.utilization(UtilizationConvention::AsEvaluated);
+        let hi = eval.utilization(UtilizationConvention::LostCharged);
+        let exact = eval.exact_utilization();
+        prop_assert!(lo <= exact + 1e-12, "{lo} vs {exact}");
+        prop_assert!(exact <= hi + 1e-12, "{exact} vs {hi}");
+    }
+
+    #[test]
+    fn delay_distribution_is_normalized_and_ordered((pis, slots, f_up, is) in model_params()) {
+        let eval = build_model(&pis, &slots, f_up, is, None).evaluate();
+        let d = eval.delay_distribution(DelayConvention::Absolute);
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        // Support delays are strictly increasing across cycles.
+        let delays: Vec<f64> = d.iter().map(|(v, _)| v).collect();
+        for w in delays.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn outage_never_improves_reachability(
+        (_pis, slots, f_up, is) in model_params(),
+        pi in 0.9f64..0.99,
+        start in 0u64..30,
+        len in 1u64..20,
+    ) {
+        // Monotonicity only holds when the link chain's second eigenvalue
+        // `1 - p_fl - p_rc` is non-negative (pi >= p_rc); otherwise the
+        // post-outage recovery overshoots the steady state (channel hopping
+        // makes a just-failed link *more* likely up next slot) and a
+        // well-timed outage can help — a real property of the paper's model.
+        let pis = vec![pi; slots.len()];
+        let baseline = build_model(&pis, &slots, f_up, is, None);
+        let mut b = PathModel::builder();
+        for (k, (&pi, &slot)) in pis.iter().zip(&slots).enumerate() {
+            let link = LinkModel::from_availability(pi, 0.9).unwrap();
+            let dynamics = if k == 0 {
+                LinkDynamics::steady(link).with_outage(Outage::new(start, start + len))
+            } else {
+                LinkDynamics::steady(link)
+            };
+            b.add_hop(dynamics, slot);
+        }
+        b.superframe(Superframe::symmetric(f_up).unwrap())
+            .interval(ReportingInterval::new(is).unwrap());
+        let degraded = b.build().unwrap();
+        prop_assert!(
+            degraded.evaluate().reachability() <= baseline.evaluate().reachability() + 1e-12
+        );
+    }
+
+    #[test]
+    fn starting_down_hurts_starting_up_helps(
+        // Restricted to the monotone regime (see the outage property above).
+        pi in 0.9f64..0.99,
+        slot in 0usize..5,
+    ) {
+        let link = LinkModel::from_availability(pi, 0.9).unwrap();
+        let build = |initial: LinkDynamics| {
+            let mut b = PathModel::builder();
+            b.add_hop(initial, slot);
+            b.superframe(Superframe::symmetric(5).unwrap())
+                .interval(ReportingInterval::new(2).unwrap());
+            b.build().unwrap().evaluate().reachability()
+        };
+        let steady = build(LinkDynamics::steady(link));
+        let down = build(LinkDynamics::starting_in(link, LinkState::Down));
+        let up = build(LinkDynamics::starting_in(link, LinkState::Up));
+        prop_assert!(down <= steady + 1e-12);
+        prop_assert!(up + 1e-12 >= steady);
+    }
+}

@@ -1,0 +1,330 @@
+//! Structural classification of chains: communicating classes,
+//! irreducibility, aperiodicity and expected visit counts.
+//!
+//! The path models of the WirelessHART paper are absorbing by
+//! construction; these analyses let callers *verify* such structural
+//! assumptions instead of trusting them, and support the generic DTMC
+//! use-cases of the substrate.
+
+use crate::chain::{Dtmc, StateId};
+use crate::error::Result;
+use crate::linalg::DenseMatrix;
+
+/// The communicating classes of a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// Strongly connected components in reverse topological order
+    /// (successors before predecessors); each is a sorted list of states.
+    pub classes: Vec<Vec<StateId>>,
+    /// For each class, whether it is closed (no transition leaves it).
+    pub closed: Vec<bool>,
+}
+
+impl Classification {
+    /// The class index of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not belong to the classified chain.
+    pub fn class_of(&self, state: StateId) -> usize {
+        self.classes
+            .iter()
+            .position(|c| c.contains(&state))
+            .expect("state belongs to the classified chain")
+    }
+
+    /// Whether the chain is irreducible (exactly one class).
+    pub fn is_irreducible(&self) -> bool {
+        self.classes.len() == 1
+    }
+
+    /// The recurrent (closed) classes.
+    pub fn recurrent_classes(&self) -> impl Iterator<Item = &[StateId]> {
+        self.classes
+            .iter()
+            .zip(&self.closed)
+            .filter(|(_, closed)| **closed)
+            .map(|(c, _)| c.as_slice())
+    }
+
+    /// The transient states (members of open classes).
+    pub fn transient_states(&self) -> Vec<StateId> {
+        let mut out: Vec<StateId> = self
+            .classes
+            .iter()
+            .zip(&self.closed)
+            .filter(|(_, closed)| !**closed)
+            .flat_map(|(c, _)| c.iter().copied())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Computes the communicating classes (strongly connected components) of a
+/// chain with an iterative Tarjan algorithm, and marks which are closed.
+pub fn classify(chain: &Dtmc) -> Classification {
+    let n = chain.len();
+    // Iterative Tarjan.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut classes: Vec<Vec<StateId>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over successors).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let successors: Vec<usize> =
+            chain.successors(StateId(start)).map(|(s, _)| s.index()).collect();
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call_stack.push((start, successors, 0));
+        while let Some((node, succ, pos)) = call_stack.last_mut() {
+            if *pos < succ.len() {
+                let next = succ[*pos];
+                *pos += 1;
+                if index[next] == usize::MAX {
+                    index[next] = next_index;
+                    low[next] = next_index;
+                    next_index += 1;
+                    stack.push(next);
+                    on_stack[next] = true;
+                    let succ_next: Vec<usize> =
+                        chain.successors(StateId(next)).map(|(s, _)| s.index()).collect();
+                    call_stack.push((next, succ_next, 0));
+                } else if on_stack[next] {
+                    low[*node] = low[*node].min(index[next]);
+                }
+            } else {
+                let node = *node;
+                if low[node] == index[node] {
+                    let mut class = Vec::new();
+                    loop {
+                        let top = stack.pop().expect("tarjan stack invariant");
+                        on_stack[top] = false;
+                        class.push(StateId(top));
+                        if top == node {
+                            break;
+                        }
+                    }
+                    class.sort();
+                    classes.push(class);
+                }
+                call_stack.pop();
+                if let Some((parent, _, _)) = call_stack.last() {
+                    low[*parent] = low[*parent].min(low[node]);
+                }
+            }
+        }
+    }
+
+    let closed = classes
+        .iter()
+        .map(|class| {
+            class.iter().all(|&s| {
+                chain.successors(s).all(|(to, p)| p == 0.0 || class.binary_search(&to).is_ok())
+            })
+        })
+        .collect();
+    Classification { classes, closed }
+}
+
+/// The period of a state: the gcd of the lengths of all cycles through it
+/// (1 = aperiodic). Computed by BFS levelling within the state's class.
+///
+/// # Panics
+///
+/// Panics if `state` does not belong to the chain.
+pub fn period(chain: &Dtmc, state: StateId) -> u64 {
+    let classification = classify(chain);
+    let class = &classification.classes[classification.class_of(state)];
+    // BFS from `state` within the class; the period is the gcd of
+    // (level(u) + 1 - level(v)) over intra-class edges u -> v.
+    let mut level = vec![None::<u64>; chain.len()];
+    level[state.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::from([state]);
+    let mut g: u64 = 0;
+    while let Some(u) = queue.pop_front() {
+        let lu = level[u.index()].expect("queued states have levels");
+        for (v, p) in chain.successors(u) {
+            if p == 0.0 || class.binary_search(&v).is_err() {
+                continue;
+            }
+            match level[v.index()] {
+                None => {
+                    level[v.index()] = Some(lu + 1);
+                    queue.push_back(v);
+                }
+                Some(lv) => {
+                    let diff = (lu + 1) as i64 - lv as i64;
+                    g = gcd(g, diff.unsigned_abs());
+                }
+            }
+        }
+    }
+    if g == 0 {
+        0 // no cycle through the state (transient singleton)
+    } else {
+        g
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Expected number of visits to each transient state before absorption,
+/// starting from `from` — the corresponding row of the fundamental matrix
+/// `N = (I - Q)^-1`. Absorbing/recurrent states report 0.
+///
+/// # Errors
+///
+/// Returns a solver error if some transient state cannot reach a recurrent
+/// class (cannot happen in a well-formed chain).
+pub fn expected_visits(chain: &Dtmc, from: StateId) -> Result<Vec<f64>> {
+    let classification = classify(chain);
+    let transient = classification.transient_states();
+    let t = transient.len();
+    let mut pos = vec![usize::MAX; chain.len()];
+    for (i, s) in transient.iter().enumerate() {
+        pos[s.index()] = i;
+    }
+    if t == 0 || pos[from.index()] == usize::MAX {
+        return Ok(vec![0.0; chain.len()]);
+    }
+    // Solve x (I - Q) = e_from, i.e. (I - Q)^T x = e_from.
+    let mut a = DenseMatrix::identity(t);
+    for (i, &s) in transient.iter().enumerate() {
+        for (to, p) in chain.successors(s) {
+            if pos[to.index()] != usize::MAX {
+                a[(pos[to.index()], i)] -= p;
+            }
+        }
+    }
+    let mut b = vec![0.0; t];
+    b[pos[from.index()]] = 1.0;
+    let x = a.solve(b)?;
+    let mut out = vec![0.0; chain.len()];
+    for (i, &s) in transient.iter().enumerate() {
+        out[s.index()] = x[i];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Dtmc;
+
+    fn absorbing_chain() -> (Dtmc, StateId, StateId, StateId) {
+        let mut b = Dtmc::builder();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let goal = b.add_state("goal");
+        b.add_transition(s0, s1, 0.5).unwrap();
+        b.add_transition(s0, s0, 0.5).unwrap();
+        b.add_transition(s1, goal, 0.5).unwrap();
+        b.add_transition(s1, s0, 0.5).unwrap();
+        b.make_absorbing(goal).unwrap();
+        (b.build().unwrap(), s0, s1, goal)
+    }
+
+    #[test]
+    fn classifies_absorbing_chain() {
+        let (chain, s0, s1, goal) = absorbing_chain();
+        let c = classify(&chain);
+        assert_eq!(c.classes.len(), 2);
+        assert!(!c.is_irreducible());
+        // s0 and s1 communicate (s0 -> s1 -> s0); goal is its own closed class.
+        assert_eq!(c.class_of(s0), c.class_of(s1));
+        assert_ne!(c.class_of(s0), c.class_of(goal));
+        let recurrent: Vec<_> = c.recurrent_classes().collect();
+        assert_eq!(recurrent, vec![&[goal][..]]);
+        assert_eq!(c.transient_states(), vec![s0, s1]);
+    }
+
+    #[test]
+    fn irreducible_two_state_chain() {
+        let mut b = Dtmc::builder();
+        let up = b.add_state("UP");
+        let down = b.add_state("DOWN");
+        b.add_transition(up, up, 0.7).unwrap();
+        b.add_transition(up, down, 0.3).unwrap();
+        b.add_transition(down, up, 0.9).unwrap();
+        b.add_transition(down, down, 0.1).unwrap();
+        let chain = b.build().unwrap();
+        let c = classify(&chain);
+        assert!(c.is_irreducible());
+        assert!(c.closed[0]);
+        assert_eq!(period(&chain, up), 1); // self-loops make it aperiodic
+    }
+
+    #[test]
+    fn period_of_a_cycle() {
+        // A deterministic 3-cycle has period 3.
+        let mut b = Dtmc::builder();
+        let states: Vec<_> = (0..3).map(|i| b.add_state(format!("c{i}"))).collect();
+        for i in 0..3 {
+            b.add_transition(states[i], states[(i + 1) % 3], 1.0).unwrap();
+        }
+        let chain = b.build().unwrap();
+        assert!(classify(&chain).is_irreducible());
+        assert_eq!(period(&chain, states[0]), 3);
+    }
+
+    #[test]
+    fn period_of_transient_singleton_is_zero() {
+        let mut b = Dtmc::builder();
+        let s = b.add_state("s");
+        let a = b.add_state("a");
+        b.add_transition(s, a, 1.0).unwrap();
+        b.make_absorbing(a).unwrap();
+        let chain = b.build().unwrap();
+        assert_eq!(period(&chain, s), 0);
+        assert_eq!(period(&chain, a), 1);
+    }
+
+    #[test]
+    fn expected_visits_match_closed_form() {
+        // From s0: N[0][0] = expected visits to s0. With the chain above,
+        // the fundamental matrix of Q = [[0.5, 0.5], [0.5, 0]] is
+        // (I-Q)^-1 = [[4, 2], [2, 2]].
+        let (chain, s0, s1, goal) = absorbing_chain();
+        let visits = expected_visits(&chain, s0).unwrap();
+        assert!((visits[s0.index()] - 4.0).abs() < 1e-12);
+        assert!((visits[s1.index()] - 2.0).abs() < 1e-12);
+        assert_eq!(visits[goal.index()], 0.0);
+        let visits = expected_visits(&chain, s1).unwrap();
+        assert!((visits[s0.index()] - 2.0).abs() < 1e-12);
+        assert!((visits[s1.index()] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_visits_from_recurrent_state_is_zero() {
+        let (chain, _, _, goal) = absorbing_chain();
+        let visits = expected_visits(&chain, goal).unwrap();
+        assert!(visits.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn visits_sum_equals_expected_absorption_time() {
+        // sum_j N[i][j] = expected steps to absorption from i.
+        let (chain, s0, _, _) = absorbing_chain();
+        let visits = expected_visits(&chain, s0).unwrap();
+        let absorption = chain.absorption().unwrap();
+        let total: f64 = visits.iter().sum();
+        assert!((total - absorption.expected_steps(s0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete-time Markov chain substrate for the WirelessHART performance
+//! model.
+//!
+//! This crate provides the generic machinery the hierarchical model of
+//! Remke & Wu (DSN 2013) is built on:
+//!
+//! * [`SparseStochastic`] — validated sparse row-stochastic matrices;
+//! * [`Dtmc`] — labelled chains with transient, steady-state and
+//!   absorbing-state analysis;
+//! * [`Pmf`] / [`ValueDistribution`] — finite discrete distributions with
+//!   the convolution used for path composition (Eq. 12 of the paper);
+//! * [`dot`] — Graphviz export in the style of the paper's Figs. 4-5;
+//! * [`DenseMatrix`] — the small dense solver backing the analyses.
+//!
+//! # Example
+//!
+//! The paper's two-state link model, analysed for its stationary
+//! availability (Eq. 4):
+//!
+//! ```
+//! use whart_dtmc::Dtmc;
+//!
+//! # fn main() -> Result<(), whart_dtmc::DtmcError> {
+//! let mut b = Dtmc::builder();
+//! let up = b.add_state("UP");
+//! let down = b.add_state("DOWN");
+//! b.add_transition(up, up, 0.9034)?;
+//! b.add_transition(up, down, 0.0966)?;
+//! b.add_transition(down, up, 0.9)?;
+//! b.add_transition(down, down, 0.1)?;
+//! let link = b.build()?;
+//!
+//! let pi = link.steady_state()?;
+//! assert!((pi[up.index()] - 0.9 / (0.9 + 0.0966)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod dist;
+mod error;
+mod linalg;
+mod matrix;
+
+pub mod classify;
+pub mod dot;
+
+pub use chain::{Absorption, Dtmc, DtmcBuilder, StateId};
+pub use classify::{classify, expected_visits, period, Classification};
+pub use dist::{Pmf, ValueDistribution};
+pub use error::{DtmcError, Result};
+pub use linalg::DenseMatrix;
+pub use matrix::{SparseStochastic, STOCHASTIC_TOL};

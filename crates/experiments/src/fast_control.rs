@@ -1,0 +1,86 @@
+//! Section VI-D experiments: fast control (Figs. 18-19).
+
+use crate::network::evaluate_typical;
+use crate::report::{series, Check, ExperimentReport};
+use whart_model::sweeps::{chain_model, sweep_interval};
+use whart_net::ReportingInterval;
+
+/// Fig. 18: one-hop deliveries within a 4-cycle window for
+/// `Is in {1, 2, 4}` at `pi = 0.903`.
+pub fn fig18() -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("fig18", "messages delivered per window vs reporting interval");
+    let pi = 0.903;
+    let window = 4u32;
+    for is in [1u32, 2, 4] {
+        let r = chain_model(1, pi, ReportingInterval::new(is).expect("positive"))
+            .expect("valid")
+            .evaluate()
+            .reachability();
+        let messages = window / is;
+        report.line(format!(
+            "Is = {is}: {messages} message(s) per {window}-cycle window, each delivered with R = {r:.4}"
+        ));
+        match is {
+            1 => report.check(Check::new("R per message at Is = 1", 0.903, r, 1e-3)),
+            2 => report.check(Check::new("R per message at Is = 2", 0.99, r, 1e-3)),
+            _ => report.check(Check::new("R per message at Is = 4", 0.999, r, 1e-3)),
+        };
+    }
+    // Longer intervals: fewer messages, each more reliable.
+    let sweep = sweep_interval(&[1, 2, 4], |is| chain_model(1, pi, is)).expect("valid");
+    report.check(Check::new(
+        "R monotone in Is",
+        1.0,
+        f64::from(u8::from(sweep.windows(2).all(|w| w[1].1 > w[0].1))),
+        0.0,
+    ));
+    report
+}
+
+/// Fig. 19: per-path reachability of the typical network under fast
+/// (`Is = 2`) vs regular (`Is = 4`) control across availabilities.
+pub fn fig19() -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("fig19", "per-path reachability, Is = 2 vs Is = 4");
+    let points = [(1e-4, 0.903), (2e-4, 0.83), (3e-4, 0.774), (5e-4, 0.693)];
+    for (ber, pi) in points {
+        let fast = evaluate_typical(ber, false, ReportingInterval::FAST);
+        let regular = evaluate_typical(ber, false, ReportingInterval::REGULAR);
+        let rf = fast.reachabilities();
+        let rr = regular.reachabilities();
+        report.line(series(&format!("pi = {pi:.3}, Is = 2"), rf.iter().copied()));
+        report.line(series(&format!("pi = {pi:.3}, Is = 4"), rr.iter().copied()));
+        // Fast control is uniformly below regular control.
+        let below = rf.iter().zip(&rr).all(|(f, r)| f <= r);
+        report.check(Check::new(
+            format!("Is=2 <= Is=4 on every path (pi = {pi})"),
+            1.0,
+            f64::from(u8::from(below)),
+            0.0,
+        ));
+        // The gap grows with hop count: largest on the 3-hop paths.
+        let gap1 = rr[0] - rf[0];
+        let gap3 = rr[9] - rf[9];
+        report.check(Check::new(
+            format!("gap larger on 3-hop paths (pi = {pi})"),
+            1.0,
+            f64::from(u8::from(gap3 > gap1)),
+            0.0,
+        ));
+    }
+    // The gap also grows as availability decreases (paper: "the difference
+    // ... increases with decreasing link availabilities").
+    let gap_at = |ber: f64| {
+        let fast = evaluate_typical(ber, false, ReportingInterval::FAST);
+        let regular = evaluate_typical(ber, false, ReportingInterval::REGULAR);
+        regular.reachabilities()[9] - fast.reachabilities()[9]
+    };
+    report.check(Check::new(
+        "gap grows as pi drops (3-hop path)",
+        1.0,
+        f64::from(u8::from(gap_at(5e-4) > gap_at(1e-4))),
+        0.0,
+    ));
+    report
+}

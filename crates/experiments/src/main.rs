@@ -1,0 +1,129 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (Remke & Wu, "WirelessHART Modeling and Performance Evaluation",
+//! DSN 2013) and prints paper-vs-computed comparisons.
+//!
+//! ```text
+//! whart-experiments [all|<id> ...] [--json] [--sim-intervals N]
+//! ```
+//!
+//! Ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 fig13 fig14 fig15 fig16
+//! table2 fig17 table3 table3-ablation fig18 fig19 table4 sim-validation
+//! control-loop
+
+mod extensions;
+mod fast_control;
+mod network;
+mod prediction;
+mod report;
+mod robustness;
+mod section_v;
+mod validation;
+
+use report::ExperimentReport;
+use std::process::ExitCode;
+
+const ALL_IDS: &[&str] = &[
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "fig13", "fig14",
+    "fig15", "fig16", "table2", "fig17", "table3", "table3-ablation", "fig18", "fig19",
+    "table4", "sim-validation", "control-loop", "interference", "floorplan",
+];
+
+fn run_experiment(id: &str, sim_intervals: u64) -> Option<ExperimentReport> {
+    Some(match id {
+        "fig4" => section_v::fig4(),
+        "fig5" => section_v::fig5(),
+        "fig6" => section_v::fig6(),
+        "fig7" => section_v::fig7(),
+        "fig8" => section_v::fig8(),
+        "fig9" => section_v::fig9(),
+        "fig10" => section_v::fig10(),
+        "table1" => section_v::table1(),
+        "fig13" => network::fig13(),
+        "fig14" => network::fig14(),
+        "fig15" => network::fig15(),
+        "fig16" => network::fig16(),
+        "table2" => network::table2(),
+        "fig17" => robustness::fig17(),
+        "table3" => robustness::table3(),
+        "table3-ablation" => robustness::table3_ablation(),
+        "fig18" => fast_control::fig18(),
+        "fig19" => fast_control::fig19(),
+        "table4" => prediction::table4(),
+        "sim-validation" => validation::sim_validation(sim_intervals),
+        "control-loop" => validation::control_loop(),
+        "interference" => extensions::interference(sim_intervals.min(20_000)),
+        "floorplan" => extensions::floorplan(),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let sim_intervals = args
+        .iter()
+        .position(|a| a == "--sim-intervals")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let mut reports = Vec::new();
+    for id in &ids {
+        match run_experiment(id, sim_intervals) {
+            Some(report) => reports.push(report),
+            None => {
+                eprintln!("unknown experiment '{id}'; known: {}", ALL_IDS.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let failures: usize = reports.iter().map(ExperimentReport::failures).sum();
+    let checks: usize = reports.iter().map(|r| r.checks.len()).sum();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("reports serialize"));
+    } else {
+        for r in &reports {
+            println!("{}", r.render());
+        }
+        println!(
+            "summary: {} experiments, {checks} checks, {failures} failures",
+            reports.len()
+        );
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_runs_and_passes() {
+        for id in ALL_IDS {
+            // Keep the Monte-Carlo part small in unit tests.
+            let report = run_experiment(id, 20_000).unwrap_or_else(|| panic!("missing {id}"));
+            assert_eq!(report.failures(), 0, "{id} failed:\n{}", report.render());
+            assert!(!report.checks.is_empty() || !report.lines.is_empty(), "{id} is empty");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(run_experiment("fig99", 10).is_none());
+    }
+}

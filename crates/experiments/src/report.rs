@@ -1,0 +1,135 @@
+//! Experiment reporting: paper-vs-computed checks and text rendering.
+
+use serde::Serialize;
+
+/// One comparison against a number the paper reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct Check {
+    /// What is being compared, e.g. `"R (pi=0.903)"`.
+    pub name: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our computed value.
+    pub computed: f64,
+    /// Absolute tolerance considered a reproduction.
+    pub tolerance: f64,
+    /// Optional note (e.g. known paper erratum).
+    pub note: Option<String>,
+}
+
+impl Check {
+    /// Creates a check.
+    pub fn new(name: impl Into<String>, paper: f64, computed: f64, tolerance: f64) -> Check {
+        Check { name: name.into(), paper, computed, tolerance, note: None }
+    }
+
+    /// Attaches a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Check {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Whether the computed value reproduces the paper's within tolerance.
+    pub fn passes(&self) -> bool {
+        (self.paper - self.computed).abs() <= self.tolerance
+    }
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Identifier, e.g. `"fig6"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form result lines (tables, series).
+    pub lines: Vec<String>,
+    /// Numeric comparisons against the paper.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport { id: id.into(), title: title.into(), lines: Vec::new(), checks: Vec::new() }
+    }
+
+    /// Appends a text line.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.lines.push(text.into());
+        self
+    }
+
+    /// Appends a check.
+    pub fn check(&mut self, check: Check) -> &mut Self {
+        self.checks.push(check);
+        self
+    }
+
+    /// Number of failing checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.passes()).count()
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if !self.checks.is_empty() {
+            out.push_str("paper vs computed:\n");
+            for c in &self.checks {
+                let status = if c.passes() { "ok  " } else { "FAIL" };
+                out.push_str(&format!(
+                    "  [{status}] {:<42} paper {:>10.4}  ours {:>10.4}  (tol {:.4})",
+                    c.name, c.paper, c.computed, c.tolerance
+                ));
+                if let Some(note) = &c.note {
+                    out.push_str(&format!("  — {note}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Formats a probability series as a compact line.
+pub fn series(label: &str, values: impl IntoIterator<Item = f64>) -> String {
+    let rendered: Vec<String> = values.into_iter().map(|v| format!("{v:.4}")).collect();
+    format!("{label}: [{}]", rendered.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checks_pass_within_tolerance() {
+        assert!(Check::new("x", 1.0, 1.004, 0.005).passes());
+        assert!(!Check::new("x", 1.0, 1.006, 0.005).passes());
+    }
+
+    #[test]
+    fn report_renders_status() {
+        let mut r = ExperimentReport::new("fig0", "demo");
+        r.line("hello");
+        r.check(Check::new("a", 1.0, 1.0, 0.1));
+        r.check(Check::new("b", 1.0, 2.0, 0.1).with_note("known issue"));
+        let text = r.render();
+        assert!(text.contains("== fig0"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("[ok  ]"));
+        assert!(text.contains("[FAIL]"));
+        assert!(text.contains("known issue"));
+        assert_eq!(r.failures(), 1);
+    }
+
+    #[test]
+    fn series_formats() {
+        assert_eq!(series("g", [0.5, 0.25]), "g: [0.5000, 0.2500]");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types for the network substrate.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Errors produced while building or validating WirelessHART networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node referenced by an operation does not exist in the topology.
+    UnknownNode {
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A link referenced by an operation does not exist in the topology.
+    UnknownLink {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// A node was added twice.
+    DuplicateNode {
+        /// The duplicated node.
+        node: NodeId,
+    },
+    /// A link connects a node to itself.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// No route exists from the node to the requested destination.
+    NoRoute {
+        /// The unreachable source.
+        from: NodeId,
+        /// The unreachable destination.
+        to: NodeId,
+    },
+    /// A path was empty or its consecutive nodes are not linked.
+    InvalidPath {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// The schedule is inconsistent with the topology or paths.
+    InvalidSchedule {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// A super-frame parameter was zero or inconsistent.
+    InvalidSuperframe {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// The paper's engineering guideline of at most 4 hops was violated.
+    TooManyHops {
+        /// Observed hop count.
+        hops: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            NetError::UnknownLink { from, to } => write!(f, "no link {from} -> {to}"),
+            NetError::DuplicateNode { node } => write!(f, "node {node} already exists"),
+            NetError::SelfLoop { node } => write!(f, "self-loop at {node}"),
+            NetError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            NetError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),
+            NetError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            NetError::InvalidSuperframe { reason } => write!(f, "invalid super-frame: {reason}"),
+            NetError::TooManyHops { hops, max } => {
+                write!(f, "path has {hops} hops, exceeding the WirelessHART guideline of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenient result alias for network operations.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = [
+            NetError::UnknownNode { node: NodeId::field(3) },
+            NetError::UnknownLink { from: NodeId::field(1), to: NodeId::GATEWAY },
+            NetError::DuplicateNode { node: NodeId::field(1) },
+            NetError::SelfLoop { node: NodeId::field(2) },
+            NetError::NoRoute { from: NodeId::field(9), to: NodeId::GATEWAY },
+            NetError::InvalidPath { reason: "empty".into() },
+            NetError::InvalidSchedule { reason: "hop order".into() },
+            NetError::InvalidSuperframe { reason: "zero slots".into() },
+            NetError::TooManyHops { hops: 5, max: 4 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Network connectivity graphs.
+//!
+//! A [`Topology`] holds the gateway, the field devices and the
+//! bidirectional wireless links between them, each carrying the two-state
+//! [`LinkModel`] of the physical layer. The paper's Fig. 12 connectivity
+//! graph is one instance (see [`crate::typical`]).
+
+use crate::error::{NetError, Result};
+use crate::ids::{Hop, NodeId};
+use std::collections::BTreeMap;
+use whart_channel::LinkModel;
+
+/// An undirected connectivity graph with per-link quality models.
+///
+/// The gateway is always present. Links are bidirectional ("every node
+/// connects to another node or the gateway with a bi-directional wireless
+/// link"); both directions share one [`LinkModel`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Topology {
+    nodes: Vec<NodeId>,
+    links: BTreeMap<(NodeId, NodeId), LinkModel>,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::new()
+    }
+}
+
+impl Topology {
+    /// An empty topology containing only the gateway.
+    pub fn new() -> Self {
+        Topology { nodes: vec![NodeId::Gateway], links: BTreeMap::new() }
+    }
+
+    /// Adds a field device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DuplicateNode`] if the node already exists.
+    pub fn add_node(&mut self, node: NodeId) -> Result<()> {
+        if self.nodes.contains(&node) {
+            return Err(NetError::DuplicateNode { node });
+        }
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// Connects two existing nodes with a bidirectional link.
+    ///
+    /// Re-connecting an existing pair replaces its link model (used to
+    /// degrade or repair links in failure studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] if either endpoint is missing and
+    /// [`NetError::SelfLoop`] if the endpoints coincide.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: LinkModel) -> Result<()> {
+        if a == b {
+            return Err(NetError::SelfLoop { node: a });
+        }
+        for node in [a, b] {
+            if !self.contains(node) {
+                return Err(NetError::UnknownNode { node });
+            }
+        }
+        self.links.insert(Hop::new(a, b).undirected_key(), link);
+        Ok(())
+    }
+
+    /// Whether the node exists.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// All nodes including the gateway, in insertion order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The field devices (everything but the gateway).
+    pub fn field_devices(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied().filter(|n| !n.is_gateway())
+    }
+
+    /// The link model between two nodes, if they are connected.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkModel> {
+        self.links.get(&Hop::new(a, b).undirected_key()).copied()
+    }
+
+    /// The link model for a hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the hop's endpoints are not
+    /// connected.
+    pub fn link_for(&self, hop: Hop) -> Result<LinkModel> {
+        self.link(hop.from, hop.to)
+            .ok_or(NetError::UnknownLink { from: hop.from, to: hop.to })
+    }
+
+    /// Replaces the link model of an existing link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the nodes are not connected.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, link: LinkModel) -> Result<()> {
+        let key = Hop::new(a, b).undirected_key();
+        match self.links.get_mut(&key) {
+            Some(slot) => {
+                *slot = link;
+                Ok(())
+            }
+            None => Err(NetError::UnknownLink { from: a, to: b }),
+        }
+    }
+
+    /// Removes a link (e.g. after a permanent failure, Section VI-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the nodes are not connected.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> Result<LinkModel> {
+        self.links
+            .remove(&Hop::new(a, b).undirected_key())
+            .ok_or(NetError::UnknownLink { from: a, to: b })
+    }
+
+    /// The neighbors of a node in ascending order.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .links
+            .keys()
+            .filter_map(|&(a, b)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All undirected links with their models.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), LinkModel)> + '_ {
+        self.links.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of nodes including the gateway.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether every field device can reach the gateway.
+    pub fn is_connected(&self) -> bool {
+        let mut visited = vec![NodeId::Gateway];
+        let mut frontier = vec![NodeId::Gateway];
+        while let Some(node) = frontier.pop() {
+            for next in self.neighbors(node) {
+                if !visited.contains(&next) {
+                    visited.push(next);
+                    frontier.push(next);
+                }
+            }
+        }
+        visited.len() == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkModel {
+        LinkModel::from_availability(0.83, 0.9).unwrap()
+    }
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new();
+        t.add_node(NodeId::field(1)).unwrap();
+        t.add_node(NodeId::field(2)).unwrap();
+        t.connect(NodeId::field(1), NodeId::Gateway, link()).unwrap();
+        t.connect(NodeId::field(2), NodeId::field(1), link()).unwrap();
+        t
+    }
+
+    #[test]
+    fn new_topology_has_gateway() {
+        let t = Topology::new();
+        assert!(t.contains(NodeId::Gateway));
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn duplicate_nodes_rejected() {
+        let mut t = Topology::new();
+        t.add_node(NodeId::field(1)).unwrap();
+        assert_eq!(
+            t.add_node(NodeId::field(1)).unwrap_err(),
+            NetError::DuplicateNode { node: NodeId::field(1) }
+        );
+    }
+
+    #[test]
+    fn links_are_bidirectional() {
+        let t = triangle();
+        assert!(t.link(NodeId::field(1), NodeId::Gateway).is_some());
+        assert!(t.link(NodeId::Gateway, NodeId::field(1)).is_some());
+        assert_eq!(
+            t.link_for(Hop::new(NodeId::field(1), NodeId::Gateway)).unwrap(),
+            t.link_for(Hop::new(NodeId::Gateway, NodeId::field(1))).unwrap()
+        );
+    }
+
+    #[test]
+    fn connect_validates_endpoints() {
+        let mut t = Topology::new();
+        t.add_node(NodeId::field(1)).unwrap();
+        assert!(matches!(
+            t.connect(NodeId::field(1), NodeId::field(9), link()),
+            Err(NetError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            t.connect(NodeId::field(1), NodeId::field(1), link()),
+            Err(NetError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let t = triangle();
+        assert_eq!(t.neighbors(NodeId::field(1)), vec![NodeId::Gateway, NodeId::field(2)]);
+        assert_eq!(t.neighbors(NodeId::field(2)), vec![NodeId::field(1)]);
+        assert!(t.neighbors(NodeId::field(99)).is_empty());
+    }
+
+    #[test]
+    fn set_and_remove_link() {
+        let mut t = triangle();
+        let degraded = LinkModel::from_availability(0.693, 0.9).unwrap();
+        t.set_link(NodeId::Gateway, NodeId::field(1), degraded).unwrap();
+        assert_eq!(t.link(NodeId::field(1), NodeId::Gateway).unwrap(), degraded);
+        t.remove_link(NodeId::field(1), NodeId::field(2)).unwrap();
+        assert!(t.link(NodeId::field(1), NodeId::field(2)).is_none());
+        assert!(!t.is_connected());
+        assert!(t.remove_link(NodeId::field(1), NodeId::field(2)).is_err());
+        assert!(t.set_link(NodeId::field(1), NodeId::field(2), degraded).is_err());
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let mut t = triangle();
+        assert!(t.is_connected());
+        t.add_node(NodeId::field(3)).unwrap();
+        assert!(!t.is_connected());
+        t.connect(NodeId::field(3), NodeId::field(2), link()).unwrap();
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn field_devices_excludes_gateway() {
+        let t = triangle();
+        let devices: Vec<_> = t.field_devices().collect();
+        assert_eq!(devices, vec![NodeId::field(1), NodeId::field(2)]);
+        assert_eq!(t.link_count(), 2);
+    }
+
+    #[test]
+    fn reconnect_replaces_model() {
+        let mut t = triangle();
+        let better = LinkModel::from_availability(0.948, 0.9).unwrap();
+        t.connect(NodeId::field(1), NodeId::Gateway, better).unwrap();
+        assert_eq!(t.link(NodeId::field(1), NodeId::Gateway).unwrap(), better);
+        assert_eq!(t.link_count(), 2);
+    }
+}

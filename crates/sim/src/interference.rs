@@ -1,0 +1,217 @@
+//! Time-varying interference (Wi-Fi coexistence).
+//!
+//! WirelessHART blacklists channels that "are highly utilized by other
+//! networks and suffer constant interferences" (Section II). This module
+//! models the cause: an interferer (e.g. an IEEE 802.11 cell) raising the
+//! bit error rate of a set of overlapping channels during a window of
+//! slots. Combined with channel hopping, transmissions only suffer when
+//! the hop lands on an interfered channel during the burst — and
+//! blacklisting the affected channels removes the loss entirely.
+
+use crate::samplers::LinkSampler;
+use rand::Rng;
+use whart_channel::{BinarySymmetricChannel, ChannelConditions, ChannelId, HopSequence};
+
+/// One interference burst: the given channels suffer `ber` during
+/// `[start_slot, end_slot)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceWindow {
+    /// The 802.15.4 channels the interferer overlaps.
+    pub channels: Vec<ChannelId>,
+    /// First affected absolute slot.
+    pub start_slot: u64,
+    /// First slot after the burst.
+    pub end_slot: u64,
+    /// Bit error rate on the affected channels during the burst.
+    pub ber: f64,
+}
+
+impl InterferenceWindow {
+    /// A Wi-Fi-like interferer: one IEEE 802.11 channel overlaps four
+    /// 802.15.4 channels. `wifi_channel` 1, 6 and 11 map onto 802.15.4
+    /// channels 11-14, 16-19 and 21-24 respectively.
+    ///
+    /// # Panics
+    ///
+    /// Panics for Wi-Fi channels other than 1, 6 or 11 or an empty window.
+    pub fn wifi(wifi_channel: u8, start_slot: u64, end_slot: u64, ber: f64) -> Self {
+        let first = match wifi_channel {
+            1 => 11,
+            6 => 16,
+            11 => 21,
+            other => panic!("unsupported Wi-Fi channel {other} (use 1, 6 or 11)"),
+        };
+        assert!(end_slot > start_slot, "interference window must be non-empty");
+        InterferenceWindow {
+            channels: (first..first + 4)
+                .map(|c| ChannelId::new(c).expect("802.11 overlap stays in band"))
+                .collect(),
+            start_slot,
+            end_slot,
+            ber,
+        }
+    }
+
+    /// Whether the window affects a channel at a slot.
+    pub fn affects(&self, channel: ChannelId, slot: u64) -> bool {
+        (self.start_slot..self.end_slot).contains(&slot) && self.channels.contains(&channel)
+    }
+}
+
+/// A hopping link sampler under time-varying interference.
+#[derive(Debug, Clone)]
+pub struct InterferedHoppingSampler {
+    sequence: HopSequence,
+    base: ChannelConditions,
+    windows: Vec<InterferenceWindow>,
+    message_bits: u32,
+    current_ber: f64,
+}
+
+impl InterferedHoppingSampler {
+    /// Creates a sampler for one link.
+    pub fn new(
+        sequence: HopSequence,
+        base: ChannelConditions,
+        windows: Vec<InterferenceWindow>,
+        message_bits: u32,
+    ) -> Self {
+        let current_ber = base.ber(sequence.channel_at(0));
+        InterferedHoppingSampler { sequence, base, windows, message_bits, current_ber }
+    }
+
+    /// The effective BER in the current slot.
+    pub fn current_ber(&self) -> f64 {
+        self.current_ber
+    }
+}
+
+impl LinkSampler for InterferedHoppingSampler {
+    fn step<R: Rng + ?Sized>(&mut self, _rng: &mut R, absolute_slot: u64) {
+        let channel = self.sequence.channel_at(absolute_slot);
+        let interfered = self
+            .windows
+            .iter()
+            .filter(|w| w.affects(channel, absolute_slot))
+            .map(|w| w.ber)
+            .fold(f64::NAN, f64::max);
+        self.current_ber =
+            if interfered.is_nan() { self.base.ber(channel) } else { interfered };
+    }
+
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        BinarySymmetricChannel::new(self.current_ber)
+            .expect("BERs are probabilities")
+            .sample_message_success(rng, self.message_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use whart_channel::Blacklist;
+
+    #[test]
+    fn wifi_overlap_mapping() {
+        let w = InterferenceWindow::wifi(1, 0, 100, 0.5);
+        let numbers: Vec<u8> = w.channels.iter().map(|c| c.number()).collect();
+        assert_eq!(numbers, vec![11, 12, 13, 14]);
+        let w = InterferenceWindow::wifi(11, 0, 100, 0.5);
+        let numbers: Vec<u8> = w.channels.iter().map(|c| c.number()).collect();
+        assert_eq!(numbers, vec![21, 22, 23, 24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported Wi-Fi channel")]
+    fn odd_wifi_channel_rejected() {
+        let _ = InterferenceWindow::wifi(3, 0, 1, 0.5);
+    }
+
+    #[test]
+    fn affects_is_bounded_in_time_and_frequency() {
+        let w = InterferenceWindow::wifi(6, 10, 20, 0.5);
+        let hit = ChannelId::new(17).unwrap();
+        let miss = ChannelId::new(11).unwrap();
+        assert!(w.affects(hit, 10));
+        assert!(w.affects(hit, 19));
+        assert!(!w.affects(hit, 20));
+        assert!(!w.affects(hit, 9));
+        assert!(!w.affects(miss, 15));
+    }
+
+    #[test]
+    fn sampler_fails_only_on_interfered_hops() {
+        let burst = InterferenceWindow::wifi(6, 0, 1_000, 0.5);
+        let sequence = HopSequence::new(&Blacklist::new(), 0).unwrap();
+        let mut sampler = InterferedHoppingSampler::new(
+            sequence.clone(),
+            ChannelConditions::uniform(0.0).unwrap(),
+            vec![burst.clone()],
+            1016,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for t in 0..64 {
+            sampler.step(&mut rng, t);
+            let on_interfered = burst.affects(sequence.channel_at(t), t);
+            assert_eq!(sampler.transmit(&mut rng), !on_interfered, "slot {t}");
+        }
+        // After the burst everything works again.
+        for t in 1_000..1_016 {
+            sampler.step(&mut rng, t);
+            assert!(sampler.transmit(&mut rng));
+        }
+    }
+
+    #[test]
+    fn blacklisting_the_interfered_channels_restores_delivery() {
+        let burst = InterferenceWindow::wifi(6, 0, u64::MAX, 0.5);
+        let mut blacklist = Blacklist::new();
+        for c in &burst.channels {
+            blacklist.ban(*c).unwrap();
+        }
+        let sequence = HopSequence::new(&blacklist, 0).unwrap();
+        let mut sampler = InterferedHoppingSampler::new(
+            sequence,
+            ChannelConditions::uniform(0.0).unwrap(),
+            vec![burst],
+            1016,
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        for t in 0..128 {
+            sampler.step(&mut rng, t);
+            assert!(sampler.transmit(&mut rng), "slot {t}");
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_take_the_worst_ber() {
+        let ch = ChannelId::new(11).unwrap();
+        let mild = InterferenceWindow {
+            channels: vec![ch],
+            start_slot: 0,
+            end_slot: 10,
+            ber: 1e-4,
+        };
+        let harsh = InterferenceWindow {
+            channels: vec![ch],
+            start_slot: 5,
+            end_slot: 10,
+            ber: 0.3,
+        };
+        let sequence = HopSequence::new(&Blacklist::new(), 0).unwrap();
+        let mut sampler = InterferedHoppingSampler::new(
+            sequence,
+            ChannelConditions::uniform(0.0).unwrap(),
+            vec![mild, harsh],
+            1016,
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        sampler.step(&mut rng, 0); // channel 11, only mild
+        assert!((sampler.current_ber() - 1e-4).abs() < 1e-12);
+        // Slot 16 is channel 11 again (period 16) but outside both windows.
+        sampler.step(&mut rng, 16);
+        assert_eq!(sampler.current_ber(), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-link stochastic samplers.
+//!
+//! Two physical-layer fidelities are available:
+//!
+//! * [`GilbertSampler`] — samples the paper's two-state link DTMC directly
+//!   (one chain per physical link, stepping every slot);
+//! * [`HoppingSampler`] — the finer mechanism the two-state chain
+//!   abstracts: pseudo-random channel hopping over 16 channels with
+//!   per-channel bit error rates; each transmission succeeds iff all
+//!   message bits cross the current channel's BSC uncorrupted.
+
+use rand::Rng;
+use whart_channel::{
+    BinarySymmetricChannel, ChannelConditions, HopSequence, LinkModel, LinkState,
+};
+
+/// A stateful sampler for one physical link.
+pub trait LinkSampler {
+    /// Advances the link by one slot (called for every slot, uplink and
+    /// downlink — the medium does not pause).
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, absolute_slot: u64);
+
+    /// Whether a transmission in the current slot succeeds.
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool;
+}
+
+/// Samples the two-state (Gilbert) link chain of the paper's Section III.
+#[derive(Debug, Clone)]
+pub struct GilbertSampler {
+    model: LinkModel,
+    state: LinkState,
+}
+
+impl GilbertSampler {
+    /// Creates a sampler starting from the given state.
+    pub fn new(model: LinkModel, initial: LinkState) -> Self {
+        GilbertSampler { model, state: initial }
+    }
+
+    /// Creates a sampler whose initial state is drawn from the stationary
+    /// distribution (the paper's steady-state assumption).
+    pub fn stationary<R: Rng + ?Sized>(model: LinkModel, rng: &mut R) -> Self {
+        let up = rng.gen::<f64>() < model.availability();
+        GilbertSampler::new(model, if up { LinkState::Up } else { LinkState::Down })
+    }
+
+    /// The current state.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+}
+
+impl LinkSampler for GilbertSampler {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, _absolute_slot: u64) {
+        let roll = rng.gen::<f64>();
+        self.state = match self.state {
+            LinkState::Up if roll < self.model.p_fl() => LinkState::Down,
+            LinkState::Down if roll < self.model.p_rc() => LinkState::Up,
+            s => s,
+        };
+    }
+
+    fn transmit<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> bool {
+        self.state == LinkState::Up
+    }
+}
+
+/// Samples the full channel-hopping PHY: the link's hop sequence picks one
+/// of the 16 channels per slot and the message crosses that channel's BSC.
+#[derive(Debug, Clone)]
+pub struct HoppingSampler {
+    sequence: HopSequence,
+    conditions: ChannelConditions,
+    message_bits: u32,
+    current_channel_ber: f64,
+}
+
+impl HoppingSampler {
+    /// Creates a sampler for a link with the given hop sequence and channel
+    /// conditions.
+    pub fn new(sequence: HopSequence, conditions: ChannelConditions, message_bits: u32) -> Self {
+        let ber = conditions.ber(sequence.channel_at(0));
+        HoppingSampler { sequence, conditions, message_bits, current_channel_ber: ber }
+    }
+
+    /// The BER of the channel in use this slot.
+    pub fn current_ber(&self) -> f64 {
+        self.current_channel_ber
+    }
+}
+
+impl LinkSampler for HoppingSampler {
+    fn step<R: Rng + ?Sized>(&mut self, _rng: &mut R, absolute_slot: u64) {
+        self.current_channel_ber = self.conditions.ber(self.sequence.channel_at(absolute_slot));
+    }
+
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        BinarySymmetricChannel::new(self.current_channel_ber)
+            .expect("conditions hold probabilities")
+            .sample_message_success(rng, self.message_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use whart_channel::Blacklist;
+
+    #[test]
+    fn gilbert_long_run_matches_availability() {
+        let model = LinkModel::new(0.184, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = GilbertSampler::stationary(model, &mut rng);
+        let slots = 200_000;
+        let mut up = 0u64;
+        for t in 0..slots {
+            sampler.step(&mut rng, t);
+            if sampler.state() == LinkState::Up {
+                up += 1;
+            }
+        }
+        let fraction = up as f64 / slots as f64;
+        assert!((fraction - model.availability()).abs() < 0.005, "{fraction}");
+    }
+
+    #[test]
+    fn gilbert_run_lengths_are_geometric() {
+        let model = LinkModel::new(0.25, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = GilbertSampler::new(model, LinkState::Up);
+        let mut up_runs = Vec::new();
+        let mut current = 0u64;
+        for t in 0..300_000 {
+            sampler.step(&mut rng, t);
+            if sampler.state() == LinkState::Up {
+                current += 1;
+            } else if current > 0 {
+                up_runs.push(current);
+                current = 0;
+            }
+        }
+        let mean = up_runs.iter().sum::<u64>() as f64 / up_runs.len() as f64;
+        assert!((mean - model.mean_up_run()).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn hopping_sampler_tracks_channel_quality() {
+        let mut conditions = ChannelConditions::uniform(0.0).unwrap();
+        let bad = whart_channel::ChannelId::new(11).unwrap();
+        conditions.set_ber(bad, 0.5).unwrap();
+        let sequence = HopSequence::new(&Blacklist::new(), 0).unwrap();
+        let mut sampler = HoppingSampler::new(sequence.clone(), conditions, 1016);
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..32 {
+            sampler.step(&mut rng, t);
+            let on_bad = sequence.channel_at(t) == bad;
+            assert_eq!(sampler.current_ber() > 0.0, on_bad, "slot {t}");
+            // Perfect channels always deliver; the broken one never does
+            // (BER 0.5 over 1016 bits is a guaranteed corruption in practice).
+            assert_eq!(sampler.transmit(&mut rng), !on_bad, "slot {t}");
+        }
+    }
+
+    #[test]
+    fn hopping_sampler_mean_success_matches_mixture() {
+        // Two bad channels out of 16: long-run success fraction equals
+        // the per-period mixture of message success probabilities.
+        let mut conditions = ChannelConditions::uniform(1e-5).unwrap();
+        for ch in [13u8, 20] {
+            conditions.set_ber(whart_channel::ChannelId::new(ch).unwrap(), 1e-3).unwrap();
+        }
+        let sequence = HopSequence::new(&Blacklist::new(), 5).unwrap();
+        let mut sampler = HoppingSampler::new(sequence.clone(), conditions.clone(), 1016);
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 80_000u64;
+        let mut ok = 0u64;
+        for t in 0..trials {
+            sampler.step(&mut rng, t);
+            if sampler.transmit(&mut rng) {
+                ok += 1;
+            }
+        }
+        let expected: f64 = (0..16u64)
+            .map(|t| {
+                let ber = conditions.ber(sequence.channel_at(t));
+                BinarySymmetricChannel::new(ber).unwrap().message_success_probability(1016)
+            })
+            .sum::<f64>()
+            / 16.0;
+        let got = ok as f64 / trials as f64;
+        assert!((got - expected).abs() < 0.005, "{got} vs {expected}");
+    }
+}

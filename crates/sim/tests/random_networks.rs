@@ -1,0 +1,96 @@
+//! Randomized cross-validation: on arbitrary tree networks with arbitrary
+//! link qualities and schedule priorities, the Monte-Carlo simulator must
+//! agree with the analytical hierarchical model. This is the strongest
+//! equivalence evidence in the suite — neither implementation shares code
+//! with the other beyond the topology types.
+
+use proptest::prelude::*;
+use whart_channel::LinkModel;
+use whart_model::NetworkModel;
+use whart_net::{uplink_paths, NodeId, ReportingInterval, Schedule, Superframe, Topology};
+use whart_sim::{PhyMode, Simulator};
+
+/// Builds a random tree topology: device `i + 1` attaches to the gateway
+/// (choice 0) or an earlier device, with its own link availability.
+fn build_topology(attachments: &[(usize, f64)]) -> Topology {
+    let mut t = Topology::new();
+    for (i, &(choice, pi)) in attachments.iter().enumerate() {
+        let node = NodeId::field(i as u32 + 1);
+        t.add_node(node).unwrap();
+        let parent = match choice % (i + 1) {
+            0 => NodeId::Gateway,
+            k => NodeId::field(k as u32),
+        };
+        let link = LinkModel::from_availability(pi, 0.9).unwrap();
+        t.connect(node, parent, link).unwrap();
+    }
+    t
+}
+
+proptest! {
+    // Each case runs a 20k-interval simulation; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulator_matches_model_on_random_trees(
+        attachments in proptest::collection::vec((0usize..100, 0.6f64..0.99), 2..7),
+        is in 1u32..5,
+        seed in 0u64..1_000,
+        reverse_priority in any::<bool>(),
+    ) {
+        let topology = build_topology(&attachments);
+        let paths = uplink_paths(&topology).unwrap();
+        // Only proceed if every path respects the 4-hop guideline; deep
+        // random trees are rare and uninteresting here.
+        prop_assume!(paths.iter().all(|p| p.hop_count() <= 4));
+        let mut order: Vec<usize> = (0..paths.len()).collect();
+        if reverse_priority {
+            order.reverse();
+        }
+        let schedule = Schedule::sequential(&paths, &order).unwrap();
+        let total_hops: u32 = paths.iter().map(|p| p.hop_count() as u32).sum();
+        let superframe = Superframe::symmetric(total_hops).unwrap();
+        let interval = ReportingInterval::new(is).unwrap();
+
+        let model = NetworkModel::new(
+            topology.clone(),
+            paths.clone(),
+            schedule.clone(),
+            superframe,
+            interval,
+        )
+        .unwrap();
+        let analytic = model.evaluate().unwrap();
+
+        let sim = Simulator::new(topology, paths, schedule, superframe, interval, PhyMode::Gilbert)
+            .unwrap();
+        let observed = sim.run(seed, 20_000);
+
+        for (i, report) in analytic.reports().iter().enumerate() {
+            let a = report.evaluation.reachability();
+            let s = observed.paths[i].reachability();
+            // 20k Bernoulli trials: allow ~5 sigma of the worst-case
+            // binomial noise plus a little slack.
+            prop_assert!((a - s).abs() < 0.02, "path {i}: analytic {a} vs simulated {s}");
+            // Per-cycle distribution agrees too.
+            let fractions = observed.paths[i].cycle_fractions();
+            for (c, fraction) in fractions.iter().enumerate().take(is as usize) {
+                let want = report.evaluation.cycle_probabilities().get(c);
+                prop_assert!(
+                    (fraction - want).abs() < 0.02,
+                    "path {i} cycle {c}: {fraction} vs {want}"
+                );
+            }
+        }
+        // Aggregate utilization agrees with the exact expected-transmission
+        // count (the simulator counts attempts, including those of lost
+        // messages, unlike the published Table II convention).
+        let ua: f64 = analytic
+            .reports()
+            .iter()
+            .map(|r| r.evaluation.exact_utilization())
+            .sum();
+        let us = observed.network_utilization();
+        prop_assert!((ua - us).abs() < 0.02, "utilization {ua} vs {us}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Evaluate the paper's typical ten-node network (Fig. 12) under both
+//! schedules and cross-check the analysis against the Monte-Carlo
+//! simulator.
+//!
+//! ```sh
+//! cargo run --release --example network_evaluation
+//! ```
+
+use wirelesshart::channel::LinkModel;
+use wirelesshart::model::{DelayConvention, NetworkModel, UtilizationConvention};
+use wirelesshart::net::typical::TypicalNetwork;
+use wirelesshart::net::ReportingInterval;
+use wirelesshart::sim::{PhyMode, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let link = LinkModel::from_ber(2e-4, 1016, 0.9)?; // pi(up) ~ 0.83
+    let network = TypicalNetwork::new(link);
+
+    for (name, schedule) in [
+        ("eta_a (short paths first)", network.schedule_eta_a()),
+        ("eta_b (long paths first)", network.schedule_eta_b()),
+    ] {
+        let model =
+            NetworkModel::from_typical(&network, schedule.clone(), ReportingInterval::REGULAR)?;
+        let evaluation = model.evaluate()?;
+        println!("== schedule {name} ==");
+        println!("{schedule}");
+        println!("path  hops  R         E[tau] ms");
+        for (i, report) in evaluation.reports().iter().enumerate() {
+            println!(
+                "{:>4}  {:>4}  {:.6}  {:>8.1}",
+                i + 1,
+                report.path.hop_count(),
+                report.evaluation.reachability(),
+                report.evaluation.expected_delay_ms(DelayConvention::Absolute).unwrap_or(f64::NAN)
+            );
+        }
+        println!(
+            "E[Gamma] = {:.1} ms, bottleneck = path {}, U = {:.4}\n",
+            evaluation.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
+            evaluation.delay_bottleneck(DelayConvention::Absolute).expect("paths") + 1,
+            evaluation.utilization(UtilizationConvention::AsEvaluated),
+        );
+    }
+
+    // Monte-Carlo cross-check under eta_a.
+    println!("== Monte-Carlo cross-check (50,000 reporting intervals) ==");
+    let sim = Simulator::from_typical(
+        &network,
+        network.schedule_eta_a(),
+        ReportingInterval::REGULAR,
+        PhyMode::Gilbert,
+    )?;
+    let report = sim.run_parallel(42, 50_000, 4);
+    let model =
+        NetworkModel::from_typical(&network, network.schedule_eta_a(), ReportingInterval::REGULAR)?;
+    let evaluation = model.evaluate()?;
+    println!("path  analytic R  simulated R");
+    for (i, r) in evaluation.reports().iter().enumerate() {
+        println!(
+            "{:>4}  {:>10.6}  {:>11.6}",
+            i + 1,
+            r.evaluation.reachability(),
+            report.paths[i].reachability()
+        );
+    }
+    println!(
+        "mean delay: analytic {:.1} ms, simulated {:.1} ms",
+        evaluation.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
+        report.mean_delay_ms().expect("delivered"),
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! End-to-end integration of the geometry extension: coordinates in,
+//! quality-of-service out, with the model/simulator agreement holding on
+//! the generated network too.
+
+use wirelesshart::channel::PropagationModel;
+use wirelesshart::model::{sensitivity, DelayConvention, NetworkModel};
+use wirelesshart::net::{
+    Deployment, Position, ReportingInterval, Schedule, SchedulePriority, Superframe,
+};
+use wirelesshart::sim::{PhyMode, Simulator};
+
+fn build() -> (wirelesshart::net::Topology, Vec<wirelesshart::net::Path>) {
+    let mut deployment =
+        Deployment::new(Position::new(0.0, 0.0), PropagationModel::industrial(), 0.85).unwrap();
+    for (id, x, y) in [
+        (1u32, 30.0, 0.0),
+        (2, 55.0, 20.0),
+        (3, 90.0, 0.0),
+        (4, 120.0, 25.0),
+        (5, 150.0, 0.0),
+    ] {
+        deployment.place(id, Position::new(x, y)).unwrap();
+    }
+    deployment.build_routed(4).unwrap()
+}
+
+#[test]
+fn deployed_network_evaluates_and_simulates_consistently() {
+    let (topology, paths) = build();
+    let schedule = Schedule::by_priority(&paths, SchedulePriority::LongPathsFirst).unwrap();
+    let total_hops: u32 = paths.iter().map(|p| p.hop_count() as u32).sum();
+    let superframe = Superframe::symmetric(total_hops).unwrap();
+    let interval = ReportingInterval::REGULAR;
+
+    let model = NetworkModel::new(
+        topology.clone(),
+        paths.clone(),
+        schedule.clone(),
+        superframe,
+        interval,
+    )
+    .unwrap();
+    let analytic = model.evaluate().unwrap();
+    // Deployment threshold 0.85 on single links keeps multi-hop routes
+    // reasonable: every device above 0.99 at Is = 4.
+    for r in analytic.reachabilities() {
+        assert!(r > 0.99, "{r}");
+    }
+    assert!(analytic.mean_delay_ms(DelayConvention::Absolute).is_some());
+
+    let sim =
+        Simulator::new(topology, paths, schedule, superframe, interval, PhyMode::Gilbert)
+            .unwrap();
+    let observed = sim.run(123, 30_000);
+    for (i, r) in analytic.reports().iter().enumerate() {
+        let a = r.evaluation.reachability();
+        let s = observed.paths[i].reachability();
+        assert!((a - s).abs() < 0.01, "device {}: {a} vs {s}", i + 1);
+    }
+}
+
+#[test]
+fn sensitivity_ranks_the_generated_network() {
+    let (topology, paths) = build();
+    let schedule = Schedule::by_priority(&paths, SchedulePriority::ShortPathsFirst).unwrap();
+    let total_hops: u32 = paths.iter().map(|p| p.hop_count() as u32).sum();
+    let model = NetworkModel::new(
+        topology,
+        paths,
+        schedule,
+        Superframe::symmetric(total_hops).unwrap(),
+        ReportingInterval::REGULAR,
+    )
+    .unwrap();
+    let ranking =
+        sensitivity::rank_link_improvements(&model, sensitivity::Objective::TotalLoss, 0.02)
+            .unwrap();
+    assert_eq!(ranking.len(), model.topology().link_count());
+    // The repair list is sorted by gain, and improving links never hurts.
+    for pair in ranking.windows(2) {
+        assert!(pair[0].gain >= pair[1].gain);
+    }
+    assert!(ranking.iter().all(|s| s.gain >= -1e-12));
+    // The weakest physical link appears near the top of the list.
+    let weakest = ranking
+        .iter()
+        .min_by(|a, b| a.availability.partial_cmp(&b.availability).unwrap())
+        .unwrap();
+    let weakest_rank = ranking.iter().position(|s| s.link == weakest.link).unwrap();
+    assert!(weakest_rank <= 2, "weakest link ranked {weakest_rank}");
+}
