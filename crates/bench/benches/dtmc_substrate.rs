@@ -17,10 +17,12 @@ fn birth_death(n: usize) -> Dtmc {
         let down = if i > 0 { 0.35 } else { 0.0 };
         let stay = 1.0 - up - down;
         if up > 0.0 {
-            b.add_transition(states[i], states[i + 1], up).expect("valid");
+            b.add_transition(states[i], states[i + 1], up)
+                .expect("valid");
         }
         if down > 0.0 {
-            b.add_transition(states[i], states[i - 1], down).expect("valid");
+            b.add_transition(states[i], states[i - 1], down)
+                .expect("valid");
         }
         b.add_transition(states[i], states[i], stay).expect("valid");
     }

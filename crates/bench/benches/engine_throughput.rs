@@ -1,0 +1,112 @@
+//! Throughput of the batch engine on the acceptance fleet: the typical
+//! network at 6 availabilities x 3 reporting intervals (18 scenarios,
+//! 180 path DTMCs), compared against a plain serial evaluation loop.
+//!
+//! Groups:
+//! * `serial-loop` — `NetworkModel::evaluate` per scenario, no sharing;
+//! * `cold/{workers}` — a fresh engine per iteration (every path solved);
+//! * `warm/{workers}` — a pre-warmed engine (every path answered from
+//!   the path cache).
+//!
+//! Throughput is reported in scenarios per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use whart_channel::LinkModel;
+use whart_engine::{Engine, MeasureSet, Scenario};
+use whart_model::NetworkModel;
+use whart_net::typical::TypicalNetwork;
+use whart_net::ReportingInterval;
+
+const AVAILABILITIES: [f64; 6] = [0.693, 0.774, 0.83, 0.903, 0.948, 0.989];
+const INTERVALS: [u32; 3] = [1, 2, 4];
+
+fn fleet() -> Vec<NetworkModel> {
+    let mut models = Vec::new();
+    for &pi in &AVAILABILITIES {
+        for &is in &INTERVALS {
+            let link = LinkModel::from_availability(pi, 0.9).expect("valid");
+            let net = TypicalNetwork::new(link);
+            models.push(
+                NetworkModel::from_typical(
+                    &net,
+                    net.schedule_eta_a(),
+                    ReportingInterval::new(is).expect("valid"),
+                )
+                .expect("valid"),
+            );
+        }
+    }
+    models
+}
+
+/// The serial baseline produces a bare `NetworkEvaluation`, so the engine
+/// scenarios request exactly that (no per-path measure extraction).
+fn evaluation_only() -> MeasureSet {
+    MeasureSet {
+        reachability: false,
+        expected_delay: false,
+        expected_intervals_to_first_loss: false,
+        utilization: false,
+        cycle_probabilities: false,
+        ..MeasureSet::default()
+    }
+}
+
+fn submit_fleet(engine: &mut Engine, models: &[NetworkModel]) {
+    for (i, model) in models.iter().enumerate() {
+        engine.submit(
+            Scenario::network(format!("s{i}"), model.clone()).with_measures(evaluation_only()),
+        );
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let models = fleet();
+    let scenarios = models.len() as u64;
+    let mut group = c.benchmark_group("engine_throughput");
+    group.throughput(Throughput::Elements(scenarios));
+
+    group.bench_function("serial-loop", |b| {
+        b.iter(|| {
+            for model in &models {
+                black_box(black_box(model).evaluate().expect("valid"));
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cold", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut engine = Engine::new(workers);
+                    submit_fleet(&mut engine, &models);
+                    black_box(engine.drain().expect("valid"))
+                })
+            },
+        );
+    }
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("warm", workers),
+            &workers,
+            |b, &workers| {
+                let mut engine = Engine::new(workers);
+                submit_fleet(&mut engine, &models);
+                engine.drain().expect("valid");
+                b.iter(|| {
+                    submit_fleet(&mut engine, &models);
+                    black_box(engine.drain().expect("valid"))
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -53,13 +53,19 @@ fn bench_explicit_vs_fast(c: &mut Criterion) {
     // analysis) vs the in-place evaluator, same results.
     let model = section_v_model(4);
     let mut group = c.benchmark_group("path/explicit-vs-fast");
-    group.bench_function("fast evaluator", |b| b.iter(|| black_box(&model).evaluate()));
+    group.bench_function("fast evaluator", |b| {
+        b.iter(|| black_box(&model).evaluate())
+    });
     group.bench_function("explicit chain build", |b| {
         b.iter(|| explicit_chain(black_box(&model)))
     });
     let chain_built = explicit_chain(&model);
     group.bench_function("explicit chain absorption", |b| {
-        b.iter(|| black_box(&chain_built).cycle_probabilities().expect("solvable"))
+        b.iter(|| {
+            black_box(&chain_built)
+                .cycle_probabilities()
+                .expect("solvable")
+        })
     });
     group.finish();
 }

@@ -12,8 +12,13 @@ const INTERVALS: u64 = 2_000;
 
 fn gilbert_sim() -> Simulator {
     let net = typical_network(0.83);
-    Simulator::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR, PhyMode::Gilbert)
-        .expect("valid")
+    Simulator::from_typical(
+        &net,
+        net.schedule_eta_a(),
+        ReportingInterval::REGULAR,
+        PhyMode::Gilbert,
+    )
+    .expect("valid")
 }
 
 fn hopping_sim() -> Simulator {
@@ -36,9 +41,13 @@ fn bench_phy_modes(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(INTERVALS));
     let gilbert = gilbert_sim();
-    group.bench_function("gilbert", |b| b.iter(|| black_box(&gilbert).run(1, INTERVALS)));
+    group.bench_function("gilbert", |b| {
+        b.iter(|| black_box(&gilbert).run(1, INTERVALS))
+    });
     let hopping = hopping_sim();
-    group.bench_function("hopping", |b| b.iter(|| black_box(&hopping).run(1, INTERVALS)));
+    group.bench_function("hopping", |b| {
+        b.iter(|| black_box(&hopping).run(1, INTERVALS))
+    });
     group.finish();
 }
 
@@ -71,5 +80,10 @@ fn bench_vs_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_phy_modes, bench_parallel_scaling, bench_vs_analysis);
+criterion_group!(
+    benches,
+    bench_phy_modes,
+    bench_parallel_scaling,
+    bench_vs_analysis
+);
 criterion_main!(benches);

@@ -10,7 +10,6 @@ use rand::Rng;
 
 /// A memoryless binary symmetric channel with crossover probability `ber`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BinarySymmetricChannel {
     ber: f64,
 }
@@ -24,7 +23,10 @@ impl BinarySymmetricChannel {
     /// probability.
     pub fn new(ber: f64) -> Result<Self> {
         if !ber.is_finite() || !(0.0..=1.0).contains(&ber) {
-            return Err(ChannelError::InvalidProbability { name: "ber", value: ber });
+            return Err(ChannelError::InvalidProbability {
+                name: "ber",
+                value: ber,
+            });
         }
         Ok(BinarySymmetricChannel { ber })
     }
@@ -155,8 +157,9 @@ mod tests {
         let ch = BinarySymmetricChannel::new(5e-4).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let trials = 20_000;
-        let successes =
-            (0..trials).filter(|_| ch.sample_message_success(&mut rng, 1016)).count();
+        let successes = (0..trials)
+            .filter(|_| ch.sample_message_success(&mut rng, 1016))
+            .count();
         let want = ch.message_success_probability(1016);
         let got = successes as f64 / trials as f64;
         assert!((got - want).abs() < 0.01, "{got} vs {want}");

@@ -31,7 +31,10 @@ impl fmt::Display for ChannelError {
                 write!(f, "parameter {name} = {value} is not a probability")
             }
             ChannelError::ChannelOutOfRange { channel } => {
-                write!(f, "channel {channel} outside the 802.15.4 2.4 GHz band (11..=26)")
+                write!(
+                    f,
+                    "channel {channel} outside the 802.15.4 2.4 GHz band (11..=26)"
+                )
             }
             ChannelError::NoActiveChannels => write!(f, "all channels are blacklisted"),
             ChannelError::NoPilots => write!(f, "at least one pilot packet is required"),
@@ -50,9 +53,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ChannelError::InvalidProbability { name: "p_fl", value: 2.0 };
+        let e = ChannelError::InvalidProbability {
+            name: "p_fl",
+            value: 2.0,
+        };
         assert!(e.to_string().contains("p_fl"));
-        assert!(ChannelError::ChannelOutOfRange { channel: 5 }.to_string().contains('5'));
+        assert!(ChannelError::ChannelOutOfRange { channel: 5 }
+            .to_string()
+            .contains('5'));
         assert!(!ChannelError::NoActiveChannels.to_string().is_empty());
         assert!(!ChannelError::NoPilots.to_string().is_empty());
     }

@@ -12,9 +12,9 @@
 use crate::bsc::BinarySymmetricChannel;
 use crate::error::{ChannelError, Result};
 use crate::link::LinkModel;
-use crate::modulation::Modulation;
 #[cfg(test)]
 use crate::modulation::message_failure_probability;
+use crate::modulation::Modulation;
 use crate::snr::EbN0;
 use rand::Rng;
 
@@ -91,11 +91,16 @@ impl PilotEstimator {
         let failures = failures.min(self.pilots);
         let p_fl = f64::from(failures) / f64::from(self.pilots);
         // Invert Eq. 2: ber = 1 - (1 - p_fl)^(1/bits).
-        let ber_estimate = (p_fl < 1.0)
-            .then(|| -f64::exp_m1(f64::ln_1p(-p_fl) / f64::from(self.packet_bits)));
-        let snr_estimate =
-            ber_estimate.and_then(|ber| self.modulation.required_snr(ber));
-        PilotReport { pilots: self.pilots, failures, p_fl_estimate: p_fl, ber_estimate, snr_estimate }
+        let ber_estimate =
+            (p_fl < 1.0).then(|| -f64::exp_m1(f64::ln_1p(-p_fl) / f64::from(self.packet_bits)));
+        let snr_estimate = ber_estimate.and_then(|ber| self.modulation.required_snr(ber));
+        PilotReport {
+            pilots: self.pilots,
+            failures,
+            p_fl_estimate: p_fl,
+            ber_estimate,
+            snr_estimate,
+        }
     }
 }
 
@@ -106,7 +111,10 @@ impl PilotEstimator {
 ///
 /// Panics if `p_fl` is not a probability below one.
 pub fn ber_from_failure_probability(p_fl: f64, bits: u32) -> f64 {
-    assert!((0.0..1.0).contains(&p_fl), "p_fl must be in [0, 1), got {p_fl}");
+    assert!(
+        (0.0..1.0).contains(&p_fl),
+        "p_fl must be in [0, 1), got {p_fl}"
+    );
     -f64::exp_m1(f64::ln_1p(-p_fl) / f64::from(bits))
 }
 
@@ -127,11 +135,18 @@ mod tests {
 
     #[test]
     fn measurement_recovers_true_ber_within_noise() {
-        let estimator = PilotEstimator { pilots: 50_000, ..PilotEstimator::default() };
+        let estimator = PilotEstimator {
+            pilots: 50_000,
+            ..PilotEstimator::default()
+        };
         let mut rng = StdRng::seed_from_u64(99);
         let true_ber = 1e-4; // p_fl ~ 0.0966
         let report = estimator.measure(&mut rng, true_ber).unwrap();
-        assert!((report.p_fl_estimate - 0.0966).abs() < 0.005, "{}", report.p_fl_estimate);
+        assert!(
+            (report.p_fl_estimate - 0.0966).abs() < 0.005,
+            "{}",
+            report.p_fl_estimate
+        );
         let ber = report.ber_estimate.unwrap();
         assert!(((ber - true_ber) / true_ber).abs() < 0.06, "{ber}");
         let snr = report.snr_estimate.unwrap();
@@ -141,7 +156,10 @@ mod tests {
 
     #[test]
     fn report_handles_all_failures() {
-        let estimator = PilotEstimator { pilots: 10, ..PilotEstimator::default() };
+        let estimator = PilotEstimator {
+            pilots: 10,
+            ..PilotEstimator::default()
+        };
         let report = estimator.report(10);
         assert_eq!(report.p_fl_estimate, 1.0);
         assert!(report.ber_estimate.is_none());
@@ -152,7 +170,10 @@ mod tests {
 
     #[test]
     fn report_handles_no_failures() {
-        let estimator = PilotEstimator { pilots: 10, ..PilotEstimator::default() };
+        let estimator = PilotEstimator {
+            pilots: 10,
+            ..PilotEstimator::default()
+        };
         let report = estimator.report(0);
         assert_eq!(report.p_fl_estimate, 0.0);
         assert_eq!(report.ber_estimate, Some(0.0));
@@ -161,23 +182,35 @@ mod tests {
 
     #[test]
     fn failure_count_is_clamped() {
-        let estimator = PilotEstimator { pilots: 10, ..PilotEstimator::default() };
+        let estimator = PilotEstimator {
+            pilots: 10,
+            ..PilotEstimator::default()
+        };
         let report = estimator.report(25);
         assert_eq!(report.failures, 10);
     }
 
     #[test]
     fn zero_pilots_is_an_error() {
-        let estimator = PilotEstimator { pilots: 0, ..PilotEstimator::default() };
+        let estimator = PilotEstimator {
+            pilots: 0,
+            ..PilotEstimator::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(estimator.measure(&mut rng, 1e-4).unwrap_err(), ChannelError::NoPilots);
+        assert_eq!(
+            estimator.measure(&mut rng, 1e-4).unwrap_err(),
+            ChannelError::NoPilots
+        );
     }
 
     #[test]
     fn table_iv_snr_points_estimate_back() {
         // The paper's Table IV scenario: measure a channel whose true SNR is
         // Eb/N0 = 7, then check the estimated link model's p_fl ~ 0.089.
-        let estimator = PilotEstimator { pilots: 100_000, ..PilotEstimator::default() };
+        let estimator = PilotEstimator {
+            pilots: 100_000,
+            ..PilotEstimator::default()
+        };
         let mut rng = StdRng::seed_from_u64(2024);
         let true_ber = Modulation::Oqpsk.ber(EbN0::from_linear(7.0));
         let report = estimator.measure(&mut rng, true_ber).unwrap();

@@ -18,7 +18,6 @@ pub const CHANNEL_COUNT: usize = 16;
 
 /// One of the 16 IEEE 802.15.4 channels, numbered 11..=26.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelId(u8);
 
 impl ChannelId {
@@ -65,7 +64,6 @@ impl std::fmt::Display for ChannelId {
 /// Per-channel quality: the bit error rate observed on each of the 16
 /// channels (e.g. Wi-Fi interference makes a few channels much worse).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelConditions {
     ber: [f64; CHANNEL_COUNT],
 }
@@ -78,9 +76,14 @@ impl ChannelConditions {
     /// Returns [`ChannelError::InvalidProbability`] for a non-probability.
     pub fn uniform(ber: f64) -> Result<Self> {
         if !ber.is_finite() || !(0.0..=1.0).contains(&ber) {
-            return Err(ChannelError::InvalidProbability { name: "ber", value: ber });
+            return Err(ChannelError::InvalidProbability {
+                name: "ber",
+                value: ber,
+            });
         }
-        Ok(ChannelConditions { ber: [ber; CHANNEL_COUNT] })
+        Ok(ChannelConditions {
+            ber: [ber; CHANNEL_COUNT],
+        })
     }
 
     /// Per-channel bit error rates, indexed by [`ChannelId::index`].
@@ -91,7 +94,10 @@ impl ChannelConditions {
     pub fn from_bers(ber: [f64; CHANNEL_COUNT]) -> Result<Self> {
         for &b in &ber {
             if !b.is_finite() || !(0.0..=1.0).contains(&b) {
-                return Err(ChannelError::InvalidProbability { name: "ber", value: b });
+                return Err(ChannelError::InvalidProbability {
+                    name: "ber",
+                    value: b,
+                });
             }
         }
         Ok(ChannelConditions { ber })
@@ -109,7 +115,10 @@ impl ChannelConditions {
     /// Returns [`ChannelError::InvalidProbability`] for a non-probability.
     pub fn set_ber(&mut self, channel: ChannelId, ber: f64) -> Result<()> {
         if !ber.is_finite() || !(0.0..=1.0).contains(&ber) {
-            return Err(ChannelError::InvalidProbability { name: "ber", value: ber });
+            return Err(ChannelError::InvalidProbability {
+                name: "ber",
+                value: ber,
+            });
         }
         self.ber[channel.index()] = ber;
         Ok(())
@@ -118,14 +127,15 @@ impl ChannelConditions {
 
 /// The network manager's active channel list with blacklisting.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Blacklist {
     banned: [bool; CHANNEL_COUNT],
 }
 
 impl Default for Blacklist {
     fn default() -> Self {
-        Blacklist { banned: [false; CHANNEL_COUNT] }
+        Blacklist {
+            banned: [false; CHANNEL_COUNT],
+        }
     }
 }
 
@@ -192,7 +202,6 @@ impl Blacklist {
 /// `active[(offset + t) mod active_len]`, the construction used by the
 /// WirelessHART data-link layer.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HopSequence {
     active: Vec<ChannelId>,
     offset: usize,
@@ -210,7 +219,10 @@ impl HopSequence {
         if active.is_empty() {
             return Err(ChannelError::NoActiveChannels);
         }
-        Ok(HopSequence { offset: channel_offset % active.len(), active })
+        Ok(HopSequence {
+            offset: channel_offset % active.len(),
+            active,
+        })
     }
 
     /// The channel used at an absolute slot number.
@@ -258,7 +270,10 @@ mod tests {
             bl.ban(*c).unwrap();
         }
         assert_eq!(bl.active_count(), 1);
-        assert_eq!(bl.ban(channels[15]).unwrap_err(), ChannelError::NoActiveChannels);
+        assert_eq!(
+            bl.ban(channels[15]).unwrap_err(),
+            ChannelError::NoActiveChannels
+        );
         assert_eq!(bl.active_count(), 1);
         // Banning an already banned channel is fine.
         bl.ban(channels[0]).unwrap();
@@ -305,7 +320,9 @@ mod tests {
     #[test]
     fn mean_ber_averages_over_period() {
         let mut conditions = ChannelConditions::uniform(0.0).unwrap();
-        conditions.set_ber(ChannelId::new(11).unwrap(), 0.16).unwrap();
+        conditions
+            .set_ber(ChannelId::new(11).unwrap(), 0.16)
+            .unwrap();
         let seq = HopSequence::new(&Blacklist::new(), 3).unwrap();
         assert!((seq.mean_ber(&conditions) - 0.01).abs() < 1e-15);
     }

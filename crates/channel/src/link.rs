@@ -13,7 +13,6 @@ use whart_dtmc::Dtmc;
 
 /// The state of a link in one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkState {
     /// Received signal strength above threshold; transmissions succeed.
     Up,
@@ -23,7 +22,6 @@ pub enum LinkState {
 
 /// A probability distribution over [`LinkState`], `(P(up), P(down))`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkDistribution {
     up: f64,
 }
@@ -42,7 +40,9 @@ impl LinkDistribution {
 
     /// Point mass on a state.
     pub fn certain(state: LinkState) -> Self {
-        LinkDistribution { up: if state == LinkState::Up { 1.0 } else { 0.0 } }
+        LinkDistribution {
+            up: if state == LinkState::Up { 1.0 } else { 0.0 },
+        }
     }
 
     /// Probability of being UP.
@@ -71,7 +71,6 @@ impl LinkDistribution {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkModel {
     p_fl: f64,
     p_rc: f64,
@@ -94,7 +93,10 @@ impl LinkModel {
         check_probability("p_fl", p_fl)?;
         check_probability("p_rc", p_rc)?;
         if p_fl == 0.0 && p_rc == 0.0 {
-            return Err(ChannelError::InvalidProbability { name: "p_fl+p_rc", value: 0.0 });
+            return Err(ChannelError::InvalidProbability {
+                name: "p_fl+p_rc",
+                value: 0.0,
+            });
         }
         Ok(LinkModel { p_fl, p_rc })
     }
@@ -133,11 +135,17 @@ impl LinkModel {
     pub fn from_availability(availability: f64, p_rc: f64) -> Result<Self> {
         check_probability("pi(up)", availability)?;
         if availability == 0.0 {
-            return Err(ChannelError::InvalidProbability { name: "pi(up)", value: 0.0 });
+            return Err(ChannelError::InvalidProbability {
+                name: "pi(up)",
+                value: 0.0,
+            });
         }
         let p_fl = p_rc * (1.0 - availability) / availability;
         if p_fl > 1.0 {
-            return Err(ChannelError::InvalidProbability { name: "implied p_fl", value: p_fl });
+            return Err(ChannelError::InvalidProbability {
+                name: "implied p_fl",
+                value: p_fl,
+            });
         }
         LinkModel::new(p_fl, p_rc)
     }
@@ -159,7 +167,9 @@ impl LinkModel {
 
     /// The stationary distribution.
     pub fn steady_state(self) -> LinkDistribution {
-        LinkDistribution { up: self.availability() }
+        LinkDistribution {
+            up: self.availability(),
+        }
     }
 
     /// One step of the link chain (Eq. 3).
@@ -176,7 +186,9 @@ impl LinkModel {
         let lambda = 1.0 - self.p_fl - self.p_rc;
         // P(up at t) = pi + (P(up at 0) - pi) * lambda^t.
         let up = pi + (initial.up() - pi) * powi_u64(lambda, slots);
-        LinkDistribution { up: up.clamp(0.0, 1.0) }
+        LinkDistribution {
+            up: up.clamp(0.0, 1.0),
+        }
     }
 
     /// The UP-probability trajectory over `slots` steps, starting from
@@ -208,10 +220,14 @@ impl LinkModel {
         let mut b = Dtmc::builder();
         let up = b.add_state("UP");
         let down = b.add_state("DOWN");
-        b.add_transition(up, up, 1.0 - self.p_fl).expect("valid probability");
-        b.add_transition(up, down, self.p_fl).expect("valid probability");
-        b.add_transition(down, up, self.p_rc).expect("valid probability");
-        b.add_transition(down, down, 1.0 - self.p_rc).expect("valid probability");
+        b.add_transition(up, up, 1.0 - self.p_fl)
+            .expect("valid probability");
+        b.add_transition(up, down, self.p_fl)
+            .expect("valid probability");
+        b.add_transition(down, up, self.p_rc)
+            .expect("valid probability");
+        b.add_transition(down, down, 1.0 - self.p_rc)
+            .expect("valid probability");
         b.build().expect("rows are stochastic by construction")
     }
 }

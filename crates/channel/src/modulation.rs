@@ -9,7 +9,6 @@ use crate::snr::EbN0;
 
 /// A digital modulation scheme with a known AWGN BER curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Modulation {
     /// Offset quadrature phase-shift keying — the WirelessHART PHY
@@ -95,7 +94,10 @@ pub const WIRELESSHART_MESSAGE_BITS: u32 = 127 * 8;
 ///
 /// Panics if `ber` is outside `[0, 1]`.
 pub fn message_failure_probability(ber: f64, bits: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&ber), "BER must be a probability, got {ber}");
+    assert!(
+        (0.0..=1.0).contains(&ber),
+        "BER must be a probability, got {ber}"
+    );
     -f64::exp_m1(f64::from(bits) * f64::ln_1p(-ber))
 }
 

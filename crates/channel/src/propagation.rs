@@ -17,7 +17,6 @@ use crate::snr::{EbN0, SnrDb};
 
 /// A log-distance path-loss radio environment.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PropagationModel {
     /// Transmit power in dBm (WirelessHART radios: typically 10 dBm).
     pub tx_power_dbm: f64,
@@ -83,9 +82,7 @@ impl PropagationModel {
 
     /// The per-bit `Eb/N0` at a distance (SNR times the processing gain).
     pub fn eb_n0(&self, distance_m: f64) -> EbN0 {
-        EbN0::from_linear(
-            EbN0::from_db(self.snr_db(distance_m)).linear() * self.processing_gain,
-        )
+        EbN0::from_linear(EbN0::from_db(self.snr_db(distance_m)).linear() * self.processing_gain)
     }
 
     /// The two-state link model of a link spanning `distance_m` meters
@@ -195,7 +192,10 @@ mod tests {
         let m = PropagationModel::industrial();
         let range = m.range_for_availability(0.9, 1016, 0.9).unwrap().unwrap();
         let at_range = m.link_model(range, 1016, 0.9).unwrap().availability();
-        let beyond = m.link_model(range * 1.05, 1016, 0.9).unwrap().availability();
+        let beyond = m
+            .link_model(range * 1.05, 1016, 0.9)
+            .unwrap()
+            .availability();
         assert!(at_range >= 0.9 - 1e-6, "{at_range}");
         assert!(beyond < 0.9, "{beyond}");
         // A typical industrial WirelessHART hop is tens of meters.

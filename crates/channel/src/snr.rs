@@ -12,7 +12,6 @@ use std::fmt;
 /// The paper's Table IV example measures `Eb/N0 = 7` (linear) on one
 /// channel and `6` on another.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EbN0(f64);
 
 impl EbN0 {
@@ -22,7 +21,10 @@ impl EbN0 {
     ///
     /// Panics if `ratio` is negative or not finite.
     pub fn from_linear(ratio: f64) -> Self {
-        assert!(ratio.is_finite() && ratio >= 0.0, "Eb/N0 must be a finite non-negative ratio");
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "Eb/N0 must be a finite non-negative ratio"
+        );
         EbN0(ratio)
     }
 
@@ -54,7 +56,6 @@ impl fmt::Display for EbN0 {
 
 /// A signal-to-noise ratio in decibels.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SnrDb(f64);
 
 impl SnrDb {

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use whart_channel::math::{erf, erfc, gamma_p, gamma_q};
 use whart_channel::{
-    ber_from_failure_probability, message_failure_probability, Blacklist, ChannelId,
-    EbN0, HopSequence, LinkDistribution, LinkModel, Modulation, SnrDb,
+    ber_from_failure_probability, message_failure_probability, Blacklist, ChannelId, EbN0,
+    HopSequence, LinkDistribution, LinkModel, Modulation, SnrDb,
 };
 
 proptest! {

@@ -1,0 +1,404 @@
+//! The `batch` subcommand: evaluate a fleet of scenarios through the
+//! memoizing engine, streaming one JSON line per scenario.
+//!
+//! The input file holds a JSON array (or an object with a `scenarios`
+//! array) of scenario objects:
+//!
+//! ```json
+//! {
+//!   "label": "typical, degraded e3",
+//!   "network": "typical",
+//!   "availability": 0.83,
+//!   "interval": 4,
+//!   "inject": [ { "link": [3, 0], "outage": [40, 60] } ],
+//!   "measures": ["reachability", "expected_delay", "utilization"]
+//! }
+//! ```
+//!
+//! `network` is a named template (`"typical"`, `"section-v"`) or an
+//! inline network spec object. `availability` replaces every link's
+//! quality; `interval` replaces the reporting interval. Each injection
+//! targets a link `[a, b]` (0 = gateway) and forces an `outage` slot
+//! window, an `initial` state (`"up"`/`"down"`), or a degraded
+//! `availability` on it. Absent `measures` requests everything except
+//! the raw cycle probability function.
+
+use crate::spec::{node, LinkQuality, NetworkSpec};
+use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
+use whart_json::Json;
+use whart_model::{LinkDynamics, NetworkModel, Outage};
+use whart_net::Hop;
+
+/// One decoded batch entry: the scenario plus which measures its output
+/// lines should carry.
+struct BatchEntry {
+    scenario: Scenario,
+    measures: MeasureSet,
+}
+
+fn decode_measures(value: &Json) -> Result<MeasureSet, String> {
+    let Some(names) = value.get("measures") else {
+        return Ok(MeasureSet::default());
+    };
+    let Json::Array(names) = names else {
+        return Err("'measures' must be an array of measure names".into());
+    };
+    let mut set = MeasureSet {
+        reachability: false,
+        expected_delay: false,
+        expected_intervals_to_first_loss: false,
+        utilization: false,
+        cycle_probabilities: false,
+        ..MeasureSet::default()
+    };
+    for name in names {
+        match name.as_str() {
+            Some("reachability") => set.reachability = true,
+            Some("expected_delay") => set.expected_delay = true,
+            Some("first_loss") => set.expected_intervals_to_first_loss = true,
+            Some("utilization") => set.utilization = true,
+            Some("cycle_probabilities") => set.cycle_probabilities = true,
+            Some(other) => return Err(format!("unknown measure '{other}'")),
+            None => return Err("'measures' entries must be strings".into()),
+        }
+    }
+    Ok(set)
+}
+
+fn decode_network(value: &Json) -> Result<NetworkSpec, String> {
+    let availability = match value.get("availability") {
+        Some(_) => Some(value.require_f64("availability")?),
+        None => None,
+    };
+    let mut spec = match value.get("network") {
+        Some(Json::String(name)) => match name.as_str() {
+            "typical" => NetworkSpec::typical(availability.unwrap_or(0.83)),
+            "section-v" => NetworkSpec::section_v(availability.unwrap_or(0.75)),
+            other => return Err(format!("unknown network template '{other}'")),
+        },
+        Some(inline @ Json::Object(_)) => {
+            let mut spec = NetworkSpec::decode(inline)?;
+            if let Some(availability) = availability {
+                for link in &mut spec.links {
+                    link.quality = LinkQuality::Availability {
+                        availability,
+                        p_rc: whart_channel::LinkModel::DEFAULT_RECOVERY,
+                    };
+                }
+            }
+            spec
+        }
+        Some(_) => return Err("'network' must be a template name or a spec object".into()),
+        None => return Err("scenario needs a 'network'".into()),
+    };
+    if value.get("interval").is_some() {
+        spec.reporting_interval = value.require_u32("interval")?;
+    }
+    Ok(spec)
+}
+
+fn apply_injections(model: &mut NetworkModel, value: &Json) -> Result<(), String> {
+    let Some(inject) = value.get("inject") else {
+        return Ok(());
+    };
+    let Json::Array(injections) = inject else {
+        return Err("'inject' must be an array".into());
+    };
+    for injection in injections {
+        let link = &injection["link"];
+        let (a, b) = match (link[0].as_f64(), link[1].as_f64()) {
+            (Some(a), Some(b)) if a >= 0.0 && b >= 0.0 && a.fract() == 0.0 && b.fract() == 0.0 => {
+                (a as u32, b as u32)
+            }
+            _ => return Err("injection needs 'link': [a, b] with node numbers".into()),
+        };
+        let hop = Hop::new(node(a), node(b));
+        let base = match injection.get("availability") {
+            Some(_) => LinkQuality::Availability {
+                availability: injection.require_f64("availability")?,
+                p_rc: whart_channel::LinkModel::DEFAULT_RECOVERY,
+            }
+            .to_link_model()?,
+            None => model.topology().link_for(hop).map_err(|e| e.to_string())?,
+        };
+        let mut dynamics = match injection.get("initial") {
+            Some(state) => match state.as_str() {
+                Some("up") => LinkDynamics::starting_in(base, whart_channel::LinkState::Up),
+                Some("down") => LinkDynamics::starting_in(base, whart_channel::LinkState::Down),
+                _ => return Err("injection 'initial' must be \"up\" or \"down\"".into()),
+            },
+            None => LinkDynamics::steady(base),
+        };
+        if let Some(window) = injection.get("outage") {
+            let (start, end) = match (window[0].as_f64(), window[1].as_f64()) {
+                (Some(s), Some(e)) if s >= 0.0 && e > s && s.fract() == 0.0 && e.fract() == 0.0 => {
+                    (s as u64, e as u64)
+                }
+                _ => return Err("injection 'outage' must be [start, end] slots".into()),
+            };
+            dynamics = dynamics.with_outage(Outage::new(start, end));
+        }
+        model
+            .override_link_dynamics(node(a), node(b), dynamics)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn decode_entry(index: usize, value: &Json) -> Result<BatchEntry, String> {
+    let wrap = |e: String| format!("scenario {}: {e}", index + 1);
+    let label = match value.get("label") {
+        Some(l) => l
+            .as_str()
+            .ok_or_else(|| wrap("'label' must be a string".into()))?
+            .to_owned(),
+        None => format!("scenario-{}", index + 1),
+    };
+    let spec = decode_network(value).map_err(wrap)?;
+    let mut model = spec.to_model().map_err(wrap)?;
+    apply_injections(&mut model, value).map_err(wrap)?;
+    let measures = decode_measures(value).map_err(wrap)?;
+    Ok(BatchEntry {
+        scenario: Scenario::network(label, model).with_measures(measures),
+        measures,
+    })
+}
+
+fn result_line(result: &ScenarioResult, measures: MeasureSet) -> Json {
+    let paths: Vec<Json> = result
+        .path_measures
+        .iter()
+        .map(|m| {
+            let mut fields: Vec<(String, Json)> = Vec::new();
+            if measures.reachability {
+                fields.push(("reachability".into(), Json::from(m.reachability)));
+            }
+            if measures.expected_delay {
+                fields.push(("expected_delay_ms".into(), Json::from(m.expected_delay_ms)));
+            }
+            if measures.expected_intervals_to_first_loss {
+                fields.push((
+                    "expected_intervals_to_first_loss".into(),
+                    Json::from(m.expected_intervals_to_first_loss),
+                ));
+            }
+            if measures.utilization {
+                fields.push(("utilization".into(), Json::from(m.utilization)));
+            }
+            if measures.cycle_probabilities {
+                if let Some(g) = &m.cycle_probabilities {
+                    fields.push(("cycle_probabilities".into(), Json::array(g.iter().copied())));
+                }
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    let mut fields: Vec<(String, Json)> = vec![
+        ("label".into(), Json::from(result.label.clone())),
+        ("paths".into(), Json::Array(paths)),
+    ];
+    if measures.expected_delay {
+        fields.push(("mean_delay_ms".into(), Json::from(result.mean_delay_ms)));
+    }
+    if measures.utilization {
+        fields.push((
+            "network_utilization".into(),
+            Json::from(result.network_utilization),
+        ));
+    }
+    Json::Object(fields)
+}
+
+fn stats_line(engine: &Engine) -> Json {
+    let stats = engine.stats();
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    Json::object([(
+        "stats",
+        Json::object([
+            ("jobs", Json::from(stats.jobs_completed)),
+            ("paths_requested", Json::from(stats.paths_requested)),
+            ("paths_evaluated", Json::from(stats.paths_evaluated)),
+            ("path_cache_hits", Json::from(stats.path_cache_hits)),
+            ("path_cache_misses", Json::from(stats.path_cache_misses)),
+            ("link_cache_hits", Json::from(stats.link_cache_hits)),
+            ("link_cache_misses", Json::from(stats.link_cache_misses)),
+            ("steals", Json::from(stats.steals)),
+            ("max_queue_depth", Json::from(stats.max_queue_depth as u64)),
+            ("plan_ms", Json::from(ms(stats.plan_wall))),
+            ("execute_ms", Json::from(ms(stats.execute_wall))),
+            ("assemble_ms", Json::from(ms(stats.assemble_wall))),
+            ("workers", Json::from(stats.workers as u64)),
+        ]),
+    )])
+}
+
+/// Runs `batch`: evaluates every scenario in the list through a shared
+/// engine and returns one compact JSON line per scenario (submission
+/// order), plus a final `stats` line when requested.
+pub fn batch(text: &str, threads: usize, with_stats: bool) -> Result<String, String> {
+    let value = Json::parse(text).map_err(|e| format!("invalid scenario list: {e}"))?;
+    let list = match &value {
+        Json::Array(items) => items.as_slice(),
+        Json::Object(_) => match &value["scenarios"] {
+            Json::Array(items) => items.as_slice(),
+            _ => return Err("invalid scenario list: missing 'scenarios' array".into()),
+        },
+        _ => return Err("invalid scenario list: expected an array of scenarios".into()),
+    };
+    if list.is_empty() {
+        return Err("invalid scenario list: no scenarios".into());
+    }
+    let entries: Vec<BatchEntry> = list
+        .iter()
+        .enumerate()
+        .map(|(i, v)| decode_entry(i, v))
+        .collect::<Result<_, String>>()?;
+    let mut engine = Engine::new(threads);
+    let measure_sets: Vec<MeasureSet> = entries.iter().map(|e| e.measures).collect();
+    for entry in entries {
+        engine.submit(entry.scenario);
+    }
+    let results = engine.drain().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (result, measures) in results.iter().zip(measure_sets) {
+        out.push_str(&result_line(result, measures).to_compact());
+        out.push('\n');
+    }
+    if with_stats {
+        out.push_str(&stats_line(&engine).to_compact());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet_json() -> String {
+        let scenarios: Vec<String> = [0.693, 0.83, 0.903]
+            .iter()
+            .flat_map(|pi| {
+                [1u32, 4].iter().map(move |is| {
+                    format!(
+                        "{{\"label\":\"pi={pi} Is={is}\",\"network\":\"typical\",\
+                         \"availability\":{pi},\"interval\":{is}}}"
+                    )
+                })
+            })
+            .collect();
+        format!("[{}]", scenarios.join(","))
+    }
+
+    #[test]
+    fn batch_streams_one_line_per_scenario() {
+        let out = batch(&fleet_json(), 2, true).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 7, "6 scenarios + stats:\n{out}");
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first["label"].as_str().unwrap(), "pi=0.693 Is=1");
+        assert_eq!(
+            match &first["paths"] {
+                Json::Array(p) => p.len(),
+                _ => 0,
+            },
+            10
+        );
+        let stats = Json::parse(lines[6]).unwrap();
+        assert!(stats["stats"]["paths_evaluated"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batch_matches_direct_evaluation() {
+        let out = batch(
+            "[{\"label\":\"x\",\"network\":\"typical\",\"availability\":0.83}]",
+            2,
+            false,
+        )
+        .unwrap();
+        let line = Json::parse(out.lines().next().unwrap()).unwrap();
+        let spec = NetworkSpec::typical(0.83);
+        let eval = spec.to_model().unwrap().evaluate().unwrap();
+        let want = eval.reports()[9].evaluation.reachability();
+        let got = line["paths"][9]["reachability"].as_f64().unwrap();
+        assert_eq!(got, want, "bit-identical to the serial evaluator");
+        let mean = line["mean_delay_ms"].as_f64().unwrap();
+        assert!((mean - 235.4).abs() < 1.0, "{mean}");
+    }
+
+    #[test]
+    fn measure_selection_limits_output_keys() {
+        let out = batch(
+            "[{\"network\":\"section-v\",\"measures\":[\"reachability\"]}]",
+            1,
+            false,
+        )
+        .unwrap();
+        let line = Json::parse(out.lines().next().unwrap()).unwrap();
+        assert_eq!(line["label"].as_str().unwrap(), "scenario-1");
+        assert!(line["paths"][0]["reachability"].as_f64().is_some());
+        assert!(line["paths"][0].get("expected_delay_ms").is_none());
+        assert!(line.get("mean_delay_ms").is_none());
+    }
+
+    #[test]
+    fn injections_degrade_crossing_paths() {
+        let base = batch(
+            "[{\"network\":\"typical\",\"availability\":0.83}]",
+            1,
+            false,
+        )
+        .unwrap();
+        let hit = batch(
+            "[{\"network\":\"typical\",\"availability\":0.83,\
+             \"inject\":[{\"link\":[3,0],\"availability\":0.5}]}]",
+            1,
+            false,
+        )
+        .unwrap();
+        let base = Json::parse(base.lines().next().unwrap()).unwrap();
+        let hit = Json::parse(hit.lines().next().unwrap()).unwrap();
+        // Path 3 (index 2) crosses e3 = (n3, G); path 1 does not.
+        let r = |j: &Json, i: usize| j["paths"][i]["reachability"].as_f64().unwrap();
+        assert!(r(&hit, 2) < r(&base, 2) - 1e-3);
+        assert_eq!(r(&hit, 0), r(&base, 0));
+        // An outage window also degrades reachability.
+        let outage = batch(
+            "[{\"network\":\"typical\",\"availability\":0.83,\
+             \"inject\":[{\"link\":[3,0],\"outage\":[0,40]}]}]",
+            1,
+            false,
+        )
+        .unwrap();
+        let outage = Json::parse(outage.lines().next().unwrap()).unwrap();
+        assert!(r(&outage, 2) < r(&base, 2) - 1e-3);
+    }
+
+    #[test]
+    fn bad_input_is_rejected_with_context() {
+        assert!(batch("42", 1, false).is_err());
+        assert!(batch("[]", 1, false).is_err());
+        let err = batch("[{\"network\":\"nope\"}]", 1, false).unwrap_err();
+        assert!(err.contains("scenario 1"), "{err}");
+        let err = batch(
+            "[{\"network\":\"typical\",\"measures\":[\"bogus\"]}]",
+            1,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown measure"), "{err}");
+        let err = batch(
+            "[{\"network\":\"typical\",\"inject\":[{\"link\":[1,2],\"initial\":\"down\"}]}]",
+            1,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("scenario 1"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_object_wrapper_accepted() {
+        let out = batch("{\"scenarios\":[{\"network\":\"section-v\"}]}", 1, false).unwrap();
+        assert_eq!(out.lines().count(), 1);
+    }
+}

@@ -1,9 +1,8 @@
 //! The CLI subcommands.
 
 use crate::spec::NetworkSpec;
-use whart_model::{
-    compose, explicit::explicit_chain, DelayConvention, UtilizationConvention,
-};
+use whart_json::Json;
+use whart_model::{compose, explicit::explicit_chain, DelayConvention, UtilizationConvention};
 use whart_sim::{PhyMode, Simulator};
 
 /// Runs `analyze`: per-path measures and network aggregates.
@@ -11,30 +10,51 @@ pub fn analyze(spec: &NetworkSpec, json: bool) -> Result<String, String> {
     let model = spec.to_model()?;
     let eval = model.evaluate().map_err(|e| e.to_string())?;
     if json {
-        let payload = serde_json::json!({
-            "paths": eval
-                .reports()
-                .iter()
-                .map(|r| {
-                    serde_json::json!({
-                        "route": r.path.to_string(),
-                        "hops": r.path.hop_count(),
-                        "reachability": r.evaluation.reachability(),
-                        "expected_delay_ms":
-                            r.evaluation.expected_delay_ms(DelayConvention::Absolute),
-                        "expected_intervals_to_first_loss":
-                            r.evaluation.expected_intervals_to_first_loss(),
-                        "utilization":
-                            r.evaluation.utilization(UtilizationConvention::AsEvaluated),
-                        "cycle_probabilities":
-                            r.evaluation.cycle_probabilities().as_slice(),
-                    })
-                })
-                .collect::<Vec<_>>(),
-            "mean_delay_ms": eval.mean_delay_ms(DelayConvention::Absolute),
-            "network_utilization": eval.utilization(UtilizationConvention::AsEvaluated),
-        });
-        return Ok(serde_json::to_string_pretty(&payload).expect("json values serialize"));
+        let paths = eval
+            .reports()
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("route", Json::from(r.path.to_string())),
+                    ("hops", Json::from(r.path.hop_count())),
+                    ("reachability", Json::from(r.evaluation.reachability())),
+                    (
+                        "expected_delay_ms",
+                        Json::from(r.evaluation.expected_delay_ms(DelayConvention::Absolute)),
+                    ),
+                    (
+                        "expected_intervals_to_first_loss",
+                        Json::from(r.evaluation.expected_intervals_to_first_loss()),
+                    ),
+                    (
+                        "utilization",
+                        Json::from(r.evaluation.utilization(UtilizationConvention::AsEvaluated)),
+                    ),
+                    (
+                        "cycle_probabilities",
+                        Json::array(
+                            r.evaluation
+                                .cycle_probabilities()
+                                .as_slice()
+                                .iter()
+                                .copied(),
+                        ),
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let payload = Json::object([
+            ("paths", Json::Array(paths)),
+            (
+                "mean_delay_ms",
+                Json::from(eval.mean_delay_ms(DelayConvention::Absolute)),
+            ),
+            (
+                "network_utilization",
+                Json::from(eval.utilization(UtilizationConvention::AsEvaluated)),
+            ),
+        ]);
+        return Ok(payload.to_pretty());
     }
     let mut out = String::new();
     out.push_str("path  hops  reachability  E[delay] ms  E[N] intervals  utilization  route\n");
@@ -78,16 +98,66 @@ pub fn simulate(
     intervals: u64,
     seed: u64,
     workers: usize,
+    json: bool,
 ) -> Result<String, String> {
     let model = spec.to_model()?;
     let eval = model.evaluate().map_err(|e| e.to_string())?;
     let (topology, paths, schedule, superframe, interval) = spec.build_parts()?;
-    let sim = Simulator::new(topology, paths, schedule, superframe, interval, PhyMode::Gilbert)
-        .map_err(|e| e.to_string())?;
+    let sim = Simulator::new(
+        topology,
+        paths,
+        schedule,
+        superframe,
+        interval,
+        PhyMode::Gilbert,
+    )
+    .map_err(|e| e.to_string())?;
     let report = sim.run_parallel(seed, intervals, workers);
+    if json {
+        let paths = eval
+            .reports()
+            .iter()
+            .zip(&report.paths)
+            .map(|(r, stats)| {
+                let delivered = stats.messages() - stats.lost;
+                let (lo, hi) = whart_sim::wilson_interval(delivered, stats.messages(), 1.96);
+                Json::object([
+                    ("route", Json::from(r.path.to_string())),
+                    (
+                        "analytic_reachability",
+                        Json::from(r.evaluation.reachability()),
+                    ),
+                    ("simulated_reachability", Json::from(stats.reachability())),
+                    ("reachability_ci95", Json::array([lo, hi])),
+                    (
+                        "analytic_expected_delay_ms",
+                        Json::from(r.evaluation.expected_delay_ms(DelayConvention::Absolute)),
+                    ),
+                    ("simulated_mean_delay_ms", Json::from(stats.mean_delay_ms())),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let payload = Json::object([
+            ("intervals", Json::from(intervals)),
+            ("seed", Json::from(seed)),
+            ("workers", Json::from(workers as u64)),
+            ("paths", Json::Array(paths)),
+            (
+                "analytic_utilization",
+                Json::from(eval.utilization(UtilizationConvention::AsEvaluated)),
+            ),
+            (
+                "simulated_utilization",
+                Json::from(report.network_utilization()),
+            ),
+        ]);
+        return Ok(payload.to_pretty());
+    }
     let mut out = String::new();
     out.push_str(&format!("{intervals} reporting intervals, seed {seed}\n"));
-    out.push_str("path  analytic R  simulated R  [95% CI]           analytic E[d]  simulated E[d]\n");
+    out.push_str(
+        "path  analytic R  simulated R  [95% CI]           analytic E[d]  simulated E[d]\n",
+    );
     for (i, r) in eval.reports().iter().enumerate() {
         let stats = &report.paths[i];
         let delivered = stats.messages() - stats.lost;
@@ -96,7 +166,9 @@ pub fn simulate(
             .evaluation
             .expected_delay_ms(DelayConvention::Absolute)
             .map_or("-".to_string(), |d| format!("{d:.1}"));
-        let sd = stats.mean_delay_ms().map_or("-".to_string(), |d| format!("{d:.1}"));
+        let sd = stats
+            .mean_delay_ms()
+            .map_or("-".to_string(), |d| format!("{d:.1}"));
         out.push_str(&format!(
             "{:>4}  {:>10.6}  {:>11.6}  [{:.6}, {:.6}]  {:>13}  {:>14}\n",
             i + 1,
@@ -133,8 +205,7 @@ pub fn predict(spec: &NetworkSpec, path_index: usize, snr: f64) -> Result<String
     )
     .map_err(|e| e.to_string())?;
     let peer = compose::peer_cycle_probabilities(peer_link, model.interval());
-    let prediction =
-        compose::predict_composition(&peer, 1, existing).map_err(|e| e.to_string())?;
+    let prediction = compose::predict_composition(&peer, 1, existing).map_err(|e| e.to_string())?;
     let mut out = String::new();
     out.push_str(&format!(
         "peer link: Eb/N0 = {snr}, p_fl = {:.4}, pi(up) = {:.4}\n",
@@ -189,7 +260,9 @@ pub fn example(which: &str) -> Result<String, String> {
     match which {
         "typical" => Ok(NetworkSpec::typical(0.83).to_json()),
         "section-v" => Ok(NetworkSpec::section_v(0.75).to_json()),
-        other => Err(format!("unknown example '{other}' (try 'typical' or 'section-v')")),
+        other => Err(format!(
+            "unknown example '{other}' (try 'typical' or 'section-v')"
+        )),
     }
 }
 
@@ -210,7 +283,7 @@ mod tests {
     fn analyze_json_output_parses() {
         let spec = NetworkSpec::section_v(0.75);
         let out = analyze(&spec, true).unwrap();
-        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let value = Json::parse(&out).unwrap();
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
         assert!((r - 0.9624).abs() < 1e-4);
     }
@@ -227,10 +300,24 @@ mod tests {
     #[test]
     fn simulate_agrees_with_analysis() {
         let spec = NetworkSpec::section_v(0.75);
-        let out = simulate(&spec, 20_000, 7, 2).unwrap();
+        let out = simulate(&spec, 20_000, 7, 2, false).unwrap();
         assert!(out.contains("analytic R"), "{out}");
         // The simulated value printed should be near 0.9624.
         assert!(out.contains("0.96"), "{out}");
+    }
+
+    #[test]
+    fn simulate_json_output_parses() {
+        let spec = NetworkSpec::section_v(0.75);
+        let out = simulate(&spec, 20_000, 7, 2, true).unwrap();
+        let value = Json::parse(&out).unwrap();
+        let analytic = value["paths"][0]["analytic_reachability"].as_f64().unwrap();
+        assert!((analytic - 0.9624).abs() < 1e-4);
+        let simulated = value["paths"][0]["simulated_reachability"]
+            .as_f64()
+            .unwrap();
+        assert!((simulated - analytic).abs() < 0.01);
+        assert_eq!(value["seed"].as_f64().unwrap(), 7.0);
     }
 
     #[test]
@@ -255,7 +342,9 @@ mod tests {
     #[test]
     fn examples_render() {
         assert!(example("typical").unwrap().contains("\"uplink_slots\": 20"));
-        assert!(example("section-v").unwrap().contains("\"uplink_slots\": 7"));
+        assert!(example("section-v")
+            .unwrap()
+            .contains("\"uplink_slots\": 7"));
         assert!(example("nope").is_err());
     }
 }

@@ -5,12 +5,14 @@
 //!
 //! ```text
 //! whart analyze  <spec.json> [--json]
+//! whart batch    <scenarios.json> [--threads N] [--stats]
 //! whart dot      <spec.json> --path <i>
-//! whart simulate <spec.json> [--intervals N] [--seed S] [--workers W]
+//! whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
 //! whart predict  <spec.json> --path <i> --snr <EbN0>
 //! whart example  <typical|section-v>
 //! ```
 
+mod batch;
 mod commands;
 mod spec;
 
@@ -19,15 +21,18 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   whart analyze  <spec.json> [--json]
+  whart batch    <scenarios.json> [--threads N] [--stats]
   whart dot      <spec.json> --path <i>
-  whart simulate <spec.json> [--intervals N] [--seed S] [--workers W]
+  whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
   whart sensitivity <spec.json> [--step <delta>]
   whart example  <typical|section-v>
 
 node 0 denotes the gateway; paths are listed source-first and may omit the
 trailing gateway. Link quality accepts {p_fl,p_rc}, {ber}, {snr} or
-{availability}.";
+{availability}. batch reads a JSON list of scenarios (template or inline
+network, overrides, failure injections, measures) and streams one JSON
+line per scenario through the memoizing engine.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,25 +55,36 @@ fn run(args: &[String]) -> Result<String, String> {
             let which = args.get(1).ok_or("missing example name")?;
             commands::example(which)
         }
+        "batch" => {
+            let path = args.get(1).ok_or("missing scenario list file")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let threads = parse_or(args, "--threads", num_cpus())?;
+            batch::batch(&text, threads, has_flag(args, "--stats"))
+        }
         "analyze" | "dot" | "simulate" | "predict" | "sensitivity" => {
             let path = args.get(1).ok_or("missing spec file")?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let spec = NetworkSpec::from_json(&text)?;
             match command.as_str() {
                 "analyze" => commands::analyze(&spec, has_flag(args, "--json")),
                 "dot" => {
-                    let index = flag_value(args, "--path")?
-                        .ok_or("dot requires --path <i> (1-based)")?;
+                    let index =
+                        flag_value(args, "--path")?.ok_or("dot requires --path <i> (1-based)")?;
                     let index: usize = parse(&index, "--path")?;
                     commands::dot(&spec, index.checked_sub(1).ok_or("--path is 1-based")?)
                 }
                 "simulate" => {
-                    let intervals =
-                        parse_or(args, "--intervals", 100_000u64)?;
+                    let intervals = parse_or(args, "--intervals", 100_000u64)?;
                     let seed = parse_or(args, "--seed", 42u64)?;
-                    let workers = parse_or(args, "--workers", num_cpus())?;
-                    commands::simulate(&spec, intervals, seed, workers)
+                    // --threads is the documented spelling; --workers stays
+                    // accepted for compatibility.
+                    let workers = match flag_value(args, "--threads")? {
+                        Some(v) => parse(&v, "--threads")?,
+                        None => parse_or(args, "--workers", num_cpus())?,
+                    };
+                    commands::simulate(&spec, intervals, seed, workers, has_flag(args, "--json"))
                 }
                 "sensitivity" => {
                     let step = parse_or(args, "--step", 0.05f64)?;
@@ -107,7 +123,9 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
-    value.parse().map_err(|_| format!("invalid value '{value}' for {flag}"))
+    value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}' for {flag}"))
 }
 
 fn parse_or<T: std::str::FromStr + Copy>(
@@ -122,7 +140,9 @@ fn parse_or<T: std::str::FromStr + Copy>(
 }
 
 fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

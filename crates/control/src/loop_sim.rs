@@ -55,7 +55,10 @@ impl DeliveryProcess for ModelDelivery {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
         let mut roll = rng.gen::<f64>();
         for cycle in 1..=self.evaluation.interval().cycles() {
-            let p = self.evaluation.cycle_probabilities().get(cycle as usize - 1);
+            let p = self
+                .evaluation
+                .cycle_probabilities()
+                .get(cycle as usize - 1);
             if roll < p {
                 return Some(self.evaluation.delay_ms(cycle, DelayConvention::Absolute) as u32);
             }
@@ -131,7 +134,11 @@ where
                 Some(delay) => {
                     trace.reports_delivered += 1;
                     let output = pid.update(config.setpoint, measurement, dt);
-                    let apply_at = if config.symmetric_downlink { t + 2 * delay } else { t + delay };
+                    let apply_at = if config.symmetric_downlink {
+                        t + 2 * delay
+                    } else {
+                        t + delay
+                    };
                     pending.push((apply_at, output));
                 }
                 None => trace.reports_lost += 1,
@@ -146,7 +153,11 @@ where
             }
         });
         plant.step(command, f64::from(SLOT_MS) / 1000.0);
-        trace.points.push(TracePoint { t_ms: t, output: plant.output(), command });
+        trace.points.push(TracePoint {
+            t_ms: t,
+            output: plant.output(),
+            command,
+        });
         t += SLOT_MS;
     }
     trace
@@ -164,7 +175,13 @@ mod tests {
     use whart_net::{ReportingInterval, Superframe};
 
     fn pid() -> Pid {
-        Pid::new(PidConfig { kp: 2.0, ki: 1.0, kd: 0.0, output_min: -10.0, output_max: 10.0 })
+        Pid::new(PidConfig {
+            kp: 2.0,
+            ki: 1.0,
+            kd: 0.0,
+            output_min: -10.0,
+            output_max: 10.0,
+        })
     }
 
     fn config() -> LoopConfig {
@@ -272,7 +289,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let run = |symmetric: bool, rng: &mut StdRng| {
             let mut plant = FirstOrderPlant::new(1.0, 2.0, 0.0);
-            let cfg = LoopConfig { symmetric_downlink: symmetric, ..config() };
+            let cfg = LoopConfig {
+                symmetric_downlink: symmetric,
+                ..config()
+            };
             let trace = run_loop(
                 &mut plant,
                 &mut pid(),
@@ -281,7 +301,12 @@ mod tests {
                 rng,
             );
             // Time of first non-zero command.
-            trace.points.iter().find(|p| p.command != 0.0).map(|p| p.t_ms).unwrap()
+            trace
+                .points
+                .iter()
+                .find(|p| p.command != 0.0)
+                .map(|p| p.t_ms)
+                .unwrap()
         };
         let sym = run(true, &mut rng);
         let asym = run(false, &mut rng);

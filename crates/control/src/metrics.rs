@@ -18,7 +18,11 @@ pub fn integral_squared_error(trace: &LoopTrace, setpoint: f64) -> f64 {
 /// Integral of absolute error (IAE) against a setpoint, in
 /// `units * seconds`.
 pub fn integral_absolute_error(trace: &LoopTrace, setpoint: f64) -> f64 {
-    trace.points.iter().map(|p| (setpoint - p.output).abs() * 0.01).sum()
+    trace
+        .points
+        .iter()
+        .map(|p| (setpoint - p.output).abs() * 0.01)
+        .sum()
 }
 
 /// The first time (ms) after which the output stays within
@@ -37,7 +41,12 @@ pub fn settling_time_ms(trace: &LoopTrace, setpoint: f64, band: f64) -> Option<u
 
 /// The maximum overshoot above the setpoint (zero if never exceeded).
 pub fn overshoot(trace: &LoopTrace, setpoint: f64) -> f64 {
-    trace.points.iter().map(|p| p.output - setpoint).fold(0.0, f64::max).max(0.0)
+    trace
+        .points
+        .iter()
+        .map(|p| p.output - setpoint)
+        .fold(0.0, f64::max)
+        .max(0.0)
 }
 
 #[cfg(test)]
@@ -50,7 +59,11 @@ mod tests {
             points: outputs
                 .iter()
                 .enumerate()
-                .map(|(i, &y)| TracePoint { t_ms: i as u32 * 10, output: y, command: 0.0 })
+                .map(|(i, &y)| TracePoint {
+                    t_ms: i as u32 * 10,
+                    output: y,
+                    command: 0.0,
+                })
                 .collect(),
             reports_lost: 0,
             reports_delivered: outputs.len() as u32,

@@ -22,7 +22,13 @@ pub struct PidConfig {
 
 impl Default for PidConfig {
     fn default() -> Self {
-        PidConfig { kp: 1.0, ki: 0.0, kd: 0.0, output_min: -1e9, output_max: 1e9 }
+        PidConfig {
+            kp: 1.0,
+            ki: 0.0,
+            kd: 0.0,
+            output_min: -1e9,
+            output_max: 1e9,
+        }
     }
 }
 
@@ -41,12 +47,19 @@ impl Pid {
     ///
     /// Panics if the output limits are inverted or any gain is not finite.
     pub fn new(config: PidConfig) -> Self {
-        assert!(config.output_min < config.output_max, "output limits inverted");
+        assert!(
+            config.output_min < config.output_max,
+            "output limits inverted"
+        );
         assert!(
             config.kp.is_finite() && config.ki.is_finite() && config.kd.is_finite(),
             "gains must be finite"
         );
-        Pid { config, integral: 0.0, last_measurement: None }
+        Pid {
+            config,
+            integral: 0.0,
+            last_measurement: None,
+        }
     }
 
     /// The configuration.
@@ -99,7 +112,10 @@ mod tests {
 
     #[test]
     fn proportional_only_tracks_error() {
-        let mut pid = Pid::new(PidConfig { kp: 2.0, ..PidConfig::default() });
+        let mut pid = Pid::new(PidConfig {
+            kp: 2.0,
+            ..PidConfig::default()
+        });
         assert_eq!(pid.update(1.0, 0.0, 0.1), 2.0);
         assert_eq!(pid.update(1.0, 0.5, 0.1), 1.0);
         assert_eq!(pid.update(1.0, 1.0, 0.1), 0.0);
@@ -107,7 +123,11 @@ mod tests {
 
     #[test]
     fn integral_accumulates() {
-        let mut pid = Pid::new(PidConfig { kp: 0.0, ki: 1.0, ..PidConfig::default() });
+        let mut pid = Pid::new(PidConfig {
+            kp: 0.0,
+            ki: 1.0,
+            ..PidConfig::default()
+        });
         let o1 = pid.update(1.0, 0.0, 1.0);
         let o2 = pid.update(1.0, 0.0, 1.0);
         assert!((o1 - 1.0).abs() < 1e-12);
@@ -118,7 +138,11 @@ mod tests {
 
     #[test]
     fn derivative_damps_fast_measurement_changes() {
-        let mut pid = Pid::new(PidConfig { kp: 0.0, kd: 1.0, ..PidConfig::default() });
+        let mut pid = Pid::new(PidConfig {
+            kp: 0.0,
+            kd: 1.0,
+            ..PidConfig::default()
+        });
         let _ = pid.update(0.0, 0.0, 0.1);
         // Measurement rising at 10 units/s -> derivative output -10 * kd.
         let o = pid.update(0.0, 1.0, 0.1);
@@ -153,6 +177,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "output limits inverted")]
     fn bad_limits_rejected() {
-        let _ = Pid::new(PidConfig { output_min: 1.0, output_max: -1.0, ..PidConfig::default() });
+        let _ = Pid::new(PidConfig {
+            output_min: 1.0,
+            output_max: -1.0,
+            ..PidConfig::default()
+        });
     }
 }

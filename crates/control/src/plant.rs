@@ -32,7 +32,11 @@ impl FirstOrderPlant {
     /// Panics if `time_constant` is not positive.
     pub fn new(gain: f64, time_constant: f64, y0: f64) -> Self {
         assert!(time_constant > 0.0, "time constant must be positive");
-        FirstOrderPlant { gain, time_constant, state: y0 }
+        FirstOrderPlant {
+            gain,
+            time_constant,
+            state: y0,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ impl TankPlant {
     /// Panics if `leak` is negative.
     pub fn new(inflow_gain: f64, leak: f64, y0: f64) -> Self {
         assert!(leak >= 0.0, "leak must be non-negative");
-        TankPlant { inflow_gain, leak, level: y0 }
+        TankPlant {
+            inflow_gain,
+            leak,
+            level: y0,
+        }
     }
 }
 

@@ -16,12 +16,9 @@ use whart_net::ReportingInterval;
 /// Composes two cycle probability functions (Eq. 12), truncating to the
 /// reporting interval: a message that needs `i` extra cycles on the peer
 /// path and `j` on the existing path arrives after `i + j` extra cycles.
-pub fn compose_cycle_probabilities(
-    peer: &Pmf,
-    existing: &Pmf,
-    interval: ReportingInterval,
-) -> Pmf {
-    peer.convolve(existing).truncated(interval.cycles() as usize)
+pub fn compose_cycle_probabilities(peer: &Pmf, existing: &Pmf, interval: ReportingInterval) -> Pmf {
+    peer.convolve(existing)
+        .truncated(interval.cycles() as usize)
 }
 
 /// The cycle probability function of a prospective 1-hop peer path over a
@@ -105,7 +102,9 @@ pub fn rank_candidates(
         if (ca.reachability - cb.reachability).abs() <= reachability_tolerance {
             ca.hop_count.cmp(&cb.hop_count)
         } else {
-            cb.reachability.partial_cmp(&ca.reachability).expect("finite reachability")
+            cb.reachability
+                .partial_cmp(&ca.reachability)
+                .expect("finite reachability")
         }
     });
     order
@@ -123,7 +122,10 @@ mod tests {
     fn existing(hops: usize, pi: f64) -> PathEvaluation {
         let mut b = PathModel::builder();
         for k in 0..hops {
-            b.add_hop(LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap()), k);
+            b.add_hop(
+                LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap()),
+                k,
+            );
         }
         b.superframe(Superframe::symmetric(20).unwrap())
             .interval(ReportingInterval::REGULAR);

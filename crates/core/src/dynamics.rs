@@ -20,7 +20,6 @@ use whart_channel::{LinkDistribution, LinkModel, LinkState};
 /// A window of absolute slots `[start, end)` during which a link is forced
 /// DOWN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Outage {
     /// First affected absolute slot.
     pub start: u64,
@@ -47,7 +46,6 @@ impl Outage {
 
 /// The time-dependent behaviour of one link.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkDynamics {
     model: LinkModel,
     initial: LinkDistribution,
@@ -59,12 +57,20 @@ impl LinkDynamics {
     /// assumption: "all links have already reached steady state at the
     /// beginning of the evaluation").
     pub fn steady(model: LinkModel) -> Self {
-        LinkDynamics { model, initial: model.steady_state(), outages: Vec::new() }
+        LinkDynamics {
+            model,
+            initial: model.steady_state(),
+            outages: Vec::new(),
+        }
     }
 
     /// A link starting from an explicit distribution at slot 0.
     pub fn starting_from(model: LinkModel, initial: LinkDistribution) -> Self {
-        LinkDynamics { model, initial, outages: Vec::new() }
+        LinkDynamics {
+            model,
+            initial,
+            outages: Vec::new(),
+        }
     }
 
     /// A link starting in a definite state at slot 0.
@@ -90,6 +96,11 @@ impl LinkDynamics {
     /// The distribution at slot 0.
     pub fn initial(&self) -> LinkDistribution {
         self.initial
+    }
+
+    /// The scheduled outage windows, sorted by start slot.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
     }
 
     /// The probability that the link is UP at an absolute slot, accounting
@@ -176,7 +187,9 @@ mod tests {
         // The first slot after the outage recovers with p_rc...
         assert!((d.up_probability(14) - 0.9).abs() < 1e-12);
         // ...and the chain heads back towards steady state from there.
-        let expected_15 = model().after(LinkDistribution::certain(LinkState::Down), 2).up();
+        let expected_15 = model()
+            .after(LinkDistribution::certain(LinkState::Down), 2)
+            .up();
         assert!((d.up_probability(15) - expected_15).abs() < 1e-12);
         assert!((d.up_probability(200) - model().availability()).abs() < 1e-12);
     }

@@ -74,10 +74,14 @@ mod tests {
         assert!(e.to_string().contains("dtmc"));
         let e: ModelError = whart_channel::ChannelError::NoActiveChannels.into();
         assert!(e.to_string().contains("channel"));
-        let e: ModelError =
-            whart_net::NetError::InvalidPath { reason: "empty".into() }.into();
+        let e: ModelError = whart_net::NetError::InvalidPath {
+            reason: "empty".into(),
+        }
+        .into();
         assert!(e.to_string().contains("network"));
-        let e = ModelError::Inconsistent { reason: "schedule too short".into() };
+        let e = ModelError::Inconsistent {
+            reason: "schedule too short".into(),
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("schedule too short"));
     }

@@ -68,7 +68,11 @@ impl ExplicitChain {
     /// [`explicit_chain`], which always reach an absorbing state).
     pub fn cycle_probabilities(&self) -> DtmcResult<Pmf> {
         let absorption = self.dtmc.absorption()?;
-        Ok(self.goals.iter().map(|&g| absorption.probability(self.initial, g)).collect())
+        Ok(self
+            .goals
+            .iter()
+            .map(|&g| absorption.probability(self.initial, g))
+            .collect())
     }
 
     /// Graphviz rendering in the style of the paper's Figs. 4-5.
@@ -128,24 +132,32 @@ pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
                     let ps = model.hop_dynamics()[hop].up_probability(abs_slot);
                     // Success branch.
                     if hop + 1 == n {
-                        let goal = *goal_by_cycle.entry(cycle).or_insert_with(|| {
-                            builder.add_state(format!("R{}", age + 1))
-                        });
-                        builder.add_transition(state, goal, ps).expect("valid probability");
+                        let goal = *goal_by_cycle
+                            .entry(cycle)
+                            .or_insert_with(|| builder.add_state(format!("R{}", age + 1)));
+                        builder
+                            .add_transition(state, goal, ps)
+                            .expect("valid probability");
                     } else {
                         let target =
                             next_transient(&mut builder, &mut next_states, age + 1, hop + 1, n);
-                        builder.add_transition(state, target, ps).expect("valid probability");
+                        builder
+                            .add_transition(state, target, ps)
+                            .expect("valid probability");
                     }
                     // Failure branch.
                     let target =
                         next_transient(&mut builder, &mut next_states, age + 1, position, n);
-                    builder.add_transition(state, target, 1.0 - ps).expect("valid probability");
+                    builder
+                        .add_transition(state, target, 1.0 - ps)
+                        .expect("valid probability");
                 }
                 None => {
                     let target =
                         next_transient(&mut builder, &mut next_states, age + 1, position, n);
-                    builder.add_transition(state, target, 1.0).expect("valid probability");
+                    builder
+                        .add_transition(state, target, 1.0)
+                        .expect("valid probability");
                 }
             }
         }
@@ -158,7 +170,9 @@ pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
     // The TTL has expired (or the interval ended): remaining states drop
     // their message.
     for (_, state) in frontier {
-        builder.add_transition(state, discard, 1.0).expect("valid probability");
+        builder
+            .add_transition(state, discard, 1.0)
+            .expect("valid probability");
     }
 
     // Collect goals in cycle order; cycles that cannot be reached (e.g. when
@@ -167,9 +181,9 @@ pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
     // slot a0 of that cycle, matching the reachable goals.
     let a0 = model.arrival_slot_number() as usize;
     for cycle in 0..cycles {
-        let goal = *goal_by_cycle.entry(cycle).or_insert_with(|| {
-            builder.add_state(format!("R{}", cycle * f_up + a0))
-        });
+        let goal = *goal_by_cycle
+            .entry(cycle)
+            .or_insert_with(|| builder.add_state(format!("R{}", cycle * f_up + a0)));
         goals.push(goal);
     }
     for &goal in &goals {
@@ -177,8 +191,15 @@ pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
     }
     builder.make_absorbing(discard).expect("discard exists");
 
-    let dtmc = builder.build().expect("rows are stochastic by construction");
-    ExplicitChain { dtmc, initial, goals, discard }
+    let dtmc = builder
+        .build()
+        .expect("rows are stochastic by construction");
+    ExplicitChain {
+        dtmc,
+        initial,
+        goals,
+        discard,
+    }
 }
 
 /// Fetches or creates the transient successor `(age, position)`.
@@ -218,7 +239,9 @@ mod tests {
     fn example_model(pi: f64, is: u32) -> PathModel {
         let steady = |pi| LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap());
         let mut b = PathModel::builder();
-        b.add_hop(steady(pi), 2).add_hop(steady(pi), 5).add_hop(steady(pi), 6);
+        b.add_hop(steady(pi), 2)
+            .add_hop(steady(pi), 5)
+            .add_hop(steady(pi), 6);
         b.superframe(Superframe::symmetric(7).unwrap())
             .interval(ReportingInterval::new(is).unwrap());
         b.build().unwrap()
@@ -304,7 +327,9 @@ mod tests {
     fn ttl_shortens_the_chain() {
         let steady = LinkDynamics::steady(LinkModel::from_availability(0.75, 0.9).unwrap());
         let mut b = PathModel::builder();
-        b.add_hop(steady.clone(), 2).add_hop(steady.clone(), 5).add_hop(steady, 6);
+        b.add_hop(steady.clone(), 2)
+            .add_hop(steady.clone(), 5)
+            .add_hop(steady, 6);
         b.superframe(Superframe::symmetric(7).unwrap())
             .interval(ReportingInterval::new(4).unwrap())
             .ttl(7);

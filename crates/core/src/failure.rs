@@ -63,10 +63,7 @@ pub fn forced_outage_cycles(superframe: Superframe, first: u32, count: u32) -> O
 /// # Errors
 ///
 /// Returns [`ModelError::Inconsistent`] if `mean_cycles < 1`.
-pub fn expected_reachability_geometric_failure(
-    model: &PathModel,
-    mean_cycles: f64,
-) -> Result<f64> {
+pub fn expected_reachability_geometric_failure(model: &PathModel, mean_cycles: f64) -> Result<f64> {
     if !mean_cycles.is_finite() || mean_cycles < 1.0 {
         return Err(ModelError::Inconsistent {
             reason: format!("mean failure duration {mean_cycles} must be >= 1 cycle"),
@@ -121,7 +118,11 @@ pub fn reroute_after_permanent_failure(
         .filter(|(i, p)| old_paths.get(*i) != Some(p))
         .map(|(i, _)| i)
         .collect();
-    Ok(Rerouting { topology: repaired, paths, changed })
+    Ok(Rerouting {
+        topology: repaired,
+        paths,
+        changed,
+    })
 }
 
 #[cfg(test)]
@@ -161,7 +162,10 @@ mod tests {
         for (hops, without, with) in cases {
             let model = chain_model(hops, 0.83);
             let r0 = model.evaluate().reachability() * 100.0;
-            assert!((r0 - without).abs() < 0.011, "{hops} hops: {r0} vs {without}");
+            assert!(
+                (r0 - without).abs() < 0.011,
+                "{hops} hops: {r0} vs {without}"
+            );
             let r1 = reachability_with_lost_cycles(&model, 1).unwrap() * 100.0;
             assert!((r1 - with).abs() < 0.011, "{hops} hops: {r1} vs {with}");
         }
@@ -170,8 +174,9 @@ mod tests {
     #[test]
     fn longer_failures_degrade_more() {
         let model = chain_model(2, 0.83);
-        let r: Vec<f64> =
-            (0..5).map(|k| reachability_with_lost_cycles(&model, k).unwrap()).collect();
+        let r: Vec<f64> = (0..5)
+            .map(|k| reachability_with_lost_cycles(&model, k).unwrap())
+            .collect();
         for w in r.windows(2) {
             assert!(w[1] < w[0] || (w[0] == 0.0 && w[1] == 0.0));
         }
@@ -185,7 +190,7 @@ mod tests {
         let e1 = expected_reachability_geometric_failure(&model, 1.0).unwrap();
         let r1 = reachability_with_lost_cycles(&model, 1).unwrap();
         assert!((e1 - r1).abs() < 1e-12); // p = 1 -> K = 1 surely
-        // Longer mean durations hurt.
+                                          // Longer mean durations hurt.
         let e2 = expected_reachability_geometric_failure(&model, 2.0).unwrap();
         let e4 = expected_reachability_geometric_failure(&model, 4.0).unwrap();
         assert!(e2 < e1 && e4 < e2);
@@ -215,10 +220,14 @@ mod tests {
         .unwrap();
         let outage = forced_outage_cycles(net.superframe, 0, 1);
         let dyn_e3 = LinkDynamics::steady(
-            net.topology.link(NodeId::field(3), NodeId::Gateway).unwrap(),
+            net.topology
+                .link(NodeId::field(3), NodeId::Gateway)
+                .unwrap(),
         )
         .with_outage(outage);
-        model.override_link_dynamics(NodeId::field(3), NodeId::Gateway, dyn_e3).unwrap();
+        model
+            .override_link_dynamics(NodeId::field(3), NodeId::Gateway, dyn_e3)
+            .unwrap();
         let eval = model.evaluate().unwrap();
         // Path 7 (index 6) crosses e3 as its last hop.
         let fine = eval.reports()[6].evaluation.reachability();
@@ -237,11 +246,15 @@ mod tests {
         let net = TypicalNetwork::new(link);
         let mut topology = net.topology.clone();
         // Give n9 a backup neighbour n7.
-        topology.connect(NodeId::field(9), NodeId::field(7), link).unwrap();
+        topology
+            .connect(NodeId::field(9), NodeId::field(7), link)
+            .unwrap();
         let rerouted =
-            reroute_after_permanent_failure(&topology, NodeId::field(9), NodeId::field(6))
-                .unwrap();
-        assert!(rerouted.topology.link(NodeId::field(9), NodeId::field(6)).is_none());
+            reroute_after_permanent_failure(&topology, NodeId::field(9), NodeId::field(6)).unwrap();
+        assert!(rerouted
+            .topology
+            .link(NodeId::field(9), NodeId::field(6))
+            .is_none());
         // n9 (device index 8) now routes via n7.
         assert!(rerouted.changed.contains(&8));
         let n9_path = &rerouted.paths[8];
@@ -268,12 +281,15 @@ mod tests {
         let link = LinkModel::from_availability(0.83, 0.9).unwrap();
         let net = TypicalNetwork::new(link);
         let mut topology = net.topology.clone();
-        topology.connect(NodeId::field(9), NodeId::field(7), link).unwrap();
+        topology
+            .connect(NodeId::field(9), NodeId::field(7), link)
+            .unwrap();
         let rerouted =
-            reroute_after_permanent_failure(&topology, NodeId::field(9), NodeId::field(6))
-                .unwrap();
+            reroute_after_permanent_failure(&topology, NodeId::field(9), NodeId::field(6)).unwrap();
         let order: Vec<usize> = (0..rerouted.paths.len()).collect();
         let schedule = Schedule::sequential(&rerouted.paths, &order).unwrap();
-        schedule.validate(&rerouted.topology, &rerouted.paths).unwrap();
+        schedule
+            .validate(&rerouted.topology, &rerouted.paths)
+            .unwrap();
     }
 }

@@ -68,6 +68,7 @@ pub mod compose;
 pub mod explicit;
 pub mod failure;
 pub mod sensitivity;
+pub mod signature;
 pub mod sweeps;
 
 pub use dynamics::{LinkDynamics, Outage};

@@ -11,7 +11,6 @@ use whart_net::SLOT_MS;
 
 /// How message ages are converted to wall-clock delays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DelayConvention {
     /// Absolute elapsed time: a message absorbed in cycle `i` at frame slot
     /// `a0` has lived `(i-1)` full super-frames plus `a0` uplink slots, so
@@ -31,7 +30,6 @@ pub enum DelayConvention {
 
 /// How slot utilization is counted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum UtilizationConvention {
     /// The counting that reproduces Table II: a message absorbed in cycle
     /// `i` used `n + i - 1` slots (its `n` hops plus one retransmission per
@@ -122,7 +120,9 @@ impl PathEvaluation {
     /// The delay jitter (standard deviation of the delivery delay) in
     /// milliseconds, conditioned on delivery. `None` if unreachable.
     pub fn delay_jitter_ms(&self, convention: DelayConvention) -> Option<f64> {
-        self.delay_distribution(convention).conditional_variance().map(f64::sqrt)
+        self.delay_distribution(convention)
+            .conditional_variance()
+            .map(f64::sqrt)
     }
 
     /// Probability that a delivered message meets a deadline (ms) under a
@@ -211,7 +211,9 @@ mod tests {
     #[test]
     fn expected_delay_matches_section_v() {
         // E[tau] = 190.8 ms for the example path.
-        let e = example_eval(0.75).expected_delay_ms(DelayConvention::Absolute).unwrap();
+        let e = example_eval(0.75)
+            .expected_delay_ms(DelayConvention::Absolute)
+            .unwrap();
         assert!((e - 190.8).abs() < 0.05, "{e}");
     }
 
@@ -230,9 +232,15 @@ mod tests {
         ];
         for (ber, want_r, want_delay) in cases {
             let eval = example_eval_ber(ber);
-            assert!((eval.reachability() * 100.0 - want_r).abs() < 0.011, "ber={ber}");
+            assert!(
+                (eval.reachability() * 100.0 - want_r).abs() < 0.011,
+                "ber={ber}"
+            );
             let e = eval.expected_delay_ms(DelayConvention::Absolute).unwrap();
-            assert!((e - want_delay).abs() < 0.25, "ber={ber}: {e} vs {want_delay}");
+            assert!(
+                (e - want_delay).abs() < 0.25,
+                "ber={ber}: {e} vs {want_delay}"
+            );
         }
     }
 
@@ -264,7 +272,8 @@ mod tests {
         // Eq. 7 as printed: age 7 + T_down 7 = 14 slots -> 140 ms.
         assert_eq!(eval.delay_ms(1, DelayConvention::Eq7AsPrinted), 140.0);
         assert!(
-            eval.expected_delay_ms(DelayConvention::Eq7AsPrinted).unwrap()
+            eval.expected_delay_ms(DelayConvention::Eq7AsPrinted)
+                .unwrap()
                 != eval.expected_delay_ms(DelayConvention::Absolute).unwrap()
         );
     }
@@ -297,15 +306,28 @@ mod tests {
     fn delay_quantiles_walk_cycles() {
         let eval = example_eval(0.75);
         // Normalized first-cycle mass is 0.4219/0.9624 ~ 0.438.
-        assert_eq!(eval.delay_quantile_ms(0.25, DelayConvention::Absolute), Some(70.0));
-        assert_eq!(eval.delay_quantile_ms(0.5, DelayConvention::Absolute), Some(210.0));
-        assert_eq!(eval.delay_quantile_ms(0.99, DelayConvention::Absolute), Some(490.0));
+        assert_eq!(
+            eval.delay_quantile_ms(0.25, DelayConvention::Absolute),
+            Some(70.0)
+        );
+        assert_eq!(
+            eval.delay_quantile_ms(0.5, DelayConvention::Absolute),
+            Some(210.0)
+        );
+        assert_eq!(
+            eval.delay_quantile_ms(0.99, DelayConvention::Absolute),
+            Some(490.0)
+        );
     }
 
     #[test]
     fn jitter_shrinks_with_better_links() {
-        let good = example_eval(0.948).delay_jitter_ms(DelayConvention::Absolute).unwrap();
-        let bad = example_eval(0.774).delay_jitter_ms(DelayConvention::Absolute).unwrap();
+        let good = example_eval(0.948)
+            .delay_jitter_ms(DelayConvention::Absolute)
+            .unwrap();
+        let bad = example_eval(0.774)
+            .delay_jitter_ms(DelayConvention::Absolute)
+            .unwrap();
         assert!(good < bad, "{good} vs {bad}");
         assert!(good > 0.0);
     }
@@ -316,7 +338,13 @@ mod tests {
         let p = eval.deadline_probability(200.0, DelayConvention::Absolute);
         // Only the 70 ms arrival meets a 200 ms deadline.
         assert!((p - 0.4219 / 0.9624).abs() < 1e-3, "{p}");
-        assert_eq!(eval.deadline_probability(500.0, DelayConvention::Absolute), 1.0);
-        assert_eq!(eval.deadline_probability(10.0, DelayConvention::Absolute), 0.0);
+        assert_eq!(
+            eval.deadline_probability(500.0, DelayConvention::Absolute),
+            1.0
+        );
+        assert_eq!(
+            eval.deadline_probability(10.0, DelayConvention::Absolute),
+            0.0
+        );
     }
 }

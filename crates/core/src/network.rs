@@ -12,6 +12,7 @@ use crate::error::{ModelError, Result};
 use crate::measures::{DelayConvention, UtilizationConvention};
 use crate::path::{PathEvaluation, PathModel};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use whart_dtmc::ValueDistribution;
 use whart_net::typical::TypicalNetwork;
 use whart_net::{Hop, NodeId, Path, ReportingInterval, Schedule, Superframe, Topology};
@@ -53,7 +54,14 @@ impl NetworkModel {
                 ),
             });
         }
-        Ok(NetworkModel { topology, paths, schedule, superframe, interval, overrides: BTreeMap::new() })
+        Ok(NetworkModel {
+            topology,
+            paths,
+            schedule,
+            superframe,
+            interval,
+            overrides: BTreeMap::new(),
+        })
     }
 
     /// Builds the model of the paper's typical network (Fig. 12) under one
@@ -116,7 +124,8 @@ impl NetworkModel {
         dynamics: LinkDynamics,
     ) -> Result<()> {
         self.topology.link_for(Hop::new(a, b))?;
-        self.overrides.insert(Hop::new(a, b).undirected_key(), dynamics);
+        self.overrides
+            .insert(Hop::new(a, b).undirected_key(), dynamics);
         Ok(())
     }
 
@@ -151,15 +160,19 @@ impl NetworkModel {
     ///
     /// Propagates the first path-model construction failure.
     pub fn evaluate(&self) -> Result<NetworkEvaluation> {
-        let models: Vec<PathModel> =
-            (0..self.paths.len()).map(|i| self.path_model(i)).collect::<Result<_>>()?;
+        let models: Vec<PathModel> = (0..self.paths.len())
+            .map(|i| self.path_model(i))
+            .collect::<Result<_>>()?;
         let evaluations = evaluate_parallel(models);
         let reports = self
             .paths
             .iter()
             .cloned()
             .zip(evaluations)
-            .map(|(path, evaluation)| PathReport { path, evaluation })
+            .map(|(path, evaluation)| PathReport {
+                path,
+                evaluation: Arc::new(evaluation),
+            })
             .collect();
         Ok(NetworkEvaluation { reports })
     }
@@ -168,20 +181,22 @@ impl NetworkModel {
 /// Evaluates a batch of path models on scoped worker threads (one chunk per
 /// available core, bounded by the batch size).
 fn evaluate_parallel(models: Vec<PathModel>) -> Vec<PathEvaluation> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let workers = workers.min(models.len()).max(1);
     if workers <= 1 {
         return models.iter().map(PathModel::evaluate).collect();
     }
     let chunk = models.len().div_ceil(workers);
     let mut out: Vec<Option<PathEvaluation>> = vec![None; models.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (start, (models_chunk, out_chunk)) in
             models.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
         {
             let _ = start;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 for (model, slot) in models_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(model.evaluate());
                 }
@@ -190,18 +205,25 @@ fn evaluate_parallel(models: Vec<PathModel>) -> Vec<PathEvaluation> {
         for h in handles {
             h.join().expect("path evaluation workers do not panic");
         }
-    })
-    .expect("scoped evaluation threads do not panic");
-    out.into_iter().map(|e| e.expect("every slot filled")).collect()
+    });
+    out.into_iter()
+        .map(|e| e.expect("every slot filled"))
+        .collect()
 }
 
 /// One path's evaluation inside a network.
+///
+/// The evaluation is immutable once solved and can be large (it carries
+/// the full transient trajectory), so it is shared behind an [`Arc`]:
+/// batch evaluators that answer repeated paths from a cache hand out
+/// references instead of deep copies. All read access goes through
+/// `Deref`, so `report.evaluation.reachability()` reads as before.
 #[derive(Debug, Clone)]
 pub struct PathReport {
     /// The route.
     pub path: Path,
     /// Its hierarchical-model evaluation.
-    pub evaluation: PathEvaluation,
+    pub evaluation: Arc<PathEvaluation>,
 }
 
 /// The result of [`NetworkModel::evaluate`].
@@ -211,6 +233,12 @@ pub struct NetworkEvaluation {
 }
 
 impl NetworkEvaluation {
+    /// Assembles an evaluation from per-path reports (path order), e.g.
+    /// from an external evaluator that caches or batches the path solves.
+    pub fn from_reports(reports: Vec<PathReport>) -> NetworkEvaluation {
+        NetworkEvaluation { reports }
+    }
+
     /// Per-path reports in path order.
     pub fn reports(&self) -> &[PathReport] {
         &self.reports
@@ -218,20 +246,29 @@ impl NetworkEvaluation {
 
     /// Per-path reachability probabilities (Fig. 13).
     pub fn reachabilities(&self) -> Vec<f64> {
-        self.reports.iter().map(|r| r.evaluation.reachability()).collect()
+        self.reports
+            .iter()
+            .map(|r| r.evaluation.reachability())
+            .collect()
     }
 
     /// Per-path expected delays in milliseconds (Figs. 15-16); `None` for
     /// unreachable paths.
     pub fn expected_delays_ms(&self, convention: DelayConvention) -> Vec<Option<f64>> {
-        self.reports.iter().map(|r| r.evaluation.expected_delay_ms(convention)).collect()
+        self.reports
+            .iter()
+            .map(|r| r.evaluation.expected_delay_ms(convention))
+            .collect()
     }
 
     /// The overall delay distribution `Gamma`: the average of the per-path
     /// delay distributions (Fig. 14).
     pub fn overall_delay_distribution(&self, convention: DelayConvention) -> ValueDistribution {
-        let dists: Vec<ValueDistribution> =
-            self.reports.iter().map(|r| r.evaluation.delay_distribution(convention)).collect();
+        let dists: Vec<ValueDistribution> = self
+            .reports
+            .iter()
+            .map(|r| r.evaluation.delay_distribution(convention))
+            .collect();
         ValueDistribution::average(dists.iter())
     }
 
@@ -249,7 +286,10 @@ impl NetworkEvaluation {
     /// The network utilization `U` (Eq. 11): the sum of per-path
     /// utilizations (Table II).
     pub fn utilization(&self, convention: UtilizationConvention) -> f64 {
-        self.reports.iter().map(|r| r.evaluation.utilization(convention)).sum()
+        self.reports
+            .iter()
+            .map(|r| r.evaluation.utilization(convention))
+            .sum()
     }
 
     /// The index of the path with the lowest reachability (the paper's
@@ -320,7 +360,11 @@ mod tests {
         // counts all generated messages, so scale by the mean reachability.
         let mean_r = eval.reachabilities().iter().sum::<f64>() / 10.0;
         assert!((first * mean_r - 0.708).abs() < 2e-3, "{}", first * mean_r);
-        assert!((second * mean_r - 0.217).abs() < 3e-3, "{}", second * mean_r);
+        assert!(
+            (second * mean_r - 0.217).abs() < 3e-3,
+            "{}",
+            second * mean_r
+        );
     }
 
     #[test]
@@ -389,7 +433,11 @@ mod tests {
         // Degrade e3 = (n3, G) to availability 0.5.
         let degraded = LinkModel::from_availability(0.5, 0.9).unwrap();
         model
-            .override_link_dynamics(NodeId::field(3), NodeId::Gateway, LinkDynamics::steady(degraded))
+            .override_link_dynamics(
+                NodeId::field(3),
+                NodeId::Gateway,
+                LinkDynamics::steady(degraded),
+            )
             .unwrap();
         let eval = model.evaluate().unwrap();
         let baseline = eval_a(0.83);

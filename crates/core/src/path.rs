@@ -73,9 +73,11 @@ impl PathModel {
                 ),
             });
         }
-        let path = paths.get(path_index).ok_or_else(|| ModelError::Inconsistent {
-            reason: format!("path index {path_index} out of range"),
-        })?;
+        let path = paths
+            .get(path_index)
+            .ok_or_else(|| ModelError::Inconsistent {
+                reason: format!("path index {path_index} out of range"),
+            })?;
         let mut builder = PathModel::builder();
         for (slot, hop) in schedule.slots_for_path(path_index) {
             let link = topology.link_for(hop)?;
@@ -94,7 +96,12 @@ impl PathModel {
     /// The 1-based frame slot of the final hop (the paper's `a0`, which
     /// fixes the arrival slot in every cycle).
     pub fn arrival_slot_number(&self) -> u32 {
-        self.hop_slots.iter().map(|hs| hs.slot).max().expect("models have >= 1 hop") as u32 + 1
+        self.hop_slots
+            .iter()
+            .map(|hs| hs.slot)
+            .max()
+            .expect("models have >= 1 hop") as u32
+            + 1
     }
 
     /// The super-frame.
@@ -126,9 +133,12 @@ impl PathModel {
     /// `cycle` (0-based): the link's transient UP probability at the
     /// absolute slot of that transmission.
     pub fn success_probability(&self, hop: usize, cycle: u32) -> f64 {
-        let hs = self.hop_slots.iter().find(|hs| hs.hop == hop).expect("hop exists");
-        let abs_slot =
-            u64::from(cycle) * u64::from(self.superframe.cycle_slots()) + hs.slot as u64;
+        let hs = self
+            .hop_slots
+            .iter()
+            .find(|hs| hs.hop == hop)
+            .expect("hop exists");
+        let abs_slot = u64::from(cycle) * u64::from(self.superframe.cycle_slots()) + hs.slot as u64;
         self.dynamics[hop].up_probability(abs_slot)
     }
 
@@ -265,7 +275,9 @@ impl PathModelBuilder {
             reason: "a super-frame is required".into(),
         })?;
         if self.hops.is_empty() {
-            return Err(ModelError::Inconsistent { reason: "a path needs at least one hop".into() });
+            return Err(ModelError::Inconsistent {
+                reason: "a path needs at least one hop".into(),
+            });
         }
         let f_up = superframe.uplink_slots() as usize;
         let mut seen = vec![false; f_up];
@@ -297,7 +309,9 @@ impl PathModelBuilder {
         let horizon = interval.cycles() * superframe.uplink_slots();
         let ttl = self.ttl.unwrap_or(horizon).min(horizon);
         if ttl == 0 {
-            return Err(ModelError::Inconsistent { reason: "ttl must be positive".into() });
+            return Err(ModelError::Inconsistent {
+                reason: "ttl must be positive".into(),
+            });
         }
         Ok(PathModel {
             dynamics: self.hops.iter().map(|(d, _)| d.clone()).collect(),
@@ -403,7 +417,8 @@ impl PathEvaluation {
         // minimum (n + i - 1) and lost ones the worst case, matching the
         // LostCharged convention.
         let is = interval.cycles();
-        let mut expected_transmissions = discard_probability * (hop_count as f64 + f64::from(is) - 1.0);
+        let mut expected_transmissions =
+            discard_probability * (hop_count as f64 + f64::from(is) - 1.0);
         for cycle in 1..=is {
             expected_transmissions += cycle_probabilities.get(cycle as usize - 1)
                 * (hop_count as f64 + f64::from(cycle) - 1.0);
@@ -434,7 +449,9 @@ mod tests {
     /// The Section V-A model: 3 hops at slots 3, 6, 7 (1-based), F_up = 7.
     fn example_model(pi: f64, is: u32) -> PathModel {
         let mut b = PathModel::builder();
-        b.add_hop(steady(pi), 2).add_hop(steady(pi), 5).add_hop(steady(pi), 6);
+        b.add_hop(steady(pi), 2)
+            .add_hop(steady(pi), 5)
+            .add_hop(steady(pi), 6);
         b.superframe(Superframe::symmetric(7).unwrap())
             .interval(ReportingInterval::new(is).unwrap());
         b.build().unwrap()
@@ -528,7 +545,9 @@ mod tests {
     fn ttl_expiry_discards_early() {
         // TTL of one frame: only the first cycle can deliver.
         let mut b = PathModel::builder();
-        b.add_hop(steady(0.75), 2).add_hop(steady(0.75), 5).add_hop(steady(0.75), 6);
+        b.add_hop(steady(0.75), 2)
+            .add_hop(steady(0.75), 5)
+            .add_hop(steady(0.75), 6);
         b.superframe(Superframe::symmetric(7).unwrap())
             .interval(ReportingInterval::new(4).unwrap())
             .ttl(7);
@@ -611,7 +630,9 @@ mod tests {
     #[test]
     fn inhomogeneous_links_differ_from_homogeneous() {
         let mut b = PathModel::builder();
-        b.add_hop(steady(0.95), 2).add_hop(steady(0.70), 5).add_hop(steady(0.85), 6);
+        b.add_hop(steady(0.95), 2)
+            .add_hop(steady(0.70), 5)
+            .add_hop(steady(0.85), 6);
         b.superframe(Superframe::symmetric(7).unwrap())
             .interval(ReportingInterval::new(4).unwrap());
         let eval = b.build().unwrap().evaluate();

@@ -57,8 +57,8 @@ pub fn rank_link_improvements(
     let mut out = Vec::new();
     for (link, quality) in model.topology().links() {
         let improved_availability = (quality.availability() + step).min(1.0 - 1e-9);
-        let improved = LinkModel::from_availability(improved_availability, quality.p_rc())
-            .unwrap_or(quality);
+        let improved =
+            LinkModel::from_availability(improved_availability, quality.p_rc()).unwrap_or(quality);
         let mut perturbed = model.clone();
         perturbed.override_link_dynamics(link.0, link.1, LinkDynamics::steady(improved))?;
         let value = objective_value(&perturbed.evaluate()?, objective);
@@ -75,17 +75,15 @@ pub fn rank_link_improvements(
 
 fn objective_value(eval: &crate::network::NetworkEvaluation, objective: Objective) -> f64 {
     match objective {
-        Objective::TotalLoss => {
-            eval.reachabilities().iter().map(|r| 1.0 - r).sum()
-        }
+        Objective::TotalLoss => eval.reachabilities().iter().map(|r| 1.0 - r).sum(),
         Objective::WorstPathLoss => eval
             .reachabilities()
             .iter()
             .map(|r| 1.0 - r)
             .fold(0.0, f64::max),
-        Objective::MeanDelay => {
-            eval.mean_delay_ms(DelayConvention::Absolute).unwrap_or(f64::INFINITY)
-        }
+        Objective::MeanDelay => eval
+            .mean_delay_ms(DelayConvention::Absolute)
+            .unwrap_or(f64::INFINITY),
     }
 }
 
@@ -99,10 +97,13 @@ mod tests {
         let link = LinkModel::from_availability(0.9, 0.9).unwrap();
         let mut net = TypicalNetwork::new(link);
         // Degrade e3 = (n3, G), the link shared by paths 3, 7, 8, 10.
-        net.set_link(NodeId::field(3), NodeId::Gateway, LinkModel::from_availability(0.7, 0.9).unwrap())
-            .unwrap();
-        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
-            .unwrap()
+        net.set_link(
+            NodeId::field(3),
+            NodeId::Gateway,
+            LinkModel::from_availability(0.7, 0.9).unwrap(),
+        )
+        .unwrap();
+        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR).unwrap()
     }
 
     #[test]
@@ -131,7 +132,11 @@ mod tests {
         let ranking = rank_link_improvements(&model, Objective::TotalLoss, 0.05).unwrap();
         let gain_of = |a: NodeId, b: NodeId| {
             let key = whart_net::Hop::new(a, b).undirected_key();
-            ranking.iter().find(|s| s.link == key).expect("link ranked").gain
+            ranking
+                .iter()
+                .find(|s| s.link == key)
+                .expect("link ranked")
+                .gain
         };
         assert!(
             gain_of(NodeId::field(3), NodeId::Gateway)

@@ -35,6 +35,19 @@ pub fn paper_availabilities() -> [f64; 5] {
 /// cannot reach (below 0.474).
 pub fn section_v_model(availability: f64, interval: ReportingInterval) -> Result<PathModel> {
     let link = LinkModel::from_availability(availability, LinkModel::DEFAULT_RECOVERY)?;
+    section_v_model_with_link(link, interval)
+}
+
+/// The Section V example path over an explicit link model (the
+/// availability-parameterized [`section_v_model`] delegates here).
+///
+/// # Errors
+///
+/// Propagates path construction failures.
+pub fn section_v_model_with_link(
+    link: LinkModel,
+    interval: ReportingInterval,
+) -> Result<PathModel> {
     let mut b = PathModel::builder();
     b.add_hop(LinkDynamics::steady(link), 2)
         .add_hop(LinkDynamics::steady(link), 5)
@@ -49,17 +62,28 @@ pub fn section_v_model(availability: f64, interval: ReportingInterval) -> Result
 /// # Errors
 ///
 /// Returns an error for `hops = 0` or an unreachable availability.
-pub fn chain_model(
+pub fn chain_model(hops: u32, availability: f64, interval: ReportingInterval) -> Result<PathModel> {
+    let link = LinkModel::from_availability(availability, LinkModel::DEFAULT_RECOVERY)?;
+    chain_model_with_link(hops, link, interval)
+}
+
+/// The n-hop chain over an explicit link model (the
+/// availability-parameterized [`chain_model`] delegates here).
+///
+/// # Errors
+///
+/// Propagates path construction failures.
+pub fn chain_model_with_link(
     hops: u32,
-    availability: f64,
+    link: LinkModel,
     interval: ReportingInterval,
 ) -> Result<PathModel> {
-    let link = LinkModel::from_availability(availability, LinkModel::DEFAULT_RECOVERY)?;
     let mut b = PathModel::builder();
     for k in 0..hops as usize {
         b.add_hop(LinkDynamics::steady(link), k);
     }
-    b.superframe(Superframe::symmetric(hops.max(1))?).interval(interval);
+    b.superframe(Superframe::symmetric(hops.max(1))?)
+        .interval(interval);
     b.build()
 }
 
@@ -90,11 +114,13 @@ pub fn sweep_availability(
         .map(|&availability| {
             let model = section_v_model(availability, interval)?;
             let link = LinkModel::from_availability(availability, LinkModel::DEFAULT_RECOVERY)?;
-            let ber = whart_channel::ber_from_failure_probability(
-                link.p_fl(),
-                WIRELESSHART_MESSAGE_BITS,
-            );
-            Ok(AvailabilityPoint { availability, ber, evaluation: model.evaluate() })
+            let ber =
+                whart_channel::ber_from_failure_probability(link.p_fl(), WIRELESSHART_MESSAGE_BITS);
+            Ok(AvailabilityPoint {
+                availability,
+                ber,
+                evaluation: model.evaluate(),
+            })
         })
         .collect()
 }
@@ -166,8 +192,10 @@ pub fn delay_summaries(
         .into_iter()
         .map(|point| {
             let distribution = point.evaluation.delay_distribution(convention);
-            let expected_delay_ms =
-                point.evaluation.expected_delay_ms(convention).unwrap_or(f64::NAN);
+            let expected_delay_ms = point
+                .evaluation
+                .expected_delay_ms(convention)
+                .unwrap_or(f64::NAN);
             Ok(DelaySummary {
                 availability: point.availability,
                 reachability_percent: point.evaluation.reachability() * 100.0,
@@ -190,7 +218,11 @@ mod tests {
             sweep_availability(&paper_availabilities(), ReportingInterval::REGULAR).unwrap();
         for (point, want_r) in points.iter().zip(want) {
             let r = point.evaluation.reachability();
-            assert!((r - want_r).abs() < 6e-4, "pi={}: {r} vs {want_r}", point.availability);
+            assert!(
+                (r - want_r).abs() < 6e-4,
+                "pi={}: {r} vs {want_r}",
+                point.availability
+            );
         }
         // Reachability increases with availability.
         for w in points.windows(2) {
@@ -249,7 +281,12 @@ mod tests {
         .unwrap();
         // The paper's Table I prints 113 ms at pi = 0.903; its own model
         // yields 114.5 (see measures::tests::table1_expected_delays).
-        let want = [(97.37, 179.2), (99.07, 151.0), (99.89, 114.5), (99.99, 93.1)];
+        let want = [
+            (97.37, 179.2),
+            (99.07, 151.0),
+            (99.89, 114.5),
+            (99.99, 93.1),
+        ];
         for (row, (want_r, want_d)) in rows.iter().zip(want) {
             assert!((row.reachability_percent - want_r).abs() < 0.011);
             assert!((row.expected_delay_ms - want_d).abs() < 0.5, "{row:?}");

@@ -13,17 +13,14 @@ use whart_net::{ReportingInterval, Superframe};
 
 /// A random path model: `hops` homogeneous steady links at `pi`, hop `k` in
 /// frame slot `slots[k]` (strictly increasing), interval `is`.
-fn build_model(
-    pis: &[f64],
-    slots: &[usize],
-    f_up: u32,
-    is: u32,
-    ttl: Option<u32>,
-) -> PathModel {
+fn build_model(pis: &[f64], slots: &[usize], f_up: u32, is: u32, ttl: Option<u32>) -> PathModel {
     let mut b = PathModel::builder();
     for (k, (&pi, &slot)) in pis.iter().zip(slots).enumerate() {
         let _ = k;
-        b.add_hop(LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap()), slot);
+        b.add_hop(
+            LinkDynamics::steady(LinkModel::from_availability(pi, 0.9).unwrap()),
+            slot,
+        );
     }
     b.superframe(Superframe::symmetric(f_up).unwrap())
         .interval(ReportingInterval::new(is).unwrap());

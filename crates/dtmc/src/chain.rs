@@ -7,7 +7,6 @@ use crate::matrix::SparseStochastic;
 
 /// Opaque identifier of a state inside one [`Dtmc`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateId(pub(crate) usize);
 
 impl StateId {
@@ -46,7 +45,6 @@ impl std::fmt::Display for StateId {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dtmc {
     labels: Vec<String>,
     matrix: SparseStochastic,
@@ -126,7 +124,11 @@ impl Dtmc {
 
     /// All absorbing states.
     pub fn absorbing_states(&self) -> Vec<StateId> {
-        self.matrix.absorbing_states().into_iter().map(StateId).collect()
+        self.matrix
+            .absorbing_states()
+            .into_iter()
+            .map(StateId)
+            .collect()
     }
 
     /// The distribution after `steps` transitions from `initial`.
@@ -155,7 +157,10 @@ impl Dtmc {
         let mut out = Vec::with_capacity(steps + 1);
         out.push(initial.to_vec());
         for _ in 0..steps {
-            let next = self.matrix.left_mul(out.last().expect("non-empty")).expect("length");
+            let next = self
+                .matrix
+                .left_mul(out.last().expect("non-empty"))
+                .expect("length");
             out.push(next);
         }
         Ok(out)
@@ -207,8 +212,9 @@ impl Dtmc {
         if absorbing.is_empty() {
             return Err(DtmcError::NoAbsorbingStates);
         }
-        let transient: Vec<usize> =
-            (0..self.len()).filter(|s| !self.matrix.is_absorbing(*s)).collect();
+        let transient: Vec<usize> = (0..self.len())
+            .filter(|s| !self.matrix.is_absorbing(*s))
+            .collect();
         let t = transient.len();
         let mut transient_pos = vec![usize::MAX; self.len()];
         for (i, &s) in transient.iter().enumerate() {
@@ -362,7 +368,11 @@ impl DtmcBuilder {
             }
         }
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
-            return Err(DtmcError::InvalidProbability { from: from.0, to: to.0, value: p });
+            return Err(DtmcError::InvalidProbability {
+                from: from.0,
+                to: to.0,
+                value: p,
+            });
         }
         self.rows[from.0].push((to.0, p));
         Ok(self)
@@ -385,7 +395,10 @@ impl DtmcBuilder {
     pub fn build(self) -> Result<Dtmc> {
         let matrix = SparseStochastic::from_rows(self.rows)?;
         matrix.validate()?;
-        Ok(Dtmc { labels: self.labels, matrix })
+        Ok(Dtmc {
+            labels: self.labels,
+            matrix,
+        })
     }
 }
 
@@ -425,7 +438,10 @@ mod tests {
         let mut b = Dtmc::builder();
         let s = b.add_state("lonely");
         b.add_transition(s, s, 0.5).unwrap();
-        assert!(matches!(b.build(), Err(DtmcError::RowNotStochastic { state: 0, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(DtmcError::RowNotStochastic { state: 0, .. })
+        ));
     }
 
     #[test]
@@ -502,7 +518,10 @@ mod tests {
     #[test]
     fn absorption_requires_absorbing_states() {
         let chain = link_chain(0.3, 0.9);
-        assert_eq!(chain.absorption().unwrap_err(), DtmcError::NoAbsorbingStates);
+        assert_eq!(
+            chain.absorption().unwrap_err(),
+            DtmcError::NoAbsorbingStates
+        );
     }
 
     #[test]

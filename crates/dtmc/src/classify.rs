@@ -79,8 +79,10 @@ pub fn classify(chain: &Dtmc) -> Classification {
             continue;
         }
         let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-        let successors: Vec<usize> =
-            chain.successors(StateId(start)).map(|(s, _)| s.index()).collect();
+        let successors: Vec<usize> = chain
+            .successors(StateId(start))
+            .map(|(s, _)| s.index())
+            .collect();
         index[start] = next_index;
         low[start] = next_index;
         next_index += 1;
@@ -97,8 +99,10 @@ pub fn classify(chain: &Dtmc) -> Classification {
                     next_index += 1;
                     stack.push(next);
                     on_stack[next] = true;
-                    let succ_next: Vec<usize> =
-                        chain.successors(StateId(next)).map(|(s, _)| s.index()).collect();
+                    let succ_next: Vec<usize> = chain
+                        .successors(StateId(next))
+                        .map(|(s, _)| s.index())
+                        .collect();
                     call_stack.push((next, succ_next, 0));
                 } else if on_stack[next] {
                     low[*node] = low[*node].min(index[next]);
@@ -130,7 +134,9 @@ pub fn classify(chain: &Dtmc) -> Classification {
         .iter()
         .map(|class| {
             class.iter().all(|&s| {
-                chain.successors(s).all(|(to, p)| p == 0.0 || class.binary_search(&to).is_ok())
+                chain
+                    .successors(s)
+                    .all(|(to, p)| p == 0.0 || class.binary_search(&to).is_ok())
             })
         })
         .collect();
@@ -277,7 +283,8 @@ mod tests {
         let mut b = Dtmc::builder();
         let states: Vec<_> = (0..3).map(|i| b.add_state(format!("c{i}"))).collect();
         for i in 0..3 {
-            b.add_transition(states[i], states[(i + 1) % 3], 1.0).unwrap();
+            b.add_transition(states[i], states[(i + 1) % 3], 1.0)
+                .unwrap();
         }
         let chain = b.build().unwrap();
         assert!(classify(&chain).is_irreducible());

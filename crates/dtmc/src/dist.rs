@@ -17,7 +17,6 @@ use crate::error::{DtmcError, Result};
 /// A probability mass function over indices `0..len`, allowed to be
 /// sub-stochastic (total mass `<= 1`).
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pmf {
     probs: Vec<f64>,
 }
@@ -33,7 +32,11 @@ impl Pmf {
     pub fn new(probs: Vec<f64>) -> Result<Self> {
         for (i, &p) in probs.iter().enumerate() {
             if !p.is_finite() || p < 0.0 {
-                return Err(DtmcError::InvalidProbability { from: i, to: i, value: p });
+                return Err(DtmcError::InvalidProbability {
+                    from: i,
+                    to: i,
+                    value: p,
+                });
             }
         }
         let total: f64 = probs.iter().sum();
@@ -54,7 +57,11 @@ impl Pmf {
     /// Returns [`DtmcError::InvalidProbability`] if `p` is outside `[0, 1]`.
     pub fn geometric(p: f64, len: usize) -> Result<Self> {
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-            return Err(DtmcError::InvalidProbability { from: 0, to: 0, value: p });
+            return Err(DtmcError::InvalidProbability {
+                from: 0,
+                to: 0,
+                value: p,
+            });
         }
         let q = 1.0 - p;
         let mut probs = Vec::with_capacity(len);
@@ -79,7 +86,11 @@ impl Pmf {
     /// Returns [`DtmcError::InvalidProbability`] if `p` is outside `[0, 1]`.
     pub fn negative_binomial(p: f64, n: u32, len: usize) -> Result<Self> {
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-            return Err(DtmcError::InvalidProbability { from: 0, to: 0, value: p });
+            return Err(DtmcError::InvalidProbability {
+                from: 0,
+                to: 0,
+                value: p,
+            });
         }
         let q = 1.0 - p;
         let pn = p.powi(n as i32);
@@ -128,7 +139,12 @@ impl Pmf {
         if mass <= 0.0 {
             return None;
         }
-        let weighted: f64 = self.probs.iter().enumerate().map(|(i, p)| i as f64 * p).sum();
+        let weighted: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| i as f64 * p)
+            .sum();
         Some(weighted / mass)
     }
 
@@ -144,7 +160,9 @@ impl Pmf {
                 reason: "cannot normalize zero mass".into(),
             });
         }
-        Ok(Pmf { probs: self.probs.iter().map(|p| p / mass).collect() })
+        Ok(Pmf {
+            probs: self.probs.iter().map(|p| p / mass).collect(),
+        })
     }
 
     /// Conditional variance of the index given the covered event.
@@ -152,8 +170,12 @@ impl Pmf {
     pub fn conditional_index_variance(&self) -> Option<f64> {
         let mean = self.conditional_mean_index()?;
         let mass = self.total_mass();
-        let second: f64 =
-            self.probs.iter().enumerate().map(|(i, p)| (i as f64) * (i as f64) * p).sum();
+        let second: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as f64) * (i as f64) * p)
+            .sum();
         Some((second / mass - mean * mean).max(0.0))
     }
 
@@ -182,7 +204,9 @@ impl Pmf {
 
     /// Truncates to the first `len` support points, dropping tail mass.
     pub fn truncated(&self, len: usize) -> Pmf {
-        Pmf { probs: self.probs.iter().copied().take(len).collect() }
+        Pmf {
+            probs: self.probs.iter().copied().take(len).collect(),
+        }
     }
 }
 
@@ -199,7 +223,6 @@ impl FromIterator<f64> for Pmf {
 /// A probability distribution over arbitrary real values, e.g. delays in
 /// milliseconds. Values are kept sorted and unique.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ValueDistribution {
     values: Vec<f64>,
     probs: Vec<f64>,
@@ -217,7 +240,11 @@ impl ValueDistribution {
     pub fn new(mut pairs: Vec<(f64, f64)>) -> Result<Self> {
         for (i, &(v, p)) in pairs.iter().enumerate() {
             if !p.is_finite() || p < 0.0 || !v.is_finite() {
-                return Err(DtmcError::InvalidProbability { from: i, to: i, value: p });
+                return Err(DtmcError::InvalidProbability {
+                    from: i,
+                    to: i,
+                    value: p,
+                });
             }
         }
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
@@ -272,7 +299,10 @@ impl ValueDistribution {
 
     /// Probability of a value `<= x`.
     pub fn cdf(&self, x: f64) -> f64 {
-        self.iter().take_while(|&(v, _)| v <= x).map(|(_, p)| p).sum()
+        self.iter()
+            .take_while(|&(v, _)| v <= x)
+            .map(|(_, p)| p)
+            .sum()
     }
 
     /// Conditional variance given the covered event; `None` on zero mass.
@@ -291,7 +321,10 @@ impl ValueDistribution {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile level {q} outside [0, 1]"
+        );
         let mass = self.total_mass();
         if mass <= 0.0 {
             return None;
@@ -463,7 +496,10 @@ mod tests {
         let var = g.conditional_index_variance().unwrap();
         assert!((var - (1.0 - p) / (p * p)).abs() < 1e-6, "{var}");
         // A point mass has zero variance.
-        assert_eq!(Pmf::new(vec![1.0]).unwrap().conditional_index_variance(), Some(0.0));
+        assert_eq!(
+            Pmf::new(vec![1.0]).unwrap().conditional_index_variance(),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -49,7 +49,13 @@ pub fn to_dot(chain: &Dtmc, options: &DotOptions) -> String {
         } else {
             ""
         };
-        let _ = writeln!(out, "  {} [label=\"{}\"{}];", state, escape(chain.label(state)), shape);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\"{}];",
+            state,
+            escape(chain.label(state)),
+            shape
+        );
     }
     for state in chain.states() {
         for (to, p) in chain.successors(state) {
@@ -76,8 +82,16 @@ pub fn to_dot_default(chain: &Dtmc) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned: String =
-        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")
     } else {
@@ -135,14 +149,20 @@ mod tests {
 
     #[test]
     fn graph_names_are_sanitized() {
-        let options = DotOptions { graph_name: "3-hop path!".into(), ..DotOptions::default() };
+        let options = DotOptions {
+            graph_name: "3-hop path!".into(),
+            ..DotOptions::default()
+        };
         let dot = to_dot(&sample_chain(), &options);
         assert!(dot.starts_with("digraph g_3_hop_path_ {"));
     }
 
     #[test]
     fn precision_is_respected() {
-        let options = DotOptions { precision: 2, ..DotOptions::default() };
+        let options = DotOptions {
+            precision: 2,
+            ..DotOptions::default()
+        };
         let dot = to_dot(&sample_chain(), &options);
         assert!(dot.contains("label=\"1.00\""));
     }

@@ -60,7 +60,10 @@ impl fmt::Display for DtmcError {
                 write!(f, "row {state} sums to {sum}, expected 1")
             }
             DtmcError::StateOutOfRange { state, len } => {
-                write!(f, "state index {state} out of range for chain of {len} states")
+                write!(
+                    f,
+                    "state index {state} out of range for chain of {len} states"
+                )
             }
             DtmcError::InvalidInitialDistribution { reason } => {
                 write!(f, "invalid initial distribution: {reason}")
@@ -87,14 +90,23 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            DtmcError::InvalidProbability { from: 0, to: 1, value: 1.5 },
+            DtmcError::InvalidProbability {
+                from: 0,
+                to: 1,
+                value: 1.5,
+            },
             DtmcError::RowNotStochastic { state: 3, sum: 0.9 },
             DtmcError::StateOutOfRange { state: 7, len: 4 },
-            DtmcError::InvalidInitialDistribution { reason: "sums to 0".into() },
+            DtmcError::InvalidInitialDistribution {
+                reason: "sums to 0".into(),
+            },
             DtmcError::SingularSystem,
             DtmcError::EmptyChain,
             DtmcError::NoAbsorbingStates,
-            DtmcError::LengthMismatch { expected: 2, actual: 3 },
+            DtmcError::LengthMismatch {
+                expected: 2,
+                actual: 3,
+            },
         ];
         for e in errors {
             let text = e.to_string();

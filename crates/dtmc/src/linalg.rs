@@ -23,8 +23,14 @@ impl DenseMatrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        let len = rows.checked_mul(cols).expect("matrix shape overflows usize");
-        DenseMatrix { rows, cols, data: vec![0.0; len] }
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix shape overflows usize");
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates an identity matrix of order `n`.
@@ -43,7 +49,10 @@ impl DenseMatrix {
     /// Returns [`DtmcError::LengthMismatch`] if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(DtmcError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(DtmcError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(DenseMatrix { rows, cols, data })
     }
@@ -70,7 +79,10 @@ impl DenseMatrix {
     /// Returns [`DtmcError::LengthMismatch`] if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if v.len() != self.cols {
-            return Err(DtmcError::LengthMismatch { expected: self.cols, actual: v.len() });
+            return Err(DtmcError::LengthMismatch {
+                expected: self.cols,
+                actual: v.len(),
+            });
         }
         let mut out = vec![0.0; self.rows];
         for (i, out_i) in out.iter_mut().enumerate() {
@@ -90,12 +102,18 @@ impl DenseMatrix {
     /// [`DtmcError::LengthMismatch`] if shapes disagree.
     pub fn solve_many(mut self, rhs: &mut [Vec<f64>]) -> Result<()> {
         if self.rows != self.cols {
-            return Err(DtmcError::LengthMismatch { expected: self.rows, actual: self.cols });
+            return Err(DtmcError::LengthMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
         }
         let n = self.rows;
         for b in rhs.iter() {
             if b.len() != n {
-                return Err(DtmcError::LengthMismatch { expected: n, actual: b.len() });
+                return Err(DtmcError::LengthMismatch {
+                    expected: n,
+                    actual: b.len(),
+                });
             }
         }
         for col in 0..n {
@@ -216,7 +234,10 @@ mod tests {
     #[test]
     fn singular_system_is_detected() {
         let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
-        assert_eq!(a.solve(vec![1.0, 2.0]).unwrap_err(), DtmcError::SingularSystem);
+        assert_eq!(
+            a.solve(vec![1.0, 2.0]).unwrap_err(),
+            DtmcError::SingularSystem
+        );
     }
 
     #[test]
@@ -235,7 +256,10 @@ mod tests {
     #[test]
     fn mul_vec_checks_length() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(a.mul_vec(&[1.0]), Err(DtmcError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.mul_vec(&[1.0]),
+            Err(DtmcError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -250,7 +274,11 @@ mod tests {
         let mut a = DenseMatrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] = if i == j { 10.0 + i as f64 } else { 1.0 / (1.0 + (i + 2 * j) as f64) };
+                a[(i, j)] = if i == j {
+                    10.0 + i as f64
+                } else {
+                    1.0 / (1.0 + (i + 2 * j) as f64)
+                };
             }
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();

@@ -16,7 +16,6 @@ pub const STOCHASTIC_TOL: f64 = 1e-9;
 /// validated to be sub-stochastic on insertion and fully stochastic by
 /// [`SparseStochastic::validate`].
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SparseStochastic {
     /// `row_starts[i]..row_starts[i+1]` indexes `cols`/`vals` for row `i`.
     row_starts: Vec<usize>,
@@ -63,7 +62,11 @@ impl SparseStochastic {
             }
             row_starts.push(cols.len());
         }
-        Ok(SparseStochastic { row_starts, cols, vals })
+        Ok(SparseStochastic {
+            row_starts,
+            cols,
+            vals,
+        })
     }
 
     /// Number of states (rows).
@@ -88,7 +91,10 @@ impl SparseStochastic {
     /// Panics if `row >= self.len()`.
     pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.row_starts[row]..self.row_starts[row + 1];
-        self.cols[range.clone()].iter().copied().zip(self.vals[range].iter().copied())
+        self.cols[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.vals[range].iter().copied())
     }
 
     /// The probability of the transition `from -> to` (zero if absent).
@@ -97,7 +103,9 @@ impl SparseStochastic {
     ///
     /// Panics if `from >= self.len()`.
     pub fn get(&self, from: usize, to: usize) -> f64 {
-        self.row(from).find(|&(c, _)| c == to).map_or(0.0, |(_, p)| p)
+        self.row(from)
+            .find(|&(c, _)| c == to)
+            .map_or(0.0, |(_, p)| p)
     }
 
     /// Sum of one row, for stochasticity checks.
@@ -132,7 +140,10 @@ impl SparseStochastic {
     /// Returns [`DtmcError::LengthMismatch`] if `p.len() != self.len()`.
     pub fn left_mul(&self, p: &[f64]) -> Result<Vec<f64>> {
         if p.len() != self.len() {
-            return Err(DtmcError::LengthMismatch { expected: self.len(), actual: p.len() });
+            return Err(DtmcError::LengthMismatch {
+                expected: self.len(),
+                actual: p.len(),
+            });
         }
         let mut out = vec![0.0; self.len()];
         for (from, &mass) in p.iter().enumerate() {
@@ -184,11 +195,8 @@ mod tests {
 
     fn two_state() -> SparseStochastic {
         // UP/DOWN link chain with p_fl = 0.3, p_rc = 0.9.
-        SparseStochastic::from_rows(vec![
-            vec![(0, 0.7), (1, 0.3)],
-            vec![(0, 0.9), (1, 0.1)],
-        ])
-        .unwrap()
+        SparseStochastic::from_rows(vec![vec![(0, 0.7), (1, 0.3)], vec![(0, 0.9), (1, 0.1)]])
+            .unwrap()
     }
 
     #[test]
@@ -224,7 +232,10 @@ mod tests {
     #[test]
     fn validate_flags_substochastic_row() {
         let m = SparseStochastic::from_rows(vec![vec![(0, 0.5)]]).unwrap();
-        assert!(matches!(m.validate(), Err(DtmcError::RowNotStochastic { state: 0, .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(DtmcError::RowNotStochastic { state: 0, .. })
+        ));
     }
 
     #[test]

@@ -29,7 +29,9 @@ fn stochastic_rows(n: usize) -> impl Strategy<Value = Vec<Vec<(usize, f64)>>> {
 
 fn build_chain(rows: Vec<Vec<(usize, f64)>>) -> Dtmc {
     let mut b = Dtmc::builder();
-    let ids: Vec<_> = (0..rows.len()).map(|i| b.add_state(format!("s{i}"))).collect();
+    let ids: Vec<_> = (0..rows.len())
+        .map(|i| b.add_state(format!("s{i}")))
+        .collect();
     for (from, row) in rows.iter().enumerate() {
         let total: f64 = row.iter().map(|(_, p)| p).sum();
         for (k, &(to, p)) in row.iter().enumerate() {
@@ -39,7 +41,8 @@ fn build_chain(rows: Vec<Vec<(usize, f64)>>) -> Dtmc {
             } else {
                 p
             };
-            b.add_transition(ids[from], ids[to], p.clamp(0.0, 1.0)).unwrap();
+            b.add_transition(ids[from], ids[to], p.clamp(0.0, 1.0))
+                .unwrap();
         }
     }
     b.build().unwrap()

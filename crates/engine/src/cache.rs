@@ -1,0 +1,181 @@
+//! The engine's two memoization layers.
+//!
+//! * [`LinkCache`] — link-model derivation keyed by the canonical quality
+//!   tuple `(kind, value, L, p_rc)`. The BER and SNR constructors run the
+//!   channel-layer math (Eqs. 1-2) once per distinct operating point.
+//! * [`PathCache`] — full path evaluations keyed by the canonical
+//!   [`PathSignature`]; a fleet that revisits a path DTMC (same hop
+//!   dynamics, slots, super-frame, `Is` and TTL) solves it exactly once.
+//!
+//! Both caches are guarded by plain mutexes: entries are tiny relative to
+//! the DTMC solves they amortize, and the engine only touches them during
+//! the (serial) plan and assemble stages.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use whart_channel::LinkModel;
+use whart_model::signature::PathSignature;
+use whart_model::PathEvaluation;
+
+use crate::scenario::LinkQualitySpec;
+
+/// Canonical key of a link-quality specification: the variant kind, the
+/// bit-exact parameter value, the message length in bits (where the
+/// variant uses one) and the recovery probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkKey {
+    kind: u8,
+    value_bits: u64,
+    message_bits: u32,
+    p_rc_bits: u64,
+}
+
+fn bits(value: f64) -> u64 {
+    if value == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        value.to_bits()
+    }
+}
+
+impl LinkKey {
+    /// Derives the canonical key of a quality specification.
+    pub fn of(spec: &LinkQualitySpec) -> LinkKey {
+        match *spec {
+            LinkQualitySpec::Transitions { p_fl, p_rc } => LinkKey {
+                kind: 0,
+                value_bits: bits(p_fl),
+                message_bits: 0,
+                p_rc_bits: bits(p_rc),
+            },
+            LinkQualitySpec::Ber {
+                ber,
+                message_bits,
+                p_rc,
+            } => LinkKey {
+                kind: 1,
+                value_bits: bits(ber),
+                message_bits,
+                p_rc_bits: bits(p_rc),
+            },
+            LinkQualitySpec::Snr {
+                snr,
+                message_bits,
+                p_rc,
+            } => LinkKey {
+                kind: 2,
+                value_bits: bits(snr),
+                message_bits,
+                p_rc_bits: bits(p_rc),
+            },
+            LinkQualitySpec::Availability { availability, p_rc } => LinkKey {
+                kind: 3,
+                value_bits: bits(availability),
+                message_bits: 0,
+                p_rc_bits: bits(p_rc),
+            },
+        }
+    }
+}
+
+/// A memoized map with hit/miss counters readable without locking.
+pub(crate) struct CountedCache<K, V> {
+    entries: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: std::hash::Hash + Eq, V: Clone> CountedCache<K, V> {
+    pub(crate) fn new() -> Self {
+        CountedCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub(crate) fn get(&self, key: &K) -> Option<V> {
+        let entries = self.entries.lock().expect("cache lock");
+        match entries.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed value (does not touch the counters).
+    pub(crate) fn insert(&self, key: K, value: V) {
+        self.entries.lock().expect("cache lock").insert(key, value);
+    }
+
+    /// Records a hit satisfied outside the map itself — the engine uses
+    /// this when an in-batch duplicate shares a solve planned moments
+    /// earlier in the same drain (the solve has not landed in the map
+    /// yet, so `get` would miscount it as a second miss).
+    pub(crate) fn count_shared_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+}
+
+/// The link-model memoization layer.
+pub(crate) type LinkCache = CountedCache<LinkKey, LinkModel>;
+
+/// The path-evaluation memoization layer. Entries are shared behind an
+/// [`Arc`]: a cache hit hands out a reference, not a copy of the full
+/// evaluation (cycle probabilities, discard mass and the whole transient
+/// trajectory), so warm drains never deep-clone until a scenario result
+/// materializes its own copy.
+pub(crate) type PathCache = CountedCache<PathSignature, Arc<PathEvaluation>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_cache_counts() {
+        let cache: CountedCache<u32, u32> = CountedCache::new();
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn link_keys_distinguish_kind_and_value() {
+        let avail = LinkQualitySpec::Availability {
+            availability: 0.83,
+            p_rc: 0.9,
+        };
+        let ber = LinkQualitySpec::Ber {
+            ber: 0.83,
+            message_bits: 1016,
+            p_rc: 0.9,
+        };
+        assert_ne!(LinkKey::of(&avail), LinkKey::of(&ber));
+        let other = LinkQualitySpec::Availability {
+            availability: 0.84,
+            p_rc: 0.9,
+        };
+        assert_ne!(LinkKey::of(&avail), LinkKey::of(&other));
+        assert_eq!(LinkKey::of(&avail), LinkKey::of(&avail.clone()));
+    }
+}

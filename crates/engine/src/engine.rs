@@ -1,0 +1,416 @@
+//! The batch-evaluation engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use whart_channel::{EbN0, LinkModel, Modulation};
+use whart_model::signature::PathSignature;
+use whart_model::{NetworkEvaluation, PathEvaluation, PathModel, PathReport, Result};
+
+use crate::cache::{LinkCache, LinkKey, PathCache};
+use crate::pool;
+use crate::scenario::{
+    extract_path_measures, LinkQualitySpec, Outcome, Scenario, ScenarioResult, Workload,
+};
+
+/// Counters and timings accumulated over an engine's lifetime.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Scenarios accepted by [`Engine::submit`].
+    pub jobs_submitted: u64,
+    /// Scenarios fully assembled by [`Engine::drain`].
+    pub jobs_completed: u64,
+    /// Path solves requested across all scenarios (before deduplication).
+    pub paths_requested: u64,
+    /// Distinct path DTMCs actually solved.
+    pub paths_evaluated: u64,
+    /// Path solves answered from the path cache (warm entries and
+    /// in-batch duplicates).
+    pub path_cache_hits: u64,
+    /// Path solves that had to be planned.
+    pub path_cache_misses: u64,
+    /// Link-model derivations answered from the link cache.
+    pub link_cache_hits: u64,
+    /// Link-model derivations computed.
+    pub link_cache_misses: u64,
+    /// Tasks migrated between workers by work stealing.
+    pub steals: u64,
+    /// Peak per-worker queue depth observed while executing.
+    pub max_queue_depth: usize,
+    /// Wall time spent planning (signature derivation, deduplication).
+    pub plan_wall: Duration,
+    /// Wall time spent solving path DTMCs on the worker pool.
+    pub execute_wall: Duration,
+    /// Wall time spent assembling results and extracting measures.
+    pub assemble_wall: Duration,
+    /// The worker-thread count the engine runs with.
+    pub workers: usize,
+}
+
+impl EngineStats {
+    /// Total cache hits across both memoization layers.
+    pub fn cache_hits(&self) -> u64 {
+        self.path_cache_hits + self.link_cache_hits
+    }
+
+    /// Total wall time across the three stages.
+    pub fn total_wall(&self) -> Duration {
+        self.plan_wall + self.execute_wall + self.assemble_wall
+    }
+}
+
+/// A parallel, memoizing batch evaluator for scenario fleets.
+///
+/// Submitted scenarios are planned into a deduplicated set of path
+/// solves (keyed by [`PathSignature`]), executed on a work-stealing
+/// worker pool, and assembled back into per-scenario results in
+/// submission order. Caches persist across drains, so a warm engine
+/// answers repeated fleets without solving anything.
+///
+/// ```
+/// use whart_engine::{Engine, Scenario};
+/// use whart_model::sweeps::section_v_model;
+/// use whart_net::ReportingInterval;
+///
+/// let mut engine = Engine::new(4);
+/// let model = section_v_model(0.83, ReportingInterval::REGULAR)?;
+/// engine.submit(Scenario::paths("demo", vec![model]));
+/// let results = engine.drain()?;
+/// assert_eq!(results.len(), 1);
+/// # Ok::<(), whart_model::ModelError>(())
+/// ```
+pub struct Engine {
+    workers: usize,
+    link_cache: LinkCache,
+    path_cache: PathCache,
+    pending: Vec<Scenario>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an engine with `workers` solver threads (clamped to at
+    /// least one).
+    pub fn new(workers: usize) -> Engine {
+        let workers = workers.max(1);
+        Engine {
+            workers,
+            link_cache: LinkCache::new(),
+            path_cache: PathCache::new(),
+            pending: Vec::new(),
+            stats: EngineStats {
+                workers,
+                ..EngineStats::default()
+            },
+        }
+    }
+
+    /// Creates an engine sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Engine {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Engine::new(workers)
+    }
+
+    /// The worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Resolves a link-quality specification through the link cache: the
+    /// channel-layer derivation (Eqs. 1-2, 4) runs once per distinct
+    /// `(kind, value, L, p_rc)` tuple.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid channel parameters.
+    pub fn link_model(&self, spec: &LinkQualitySpec) -> Result<LinkModel> {
+        let key = LinkKey::of(spec);
+        if let Some(model) = self.link_cache.get(&key) {
+            return Ok(model);
+        }
+        let model = match *spec {
+            LinkQualitySpec::Transitions { p_fl, p_rc } => LinkModel::new(p_fl, p_rc)?,
+            LinkQualitySpec::Ber {
+                ber,
+                message_bits,
+                p_rc,
+            } => LinkModel::from_ber(ber, message_bits, p_rc)?,
+            LinkQualitySpec::Snr {
+                snr,
+                message_bits,
+                p_rc,
+            } => LinkModel::from_snr(
+                Modulation::Oqpsk,
+                EbN0::from_linear(snr),
+                message_bits,
+                p_rc,
+            )?,
+            LinkQualitySpec::Availability { availability, p_rc } => {
+                LinkModel::from_availability(availability, p_rc)?
+            }
+        };
+        self.link_cache.insert(key, model);
+        Ok(model)
+    }
+
+    /// Enqueues a scenario; returns its submission index, which is also
+    /// its position in the next [`Engine::drain`] result.
+    pub fn submit(&mut self, scenario: Scenario) -> usize {
+        self.stats.jobs_submitted += 1;
+        self.pending.push(scenario);
+        self.pending.len() - 1
+    }
+
+    /// Number of scenarios waiting for the next drain.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Plans, executes and assembles every pending scenario, returning
+    /// results in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first path-model construction failure; the pending
+    /// batch is consumed either way.
+    pub fn drain(&mut self) -> Result<Vec<ScenarioResult>> {
+        let scenarios = std::mem::take(&mut self.pending);
+
+        // Plan: derive canonical signatures, answer warm entries from the
+        // cache, deduplicate the rest into a distinct task list.
+        let plan_start = Instant::now();
+        let mut planned_jobs = Vec::with_capacity(scenarios.len());
+        let mut resolved: HashMap<PathSignature, Arc<PathEvaluation>> = HashMap::new();
+        let mut planned: HashMap<PathSignature, usize> = HashMap::new();
+        let mut tasks: Vec<(PathSignature, PathModel)> = Vec::new();
+        for scenario in scenarios {
+            let models: Vec<PathModel> = match &scenario.workload {
+                Workload::Network(model) => (0..model.paths().len())
+                    .map(|i| model.path_model(i))
+                    .collect::<Result<_>>()?,
+                Workload::Paths(models) => models.clone(),
+            };
+            let mut signatures = Vec::with_capacity(models.len());
+            for model in models {
+                let signature = model.signature();
+                self.stats.paths_requested += 1;
+                if planned.contains_key(&signature) {
+                    self.path_cache.count_shared_hit();
+                } else if !resolved.contains_key(&signature) {
+                    match self.path_cache.get(&signature) {
+                        Some(evaluation) => {
+                            resolved.insert(signature.clone(), evaluation);
+                        }
+                        None => {
+                            planned.insert(signature.clone(), tasks.len());
+                            tasks.push((signature.clone(), model));
+                        }
+                    }
+                } else {
+                    self.path_cache.count_shared_hit();
+                }
+                signatures.push(signature);
+            }
+            planned_jobs.push((scenario, signatures));
+        }
+        self.stats.plan_wall += plan_start.elapsed();
+
+        // Execute: solve the distinct path DTMCs on the worker pool.
+        let execute_start = Instant::now();
+        let (evaluations, pool_stats) =
+            pool::run(self.workers, tasks, |(_, model)| model.evaluate());
+        self.stats.paths_evaluated += evaluations.len() as u64;
+        let evaluations: Vec<Arc<PathEvaluation>> = evaluations.into_iter().map(Arc::new).collect();
+        for (signature, &index) in &planned {
+            let evaluation = Arc::clone(&evaluations[index]);
+            self.path_cache
+                .insert(signature.clone(), Arc::clone(&evaluation));
+            resolved.insert(signature.clone(), evaluation);
+        }
+        self.stats.steals += pool_stats.steals;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(pool_stats.max_queue_depth);
+        self.stats.execute_wall += execute_start.elapsed();
+
+        // Assemble: per-scenario results in submission order.
+        let assemble_start = Instant::now();
+        let mut results = Vec::with_capacity(planned_jobs.len());
+        for (scenario, signatures) in planned_jobs {
+            // Shared references until here; each scenario result owns its
+            // copy (the one unavoidable deep clone per path occurrence).
+            let evaluations: Vec<Arc<PathEvaluation>> = signatures
+                .iter()
+                .map(|s| Arc::clone(resolved.get(s).expect("every planned signature resolved")))
+                .collect();
+            let measures = scenario.measures;
+            let path_measures = evaluations
+                .iter()
+                .map(|e| extract_path_measures(e, measures))
+                .collect();
+            let (outcome, mean_delay_ms, network_utilization) = match scenario.workload {
+                Workload::Network(model) => {
+                    let reports = model
+                        .paths()
+                        .iter()
+                        .cloned()
+                        .zip(evaluations)
+                        .map(|(path, evaluation)| PathReport { path, evaluation })
+                        .collect();
+                    let network = NetworkEvaluation::from_reports(reports);
+                    let mean = measures
+                        .expected_delay
+                        .then(|| network.mean_delay_ms(measures.delay_convention))
+                        .flatten();
+                    let utilization = measures
+                        .utilization
+                        .then(|| network.utilization(measures.utilization_convention));
+                    (Outcome::Network(network), mean, utilization)
+                }
+                Workload::Paths(_) => {
+                    let owned = evaluations.iter().map(|e| (**e).clone()).collect();
+                    (Outcome::Paths(owned), None, None)
+                }
+            };
+            results.push(ScenarioResult {
+                label: scenario.label,
+                outcome,
+                path_measures,
+                mean_delay_ms,
+                network_utilization,
+            });
+            self.stats.jobs_completed += 1;
+        }
+        self.stats.assemble_wall += assemble_start.elapsed();
+
+        Ok(results)
+    }
+
+    /// A snapshot of the engine's counters, with the cache counters
+    /// folded in.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.stats.clone();
+        stats.path_cache_hits = self.path_cache.hits();
+        stats.path_cache_misses = self.path_cache.misses();
+        stats.link_cache_hits = self.link_cache.hits();
+        stats.link_cache_misses = self.link_cache.misses();
+        stats
+    }
+
+    /// Number of distinct path evaluations currently cached.
+    pub fn cached_paths(&self) -> usize {
+        self.path_cache.len()
+    }
+
+    /// Number of distinct link models currently cached.
+    pub fn cached_links(&self) -> usize {
+        self.link_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MeasureSet;
+    use whart_model::sweeps::{chain_model, section_v_model};
+    use whart_net::ReportingInterval;
+
+    #[test]
+    fn drain_returns_submission_order_and_counts() {
+        let mut engine = Engine::new(2);
+        for (i, pi) in [0.83, 0.903, 0.948].iter().enumerate() {
+            let model = section_v_model(*pi, ReportingInterval::REGULAR).unwrap();
+            engine.submit(Scenario::paths(format!("job-{i}"), vec![model]));
+        }
+        let results = engine.drain().unwrap();
+        assert_eq!(results.len(), 3);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.label, format!("job-{i}"));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_submitted, 3);
+        assert_eq!(stats.jobs_completed, 3);
+        assert_eq!(stats.paths_requested, 3);
+        assert_eq!(stats.paths_evaluated, 3);
+        assert_eq!(stats.path_cache_misses, 3);
+    }
+
+    #[test]
+    fn duplicate_scenarios_share_one_solve() {
+        let mut engine = Engine::new(2);
+        let model = section_v_model(0.83, ReportingInterval::REGULAR).unwrap();
+        engine.submit(Scenario::paths("a", vec![model.clone()]));
+        engine.submit(Scenario::paths("b", vec![model]));
+        let results = engine.drain().unwrap();
+        assert_eq!(results.len(), 2);
+        let a = results[0].path_evaluations()[0];
+        let b = results[1].path_evaluations()[0];
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!(stats.paths_evaluated, 1, "one DTMC solve for two scenarios");
+        assert_eq!(stats.path_cache_hits, 1);
+    }
+
+    #[test]
+    fn warm_drain_solves_nothing() {
+        let mut engine = Engine::new(2);
+        let model = chain_model(2, 0.83, ReportingInterval::REGULAR).unwrap();
+        engine.submit(Scenario::paths("cold", vec![model.clone()]));
+        engine.drain().unwrap();
+        assert_eq!(engine.stats().paths_evaluated, 1);
+        engine.submit(Scenario::paths("warm", vec![model]));
+        engine.drain().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.paths_evaluated, 1, "warm drain reuses the cache");
+        assert_eq!(stats.path_cache_hits, 1);
+        assert_eq!(engine.cached_paths(), 1);
+    }
+
+    #[test]
+    fn engine_matches_serial_evaluation() {
+        let model = section_v_model(0.774, ReportingInterval::REGULAR).unwrap();
+        let serial = model.evaluate();
+        let mut engine = Engine::new(4);
+        engine.submit(Scenario::paths("x", vec![model]));
+        let results = engine.drain().unwrap();
+        assert_eq!(results[0].path_evaluations()[0], &serial);
+    }
+
+    #[test]
+    fn link_cache_deduplicates_derivations() {
+        let engine = Engine::new(1);
+        let spec = LinkQualitySpec::Ber {
+            ber: 1e-4,
+            message_bits: 1016,
+            p_rc: 0.9,
+        };
+        let a = engine.link_model(&spec).unwrap();
+        let b = engine.link_model(&spec).unwrap();
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!(stats.link_cache_hits, 1);
+        assert_eq!(stats.link_cache_misses, 1);
+        assert_eq!(engine.cached_links(), 1);
+    }
+
+    #[test]
+    fn measures_respect_the_measure_set() {
+        let mut engine = Engine::new(1);
+        let model = chain_model(1, 0.9, ReportingInterval::REGULAR).unwrap();
+        let measures = MeasureSet {
+            reachability: true,
+            expected_delay: false,
+            expected_intervals_to_first_loss: false,
+            utilization: false,
+            cycle_probabilities: true,
+            ..MeasureSet::default()
+        };
+        engine.submit(Scenario::paths("m", vec![model]).with_measures(measures));
+        let results = engine.drain().unwrap();
+        let m = &results[0].path_measures[0];
+        assert!(m.reachability.is_some());
+        assert!(m.expected_delay_ms.is_none());
+        assert!(m.utilization.is_none());
+        assert_eq!(m.cycle_probabilities.as_ref().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! A scoped work-stealing worker pool over a fixed task set.
+//!
+//! Tasks are dealt round-robin onto per-worker deques; a worker pops from
+//! the back of its own deque and, when empty, steals from the front of
+//! the longest sibling deque. The task set is fixed up front (path solves
+//! never spawn new path solves), so termination is simply "every deque is
+//! empty". Built on `std::thread::scope` — no external runtime.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters observed while a batch executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Peak length of any single worker queue (tasks not yet started).
+    pub max_queue_depth: usize,
+    /// Number of tasks a worker took from a sibling's queue.
+    pub steals: u64,
+}
+
+/// Runs `f` over every item on `workers` threads, returning results in
+/// item order plus the observed pool counters.
+pub(crate) fn run<T, R, F>(workers: usize, items: Vec<T>, f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        let depth = n;
+        let results = items.iter().map(&f).collect();
+        return (
+            results,
+            PoolStats {
+                max_queue_depth: depth,
+                steals: 0,
+            },
+        );
+    }
+
+    // Deal tasks round-robin; queues hold indices into `items`.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, queue) in (0..n).zip((0..workers).cycle()) {
+        queues[queue].lock().expect("queue lock").push_back(i);
+    }
+    let max_depth = AtomicUsize::new(queues[0].lock().expect("queue lock").len());
+    let steals = AtomicU64::new(0);
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for me in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let steals = &steals;
+            let max_depth = &max_depth;
+            let f = &f;
+            let items = &items;
+            handles.push(scope.spawn(move || loop {
+                // Own queue first (LIFO keeps the working set warm)...
+                let mut task = queues[me].lock().expect("queue lock").pop_back();
+                // ...then steal from the front of the longest sibling.
+                if task.is_none() {
+                    let victim = (0..workers)
+                        .filter(|&w| w != me)
+                        .max_by_key(|&w| queues[w].lock().expect("queue lock").len());
+                    if let Some(victim) = victim {
+                        task = queues[victim].lock().expect("queue lock").pop_front();
+                        if task.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let Some(index) = task else { break };
+                let depth = queues[me].lock().expect("queue lock").len();
+                max_depth.fetch_max(depth, Ordering::Relaxed);
+                let result = f(&items[index]);
+                *slots[index].lock().expect("slot lock") = Some(result);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("pool workers do not panic");
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every task ran")
+        })
+        .collect();
+    let stats = PoolStats {
+        max_queue_depth: max_depth.load(Ordering::Relaxed).max(n.div_ceil(workers)),
+        steals: steals.load(Ordering::Relaxed),
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let (results, stats) = run(4, items, |&x| x * x);
+        assert_eq!(results, (0..100).map(|x| x * x).collect::<Vec<_>>());
+        assert!(stats.max_queue_depth >= 25);
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let (results, stats) = run(1, vec![1, 2, 3], |&x| x + 1);
+        assert_eq!(results, vec![2, 3, 4]);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let (results, _) = run(8, Vec::<u32>::new(), |&x| x);
+        assert!(results.is_empty());
+        let (results, _) = run(8, vec![7], |&x| x * 2);
+        assert_eq!(results, vec![14]);
+    }
+
+    #[test]
+    fn uneven_workloads_get_stolen() {
+        // Worker 0's own tasks are slow; the cheap ones land elsewhere but
+        // finish instantly, so its siblings steal from it.
+        let items: Vec<u64> = (0..32).collect();
+        let (results, _) = run(4, items, |&x| {
+            if x % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(results.len(), 32);
+    }
+}

@@ -97,12 +97,15 @@ pub fn floorplan() -> ExperimentReport {
         (8, 155.0, -5.0),
     ];
     for (id, x, y) in instruments {
-        deployment.place(id, Position::new(x, y)).expect("distinct ids");
+        deployment
+            .place(id, Position::new(x, y))
+            .expect("distinct ids");
     }
-    let (topology, paths) =
-        deployment.build_routed(MAX_HOPS_GUIDELINE).expect("the hall is coverable");
-    let schedule = Schedule::by_priority(&paths, SchedulePriority::LongPathsFirst)
-        .expect("valid paths");
+    let (topology, paths) = deployment
+        .build_routed(MAX_HOPS_GUIDELINE)
+        .expect("the hall is coverable");
+    let schedule =
+        Schedule::by_priority(&paths, SchedulePriority::LongPathsFirst).expect("valid paths");
     let total_hops: usize = paths.iter().map(|p| p.hop_count()).sum();
     let superframe = Superframe::symmetric(total_hops as u32).expect("valid");
     let model = NetworkModel::new(
@@ -120,7 +123,9 @@ pub fn floorplan() -> ExperimentReport {
             i + 1,
             r.path,
             r.evaluation.reachability(),
-            r.evaluation.expected_delay_ms(DelayConvention::Absolute).unwrap_or(f64::NAN)
+            r.evaluation
+                .expected_delay_ms(DelayConvention::Absolute)
+                .unwrap_or(f64::NAN)
         ));
     }
     // Every device respects the hop guideline and clears 99.9% reachability
@@ -132,7 +137,12 @@ pub fn floorplan() -> ExperimentReport {
         0.0,
     ));
     let min_r = eval.reachabilities().iter().copied().fold(1.0, f64::min);
-    report.check(Check::new("worst device reachability > 0.999", 1.0, min_r, 1e-3));
+    report.check(Check::new(
+        "worst device reachability > 0.999",
+        1.0,
+        min_r,
+        1e-3,
+    ));
     // Far devices relay: at least one multi-hop route emerges.
     report.check(Check::new(
         "mesh relaying emerges",

@@ -8,8 +8,10 @@ use whart_net::ReportingInterval;
 /// Fig. 18: one-hop deliveries within a 4-cycle window for
 /// `Is in {1, 2, 4}` at `pi = 0.903`.
 pub fn fig18() -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig18", "messages delivered per window vs reporting interval");
+    let mut report = ExperimentReport::new(
+        "fig18",
+        "messages delivered per window vs reporting interval",
+    );
     let pi = 0.903;
     let window = 4u32;
     for is in [1u32, 2, 4] {
@@ -41,8 +43,7 @@ pub fn fig18() -> ExperimentReport {
 /// Fig. 19: per-path reachability of the typical network under fast
 /// (`Is = 2`) vs regular (`Is = 4`) control across availabilities.
 pub fn fig19() -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig19", "per-path reachability, Is = 2 vs Is = 4");
+    let mut report = ExperimentReport::new("fig19", "per-path reachability, Is = 2 vs Is = 4");
     let points = [(1e-4, 0.903), (2e-4, 0.83), (3e-4, 0.774), (5e-4, 0.693)];
     for (ber, pi) in points {
         let fast = evaluate_typical(ber, false, ReportingInterval::FAST);

@@ -10,6 +10,7 @@
 //! table2 fig17 table3 table3-ablation fig18 fig19 table4 sim-validation
 //! control-loop
 
+mod engine_support;
 mod extensions;
 mod fast_control;
 mod network;
@@ -23,9 +24,29 @@ use report::ExperimentReport;
 use std::process::ExitCode;
 
 const ALL_IDS: &[&str] = &[
-    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "fig13", "fig14",
-    "fig15", "fig16", "table2", "fig17", "table3", "table3-ablation", "fig18", "fig19",
-    "table4", "sim-validation", "control-loop", "interference", "floorplan",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+    "fig17",
+    "table3",
+    "table3-ablation",
+    "fig18",
+    "fig19",
+    "table4",
+    "sim-validation",
+    "control-loop",
+    "interference",
+    "floorplan",
 ];
 
 fn run_experiment(id: &str, sim_intervals: u64) -> Option<ExperimentReport> {
@@ -91,7 +112,9 @@ fn main() -> ExitCode {
     let failures: usize = reports.iter().map(ExperimentReport::failures).sum();
     let checks: usize = reports.iter().map(|r| r.checks.len()).sum();
     if json {
-        println!("{}", serde_json::to_string_pretty(&reports).expect("reports serialize"));
+        let payload =
+            whart_json::Json::Array(reports.iter().map(ExperimentReport::to_json).collect());
+        println!("{}", payload.to_pretty());
     } else {
         for r in &reports {
             println!("{}", r.render());
@@ -118,7 +141,10 @@ mod tests {
             // Keep the Monte-Carlo part small in unit tests.
             let report = run_experiment(id, 20_000).unwrap_or_else(|| panic!("missing {id}"));
             assert_eq!(report.failures(), 0, "{id} failed:\n{}", report.render());
-            assert!(!report.checks.is_empty() || !report.lines.is_empty(), "{id} is empty");
+            assert!(
+                !report.checks.is_empty() || !report.lines.is_empty(),
+                "{id} is empty"
+            );
         }
     }
 

@@ -1,30 +1,51 @@
 //! Section VI-A/B experiments: the typical network
 //! (Figs. 13-16, Table II).
 
+use crate::engine_support::with_engine;
 use crate::report::{series, Check, ExperimentReport};
 use whart_channel::{LinkModel, WIRELESSHART_MESSAGE_BITS};
+use whart_engine::{LinkQualitySpec, Outcome, Scenario};
 use whart_model::sweeps::PAPER_BERS;
 use whart_model::{DelayConvention, NetworkEvaluation, NetworkModel, UtilizationConvention};
 use whart_net::typical::TypicalNetwork;
 use whart_net::ReportingInterval;
 
 /// Builds and evaluates the typical network at a BER operating point under
-/// `eta_a` (or `eta_b`).
+/// `eta_a` (or `eta_b`), through the shared batch engine: repeated
+/// operating points (fig13 vs table2 vs fig19's baseline) answer from the
+/// path cache instead of re-solving ten DTMCs.
 pub fn evaluate_typical(ber: f64, eta_b: bool, interval: ReportingInterval) -> NetworkEvaluation {
-    let link = LinkModel::from_ber(ber, WIRELESSHART_MESSAGE_BITS, LinkModel::DEFAULT_RECOVERY)
-        .expect("paper operating points are valid");
-    let net = TypicalNetwork::new(link);
-    let schedule = if eta_b { net.schedule_eta_b() } else { net.schedule_eta_a() };
-    NetworkModel::from_typical(&net, schedule, interval)
-        .expect("the typical network is statically valid")
-        .evaluate()
-        .expect("evaluation of a valid network succeeds")
+    with_engine(|engine| {
+        let link = engine
+            .link_model(&LinkQualitySpec::Ber {
+                ber,
+                message_bits: WIRELESSHART_MESSAGE_BITS,
+                p_rc: LinkModel::DEFAULT_RECOVERY,
+            })
+            .expect("paper operating points are valid");
+        let net = TypicalNetwork::new(link);
+        let schedule = if eta_b {
+            net.schedule_eta_b()
+        } else {
+            net.schedule_eta_a()
+        };
+        let model = NetworkModel::from_typical(&net, schedule, interval)
+            .expect("the typical network is statically valid");
+        let label = format!("typical ber={ber} eta_b={eta_b} Is={}", interval.cycles());
+        engine.submit(Scenario::network(label, model));
+        let mut results = engine
+            .drain()
+            .expect("evaluation of a valid network succeeds");
+        match results.pop().expect("one scenario drained").outcome {
+            Outcome::Network(evaluation) => evaluation,
+            Outcome::Paths(_) => unreachable!("network workload"),
+        }
+    })
 }
 
 /// Fig. 13: reachability of all ten paths at four availabilities.
 pub fn fig13() -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig13", "per-path reachability in the typical network");
+    let mut report = ExperimentReport::new("fig13", "per-path reachability in the typical network");
     // BERs for pi in {0.903, 0.83, 0.774, 0.693}.
     let points = [(1e-4, 0.903), (2e-4, 0.83), (3e-4, 0.774), (5e-4, 0.693)];
     let mut all = Vec::new();
@@ -38,9 +59,19 @@ pub fn fig13() -> ExperimentReport {
     // 3-hop paths near 1; at 0.693 the 3-hop paths drop to ~0.93 ("a
     // message loss of one out of 13 messages").
     let r903 = &all[0].1;
-    report.check(Check::new("3-hop path R at pi = 0.903", 0.9989, r903[9], 5e-4));
+    report.check(Check::new(
+        "3-hop path R at pi = 0.903",
+        0.9989,
+        r903[9],
+        5e-4,
+    ));
     let r693 = &all[3].1;
-    report.check(Check::new("3-hop path R at pi = 0.693", 0.9238, r693[9], 2e-3));
+    report.check(Check::new(
+        "3-hop path R at pi = 0.693",
+        0.9238,
+        r693[9],
+        2e-3,
+    ));
     report.check(Check::new(
         "loss ~ 1/13 at pi = 0.693 (3-hop)",
         13.0,
@@ -63,7 +94,8 @@ pub fn fig13() -> ExperimentReport {
 /// Fig. 14: the overall delay distribution of the typical network at
 /// `pi = 0.83`.
 pub fn fig14() -> ExperimentReport {
-    let mut report = ExperimentReport::new("fig14", "overall delay distribution (eta_a, pi = 0.83)");
+    let mut report =
+        ExperimentReport::new("fig14", "overall delay distribution (eta_a, pi = 0.83)");
     let eval = evaluate_typical(2e-4, false, ReportingInterval::REGULAR);
     let gamma = eval.overall_delay_distribution(DelayConvention::Absolute);
     for (delay, p) in gamma.iter() {
@@ -84,8 +116,9 @@ pub fn fig14() -> ExperimentReport {
     report.check(Check::new("delivered by 1000 ms", 0.983, by_1000, 3e-3));
     let max_delay = gamma.iter().last().expect("non-empty").0;
     report.check(
-        Check::new("longest delay (ms)", 1400.0, max_delay, 15.0)
-            .with_note("paper reads 1400 off the axis; the exact arrival is (3*40+19)*10 = 1390 ms"),
+        Check::new("longest delay (ms)", 1400.0, max_delay, 15.0).with_note(
+            "paper reads 1400 off the axis; the exact arrival is (3*40+19)*10 = 1390 ms",
+        ),
     );
     report
 }
@@ -96,7 +129,11 @@ pub fn fig15() -> ExperimentReport {
     let eval = evaluate_typical(2e-4, false, ReportingInterval::REGULAR);
     let delays = eval.expected_delays_ms(DelayConvention::Absolute);
     for (i, d) in delays.iter().enumerate() {
-        report.line(format!("  path {:>2}: {:>6.1} ms", i + 1, d.expect("reachable")));
+        report.line(format!(
+            "  path {:>2}: {:>6.1} ms",
+            i + 1,
+            d.expect("reachable")
+        ));
     }
     report.check(Check::new(
         "bottleneck path 10 E[tau]",
@@ -107,13 +144,17 @@ pub fn fig15() -> ExperimentReport {
     report.check(Check::new(
         "overall mean E[Gamma]",
         235.0,
-        eval.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
+        eval.mean_delay_ms(DelayConvention::Absolute)
+            .expect("reachable"),
         1.0,
     ));
     report.check(Check::new(
         "bottleneck index",
         10.0,
-        (eval.delay_bottleneck(DelayConvention::Absolute).expect("paths exist") + 1) as f64,
+        (eval
+            .delay_bottleneck(DelayConvention::Absolute)
+            .expect("paths exist")
+            + 1) as f64,
         0.0,
     ));
     report
@@ -135,18 +176,31 @@ pub fn fig16() -> ExperimentReport {
             db[i].expect("reachable")
         ));
     }
-    report.check(Check::new("eta_b path 10", 291.0, db[9].expect("reachable"), 1.5));
-    report.check(Check::new("eta_b new bottleneck path 7", 317.9528, db[6].expect("reachable"), 1.0));
+    report.check(Check::new(
+        "eta_b path 10",
+        291.0,
+        db[9].expect("reachable"),
+        1.5,
+    ));
+    report.check(Check::new(
+        "eta_b new bottleneck path 7",
+        317.9528,
+        db[6].expect("reachable"),
+        1.0,
+    ));
     report.check(Check::new(
         "eta_b bottleneck index",
         7.0,
-        (b.delay_bottleneck(DelayConvention::Absolute).expect("paths exist") + 1) as f64,
+        (b.delay_bottleneck(DelayConvention::Absolute)
+            .expect("paths exist")
+            + 1) as f64,
         0.0,
     ));
     report.check(Check::new(
         "eta_b overall mean E[Gamma]",
         272.0,
-        b.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
+        b.mean_delay_ms(DelayConvention::Absolute)
+            .expect("reachable"),
         1.0,
     ));
     // eta_b balances: its delay spread is smaller than eta_a's.
@@ -179,8 +233,15 @@ pub fn table2() -> ExperimentReport {
         let eval = evaluate_typical(ber, false, ReportingInterval::REGULAR);
         let u = eval.utilization(UtilizationConvention::AsEvaluated);
         report.line(format!("{:.3}    {:.4}", link.availability(), u));
-        report.check(Check::new(format!("U at pi = {:.3}", link.availability()), want_u, u, 3e-3));
+        report.check(Check::new(
+            format!("U at pi = {:.3}", link.availability()),
+            want_u,
+            u,
+            3e-3,
+        ));
     }
-    report.line("(convention: n + i - 1 slots per delivered message, losses not counted — see DESIGN.md)");
+    report.line(
+        "(convention: n + i - 1 slots per delivered message, losses not counted — see DESIGN.md)",
+    );
     report
 }

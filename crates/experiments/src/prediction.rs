@@ -40,27 +40,35 @@ pub fn table4() -> ExperimentReport {
         0.9,
     )
     .expect("valid");
-    report.check(Check::new("BER3 (1e-5)", 9.14, Modulation::Oqpsk.ber(EbN0::from_linear(7.0)) * 1e5, 0.01));
-    report.check(Check::new("BER4 (1e-4)", 2.66, Modulation::Oqpsk.ber(EbN0::from_linear(6.0)) * 1e4, 0.01));
+    report.check(Check::new(
+        "BER3 (1e-5)",
+        9.14,
+        Modulation::Oqpsk.ber(EbN0::from_linear(7.0)) * 1e5,
+        0.01,
+    ));
+    report.check(Check::new(
+        "BER4 (1e-4)",
+        2.66,
+        Modulation::Oqpsk.ber(EbN0::from_linear(6.0)) * 1e4,
+        0.01,
+    ));
     report.check(Check::new("p_fl3", 0.089, peer3.p_fl(), 5e-4));
     report.check(Check::new("p_fl4", 0.237, peer4.p_fl(), 5e-4));
 
     let interval = ReportingInterval::REGULAR;
-    let alpha = predict_composition(
-        &peer_cycle_probabilities(peer3, interval),
-        1,
-        &existing(2),
-    )
-    .expect("valid");
-    let beta = predict_composition(
-        &peer_cycle_probabilities(peer4, interval),
-        1,
-        &existing(1),
-    )
-    .expect("valid");
+    let alpha = predict_composition(&peer_cycle_probabilities(peer3, interval), 1, &existing(2))
+        .expect("valid");
+    let beta = predict_composition(&peer_cycle_probabilities(peer4, interval), 1, &existing(1))
+        .expect("valid");
 
-    report.line(series("g_alpha", alpha.cycle_probabilities.as_slice().iter().copied()));
-    report.line(series("g_beta ", beta.cycle_probabilities.as_slice().iter().copied()));
+    report.line(series(
+        "g_alpha",
+        alpha.cycle_probabilities.as_slice().iter().copied(),
+    ));
+    report.line(series(
+        "g_beta ",
+        beta.cycle_probabilities.as_slice().iter().copied(),
+    ));
     let want_alpha = [0.6274, 0.2694, 0.0784, 0.0193];
     let want_beta = [0.6573, 0.2485, 0.0707, 0.0180];
     for (i, (&wa, &wb)) in want_alpha.iter().zip(&want_beta).enumerate() {
@@ -77,8 +85,18 @@ pub fn table4() -> ExperimentReport {
             1.5e-3,
         ));
     }
-    report.check(Check::new("R_alpha (%)", 99.46, alpha.reachability * 100.0, 0.1));
-    report.check(Check::new("R_beta (%)", 99.45, beta.reachability * 100.0, 0.1));
+    report.check(Check::new(
+        "R_alpha (%)",
+        99.46,
+        alpha.reachability * 100.0,
+        0.1,
+    ));
+    report.check(Check::new(
+        "R_beta (%)",
+        99.45,
+        beta.reachability * 100.0,
+        0.1,
+    ));
 
     // The routing decision: reachabilities tie, so the 2-hop beta wins
     // (one fewer schedule slot, ~10 ms shorter expected delay).
@@ -89,6 +107,11 @@ pub fn table4() -> ExperimentReport {
         alpha.hop_count,
         beta.hop_count
     ));
-    report.check(Check::new("beta preferred", 1.0, f64::from(u8::from(order[0] == 1)), 0.0));
+    report.check(Check::new(
+        "beta preferred",
+        1.0,
+        f64::from(u8::from(order[0] == 1)),
+        0.0,
+    ));
     report
 }

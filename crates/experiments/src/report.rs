@@ -1,9 +1,9 @@
 //! Experiment reporting: paper-vs-computed checks and text rendering.
 
-use serde::Serialize;
+use whart_json::Json;
 
 /// One comparison against a number the paper reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Check {
     /// What is being compared, e.g. `"R (pi=0.903)"`.
     pub name: String,
@@ -20,7 +20,13 @@ pub struct Check {
 impl Check {
     /// Creates a check.
     pub fn new(name: impl Into<String>, paper: f64, computed: f64, tolerance: f64) -> Check {
-        Check { name: name.into(), paper, computed, tolerance, note: None }
+        Check {
+            name: name.into(),
+            paper,
+            computed,
+            tolerance,
+            note: None,
+        }
     }
 
     /// Attaches a note.
@@ -33,10 +39,21 @@ impl Check {
     pub fn passes(&self) -> bool {
         (self.paper - self.computed).abs() <= self.tolerance
     }
+
+    /// Encodes the check as JSON (same shape as the old serde encoding).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.clone())),
+            ("paper", Json::from(self.paper)),
+            ("computed", Json::from(self.computed)),
+            ("tolerance", Json::from(self.tolerance)),
+            ("note", Json::from(self.note.clone())),
+        ])
+    }
 }
 
 /// The output of one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Identifier, e.g. `"fig6"`.
     pub id: String,
@@ -51,7 +68,12 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Creates an empty report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        ExperimentReport { id: id.into(), title: title.into(), lines: Vec::new(), checks: Vec::new() }
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            lines: Vec::new(),
+            checks: Vec::new(),
+        }
     }
 
     /// Appends a text line.
@@ -69,6 +91,19 @@ impl ExperimentReport {
     /// Number of failing checks.
     pub fn failures(&self) -> usize {
         self.checks.iter().filter(|c| !c.passes()).count()
+    }
+
+    /// Encodes the report as JSON (same shape as the old serde encoding).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("id", Json::from(self.id.clone())),
+            ("title", Json::from(self.title.clone())),
+            ("lines", Json::array(self.lines.iter().cloned())),
+            (
+                "checks",
+                Json::Array(self.checks.iter().map(Check::to_json).collect()),
+            ),
+        ])
     }
 
     /// Renders the report as text.

@@ -30,7 +30,10 @@ pub fn fig17() -> ExperimentReport {
         let model = LinkModel::new(p_fl, 0.9).expect("valid");
         let dynamics = LinkDynamics::starting_in(model, LinkState::Down);
         let trajectory = dynamics.up_trajectory(6);
-        report.line(series(&format!("p_fl = {p_fl}"), trajectory.iter().copied()));
+        report.line(series(
+            &format!("p_fl = {p_fl}"),
+            trajectory.iter().copied(),
+        ));
         report.check(Check::new(
             format!("steady state (p_fl = {p_fl})"),
             model.availability(),
@@ -39,11 +42,18 @@ pub fn fig17() -> ExperimentReport {
         ));
         // "the link returns to its steady-state almost immediately": within
         // one slot it is at p_rc = 0.9, within two it is within 1% of pi.
-        report.check(Check::new(format!("P(up) after 1 slot (p_fl = {p_fl})"), 0.9, trajectory[1], 1e-12));
+        report.check(Check::new(
+            format!("P(up) after 1 slot (p_fl = {p_fl})"),
+            0.9,
+            trajectory[1],
+            1e-12,
+        ));
         report.check(Check::new(
             format!("within 1% of steady after 2 slots (p_fl = {p_fl})"),
             1.0,
-            f64::from(u8::from((trajectory[2] - model.availability()).abs() < 0.01)),
+            f64::from(u8::from(
+                (trajectory[2] - model.availability()).abs() < 0.01,
+            )),
             0.0,
         ));
     }
@@ -66,9 +76,21 @@ pub fn table3() -> ExperimentReport {
         let model = chain(hops, paper_link());
         let without = model.evaluate().reachability() * 100.0;
         let with = reachability_with_lost_cycles(&model, 1).expect("valid") * 100.0;
-        report.line(format!("{name:<7} {hops:>4}  {without:>12.2}  {with:>14.2}"));
-        report.check(Check::new(format!("{name} without failure"), want_without, without, 0.011));
-        report.check(Check::new(format!("{name} with failure"), want_with, with, 0.011));
+        report.line(format!(
+            "{name:<7} {hops:>4}  {without:>12.2}  {with:>14.2}"
+        ));
+        report.check(Check::new(
+            format!("{name} without failure"),
+            want_without,
+            without,
+            0.011,
+        ));
+        report.check(Check::new(
+            format!("{name} with failure"),
+            want_with,
+            with,
+            0.011,
+        ));
     }
     report.line("(convention: the affected paths lose the entire failure cycle — see DESIGN.md)");
     report
@@ -86,7 +108,10 @@ pub fn table3_ablation() -> ExperimentReport {
         NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
             .expect("valid");
     let outage = forced_outage_cycles(net.superframe, 0, 1);
-    let e3 = net.topology.link(NodeId::field(3), NodeId::Gateway).expect("e3 exists");
+    let e3 = net
+        .topology
+        .link(NodeId::field(3), NodeId::Gateway)
+        .expect("e3 exists");
     model
         .override_link_dynamics(
             NodeId::field(3),
@@ -113,7 +138,9 @@ pub fn table3_ablation() -> ExperimentReport {
         report.check(Check::new(
             format!("path {} ordering coarse <= fine <= baseline", index + 1),
             1.0,
-            f64::from(u8::from(coarse <= fine_r + 1e-9 && fine_r <= baseline + 1e-9)),
+            f64::from(u8::from(
+                coarse <= fine_r + 1e-9 && fine_r <= baseline + 1e-9,
+            )),
             0.0,
         ));
     }

@@ -3,8 +3,7 @@
 use crate::report::{series, Check, ExperimentReport};
 use whart_model::explicit::explicit_chain;
 use whart_model::sweeps::{
-    self, delay_summaries, paper_availabilities, section_v_model, sweep_availability,
-    sweep_hop_count,
+    self, delay_summaries, paper_availabilities, section_v_model, sweep_hop_count,
 };
 use whart_model::DelayConvention;
 use whart_net::ReportingInterval;
@@ -28,10 +27,20 @@ pub fn fig4() -> ExperimentReport {
     // Paper structure: ages 1..7 at the source row, 3..7 after hop 1,
     // 6..7 after hop 2, one goal R7 and Discard => 16 states.
     report.check(
-        Check::new("state count (paper's 16 + initial)", 17.0, chain.state_count() as f64, 0.0)
-            .with_note("Fig. 4 omits the pre-slot-1 state; see module docs"),
+        Check::new(
+            "state count (paper's 16 + initial)",
+            17.0,
+            chain.state_count() as f64,
+            0.0,
+        )
+        .with_note("Fig. 4 omits the pre-slot-1 state; see module docs"),
     );
-    report.check(Check::new("goal states", 1.0, chain.goals().len() as f64, 0.0));
+    report.check(Check::new(
+        "goal states",
+        1.0,
+        chain.goals().len() as f64,
+        0.0,
+    ));
     report
 }
 
@@ -45,13 +54,26 @@ pub fn fig5() -> ExperimentReport {
         chain.state_count(),
         chain.transition_count()
     ));
-    report.check(Check::new("goal states", 2.0, chain.goals().len() as f64, 0.0));
+    report.check(Check::new(
+        "goal states",
+        2.0,
+        chain.goals().len() as f64,
+        0.0,
+    ));
     let has_r14 = chain.dtmc.state_by_label("R14").is_some();
-    report.check(Check::new("R14 present", 1.0, f64::from(u8::from(has_r14)), 0.0));
+    report.check(Check::new(
+        "R14 present",
+        1.0,
+        f64::from(u8::from(has_r14)),
+        0.0,
+    ));
     // Linear growth in Is (the paper's O(Is * Fs * n) claim).
     let s1 = explicit_chain(&section_v_model(0.75, interval(1)).unwrap()).state_count();
     let s4 = explicit_chain(&section_v_model(0.75, interval(4)).unwrap()).state_count();
-    report.line(format!("state counts: Is=1 -> {s1}, Is=2 -> {}, Is=4 -> {s4}", chain.state_count()));
+    report.line(format!(
+        "state counts: Is=1 -> {s1}, Is=2 -> {}, Is=4 -> {s4}",
+        chain.state_count()
+    ));
     report.check(Check::new(
         "affine growth s4 - s2 = 2 (s2 - s1)",
         (2 * (chain.state_count() - s1)) as f64,
@@ -64,9 +86,13 @@ pub fn fig5() -> ExperimentReport {
 /// Fig. 6: transient goal-state probabilities of the example path
 /// (`pi(up) = 0.75`, `Is = 4`).
 pub fn fig6() -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig6", "transient goal-state probabilities, Is = 4, pi = 0.75");
-    let eval = section_v_model(0.75, interval(4)).expect("valid").evaluate();
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "transient goal-state probabilities, Is = 4, pi = 0.75",
+    );
+    let eval = section_v_model(0.75, interval(4))
+        .expect("valid")
+        .evaluate();
     let trajectory = eval.trajectory();
     for (t, row) in trajectory.iter().enumerate() {
         if t % 7 == 0 && t > 0 {
@@ -78,40 +104,79 @@ pub fn fig6() -> ExperimentReport {
     report.check(Check::new("R14 final", 0.3164, g.get(1), 5e-5));
     report.check(Check::new("R21 final", 0.1582, g.get(2), 5e-5));
     report.check(Check::new("R28 final", 0.06592, g.get(3), 5e-6));
-    report.check(Check::new("reachability R", 0.9624, eval.reachability(), 5e-5));
-    report.check(Check::new("loss 1 - R", 0.0376, eval.discard_probability(), 5e-5));
+    report.check(Check::new(
+        "reachability R",
+        0.9624,
+        eval.reachability(),
+        5e-5,
+    ));
+    report.check(Check::new(
+        "loss 1 - R",
+        0.0376,
+        eval.discard_probability(),
+        5e-5,
+    ));
     report
 }
 
 /// Fig. 7: the delay distribution of the example path, `E[tau]` = 190.8 ms.
 pub fn fig7() -> ExperimentReport {
     let mut report = ExperimentReport::new("fig7", "delay distribution of the example path");
-    let eval = section_v_model(0.75, interval(4)).expect("valid").evaluate();
+    let eval = section_v_model(0.75, interval(4))
+        .expect("valid")
+        .evaluate();
     let dist = eval.delay_distribution(DelayConvention::Absolute);
     for (delay, p) in dist.iter() {
         report.line(format!("  {delay:>4} ms : {p:.4}"));
     }
-    let expected = eval.expected_delay_ms(DelayConvention::Absolute).expect("reachable");
+    let expected = eval
+        .expected_delay_ms(DelayConvention::Absolute)
+        .expect("reachable");
     report.check(Check::new("E[tau] ms", 190.8, expected, 0.05));
-    report.check(Check::new("first delay (ms)", 70.0, dist.iter().next().unwrap().0, 0.0));
-    report.check(Check::new("last delay (ms)", 490.0, dist.iter().last().unwrap().0, 0.0));
+    report.check(Check::new(
+        "first delay (ms)",
+        70.0,
+        dist.iter().next().unwrap().0,
+        0.0,
+    ));
+    report.check(Check::new(
+        "last delay (ms)",
+        490.0,
+        dist.iter().last().unwrap().0,
+        0.0,
+    ));
     // "the control-loop could be completed in one cycle with probability
     // 0.4219^2 = 0.178" under a symmetric downlink.
     let one_cycle_loop = eval.cycle_probabilities().get(0).powi(2);
-    report.check(Check::new("one-cycle closed loop", 0.178, one_cycle_loop, 5e-4));
+    report.check(Check::new(
+        "one-cycle closed loop",
+        0.178,
+        one_cycle_loop,
+        5e-4,
+    ));
     report
 }
 
 /// Fig. 8: reachability vs link availability.
 pub fn fig8() -> ExperimentReport {
     let mut report = ExperimentReport::new("fig8", "reachability vs link availability");
-    // The full sweep curve (for plotting).
+    // The full sweep curve (for plotting), batched through the shared
+    // engine.
     let grid: Vec<f64> = (0..=30).map(|i| 0.65 + i as f64 * 0.01).collect();
-    let curve = sweep_availability(&grid, interval(4)).expect("grid is representable");
+    let curve = crate::engine_support::with_engine(|engine| {
+        whart_engine::sweeps::sweep_availability(engine, &grid, interval(4))
+    })
+    .expect("grid is representable");
     report.line(series("pi(up)", curve.iter().map(|p| p.availability)));
-    report.line(series("R", curve.iter().map(|p| p.evaluation.reachability())));
+    report.line(series(
+        "R",
+        curve.iter().map(|p| p.evaluation.reachability()),
+    ));
     // The paper's marked points.
-    let marked = sweep_availability(&paper_availabilities(), interval(4)).expect("valid");
+    let marked = crate::engine_support::with_engine(|engine| {
+        whart_engine::sweeps::sweep_availability(engine, &paper_availabilities(), interval(4))
+    })
+    .expect("valid");
     let want = [0.924, 0.9737, 0.9907, 0.9989, 0.9999];
     for (point, want_r) in marked.iter().zip(want) {
         report.check(Check::new(
@@ -128,7 +193,15 @@ pub fn fig8() -> ExperimentReport {
 pub fn fig9() -> ExperimentReport {
     let mut report = ExperimentReport::new("fig9", "delay distributions vs link availability");
     let pis = paper_availabilities();
-    let rows = delay_summaries(&pis[1..], interval(4), DelayConvention::Absolute).expect("valid");
+    let rows = crate::engine_support::with_engine(|engine| {
+        whart_engine::sweeps::delay_summaries(
+            engine,
+            &pis[1..],
+            interval(4),
+            DelayConvention::Absolute,
+        )
+    })
+    .expect("valid");
     for row in &rows {
         report.line(series(
             &format!("pi = {:.3}", row.availability),
@@ -139,21 +212,51 @@ pub fn fig9() -> ExperimentReport {
     let p210_774 = rows[0].distribution.cdf(210.0) - rows[0].distribution.cdf(70.0);
     let p350_774 = rows[0].distribution.cdf(350.0) - rows[0].distribution.cdf(210.0);
     let p210_948 = rows[3].distribution.cdf(210.0) - rows[3].distribution.cdf(70.0);
-    report.check(Check::new("P(210 ms) at pi = 0.774", 0.3228, p210_774, 5e-4));
-    report.check(Check::new("P(350 ms) at pi = 0.774", 0.1459, p350_774, 5e-4));
-    report.check(Check::new("P(210 ms) at pi = 0.948", 0.1332, p210_948, 5e-4));
+    report.check(Check::new(
+        "P(210 ms) at pi = 0.774",
+        0.3228,
+        p210_774,
+        5e-4,
+    ));
+    report.check(Check::new(
+        "P(350 ms) at pi = 0.774",
+        0.1459,
+        p350_774,
+        5e-4,
+    ));
+    report.check(Check::new(
+        "P(210 ms) at pi = 0.948",
+        0.1332,
+        p210_948,
+        5e-4,
+    ));
     // Prose claims: 98.5% within two cycles at 0.948; ~77.8% at 0.774; the
     // 4th-cycle tail at 0.774 is "more than 5.3%". These fractions count
     // all generated messages, so the conditional cdf is scaled by R.
     let two_cycles = |row: &whart_model::sweeps::DelaySummary| {
         row.distribution.cdf(210.0) * row.reachability_percent / 100.0
     };
-    report.check(Check::new("2-cycle fraction at 0.948", 0.985, two_cycles(&rows[3]), 5e-4));
-    report.check(Check::new("2-cycle fraction at 0.774", 0.778, two_cycles(&rows[0]), 5e-4));
+    report.check(Check::new(
+        "2-cycle fraction at 0.948",
+        0.985,
+        two_cycles(&rows[3]),
+        5e-4,
+    ));
+    report.check(Check::new(
+        "2-cycle fraction at 0.774",
+        0.778,
+        two_cycles(&rows[0]),
+        5e-4,
+    ));
     let tail_774 = 1.0 - rows[0].distribution.cdf(350.0);
     report.check(
-        Check::new("4th-cycle tail at 0.774", 0.053, tail_774 * rows[0].reachability_percent / 100.0, 2e-3)
-            .with_note("paper: 'more than 5.3% ... delay of 470ms' (the 4th-cycle delay is 490 ms)"),
+        Check::new(
+            "4th-cycle tail at 0.774",
+            0.053,
+            tail_774 * rows[0].reachability_percent / 100.0,
+            2e-3,
+        )
+        .with_note("paper: 'more than 5.3% ... delay of 470ms' (the 4th-cycle delay is 490 ms)"),
     );
     report
 }
@@ -170,18 +273,53 @@ pub fn table1() -> ExperimentReport {
             row.availability, row.reachability_percent, row.expected_delay_ms
         ));
     }
-    report.check(Check::new("R% at 0.774", 97.37, rows[0].reachability_percent, 0.011));
-    report.check(Check::new("E[tau] at 0.774", 179.0, rows[0].expected_delay_ms, 0.35));
-    report.check(Check::new("R% at 0.83", 99.07, rows[1].reachability_percent, 0.011));
-    report.check(Check::new("E[tau] at 0.83", 151.0, rows[1].expected_delay_ms, 0.35));
-    report.check(Check::new("R% at 0.903", 99.89, rows[2].reachability_percent, 0.011));
+    report.check(Check::new(
+        "R% at 0.774",
+        97.37,
+        rows[0].reachability_percent,
+        0.011,
+    ));
+    report.check(Check::new(
+        "E[tau] at 0.774",
+        179.0,
+        rows[0].expected_delay_ms,
+        0.35,
+    ));
+    report.check(Check::new(
+        "R% at 0.83",
+        99.07,
+        rows[1].reachability_percent,
+        0.011,
+    ));
+    report.check(Check::new(
+        "E[tau] at 0.83",
+        151.0,
+        rows[1].expected_delay_ms,
+        0.35,
+    ));
+    report.check(Check::new(
+        "R% at 0.903",
+        99.89,
+        rows[2].reachability_percent,
+        0.011,
+    ));
     report.check(
         Check::new("E[tau] at 0.903", 113.0, rows[2].expected_delay_ms, 1.6).with_note(
             "paper erratum: its own model yields 114.5 ms here (all other rows match to <0.3 ms)",
         ),
     );
-    report.check(Check::new("R% at 0.948", 99.99, rows[3].reachability_percent, 0.011));
-    report.check(Check::new("E[tau] at 0.948", 93.0, rows[3].expected_delay_ms, 0.35));
+    report.check(Check::new(
+        "R% at 0.948",
+        99.99,
+        rows[3].reachability_percent,
+        0.011,
+    ));
+    report.check(Check::new(
+        "E[tau] at 0.948",
+        93.0,
+        rows[3].expected_delay_ms,
+        0.35,
+    ));
     report
 }
 

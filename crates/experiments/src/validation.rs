@@ -32,7 +32,9 @@ pub fn sim_validation(intervals: u64) -> ExperimentReport {
         PhyMode::Gilbert,
     )
     .expect("valid");
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let observed = sim.run_parallel(20260706, intervals, workers);
     report.line(format!("{intervals} reporting intervals simulated"));
     report.line("path  analytic R  simulated R  within 99.9% CI");
@@ -57,7 +59,9 @@ pub fn sim_validation(intervals: u64) -> ExperimentReport {
     // headline aggregates are compared tightly instead.
     report.check(Check::new(
         "simulated mean delay vs E[Gamma]",
-        analytic.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
+        analytic
+            .mean_delay_ms(DelayConvention::Absolute)
+            .expect("reachable"),
         observed.mean_delay_ms().expect("messages delivered"),
         3.0,
     ));
@@ -112,8 +116,13 @@ pub fn control_loop() -> ExperimentReport {
                 output_min: -10.0,
                 output_max: 10.0,
             });
-            let trace =
-                run_loop(&mut plant, &mut pid, &ModelDelivery::new(evaluate(pi)), config, &mut rng);
+            let trace = run_loop(
+                &mut plant,
+                &mut pid,
+                &ModelDelivery::new(evaluate(pi)),
+                config,
+                &mut rng,
+            );
             ise_total += metrics::integral_squared_error(&trace, 1.0);
         }
         let ise = ise_total / 20.0;

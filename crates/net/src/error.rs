@@ -72,7 +72,10 @@ impl fmt::Display for NetError {
             NetError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
             NetError::InvalidSuperframe { reason } => write!(f, "invalid super-frame: {reason}"),
             NetError::TooManyHops { hops, max } => {
-                write!(f, "path has {hops} hops, exceeding the WirelessHART guideline of {max}")
+                write!(
+                    f,
+                    "path has {hops} hops, exceeding the WirelessHART guideline of {max}"
+                )
             }
         }
     }
@@ -90,14 +93,32 @@ mod tests {
     #[test]
     fn displays_are_nonempty() {
         let errors = [
-            NetError::UnknownNode { node: NodeId::field(3) },
-            NetError::UnknownLink { from: NodeId::field(1), to: NodeId::GATEWAY },
-            NetError::DuplicateNode { node: NodeId::field(1) },
-            NetError::SelfLoop { node: NodeId::field(2) },
-            NetError::NoRoute { from: NodeId::field(9), to: NodeId::GATEWAY },
-            NetError::InvalidPath { reason: "empty".into() },
-            NetError::InvalidSchedule { reason: "hop order".into() },
-            NetError::InvalidSuperframe { reason: "zero slots".into() },
+            NetError::UnknownNode {
+                node: NodeId::field(3),
+            },
+            NetError::UnknownLink {
+                from: NodeId::field(1),
+                to: NodeId::GATEWAY,
+            },
+            NetError::DuplicateNode {
+                node: NodeId::field(1),
+            },
+            NetError::SelfLoop {
+                node: NodeId::field(2),
+            },
+            NetError::NoRoute {
+                from: NodeId::field(9),
+                to: NodeId::GATEWAY,
+            },
+            NetError::InvalidPath {
+                reason: "empty".into(),
+            },
+            NetError::InvalidSchedule {
+                reason: "hop order".into(),
+            },
+            NetError::InvalidSuperframe {
+                reason: "zero slots".into(),
+            },
             NetError::TooManyHops { hops: 5, max: 4 },
         ];
         for e in errors {

@@ -15,7 +15,6 @@ use whart_channel::{LinkModel, PropagationModel, WIRELESSHART_MESSAGE_BITS};
 
 /// A point on the plant floor, in meters.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Position {
     /// X coordinate (m).
     pub x: f64,
@@ -98,7 +97,10 @@ impl Deployment {
         if node.is_gateway() {
             return Some(self.gateway);
         }
-        self.devices.iter().find(|(n, _)| *n == node).map(|(_, p)| *p)
+        self.devices
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, p)| *p)
     }
 
     /// The predicted link model between two placed nodes, regardless of the
@@ -116,7 +118,9 @@ impl Deployment {
                 WIRELESSHART_MESSAGE_BITS,
                 self.recovery,
             )
-            .map_err(|e| NetError::InvalidPath { reason: e.to_string() })
+            .map_err(|e| NetError::InvalidPath {
+                reason: e.to_string(),
+            })
     }
 
     /// Builds the connectivity graph: every pair of nodes whose predicted
@@ -167,14 +171,11 @@ mod tests {
     use crate::route::MAX_HOPS_GUIDELINE;
 
     fn line_deployment(spacing: f64, count: u32) -> Deployment {
-        let mut d = Deployment::new(
-            Position::new(0.0, 0.0),
-            PropagationModel::industrial(),
-            0.9,
-        )
-        .unwrap();
+        let mut d =
+            Deployment::new(Position::new(0.0, 0.0), PropagationModel::industrial(), 0.9).unwrap();
         for i in 1..=count {
-            d.place(i, Position::new(spacing * f64::from(i), 0.0)).unwrap();
+            d.place(i, Position::new(spacing * f64::from(i), 0.0))
+                .unwrap();
         }
         d
     }
@@ -222,12 +223,9 @@ mod tests {
         let mut strict = strict;
         strict.place(1, Position::new(60.0, 0.0)).unwrap();
         let relaxed = {
-            let mut d = Deployment::new(
-                Position::new(0.0, 0.0),
-                PropagationModel::industrial(),
-                0.6,
-            )
-            .unwrap();
+            let mut d =
+                Deployment::new(Position::new(0.0, 0.0), PropagationModel::industrial(), 0.6)
+                    .unwrap();
             d.place(1, Position::new(60.0, 0.0)).unwrap();
             d
         };
@@ -264,7 +262,9 @@ mod tests {
             d.place(1, Position::new(5.0, 5.0)),
             Err(NetError::DuplicateNode { .. })
         ));
-        assert!(d.predicted_link(NodeId::field(1), NodeId::field(77)).is_err());
+        assert!(d
+            .predicted_link(NodeId::field(1), NodeId::field(77))
+            .is_err());
         assert!(d.position(NodeId::Gateway).is_some());
         assert!(d.position(NodeId::field(77)).is_none());
     }

@@ -6,7 +6,6 @@ use std::fmt;
 /// routing destination with its wired connection to the controller) or a
 /// numbered field device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeId {
     /// The gateway / access point.
     Gateway,
@@ -41,7 +40,6 @@ impl fmt::Display for NodeId {
 /// A directed wireless hop `from -> to`. Physical links are bidirectional;
 /// a `Hop` names one direction of use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hop {
     /// The transmitting node.
     pub from: NodeId,
@@ -57,7 +55,10 @@ impl Hop {
 
     /// The same physical link used in the opposite direction.
     pub fn reversed(self) -> Hop {
-        Hop { from: self.to, to: self.from }
+        Hop {
+            from: self.to,
+            to: self.from,
+        }
     }
 
     /// A canonical (order-independent) key for the underlying physical link,
@@ -85,7 +86,10 @@ mod tests {
     fn display_matches_paper_notation() {
         assert_eq!(NodeId::GATEWAY.to_string(), "G");
         assert_eq!(NodeId::field(3).to_string(), "n3");
-        assert_eq!(Hop::new(NodeId::field(1), NodeId::GATEWAY).to_string(), "<n1,G>");
+        assert_eq!(
+            Hop::new(NodeId::field(1), NodeId::GATEWAY).to_string(),
+            "<n1,G>"
+        );
     }
 
     #[test]

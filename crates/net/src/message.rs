@@ -10,7 +10,6 @@ use crate::superframe::{ReportingInterval, Superframe};
 
 /// A sensory message travelling towards the gateway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Message {
     source: NodeId,
     born_uplink_slot: u64,
@@ -22,7 +21,12 @@ impl Message {
     /// Creates a message born at the given absolute uplink-slot count with
     /// the given TTL (in uplink slots).
     pub fn new(source: NodeId, born_uplink_slot: u64, ttl: u32) -> Self {
-        Message { source, born_uplink_slot, ttl, age_uplink_slots: 0 }
+        Message {
+            source,
+            born_uplink_slot,
+            ttl,
+            age_uplink_slots: 0,
+        }
     }
 
     /// The standard TTL: a message lives for exactly one reporting interval,

@@ -17,7 +17,6 @@ pub const MAX_HOPS_GUIDELINE: usize = 4;
 /// A simple path through the network, from a source node to a destination
 /// (usually the gateway). Holds at least two nodes and never repeats one.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Path {
     nodes: Vec<NodeId>,
 }
@@ -31,11 +30,15 @@ impl Path {
     /// or a node repeats.
     pub fn new(nodes: Vec<NodeId>) -> Result<Self> {
         if nodes.len() < 2 {
-            return Err(NetError::InvalidPath { reason: "a path needs at least two nodes".into() });
+            return Err(NetError::InvalidPath {
+                reason: "a path needs at least two nodes".into(),
+            });
         }
         for (i, a) in nodes.iter().enumerate() {
             if nodes[i + 1..].contains(a) {
-                return Err(NetError::InvalidPath { reason: format!("node {a} repeats") });
+                return Err(NetError::InvalidPath {
+                    reason: format!("node {a} repeats"),
+                });
             }
         }
         Ok(Path { nodes })
@@ -94,7 +97,10 @@ impl Path {
     /// Returns [`NetError::TooManyHops`] when the hop count exceeds `max`.
     pub fn check_hop_guideline(&self, max: usize) -> Result<()> {
         if self.hop_count() > max {
-            return Err(NetError::TooManyHops { hops: self.hop_count(), max });
+            return Err(NetError::TooManyHops {
+                hops: self.hop_count(),
+                max,
+            });
         }
         Ok(())
     }
@@ -149,7 +155,9 @@ pub fn shortest_path(topology: &Topology, from: NodeId, to: NodeId) -> Result<Pa
         }
     }
     if from == to {
-        return Err(NetError::InvalidPath { reason: "source equals destination".into() });
+        return Err(NetError::InvalidPath {
+            reason: "source equals destination".into(),
+        });
     }
     let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     let mut queue = VecDeque::from([from]);
@@ -206,9 +214,12 @@ mod tests {
         for n in 1..=3 {
             t.add_node(NodeId::field(n)).unwrap();
         }
-        t.connect(NodeId::field(1), NodeId::Gateway, link()).unwrap();
-        t.connect(NodeId::field(2), NodeId::field(1), link()).unwrap();
-        t.connect(NodeId::field(3), NodeId::Gateway, link()).unwrap();
+        t.connect(NodeId::field(1), NodeId::Gateway, link())
+            .unwrap();
+        t.connect(NodeId::field(2), NodeId::field(1), link())
+            .unwrap();
+        t.connect(NodeId::field(3), NodeId::Gateway, link())
+            .unwrap();
         t
     }
 
@@ -235,7 +246,11 @@ mod tests {
     #[test]
     fn through_checks_links() {
         let t = chain();
-        assert!(Path::through(&t, vec![NodeId::field(2), NodeId::field(1), NodeId::Gateway]).is_ok());
+        assert!(Path::through(
+            &t,
+            vec![NodeId::field(2), NodeId::field(1), NodeId::Gateway]
+        )
+        .is_ok());
         assert!(matches!(
             Path::through(&t, vec![NodeId::field(2), NodeId::Gateway]),
             Err(NetError::UnknownLink { .. })
@@ -246,7 +261,10 @@ mod tests {
     fn bfs_finds_shortest_route() {
         let t = chain();
         let p = shortest_path(&t, NodeId::field(2), NodeId::Gateway).unwrap();
-        assert_eq!(p.nodes(), &[NodeId::field(2), NodeId::field(1), NodeId::Gateway]);
+        assert_eq!(
+            p.nodes(),
+            &[NodeId::field(2), NodeId::field(1), NodeId::Gateway]
+        );
         let direct = shortest_path(&t, NodeId::field(3), NodeId::Gateway).unwrap();
         assert_eq!(direct.hop_count(), 1);
     }
@@ -257,7 +275,10 @@ mod tests {
         t.add_node(NodeId::field(9)).unwrap();
         assert_eq!(
             shortest_path(&t, NodeId::field(9), NodeId::Gateway).unwrap_err(),
-            NetError::NoRoute { from: NodeId::field(9), to: NodeId::Gateway }
+            NetError::NoRoute {
+                from: NodeId::field(9),
+                to: NodeId::Gateway
+            }
         );
         assert!(shortest_path(&t, NodeId::field(77), NodeId::Gateway).is_err());
         assert!(shortest_path(&t, NodeId::Gateway, NodeId::Gateway).is_err());
@@ -297,7 +318,10 @@ mod tests {
         let peer = Path::new(vec![NodeId::field(5), NodeId::field(3)]).unwrap();
         let existing = Path::new(vec![NodeId::field(3), NodeId::Gateway]).unwrap();
         let composed = peer.compose(&existing).unwrap();
-        assert_eq!(composed.nodes(), &[NodeId::field(5), NodeId::field(3), NodeId::Gateway]);
+        assert_eq!(
+            composed.nodes(),
+            &[NodeId::field(5), NodeId::field(3), NodeId::Gateway]
+        );
     }
 
     #[test]
@@ -310,7 +334,8 @@ mod tests {
     #[test]
     fn composition_rejects_cycles() {
         let peer = Path::new(vec![NodeId::field(1), NodeId::field(3)]).unwrap();
-        let existing = Path::new(vec![NodeId::field(3), NodeId::field(1), NodeId::Gateway]).unwrap();
+        let existing =
+            Path::new(vec![NodeId::field(3), NodeId::field(1), NodeId::Gateway]).unwrap();
         assert!(peer.compose(&existing).is_err());
     }
 }

@@ -13,7 +13,6 @@ use crate::topology::Topology;
 
 /// Path priority used by [`Schedule::by_priority`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchedulePriority {
     /// Short paths transmit first (the paper's `eta_a` style).
     ShortPathsFirst,
@@ -24,7 +23,6 @@ pub enum SchedulePriority {
 /// One scheduled transmission: hop plus the index (into the network's path
 /// list) of the message it forwards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScheduleEntry {
     /// The transmitting hop.
     pub hop: Hop,
@@ -37,7 +35,6 @@ pub struct ScheduleEntry {
 /// Slots are 0-based in the API; [`Schedule::slot_number`] converts to the
 /// paper's 1-based numbering used in delay formulas.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schedule {
     slots: Vec<Option<ScheduleEntry>>,
 }
@@ -45,7 +42,9 @@ pub struct Schedule {
 impl Schedule {
     /// An all-idle schedule of the given length.
     pub fn empty(len: usize) -> Self {
-        Schedule { slots: vec![None; len] }
+        Schedule {
+            slots: vec![None; len],
+        }
     }
 
     /// Builds a schedule by walking `order` over `paths` and assigning each
@@ -63,7 +62,11 @@ impl Schedule {
     pub fn sequential(paths: &[Path], order: &[usize]) -> Result<Self> {
         if order.len() != paths.len() {
             return Err(NetError::InvalidSchedule {
-                reason: format!("order has {} entries for {} paths", order.len(), paths.len()),
+                reason: format!(
+                    "order has {} entries for {} paths",
+                    order.len(),
+                    paths.len()
+                ),
             });
         }
         let mut seen = vec![false; paths.len()];
@@ -170,7 +173,10 @@ impl Schedule {
 
     /// Iterates `(slot, entry)` over the scheduled transmissions.
     pub fn transmissions(&self) -> impl Iterator<Item = (usize, ScheduleEntry)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, e)| e.map(|e| (i, e)))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
     }
 
     /// The scheduled `(slot, hop)` pairs serving one path, in slot order.
@@ -184,7 +190,9 @@ impl Schedule {
     /// The 0-based slot of the path's final hop (towards its destination),
     /// if the path is scheduled.
     pub fn last_slot_for_path(&self, path_index: usize) -> Option<usize> {
-        self.slots_for_path(path_index).last().map(|&(slot, _)| slot)
+        self.slots_for_path(path_index)
+            .last()
+            .map(|&(slot, _)| slot)
     }
 
     /// Validates the schedule against a topology and path list:
@@ -269,9 +277,27 @@ mod tests {
         Schedule::with_entries(
             7,
             &[
-                (2, ScheduleEntry { hop: hops[0], path_index: 0 }),
-                (5, ScheduleEntry { hop: hops[1], path_index: 0 }),
-                (6, ScheduleEntry { hop: hops[2], path_index: 0 }),
+                (
+                    2,
+                    ScheduleEntry {
+                        hop: hops[0],
+                        path_index: 0,
+                    },
+                ),
+                (
+                    5,
+                    ScheduleEntry {
+                        hop: hops[1],
+                        path_index: 0,
+                    },
+                ),
+                (
+                    6,
+                    ScheduleEntry {
+                        hop: hops[2],
+                        path_index: 0,
+                    },
+                ),
             ],
         )
         .unwrap()
@@ -316,7 +342,10 @@ mod tests {
     #[test]
     fn with_entries_rejects_conflicts() {
         let hops: Vec<Hop> = three_hop_paths()[0].hops().collect();
-        let e = ScheduleEntry { hop: hops[0], path_index: 0 };
+        let e = ScheduleEntry {
+            hop: hops[0],
+            path_index: 0,
+        };
         assert!(Schedule::with_entries(3, &[(5, e)]).is_err());
         assert!(Schedule::with_entries(3, &[(1, e), (1, e)]).is_err());
     }
@@ -339,37 +368,85 @@ mod tests {
         let bad = Schedule::with_entries(
             7,
             &[
-                (0, ScheduleEntry { hop: hops[1], path_index: 0 }),
-                (1, ScheduleEntry { hop: hops[0], path_index: 0 }),
-                (2, ScheduleEntry { hop: hops[2], path_index: 0 }),
+                (
+                    0,
+                    ScheduleEntry {
+                        hop: hops[1],
+                        path_index: 0,
+                    },
+                ),
+                (
+                    1,
+                    ScheduleEntry {
+                        hop: hops[0],
+                        path_index: 0,
+                    },
+                ),
+                (
+                    2,
+                    ScheduleEntry {
+                        hop: hops[2],
+                        path_index: 0,
+                    },
+                ),
             ],
         )
         .unwrap();
-        assert!(matches!(bad.validate(&t, &paths), Err(NetError::InvalidSchedule { .. })));
+        assert!(matches!(
+            bad.validate(&t, &paths),
+            Err(NetError::InvalidSchedule { .. })
+        ));
 
         // A hop with no physical link.
         let bad = Schedule::with_entries(
             7,
-            &[(0, ScheduleEntry { hop: Hop::new(n(1), NodeId::Gateway), path_index: 0 })],
+            &[(
+                0,
+                ScheduleEntry {
+                    hop: Hop::new(n(1), NodeId::Gateway),
+                    path_index: 0,
+                },
+            )],
         )
         .unwrap();
-        assert!(matches!(bad.validate(&t, &paths), Err(NetError::UnknownLink { .. })));
+        assert!(matches!(
+            bad.validate(&t, &paths),
+            Err(NetError::UnknownLink { .. })
+        ));
 
         // Missing hops.
         let bad = Schedule::with_entries(
             7,
-            &[(0, ScheduleEntry { hop: hops[0], path_index: 0 })],
+            &[(
+                0,
+                ScheduleEntry {
+                    hop: hops[0],
+                    path_index: 0,
+                },
+            )],
         )
         .unwrap();
-        assert!(matches!(bad.validate(&t, &paths), Err(NetError::InvalidSchedule { .. })));
+        assert!(matches!(
+            bad.validate(&t, &paths),
+            Err(NetError::InvalidSchedule { .. })
+        ));
 
         // Unknown path index.
         let bad = Schedule::with_entries(
             7,
-            &[(0, ScheduleEntry { hop: hops[0], path_index: 7 })],
+            &[(
+                0,
+                ScheduleEntry {
+                    hop: hops[0],
+                    path_index: 7,
+                },
+            )],
         )
         .unwrap();
-        assert!(matches!(bad.validate(&t, &paths), Err(NetError::InvalidSchedule { .. })));
+        assert!(matches!(
+            bad.validate(&t, &paths),
+            Err(NetError::InvalidSchedule { .. })
+        ));
     }
 
     #[test]

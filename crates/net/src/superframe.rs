@@ -13,7 +13,6 @@ pub const SLOT_MS: u32 = 10;
 
 /// A super-frame: `F_up` uplink slots followed by `T_down` downlink slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Superframe {
     uplink_slots: u32,
     downlink_slots: u32,
@@ -31,7 +30,10 @@ impl Superframe {
                 reason: "uplink half must contain at least one slot".into(),
             });
         }
-        Ok(Superframe { uplink_slots, downlink_slots })
+        Ok(Superframe {
+            uplink_slots,
+            downlink_slots,
+        })
     }
 
     /// A symmetric super-frame (`T_down = F_up`), the configuration used in
@@ -92,7 +94,6 @@ impl Superframe {
 /// A reporting interval: sensors measure and forward once every `Is`
 /// super-frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReportingInterval(u32);
 
 impl ReportingInterval {

@@ -16,7 +16,6 @@ use whart_channel::LinkModel;
 /// connects to another node or the gateway with a bi-directional wireless
 /// link"); both directions share one [`LinkModel`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     nodes: Vec<NodeId>,
     links: BTreeMap<(NodeId, NodeId), LinkModel>,
@@ -31,7 +30,10 @@ impl Default for Topology {
 impl Topology {
     /// An empty topology containing only the gateway.
     pub fn new() -> Self {
-        Topology { nodes: vec![NodeId::Gateway], links: BTreeMap::new() }
+        Topology {
+            nodes: vec![NodeId::Gateway],
+            links: BTreeMap::new(),
+        }
     }
 
     /// Adds a field device.
@@ -96,8 +98,10 @@ impl Topology {
     /// Returns [`NetError::UnknownLink`] if the hop's endpoints are not
     /// connected.
     pub fn link_for(&self, hop: Hop) -> Result<LinkModel> {
-        self.link(hop.from, hop.to)
-            .ok_or(NetError::UnknownLink { from: hop.from, to: hop.to })
+        self.link(hop.from, hop.to).ok_or(NetError::UnknownLink {
+            from: hop.from,
+            to: hop.to,
+        })
     }
 
     /// Replaces the link model of an existing link.
@@ -189,8 +193,10 @@ mod tests {
         let mut t = Topology::new();
         t.add_node(NodeId::field(1)).unwrap();
         t.add_node(NodeId::field(2)).unwrap();
-        t.connect(NodeId::field(1), NodeId::Gateway, link()).unwrap();
-        t.connect(NodeId::field(2), NodeId::field(1), link()).unwrap();
+        t.connect(NodeId::field(1), NodeId::Gateway, link())
+            .unwrap();
+        t.connect(NodeId::field(2), NodeId::field(1), link())
+            .unwrap();
         t
     }
 
@@ -208,7 +214,9 @@ mod tests {
         t.add_node(NodeId::field(1)).unwrap();
         assert_eq!(
             t.add_node(NodeId::field(1)).unwrap_err(),
-            NetError::DuplicateNode { node: NodeId::field(1) }
+            NetError::DuplicateNode {
+                node: NodeId::field(1)
+            }
         );
     }
 
@@ -218,8 +226,10 @@ mod tests {
         assert!(t.link(NodeId::field(1), NodeId::Gateway).is_some());
         assert!(t.link(NodeId::Gateway, NodeId::field(1)).is_some());
         assert_eq!(
-            t.link_for(Hop::new(NodeId::field(1), NodeId::Gateway)).unwrap(),
-            t.link_for(Hop::new(NodeId::Gateway, NodeId::field(1))).unwrap()
+            t.link_for(Hop::new(NodeId::field(1), NodeId::Gateway))
+                .unwrap(),
+            t.link_for(Hop::new(NodeId::Gateway, NodeId::field(1)))
+                .unwrap()
         );
     }
 
@@ -240,7 +250,10 @@ mod tests {
     #[test]
     fn neighbors_are_sorted() {
         let t = triangle();
-        assert_eq!(t.neighbors(NodeId::field(1)), vec![NodeId::Gateway, NodeId::field(2)]);
+        assert_eq!(
+            t.neighbors(NodeId::field(1)),
+            vec![NodeId::Gateway, NodeId::field(2)]
+        );
         assert_eq!(t.neighbors(NodeId::field(2)), vec![NodeId::field(1)]);
         assert!(t.neighbors(NodeId::field(99)).is_empty());
     }
@@ -249,13 +262,16 @@ mod tests {
     fn set_and_remove_link() {
         let mut t = triangle();
         let degraded = LinkModel::from_availability(0.693, 0.9).unwrap();
-        t.set_link(NodeId::Gateway, NodeId::field(1), degraded).unwrap();
+        t.set_link(NodeId::Gateway, NodeId::field(1), degraded)
+            .unwrap();
         assert_eq!(t.link(NodeId::field(1), NodeId::Gateway).unwrap(), degraded);
         t.remove_link(NodeId::field(1), NodeId::field(2)).unwrap();
         assert!(t.link(NodeId::field(1), NodeId::field(2)).is_none());
         assert!(!t.is_connected());
         assert!(t.remove_link(NodeId::field(1), NodeId::field(2)).is_err());
-        assert!(t.set_link(NodeId::field(1), NodeId::field(2), degraded).is_err());
+        assert!(t
+            .set_link(NodeId::field(1), NodeId::field(2), degraded)
+            .is_err());
     }
 
     #[test]
@@ -264,7 +280,8 @@ mod tests {
         assert!(t.is_connected());
         t.add_node(NodeId::field(3)).unwrap();
         assert!(!t.is_connected());
-        t.connect(NodeId::field(3), NodeId::field(2), link()).unwrap();
+        t.connect(NodeId::field(3), NodeId::field(2), link())
+            .unwrap();
         assert!(t.is_connected());
     }
 
@@ -280,7 +297,8 @@ mod tests {
     fn reconnect_replaces_model() {
         let mut t = triangle();
         let better = LinkModel::from_availability(0.948, 0.9).unwrap();
-        t.connect(NodeId::field(1), NodeId::Gateway, better).unwrap();
+        t.connect(NodeId::field(1), NodeId::Gateway, better)
+            .unwrap();
         assert_eq!(t.link(NodeId::field(1), NodeId::Gateway).unwrap(), better);
         assert_eq!(t.link_count(), 2);
     }

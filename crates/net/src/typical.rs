@@ -35,15 +35,38 @@ pub fn section_v_example(link: LinkModel) -> Result<(Topology, Path, Schedule, S
     topology.connect(NodeId::field(3), NodeId::Gateway, link)?;
     let path = Path::through(
         &topology,
-        vec![NodeId::field(1), NodeId::field(2), NodeId::field(3), NodeId::Gateway],
+        vec![
+            NodeId::field(1),
+            NodeId::field(2),
+            NodeId::field(3),
+            NodeId::Gateway,
+        ],
     )?;
     let hops: Vec<_> = path.hops().collect();
     let schedule = Schedule::with_entries(
         7,
         &[
-            (2, crate::schedule::ScheduleEntry { hop: hops[0], path_index: 0 }),
-            (5, crate::schedule::ScheduleEntry { hop: hops[1], path_index: 0 }),
-            (6, crate::schedule::ScheduleEntry { hop: hops[2], path_index: 0 }),
+            (
+                2,
+                crate::schedule::ScheduleEntry {
+                    hop: hops[0],
+                    path_index: 0,
+                },
+            ),
+            (
+                5,
+                crate::schedule::ScheduleEntry {
+                    hop: hops[1],
+                    path_index: 0,
+                },
+            ),
+            (
+                6,
+                crate::schedule::ScheduleEntry {
+                    hop: hops[2],
+                    path_index: 0,
+                },
+            ),
         ],
     )?;
     let superframe = Superframe::symmetric(7)?;
@@ -133,7 +156,11 @@ impl TypicalNetwork {
             nodes.push(g);
             paths.push(Path::through(&topology, nodes)?);
         }
-        Ok(TypicalNetwork { topology, paths, superframe: Superframe::symmetric(20)? })
+        Ok(TypicalNetwork {
+            topology,
+            paths,
+            superframe: Superframe::symmetric(20)?,
+        })
     }
 
     /// Schedule `eta_a` (Section VI-A): paths in numeric order, so short
@@ -182,8 +209,13 @@ mod tests {
         assert_eq!(path.hop_count(), 3);
         assert_eq!(schedule.len(), 7);
         assert_eq!(superframe.uplink_slots(), 7);
-        schedule.validate(&topology, std::slice::from_ref(&path)).unwrap();
-        assert_eq!(schedule.to_string(), "(*, *, <n1,n2>, *, *, <n2,n3>, <n3,G>)");
+        schedule
+            .validate(&topology, std::slice::from_ref(&path))
+            .unwrap();
+        assert_eq!(
+            schedule.to_string(),
+            "(*, *, <n1,n2>, *, *, <n2,n3>, <n3,G>)"
+        );
     }
 
     #[test]
@@ -211,8 +243,14 @@ mod tests {
         s.validate(&net.topology, &net.paths).unwrap();
         let rendered = s.to_string();
         // The first slots and the path-10 tail as printed in Section VI-A.
-        assert!(rendered.starts_with("(<n1,G>, <n2,G>, <n3,G>, <n4,n1>, <n1,G>"), "{rendered}");
-        assert!(rendered.contains("<n10,n7>, <n7,n3>, <n3,G>, *)"), "{rendered}");
+        assert!(
+            rendered.starts_with("(<n1,G>, <n2,G>, <n3,G>, <n4,n1>, <n1,G>"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("<n10,n7>, <n7,n3>, <n3,G>, *)"),
+            "{rendered}"
+        );
         // Last-hop slot numbers drive the delay measures: path 1 at slot 1,
         // path 10 at slot 19 (1-based).
         assert_eq!(s.last_slot_for_path(0), Some(0));
@@ -241,7 +279,9 @@ mod tests {
             let (topology, path, schedule) = chain_path(hops, link()).unwrap();
             assert_eq!(path.hop_count(), hops as usize);
             assert_eq!(schedule.len(), hops as usize);
-            schedule.validate(&topology, std::slice::from_ref(&path)).unwrap();
+            schedule
+                .validate(&topology, std::slice::from_ref(&path))
+                .unwrap();
         }
         assert!(chain_path(0, link()).is_err());
     }
@@ -250,8 +290,16 @@ mod tests {
     fn set_link_degrades_e3() {
         let mut net = TypicalNetwork::new(link());
         let degraded = LinkModel::from_availability(0.693, 0.9).unwrap();
-        net.set_link(NodeId::field(3), NodeId::Gateway, degraded).unwrap();
-        assert_eq!(net.topology.link(NodeId::field(3), NodeId::Gateway).unwrap(), degraded);
-        assert!(net.set_link(NodeId::field(1), NodeId::field(2), degraded).is_err());
+        net.set_link(NodeId::field(3), NodeId::Gateway, degraded)
+            .unwrap();
+        assert_eq!(
+            net.topology
+                .link(NodeId::field(3), NodeId::Gateway)
+                .unwrap(),
+            degraded
+        );
+        assert!(net
+            .set_link(NodeId::field(1), NodeId::field(2), degraded)
+            .is_err());
     }
 }

@@ -126,11 +126,19 @@ impl Simulator {
                 .hops()
                 .position(|h| h == entry.hop)
                 .expect("validated schedules serve path hops");
-            slot_actions[slot] =
-                Some((entry.path_index, hop_position, entry.hop.undirected_key()));
+            slot_actions[slot] = Some((entry.path_index, hop_position, entry.hop.undirected_key()));
         }
         let link_keys: Vec<(NodeId, NodeId)> = topology.links().map(|(k, _)| k).collect();
-        Ok(Simulator { topology, paths, schedule, superframe, interval, phy, slot_actions, link_keys })
+        Ok(Simulator {
+            topology,
+            paths,
+            schedule,
+            superframe,
+            interval,
+            phy,
+            slot_actions,
+            link_keys,
+        })
     }
 
     /// A simulator for the paper's typical network under a schedule.
@@ -167,8 +175,9 @@ impl Simulator {
         let cycles = self.interval.cycles() as usize;
         let f_up = u64::from(self.superframe.uplink_slots());
         let cycle_slots = u64::from(self.superframe.cycle_slots());
-        let mut paths: Vec<PathStats> =
-            (0..self.paths.len()).map(|_| PathStats::new(cycles)).collect();
+        let mut paths: Vec<PathStats> = (0..self.paths.len())
+            .map(|_| PathStats::new(cycles))
+            .collect();
 
         // position[p] = Some(hops completed) while in flight.
         let mut position: Vec<Option<usize>> = vec![Some(0); self.paths.len()];
@@ -182,8 +191,7 @@ impl Simulator {
                         sampler.step(&mut rng, absolute_slot);
                     }
                     if frame_slot < f_up {
-                        if let Some((path, hop, link_key)) =
-                            self.slot_actions[frame_slot as usize]
+                        if let Some((path, hop, link_key)) = self.slot_actions[frame_slot as usize]
                         {
                             if position[path] == Some(hop) {
                                 paths[path].slots_used += 1;
@@ -236,20 +244,20 @@ impl Simulator {
         let per = intervals / workers as u64;
         let extra = intervals % workers as u64;
         let mut reports: Vec<Option<SimReport>> = vec![None; workers];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (w, slot) in reports.iter_mut().enumerate() {
                 let chunk = per + u64::from((w as u64) < extra);
-                let worker_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
-                handles.push(scope.spawn(move |_| {
+                let worker_seed =
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                handles.push(scope.spawn(move || {
                     *slot = Some(self.run(worker_seed, chunk));
                 }));
             }
             for h in handles {
                 h.join().expect("simulation workers do not panic");
             }
-        })
-        .expect("scoped simulation threads do not panic");
+        });
         let mut merged: Option<SimReport> = None;
         for report in reports.into_iter().flatten() {
             match &mut merged {
@@ -273,7 +281,11 @@ impl Simulator {
                         GilbertSampler::new(model, LinkState::Down)
                     })
                 }
-                PhyMode::Hopping { conditions, blacklist, message_bits } => {
+                PhyMode::Hopping {
+                    conditions,
+                    blacklist,
+                    message_bits,
+                } => {
                     let sequence = HopSequence::new(blacklist, offset)
                         .expect("blacklist keeps at least one channel");
                     Sampler::Hopping(HoppingSampler::new(
@@ -282,7 +294,12 @@ impl Simulator {
                         *message_bits,
                     ))
                 }
-                PhyMode::HoppingInterfered { conditions, blacklist, message_bits, windows } => {
+                PhyMode::HoppingInterfered {
+                    conditions,
+                    blacklist,
+                    message_bits,
+                    windows,
+                } => {
                     let sequence = HopSequence::new(blacklist, offset)
                         .expect("blacklist keeps at least one channel");
                     Sampler::Interfered(InterferedHoppingSampler::new(
@@ -321,7 +338,11 @@ mod tests {
         let want = [0.999165, 0.996391, 0.99066];
         for (path, hops) in [(0usize, 0usize), (3, 1), (9, 2)] {
             let r = report.paths[path].reachability();
-            assert!((r - want[hops]).abs() < 0.004, "path {path}: {r} vs {}", want[hops]);
+            assert!(
+                (r - want[hops]).abs() < 0.004,
+                "path {path}: {r} vs {}",
+                want[hops]
+            );
         }
     }
 
@@ -409,7 +430,10 @@ mod tests {
         .unwrap();
         let report = sim.run(9, 20_000);
         let first_cycle = report.paths[0].cycle_fractions()[0];
-        assert!((first_cycle - p_success).abs() < 0.005, "{first_cycle} vs {p_success}");
+        assert!(
+            (first_cycle - p_success).abs() < 0.005,
+            "{first_cycle} vs {p_success}"
+        );
     }
 
     #[test]
@@ -440,7 +464,10 @@ mod tests {
         .unwrap();
         let report = sim.run(13, 2_000);
         let total_lost: u64 = report.paths.iter().map(|p| p.lost).sum();
-        assert!(total_lost > 0, "a 12-channel interferer must cost something");
+        assert!(
+            total_lost > 0,
+            "a 12-channel interferer must cost something"
+        );
 
         // Blacklist the 12 interfered channels; the remaining 4 are clean.
         let mut blacklist = Blacklist::new();

@@ -41,7 +41,10 @@ impl InterferenceWindow {
             11 => 21,
             other => panic!("unsupported Wi-Fi channel {other} (use 1, 6 or 11)"),
         };
-        assert!(end_slot > start_slot, "interference window must be non-empty");
+        assert!(
+            end_slot > start_slot,
+            "interference window must be non-empty"
+        );
         InterferenceWindow {
             channels: (first..first + 4)
                 .map(|c| ChannelId::new(c).expect("802.11 overlap stays in band"))
@@ -77,7 +80,13 @@ impl InterferedHoppingSampler {
         message_bits: u32,
     ) -> Self {
         let current_ber = base.ber(sequence.channel_at(0));
-        InterferedHoppingSampler { sequence, base, windows, message_bits, current_ber }
+        InterferedHoppingSampler {
+            sequence,
+            base,
+            windows,
+            message_bits,
+            current_ber,
+        }
     }
 
     /// The effective BER in the current slot.
@@ -95,8 +104,11 @@ impl LinkSampler for InterferedHoppingSampler {
             .filter(|w| w.affects(channel, absolute_slot))
             .map(|w| w.ber)
             .fold(f64::NAN, f64::max);
-        self.current_ber =
-            if interfered.is_nan() { self.base.ber(channel) } else { interfered };
+        self.current_ber = if interfered.is_nan() {
+            self.base.ber(channel)
+        } else {
+            interfered
+        };
     }
 
     fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {

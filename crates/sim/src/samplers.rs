@@ -10,9 +10,7 @@
 //!   message bits cross the current channel's BSC uncorrupted.
 
 use rand::Rng;
-use whart_channel::{
-    BinarySymmetricChannel, ChannelConditions, HopSequence, LinkModel, LinkState,
-};
+use whart_channel::{BinarySymmetricChannel, ChannelConditions, HopSequence, LinkModel, LinkState};
 
 /// A stateful sampler for one physical link.
 pub trait LinkSampler {
@@ -34,7 +32,10 @@ pub struct GilbertSampler {
 impl GilbertSampler {
     /// Creates a sampler starting from the given state.
     pub fn new(model: LinkModel, initial: LinkState) -> Self {
-        GilbertSampler { model, state: initial }
+        GilbertSampler {
+            model,
+            state: initial,
+        }
     }
 
     /// Creates a sampler whose initial state is drawn from the stationary
@@ -80,7 +81,12 @@ impl HoppingSampler {
     /// conditions.
     pub fn new(sequence: HopSequence, conditions: ChannelConditions, message_bits: u32) -> Self {
         let ber = conditions.ber(sequence.channel_at(0));
-        HoppingSampler { sequence, conditions, message_bits, current_channel_ber: ber }
+        HoppingSampler {
+            sequence,
+            conditions,
+            message_bits,
+            current_channel_ber: ber,
+        }
     }
 
     /// The BER of the channel in use this slot.
@@ -122,7 +128,10 @@ mod tests {
             }
         }
         let fraction = up as f64 / slots as f64;
-        assert!((fraction - model.availability()).abs() < 0.005, "{fraction}");
+        assert!(
+            (fraction - model.availability()).abs() < 0.005,
+            "{fraction}"
+        );
     }
 
     #[test]
@@ -169,7 +178,9 @@ mod tests {
         // the per-period mixture of message success probabilities.
         let mut conditions = ChannelConditions::uniform(1e-5).unwrap();
         for ch in [13u8, 20] {
-            conditions.set_ber(whart_channel::ChannelId::new(ch).unwrap(), 1e-3).unwrap();
+            conditions
+                .set_ber(whart_channel::ChannelId::new(ch).unwrap(), 1e-3)
+                .unwrap();
         }
         let sequence = HopSequence::new(&Blacklist::new(), 5).unwrap();
         let mut sampler = HoppingSampler::new(sequence.clone(), conditions.clone(), 1016);
@@ -185,7 +196,9 @@ mod tests {
         let expected: f64 = (0..16u64)
             .map(|t| {
                 let ber = conditions.ber(sequence.channel_at(t));
-                BinarySymmetricChannel::new(ber).unwrap().message_success_probability(1016)
+                BinarySymmetricChannel::new(ber)
+                    .unwrap()
+                    .message_success_probability(1016)
             })
             .sum::<f64>()
             / 16.0;

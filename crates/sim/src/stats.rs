@@ -18,7 +18,10 @@ pub struct PathStats {
 impl PathStats {
     /// Creates empty tallies for an `Is`-cycle interval.
     pub fn new(cycles: usize) -> Self {
-        PathStats { delivered_by_cycle: vec![0; cycles], ..PathStats::default() }
+        PathStats {
+            delivered_by_cycle: vec![0; cycles],
+            ..PathStats::default()
+        }
     }
 
     /// Total messages generated (delivered + lost).
@@ -38,7 +41,10 @@ impl PathStats {
     /// Empirical cycle probability function (fractions of all messages).
     pub fn cycle_fractions(&self) -> Vec<f64> {
         let total = self.messages().max(1) as f64;
-        self.delivered_by_cycle.iter().map(|&c| c as f64 / total).collect()
+        self.delivered_by_cycle
+            .iter()
+            .map(|&c| c as f64 / total)
+            .collect()
     }
 
     /// Mean delivery delay in milliseconds, `None` if nothing arrived.
@@ -58,7 +64,11 @@ impl PathStats {
             other.delivered_by_cycle.len(),
             "cannot merge stats with different interval lengths"
         );
-        for (a, b) in self.delivered_by_cycle.iter_mut().zip(&other.delivered_by_cycle) {
+        for (a, b) in self
+            .delivered_by_cycle
+            .iter_mut()
+            .zip(&other.delivered_by_cycle)
+        {
             *a += b;
         }
         self.lost += other.lost;
@@ -92,7 +102,9 @@ impl SimReport {
 
     /// Empirical network utilization: the sum over paths (Eq. 11).
     pub fn network_utilization(&self) -> f64 {
-        (0..self.paths.len()).map(|p| self.path_utilization(p)).sum()
+        (0..self.paths.len())
+            .map(|p| self.path_utilization(p))
+            .sum()
     }
 
     /// Mean of the per-path mean delays (the estimator of `E[Gamma]`).
@@ -110,8 +122,15 @@ impl SimReport {
     ///
     /// Panics if the reports have different shapes.
     pub fn merge(&mut self, other: &SimReport) {
-        assert_eq!(self.paths.len(), other.paths.len(), "mismatched path counts");
-        assert_eq!(self.uplink_slots_per_interval, other.uplink_slots_per_interval);
+        assert_eq!(
+            self.paths.len(),
+            other.paths.len(),
+            "mismatched path counts"
+        );
+        assert_eq!(
+            self.uplink_slots_per_interval,
+            other.uplink_slots_per_interval
+        );
         for (a, b) in self.paths.iter_mut().zip(&other.paths) {
             a.merge(b);
         }

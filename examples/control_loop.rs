@@ -62,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &mut rng,
             );
             let settle = metrics::settling_time_ms(&trace, 1.0, 0.05)
-                .map_or("never".to_string(), |t| format!("{:.1} s", f64::from(t) / 1000.0));
+                .map_or("never".to_string(), |t| {
+                    format!("{:.1} s", f64::from(t) / 1000.0)
+                });
             println!(
                 "{availability:.3}   {is:>2}   {report_ms:>9} ms   {:>6.3}   {:>6.3}   {settle:>7}  {:>4}",
                 metrics::integral_squared_error(&trace, 1.0),

@@ -8,8 +8,8 @@
 
 use wirelesshart::channel::{LinkModel, LinkState};
 use wirelesshart::model::failure::{
-    expected_reachability_geometric_failure, forced_outage_cycles,
-    reachability_with_lost_cycles, reroute_after_permanent_failure,
+    expected_reachability_geometric_failure, forced_outage_cycles, reachability_with_lost_cycles,
+    reroute_after_permanent_failure,
 };
 use wirelesshart::model::{LinkDynamics, NetworkModel};
 use wirelesshart::net::typical::TypicalNetwork;
@@ -18,8 +18,11 @@ use wirelesshart::net::{NodeId, ReportingInterval, Schedule};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let link = LinkModel::from_ber(2e-4, 1016, 0.9)?; // pi(up) ~ 0.83
     let network = TypicalNetwork::new(link);
-    let baseline =
-        NetworkModel::from_typical(&network, network.schedule_eta_a(), ReportingInterval::REGULAR)?;
+    let baseline = NetworkModel::from_typical(
+        &network,
+        network.schedule_eta_a(),
+        ReportingInterval::REGULAR,
+    )?;
     let healthy = baseline.evaluate()?;
 
     // 1. Transient error: the link chain recovers within a slot or two.
@@ -60,9 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Geometric failure durations.
     println!("\n3. random failure with geometric duration (path 10):");
     for mean in [1.0, 2.0, 3.0] {
-        let expected =
-            expected_reachability_geometric_failure(&baseline.path_model(9)?, mean)?;
-        println!("   mean duration {mean} cycles -> expected R = {:.4}", expected);
+        let expected = expected_reachability_geometric_failure(&baseline.path_model(9)?, mean)?;
+        println!(
+            "   mean duration {mean} cycles -> expected R = {:.4}",
+            expected
+        );
     }
 
     // 4. Permanent failure: remove e3, re-route, re-schedule.
@@ -70,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut topology = network.topology.clone();
     topology.connect(NodeId::field(9), NodeId::field(7), link)?;
     let rerouted = reroute_after_permanent_failure(&topology, NodeId::field(9), NodeId::field(6))?;
-    println!("   re-routed devices: {:?}", rerouted.changed.iter().map(|i| i + 1).collect::<Vec<_>>());
+    println!(
+        "   re-routed devices: {:?}",
+        rerouted.changed.iter().map(|i| i + 1).collect::<Vec<_>>()
+    );
     println!("   new route for n9: {}", rerouted.paths[8]);
     let order: Vec<usize> = (0..rerouted.paths.len()).collect();
     let schedule = Schedule::sequential(&rerouted.paths, &order)?.padded(20);

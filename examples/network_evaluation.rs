@@ -32,13 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 i + 1,
                 report.path.hop_count(),
                 report.evaluation.reachability(),
-                report.evaluation.expected_delay_ms(DelayConvention::Absolute).unwrap_or(f64::NAN)
+                report
+                    .evaluation
+                    .expected_delay_ms(DelayConvention::Absolute)
+                    .unwrap_or(f64::NAN)
             );
         }
         println!(
             "E[Gamma] = {:.1} ms, bottleneck = path {}, U = {:.4}\n",
-            evaluation.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
-            evaluation.delay_bottleneck(DelayConvention::Absolute).expect("paths") + 1,
+            evaluation
+                .mean_delay_ms(DelayConvention::Absolute)
+                .expect("reachable"),
+            evaluation
+                .delay_bottleneck(DelayConvention::Absolute)
+                .expect("paths")
+                + 1,
             evaluation.utilization(UtilizationConvention::AsEvaluated),
         );
     }
@@ -52,8 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PhyMode::Gilbert,
     )?;
     let report = sim.run_parallel(42, 50_000, 4);
-    let model =
-        NetworkModel::from_typical(&network, network.schedule_eta_a(), ReportingInterval::REGULAR)?;
+    let model = NetworkModel::from_typical(
+        &network,
+        network.schedule_eta_a(),
+        ReportingInterval::REGULAR,
+    )?;
     let evaluation = model.evaluate()?;
     println!("path  analytic R  simulated R");
     for (i, r) in evaluation.reports().iter().enumerate() {
@@ -66,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "mean delay: analytic {:.1} ms, simulated {:.1} ms",
-        evaluation.mean_delay_ms(DelayConvention::Absolute).expect("reachable"),
+        evaluation
+            .mean_delay_ms(DelayConvention::Absolute)
+            .expect("reachable"),
         report.mean_delay_ms().expect("delivered"),
     );
     Ok(())

@@ -17,8 +17,11 @@ use wirelesshart::net::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 160 m x 60 m process hall. The gateway hangs at the control room
     // (origin); instruments sit along two production lines.
-    let mut deployment =
-        Deployment::new(Position::new(0.0, 0.0), PropagationModel::industrial(), 0.85)?;
+    let mut deployment = Deployment::new(
+        Position::new(0.0, 0.0),
+        PropagationModel::industrial(),
+        0.85,
+    )?;
     let instruments = [
         (1, 25.0, 10.0),   // flow meter, line A
         (2, 30.0, -12.0),  // pump, line B
@@ -68,17 +71,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>6}   {:.6}  {:>7.1} ms  {:>7.1} ms  {:>5.1} ms",
             i + 1,
             report.evaluation.reachability(),
-            report.evaluation.expected_delay_ms(DelayConvention::Absolute).unwrap_or(f64::NAN),
+            report
+                .evaluation
+                .expected_delay_ms(DelayConvention::Absolute)
+                .unwrap_or(f64::NAN),
             report
                 .evaluation
                 .delay_quantile_ms(0.95, DelayConvention::Absolute)
                 .unwrap_or(f64::NAN),
-            report.evaluation.delay_jitter_ms(DelayConvention::Absolute).unwrap_or(f64::NAN),
+            report
+                .evaluation
+                .delay_jitter_ms(DelayConvention::Absolute)
+                .unwrap_or(f64::NAN),
         );
     }
     println!(
         "\nnetwork mean delay E[Gamma] = {:.1} ms; weakest device: {}",
-        evaluation.mean_delay_ms(DelayConvention::Absolute).unwrap_or(f64::NAN),
+        evaluation
+            .mean_delay_ms(DelayConvention::Absolute)
+            .unwrap_or(f64::NAN),
         evaluation.reachability_bottleneck().map_or(0, |i| i + 1),
     );
     Ok(())

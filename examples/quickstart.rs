@@ -28,22 +28,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("three-hop example path (pi(up) = 0.75, Is = 4)\n");
     println!("cycle probability function g:");
-    for (i, p) in evaluation.cycle_probabilities().as_slice().iter().enumerate() {
+    for (i, p) in evaluation
+        .cycle_probabilities()
+        .as_slice()
+        .iter()
+        .enumerate()
+    {
         println!(
             "  cycle {}: P = {p:.4}   (delay {} ms)",
             i + 1,
             evaluation.delay_ms(i as u32 + 1, DelayConvention::Absolute)
         );
     }
-    println!("\nreachability R                = {:.4}", evaluation.reachability());
-    println!("message loss 1 - R            = {:.4}", evaluation.discard_probability());
+    println!(
+        "\nreachability R                = {:.4}",
+        evaluation.reachability()
+    );
+    println!(
+        "message loss 1 - R            = {:.4}",
+        evaluation.discard_probability()
+    );
     println!(
         "expected intervals to 1st loss = {:.1}",
         evaluation.expected_intervals_to_first_loss()
     );
     println!(
         "expected delay E[tau]          = {:.1} ms",
-        evaluation.expected_delay_ms(DelayConvention::Absolute).expect("path is reachable")
+        evaluation
+            .expected_delay_ms(DelayConvention::Absolute)
+            .expect("path is reachable")
     );
     println!(
         "slot utilization U_p           = {:.4}",

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let order = rank_candidates(
-        &candidates.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+        &candidates
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect::<Vec<_>>(),
         0.001,
     );
     let (winner, prediction) = &candidates[order[0]];

@@ -65,8 +65,6 @@ pub mod prelude {
         DelayConvention, LinkDynamics, NetworkModel, PathEvaluation, PathModel,
         UtilizationConvention,
     };
-    pub use whart_net::{
-        NodeId, Path, ReportingInterval, Schedule, Superframe, Topology,
-    };
+    pub use whart_net::{NodeId, Path, ReportingInterval, Schedule, Superframe, Topology};
     pub use whart_sim::{PhyMode, Simulator};
 }

@@ -17,8 +17,7 @@ fn network(availability: f64) -> TypicalNetwork {
 fn evaluator_vs_explicit_chain_on_every_network_path() {
     let net = network(0.83);
     let model =
-        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
-            .unwrap();
+        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR).unwrap();
     for index in 0..net.paths.len() {
         let path_model = model.path_model(index).unwrap();
         let fast = path_model.evaluate();
@@ -36,8 +35,7 @@ fn evaluator_vs_explicit_chain_on_every_network_path() {
 fn simulator_vs_model_on_the_typical_network() {
     let net = network(0.83);
     let model =
-        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
-            .unwrap();
+        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR).unwrap();
     let analytic = model.evaluate().unwrap();
     let sim = Simulator::from_typical(
         &net,
@@ -64,10 +62,16 @@ fn simulator_vs_model_on_the_typical_network() {
     // Aggregates.
     let analytic_mean = analytic.mean_delay_ms(DelayConvention::Absolute).unwrap();
     let observed_mean = observed.mean_delay_ms().unwrap();
-    assert!((analytic_mean - observed_mean).abs() < 3.0, "{analytic_mean} vs {observed_mean}");
+    assert!(
+        (analytic_mean - observed_mean).abs() < 3.0,
+        "{analytic_mean} vs {observed_mean}"
+    );
     let analytic_u = analytic.utilization(UtilizationConvention::AsEvaluated);
     let observed_u = observed.network_utilization();
-    assert!((analytic_u - observed_u).abs() < 0.004, "{analytic_u} vs {observed_u}");
+    assert!(
+        (analytic_u - observed_u).abs() < 0.004,
+        "{analytic_u} vs {observed_u}"
+    );
 }
 
 #[test]
@@ -76,8 +80,7 @@ fn simulator_cycle_distribution_matches_model() {
     // 3-hop path 10 must match the DTMC's cycle probabilities.
     let net = network(0.83);
     let model =
-        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
-            .unwrap();
+        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR).unwrap();
     let analytic = model.path_model(9).unwrap().evaluate();
     let sim = Simulator::from_typical(
         &net,
@@ -90,7 +93,10 @@ fn simulator_cycle_distribution_matches_model() {
     let fractions = observed.paths[9].cycle_fractions();
     for (i, fraction) in fractions.iter().enumerate() {
         let want = analytic.cycle_probabilities().get(i);
-        assert!((fraction - want).abs() < 0.006, "cycle {i}: {fraction} vs {want}");
+        assert!(
+            (fraction - want).abs() < 0.006,
+            "cycle {i}: {fraction} vs {want}"
+        );
     }
 }
 
@@ -102,8 +108,7 @@ fn shared_links_do_not_bias_per_path_reachability() {
     // check a heavily shared link: e3 carries paths 3, 7, 8 and 10.
     let net = network(0.774);
     let model =
-        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
-            .unwrap();
+        NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR).unwrap();
     let analytic = model.evaluate().unwrap();
     let sim = Simulator::from_typical(
         &net,
@@ -142,5 +147,8 @@ fn hopping_phy_reduces_to_gilbert_on_average() {
     .unwrap();
     let observed = hopping.run(3, 40_000);
     let first_cycle = observed.paths[0].cycle_fractions()[0];
-    assert!((first_cycle - p_success).abs() < 0.006, "{first_cycle} vs {p_success}");
+    assert!(
+        (first_cycle - p_success).abs() < 0.006,
+        "{first_cycle} vs {p_success}"
+    );
 }

@@ -10,8 +10,12 @@ use wirelesshart::net::{
 use wirelesshart::sim::{PhyMode, Simulator};
 
 fn build() -> (wirelesshart::net::Topology, Vec<wirelesshart::net::Path>) {
-    let mut deployment =
-        Deployment::new(Position::new(0.0, 0.0), PropagationModel::industrial(), 0.85).unwrap();
+    let mut deployment = Deployment::new(
+        Position::new(0.0, 0.0),
+        PropagationModel::industrial(),
+        0.85,
+    )
+    .unwrap();
     for (id, x, y) in [
         (1u32, 30.0, 0.0),
         (2, 55.0, 20.0),
@@ -48,9 +52,15 @@ fn deployed_network_evaluates_and_simulates_consistently() {
     }
     assert!(analytic.mean_delay_ms(DelayConvention::Absolute).is_some());
 
-    let sim =
-        Simulator::new(topology, paths, schedule, superframe, interval, PhyMode::Gilbert)
-            .unwrap();
+    let sim = Simulator::new(
+        topology,
+        paths,
+        schedule,
+        superframe,
+        interval,
+        PhyMode::Gilbert,
+    )
+    .unwrap();
     let observed = sim.run(123, 30_000);
     for (i, r) in analytic.reports().iter().enumerate() {
         let a = r.evaluation.reachability();

@@ -36,7 +36,11 @@ fn ber(ber: f64) -> LinkModel {
 
 fn typical_eval(link: LinkModel, eta_b: bool, is: u32) -> wirelesshart::model::NetworkEvaluation {
     let net = TypicalNetwork::new(link);
-    let schedule = if eta_b { net.schedule_eta_b() } else { net.schedule_eta_a() };
+    let schedule = if eta_b {
+        net.schedule_eta_b()
+    } else {
+        net.schedule_eta_a()
+    };
     NetworkModel::from_typical(&net, schedule, ReportingInterval::new(is).unwrap())
         .unwrap()
         .evaluate()
@@ -76,8 +80,13 @@ fn fig7_delay_distribution() {
 
 #[test]
 fn fig8_reachability_vs_availability() {
-    let cases =
-        [(5e-4, 0.924), (3e-4, 0.9737), (2e-4, 0.9907), (1e-4, 0.9989), (5e-5, 0.9999)];
+    let cases = [
+        (5e-4, 0.924),
+        (3e-4, 0.9737),
+        (2e-4, 0.9907),
+        (1e-4, 0.9989),
+        (5e-5, 0.9999),
+    ];
     for (b, want) in cases {
         let r = example_path(ber(b), 4).reachability();
         assert!((r - want).abs() < 6e-4, "ber {b}: {r} vs {want}");
@@ -96,7 +105,10 @@ fn table1_reachability_and_delay() {
     ];
     for (b, want_r, want_d) in cases {
         let eval = example_path(ber(b), 4);
-        assert!((eval.reachability() * 100.0 - want_r).abs() < 0.011, "R at ber {b}");
+        assert!(
+            (eval.reachability() * 100.0 - want_r).abs() < 0.011,
+            "R at ber {b}"
+        );
         let d = eval.expected_delay_ms(DelayConvention::Absolute).unwrap();
         assert!((d - want_d).abs() < 0.25, "E[tau] at ber {b}: {d}");
     }
@@ -182,9 +194,8 @@ fn table2_network_utilization() {
 fn fig17_transient_recovery() {
     for p_fl in [0.184, 0.05] {
         let link = LinkModel::new(p_fl, 0.9).unwrap();
-        let traj =
-            LinkDynamics::starting_in(link, wirelesshart::channel::LinkState::Down)
-                .up_trajectory(6);
+        let traj = LinkDynamics::starting_in(link, wirelesshart::channel::LinkState::Down)
+            .up_trajectory(6);
         assert_eq!(traj[0], 0.0);
         assert!((traj[1] - 0.9).abs() < 1e-12);
         assert!((traj[6] - link.availability()).abs() < 2e-3);
@@ -207,7 +218,10 @@ fn table3_one_cycle_failure() {
             "{hops} hops baseline"
         );
         let degraded = reachability_with_lost_cycles(&model, 1).unwrap() * 100.0;
-        assert!((degraded - want_with).abs() < 0.011, "{hops} hops: {degraded}");
+        assert!(
+            (degraded - want_with).abs() < 0.011,
+            "{hops} hops: {degraded}"
+        );
     }
 }
 
@@ -242,7 +256,8 @@ fn table4_composition_prediction() {
         for k in 0..hops {
             b.add_hop(LinkDynamics::steady(pi(0.83)), k);
         }
-        b.superframe(Superframe::symmetric(20).unwrap()).interval(interval);
+        b.superframe(Superframe::symmetric(20).unwrap())
+            .interval(interval);
         b.build().unwrap().evaluate()
     };
     let snr_link = |snr: f64| {

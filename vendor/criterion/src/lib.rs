@@ -1,0 +1,328 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` 0.5 this
+//! workspace uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated (iteration count doubled
+//! until the batch takes long enough to time reliably), then several samples
+//! are taken and the median per-iteration time reported. When the
+//! `WHART_BENCH_JSON` environment variable names a file, one JSON object per
+//! benchmark is appended to it (JSON-lines) so runs can be post-processed
+//! into checked-in trajectory points.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration; enables derived rates in reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / `BenchmarkId` into a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`; the harness reads back `elapsed`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+/// Entry point; collects results and prints/emits them as it goes.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let record = run_benchmark(id.to_owned(), 100, None, routine);
+        self.records.push(record);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        emit_json(&self.records);
+    }
+}
+
+/// A named family of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<N: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let record = run_benchmark(full, self.sample_size, self.throughput, routine);
+        self.criterion.records.push(record);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, N: IntoBenchmarkId, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Calibrate, then sample, one benchmark routine.
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) -> BenchRecord {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Calibration: double the batch size until a batch is long enough to
+    // time reliably (or one iteration already dominates).
+    let calibration_floor = Duration::from_millis(2);
+    loop {
+        routine(&mut bencher);
+        if bencher.elapsed >= calibration_floor || bencher.iters >= 1 << 28 {
+            break;
+        }
+        bencher.iters *= 2;
+    }
+    let per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+
+    // Measurement: spread a time budget proportional to the configured
+    // sample size over a handful of samples; report the median.
+    let budget_ns = 2.0e6 * sample_size as f64;
+    let samples = 5u64;
+    let iters_per_sample =
+        ((budget_ns / samples as f64 / per_iter_ns.max(1.0)).ceil() as u64).max(1);
+    bencher.iters = iters_per_sample;
+    let mut measured: Vec<f64> = (0..samples)
+        .map(|_| {
+            routine(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        })
+        .collect();
+    measured.sort_by(f64::total_cmp);
+    let mean_ns = measured[measured.len() / 2];
+
+    let mut line = format!("{id:<50} time: [{}]", format_ns(mean_ns));
+    if let Some(Throughput::Elements(n)) = throughput {
+        let rate = n as f64 * 1e9 / mean_ns;
+        line.push_str(&format!(" thrpt: [{rate:.0} elem/s]"));
+    }
+    println!("{line}");
+
+    BenchRecord {
+        id,
+        mean_ns,
+        throughput,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Append one JSON object per record to `$WHART_BENCH_JSON`, if set.
+fn emit_json(records: &[BenchRecord]) {
+    let Ok(path) = std::env::var("WHART_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() || records.is_empty() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("criterion: cannot open {path} for JSON emission");
+        return;
+    };
+    for r in records {
+        let throughput = match r.throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            file,
+            "{{\"id\":\"{}\",\"mean_ns\":{:.1}{}}}",
+            json_escape(&r.id),
+            r.mean_ns,
+            throughput
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].mean_ns > 0.0);
+        c.records.clear();
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_capture_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(64));
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+                b.iter(|| (0..n).product::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.records[0].id, "grp/3");
+        assert!(matches!(
+            c.records[0].throughput,
+            Some(Throughput::Elements(64))
+        ));
+        c.records.clear();
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

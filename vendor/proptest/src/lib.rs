@@ -1,0 +1,556 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` 1.x this
+//! workspace uses. Strategies are plain samplers (no shrinking): each test
+//! case draws fresh inputs from a deterministic per-test RNG, runs the body
+//! under `catch_unwind`, and reports the failing input's `Debug` repr before
+//! re-raising the panic.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`, integer/float
+//! ranges, tuples, `Just`, `any::<bool>()`, `prop_map` / `prop_flat_map`,
+//! `collection::vec` and `sample::subsequence`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// A source of random values of an associated type.
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// `sample` produces a finished value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty integer range strategy");
+                    let off = (rng.next_u64() as u128 % span as u128) as i128;
+                    ((self.start as i128) + off) as $t
+                }
+            }
+
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty integer range strategy");
+                    let off = (rng.next_u64() as u128 % span as u128) as i128;
+                    ((*self.start() as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.gen::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.gen::<f64>() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical uniform strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for [`Arbitrary`] types; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<bool>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let span = self.hi - self.lo + 1;
+            self.lo + (rng.next_u64() as usize % span)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for an order-preserving random subsequence of fixed length.
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        count: usize,
+    }
+
+    /// Pick exactly `count` elements of `values`, preserving their order.
+    pub fn subsequence<T: Clone>(values: Vec<T>, count: usize) -> Subsequence<T> {
+        assert!(
+            count <= values.len(),
+            "subsequence count {} exceeds {} candidates",
+            count,
+            values.len()
+        );
+        Subsequence { values, count }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            // Knuth selection sampling: element i is kept with probability
+            // (still needed) / (still remaining), which yields exactly
+            // `count` picks in their original order.
+            let n = self.values.len();
+            let mut need = self.count;
+            let mut out = Vec::with_capacity(need);
+            for (i, v) in self.values.iter().enumerate() {
+                let remaining = (n - i) as f64;
+                if rng.gen::<f64>() * remaining < need as f64 {
+                    out.push(v.clone());
+                    need -= 1;
+                    if need == 0 {
+                        break;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration; only the case count is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Verdict of one generated case: `Reject` means a failed `prop_assume!`.
+    pub enum TestCaseResult {
+        Pass,
+        Reject,
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: sample inputs, run the body, skip rejects, and on
+    /// panic print the offending input before re-raising.
+    pub fn run_proptest<T, G, B>(config: ProptestConfig, name: &str, mut generate: G, mut body: B)
+    where
+        T: std::fmt::Debug,
+        G: FnMut(&mut TestRng) -> T,
+        B: FnMut(T) -> TestCaseResult,
+    {
+        let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(16).max(1024);
+        while passed < config.cases {
+            let input = generate(&mut rng);
+            let repr = format!("{input:?}");
+            match catch_unwind(AssertUnwindSafe(|| body(input))) {
+                Ok(TestCaseResult::Pass) => passed += 1,
+                Ok(TestCaseResult::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest {name}: too many prop_assume! rejects \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest {name}: failed after {passed} passing case(s)\n\
+                         proptest {name}: failing input = {repr}"
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest(
+                $cfg,
+                stringify!($name),
+                |__proptest_rng| {
+                    ($($crate::strategy::Strategy::sample(&($strat), __proptest_rng),)+)
+                },
+                |__proptest_input| {
+                    let ($($pat,)+) = __proptest_input;
+                    $body
+                    $crate::test_runner::TestCaseResult::Pass
+                },
+            )
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!(
+                "prop_assert!({}) failed: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("prop_assert_eq! failed: left = {:?}, right = {:?}", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq! failed: left = {:?}, right = {:?}: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("prop_assert_ne! failed: both sides = {:?}", l);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::test_runner::TestCaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0.25f64..0.75, z in 5usize..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y), "y = {y}");
+            prop_assert!((5..=9).contains(&z));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_flat_map((len, values) in (1usize..5)
+            .prop_flat_map(|len| (Just(len), crate::collection::vec(0.0f64..1.0, len))))
+        {
+            prop_assert_eq!(values.len(), len);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_count() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let strat = crate::sample::subsequence((0..20usize).collect::<Vec<_>>(), 7);
+        for _ in 0..200 {
+            let picked = strat.sample(&mut rng);
+            assert_eq!(picked.len(), 7);
+            assert!(picked.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn vec_size_ranges() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let exact = crate::collection::vec(0u32..10, 4usize).sample(&mut rng);
+            assert_eq!(exact.len(), 4);
+            let ranged = crate::collection::vec(0u32..10, 1..4usize).sample(&mut rng);
+            assert!((1..=3).contains(&ranged.len()));
+            let inclusive = crate::collection::vec(0u32..10, 1..=3usize).sample(&mut rng);
+            assert!((1..=3).contains(&inclusive.len()));
+        }
+    }
+}
