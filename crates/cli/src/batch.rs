@@ -21,19 +21,45 @@
 //! targets a link `[a, b]` (0 = gateway) and forces an `outage` slot
 //! window, an `initial` state (`"up"`/`"down"`), or a degraded
 //! `availability` on it. Absent `measures` requests everything except
-//! the raw cycle probability function.
+//! the raw cycle probability function. An optional `backend` field
+//! (`"fast"`, `"explicit"` or `"sim"`, with `seed`/`intervals` for the
+//! latter) routes the scenario through that solver; scenarios sharing a
+//! backend configuration share one memoizing engine, and output lines
+//! stay in submission order regardless.
 
+use crate::commands::Backend;
 use crate::spec::{node, LinkQuality, NetworkSpec};
 use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
 use whart_json::Json;
 use whart_model::{LinkDynamics, NetworkModel, Outage};
 use whart_net::Hop;
 
-/// One decoded batch entry: the scenario plus which measures its output
-/// lines should carry.
+/// One decoded batch entry: the scenario, which measures its output
+/// lines should carry, and the solver backend it runs on.
 struct BatchEntry {
     scenario: Scenario,
     measures: MeasureSet,
+    backend: Backend,
+}
+
+fn u64_field(value: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(x) if x >= 0.0 && x.fract() == 0.0 => Ok(x as u64),
+            _ => Err(format!("'{key}' must be a non-negative integer")),
+        },
+    }
+}
+
+fn decode_backend(value: &Json) -> Result<Backend, String> {
+    let Some(name) = value.get("backend") else {
+        return Ok(Backend::Fast);
+    };
+    let name = name.as_str().ok_or("'backend' must be a string")?;
+    let seed = u64_field(value, "seed", 42)?;
+    let intervals = u64_field(value, "intervals", 100_000)?;
+    Backend::parse(name, seed, intervals)
 }
 
 fn decode_measures(value: &Json) -> Result<MeasureSet, String> {
@@ -158,9 +184,11 @@ fn decode_entry(index: usize, value: &Json) -> Result<BatchEntry, String> {
     let mut model = spec.to_model().map_err(wrap)?;
     apply_injections(&mut model, value).map_err(wrap)?;
     let measures = decode_measures(value).map_err(wrap)?;
+    let backend = decode_backend(value).map_err(wrap)?;
     Ok(BatchEntry {
         scenario: Scenario::network(label, model).with_measures(measures),
         measures,
+        backend,
     })
 }
 
@@ -215,6 +243,7 @@ fn stats_line(engine: &Engine) -> Json {
     Json::object([(
         "stats",
         Json::object([
+            ("backend", Json::from(engine.solver_name().to_string())),
             ("jobs", Json::from(stats.jobs_completed)),
             ("paths_requested", Json::from(stats.paths_requested)),
             ("paths_evaluated", Json::from(stats.paths_evaluated)),
@@ -253,20 +282,40 @@ pub fn batch(text: &str, threads: usize, with_stats: bool) -> Result<String, Str
         .enumerate()
         .map(|(i, v)| decode_entry(i, v))
         .collect::<Result<_, String>>()?;
-    let mut engine = Engine::new(threads);
     let measure_sets: Vec<MeasureSet> = entries.iter().map(|e| e.measures).collect();
+    // One engine per distinct backend configuration; scenarios sharing a
+    // backend share its caches. `placements` remembers where each entry
+    // went so the output stays in submission order.
+    let mut engines: Vec<(Backend, Engine)> = Vec::new();
+    let mut placements: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
     for entry in entries {
-        engine.submit(entry.scenario);
+        let slot = match engines.iter().position(|(b, _)| *b == entry.backend) {
+            Some(i) => i,
+            None => {
+                engines.push((
+                    entry.backend,
+                    Engine::with_solver(threads, entry.backend.solver()),
+                ));
+                engines.len() - 1
+            }
+        };
+        let index = engines[slot].1.submit(entry.scenario);
+        placements.push((slot, index));
     }
-    let results = engine.drain().map_err(|e| e.to_string())?;
+    let mut drained: Vec<Vec<ScenarioResult>> = Vec::with_capacity(engines.len());
+    for (_, engine) in &mut engines {
+        drained.push(engine.drain().map_err(|e| e.to_string())?);
+    }
     let mut out = String::new();
-    for (result, measures) in results.iter().zip(measure_sets) {
-        out.push_str(&result_line(result, measures).to_compact());
+    for ((slot, index), measures) in placements.iter().zip(measure_sets) {
+        out.push_str(&result_line(&drained[*slot][*index], measures).to_compact());
         out.push('\n');
     }
     if with_stats {
-        out.push_str(&stats_line(&engine).to_compact());
-        out.push('\n');
+        for (_, engine) in &engines {
+            out.push_str(&stats_line(engine).to_compact());
+            out.push('\n');
+        }
     }
     Ok(out)
 }
@@ -394,6 +443,52 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("scenario 1"), "{err}");
+    }
+
+    #[test]
+    fn backend_field_routes_through_the_selected_solver() {
+        // Same scenario on all three backends, in interleaved order: the
+        // output must stay in submission order and the estimates agree.
+        let out = batch(
+            "[{\"label\":\"f\",\"network\":\"section-v\"},\
+              {\"label\":\"s\",\"network\":\"section-v\",\"backend\":\"sim\",\
+               \"seed\":7,\"intervals\":20000},\
+              {\"label\":\"e\",\"network\":\"section-v\",\"backend\":\"explicit\"},\
+              {\"label\":\"f2\",\"network\":\"section-v\",\"backend\":\"fast\"}]",
+            2,
+            true,
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // 4 scenario lines + one stats line per distinct backend (3).
+        assert_eq!(lines.len(), 7, "{out}");
+        let parsed: Vec<Json> = lines.iter().map(|l| Json::parse(l).unwrap()).collect();
+        let labels: Vec<&str> = parsed[..4]
+            .iter()
+            .map(|j| j["label"].as_str().unwrap())
+            .collect();
+        assert_eq!(labels, ["f", "s", "e", "f2"]);
+        let r = |j: &Json| j["paths"][0]["reachability"].as_f64().unwrap();
+        assert_eq!(r(&parsed[0]), r(&parsed[3]), "fast entries share an engine");
+        assert!((r(&parsed[0]) - r(&parsed[2])).abs() < 1e-12, "explicit");
+        assert!((r(&parsed[0]) - r(&parsed[1])).abs() < 5e-3, "sim estimate");
+        let backends: Vec<&str> = parsed[4..]
+            .iter()
+            .map(|j| j["stats"]["backend"].as_str().unwrap())
+            .collect();
+        assert_eq!(backends, ["fast", "sim", "explicit"]);
+    }
+
+    #[test]
+    fn bogus_backend_is_rejected_with_context() {
+        let err = batch(
+            "[{\"network\":\"typical\",\"backend\":\"magic\"}]",
+            1,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("scenario 1"), "{err}");
+        assert!(err.contains("unknown backend"), "{err}");
     }
 
     #[test]

@@ -1,14 +1,77 @@
 //! The CLI subcommands.
 
 use crate::spec::NetworkSpec;
+use std::sync::Arc;
 use whart_json::Json;
-use whart_model::{compose, explicit::explicit_chain, DelayConvention, UtilizationConvention};
-use whart_sim::{PhyMode, Simulator};
+use whart_model::{
+    compose, explicit::explicit_chain, DelayConvention, ExplicitSolver, FastSolver, MeasurePlan,
+    Solver, UtilizationConvention,
+};
+use whart_sim::{MonteCarloSolver, PhyMode, Simulator};
 
-/// Runs `analyze`: per-path measures and network aggregates.
-pub fn analyze(spec: &NetworkSpec, json: bool) -> Result<String, String> {
+/// The solver backend selected on the command line (`--backend`) or in a
+/// batch scenario's `backend` field. Every variant consumes the same
+/// compiled [`whart_model::NetworkProblem`], so overrides and failure
+/// injections are cross-validated structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The fast analytical transient evaluator (the default).
+    Fast,
+    /// Algorithm 1's explicit unrolled chain, solved by absorbing-state
+    /// analysis.
+    Explicit,
+    /// Monte-Carlo estimation of the same compiled problem.
+    Sim {
+        /// Base RNG seed.
+        seed: u64,
+        /// Replications per path.
+        intervals: u64,
+    },
+}
+
+impl Backend {
+    /// Parses a `--backend` name, attaching `seed`/`intervals` for `sim`.
+    pub fn parse(name: &str, seed: u64, intervals: u64) -> Result<Backend, String> {
+        match name {
+            "fast" => Ok(Backend::Fast),
+            "explicit" => Ok(Backend::Explicit),
+            "sim" => Ok(Backend::Sim { seed, intervals }),
+            other => Err(format!(
+                "unknown backend '{other}' (expected fast, explicit or sim)"
+            )),
+        }
+    }
+
+    /// Instantiates the solver.
+    pub fn solver(&self) -> Arc<dyn Solver> {
+        match *self {
+            Backend::Fast => Arc::new(FastSolver),
+            Backend::Explicit => Arc::new(ExplicitSolver),
+            Backend::Sim { seed, intervals } => Arc::new(MonteCarloSolver::new(seed, intervals)),
+        }
+    }
+
+    /// Human-readable description for report headers.
+    pub fn describe(&self) -> String {
+        match *self {
+            Backend::Fast => "fast".into(),
+            Backend::Explicit => "explicit".into(),
+            Backend::Sim { seed, intervals } => {
+                format!("sim (seed {seed}, {intervals} intervals/path)")
+            }
+        }
+    }
+}
+
+/// Runs `analyze`: per-path measures and network aggregates, solved
+/// through the selected backend.
+pub fn analyze(spec: &NetworkSpec, json: bool, backend: &Backend) -> Result<String, String> {
     let model = spec.to_model()?;
-    let eval = model.evaluate().map_err(|e| e.to_string())?;
+    let problem = model.compile().map_err(|e| e.to_string())?;
+    let eval = backend
+        .solver()
+        .solve_network(&problem, MeasurePlan::default())
+        .map_err(|e| e.to_string())?;
     if json {
         let paths = eval
             .reports()
@@ -44,6 +107,7 @@ pub fn analyze(spec: &NetworkSpec, json: bool) -> Result<String, String> {
             })
             .collect::<Vec<_>>();
         let payload = Json::object([
+            ("backend", Json::from(backend.solver().name().to_string())),
             ("paths", Json::Array(paths)),
             (
                 "mean_delay_ms",
@@ -57,6 +121,9 @@ pub fn analyze(spec: &NetworkSpec, json: bool) -> Result<String, String> {
         return Ok(payload.to_pretty());
     }
     let mut out = String::new();
+    if *backend != Backend::Fast {
+        out.push_str(&format!("backend: {}\n", backend.describe()));
+    }
     out.push_str("path  hops  reachability  E[delay] ms  E[N] intervals  utilization  route\n");
     for (i, r) in eval.reports().iter().enumerate() {
         let delay = r
@@ -273,19 +340,65 @@ mod tests {
     #[test]
     fn analyze_typical_text_output() {
         let spec = NetworkSpec::typical(0.83);
-        let out = analyze(&spec, false).unwrap();
+        let out = analyze(&spec, false, &Backend::Fast).unwrap();
         assert!(out.contains("overall mean delay E[Gamma] = 235"), "{out}");
         assert!(out.contains("network utilization U = 0.28"), "{out}");
         assert!(out.lines().count() >= 13);
+        // The default backend adds no header line.
+        assert!(out.starts_with("path  hops"), "{out}");
     }
 
     #[test]
     fn analyze_json_output_parses() {
         let spec = NetworkSpec::section_v(0.75);
-        let out = analyze(&spec, true).unwrap();
+        let out = analyze(&spec, true, &Backend::Fast).unwrap();
         let value = Json::parse(&out).unwrap();
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
         assert!((r - 0.9624).abs() < 1e-4);
+        assert_eq!(value["backend"].as_str().unwrap(), "fast");
+    }
+
+    #[test]
+    fn analyze_explicit_backend_matches_fast() {
+        let spec = NetworkSpec::section_v(0.75);
+        let fast = analyze(&spec, true, &Backend::Fast).unwrap();
+        let explicit = analyze(&spec, true, &Backend::Explicit).unwrap();
+        let f = Json::parse(&fast).unwrap();
+        let e = Json::parse(&explicit).unwrap();
+        assert_eq!(e["backend"].as_str().unwrap(), "explicit");
+        let rf = f["paths"][0]["reachability"].as_f64().unwrap();
+        let re = e["paths"][0]["reachability"].as_f64().unwrap();
+        assert!((rf - re).abs() < 1e-12, "{rf} vs {re}");
+    }
+
+    #[test]
+    fn analyze_sim_backend_estimates_the_measures() {
+        let spec = NetworkSpec::section_v(0.75);
+        let backend = Backend::Sim {
+            seed: 7,
+            intervals: 50_000,
+        };
+        let out = analyze(&spec, false, &backend).unwrap();
+        assert!(out.starts_with("backend: sim (seed 7"), "{out}");
+        let json = analyze(&spec, true, &backend).unwrap();
+        let value = Json::parse(&json).unwrap();
+        assert_eq!(value["backend"].as_str().unwrap(), "sim");
+        let r = value["paths"][0]["reachability"].as_f64().unwrap();
+        assert!((r - 0.9624).abs() < 5e-3, "{r}");
+    }
+
+    #[test]
+    fn backend_parsing_covers_the_flag_grammar() {
+        assert_eq!(Backend::parse("fast", 1, 2).unwrap(), Backend::Fast);
+        assert_eq!(Backend::parse("explicit", 1, 2).unwrap(), Backend::Explicit);
+        assert_eq!(
+            Backend::parse("sim", 9, 1000).unwrap(),
+            Backend::Sim {
+                seed: 9,
+                intervals: 1000
+            }
+        );
+        assert!(Backend::parse("magic", 0, 0).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! A Rust rebuild of the analysis tool described in Remke & Wu (DSN 2013).
 //!
 //! ```text
-//! whart analyze  <spec.json> [--json]
+//! whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json]
 //! whart batch    <scenarios.json> [--threads N] [--stats]
 //! whart dot      <spec.json> --path <i>
 //! whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
@@ -20,7 +20,7 @@ use spec::NetworkSpec;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  whart analyze  <spec.json> [--json]
+  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json]
   whart batch    <scenarios.json> [--threads N] [--stats]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
@@ -32,7 +32,10 @@ node 0 denotes the gateway; paths are listed source-first and may omit the
 trailing gateway. Link quality accepts {p_fl,p_rc}, {ber}, {snr} or
 {availability}. batch reads a JSON list of scenarios (template or inline
 network, overrides, failure injections, measures) and streams one JSON
-line per scenario through the memoizing engine.";
+line per scenario through the memoizing engine. analyze solves through a
+pluggable backend: 'fast' (analytical transient, default), 'explicit'
+(Algorithm 1 chain) or 'sim' (Monte-Carlo; --seed and --intervals set
+the estimator); batch scenarios select theirs with a \"backend\" field.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,7 +71,13 @@ fn run(args: &[String]) -> Result<String, String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let spec = NetworkSpec::from_json(&text)?;
             match command.as_str() {
-                "analyze" => commands::analyze(&spec, has_flag(args, "--json")),
+                "analyze" => {
+                    let name = flag_value(args, "--backend")?.unwrap_or_else(|| "fast".into());
+                    let seed = parse_or(args, "--seed", 42u64)?;
+                    let intervals = parse_or(args, "--intervals", 100_000u64)?;
+                    let backend = commands::Backend::parse(&name, seed, intervals)?;
+                    commands::analyze(&spec, has_flag(args, "--json"), &backend)
+                }
                 "dot" => {
                     let index =
                         flag_value(args, "--path")?.ok_or("dot requires --path <i> (1-based)")?;
@@ -172,6 +181,35 @@ mod tests {
         assert!(out.contains("0.9624") || out.contains("0.962"), "{out}");
         let dot = run(&s(&["dot", path.to_str().unwrap(), "--path", "1"])).unwrap();
         assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn analyze_backend_flag_selects_the_solver() {
+        let dir = std::env::temp_dir().join("whart-cli-backend-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("section_v.json");
+        std::fs::write(&path, commands::example("section-v").unwrap()).unwrap();
+        let file = path.to_str().unwrap();
+
+        let explicit = run(&s(&["analyze", file, "--backend", "explicit"])).unwrap();
+        assert!(explicit.starts_with("backend: explicit"), "{explicit}");
+        assert!(explicit.contains("0.962"), "{explicit}");
+
+        let sim = run(&s(&[
+            "analyze",
+            file,
+            "--backend",
+            "sim",
+            "--seed",
+            "7",
+            "--intervals",
+            "20000",
+        ]))
+        .unwrap();
+        assert!(sim.starts_with("backend: sim (seed 7"), "{sim}");
+        assert!(sim.contains("0.96"), "{sim}");
+
+        assert!(run(&s(&["analyze", file, "--backend", "magic"])).is_err());
     }
 
     #[test]

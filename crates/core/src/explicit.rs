@@ -18,6 +18,7 @@
 //! suite checks the absorption probabilities agree to within solver
 //! round-off on every model.
 
+use crate::ir::PathProblem;
 use crate::path::PathModel;
 use std::collections::HashMap;
 use whart_dtmc::{Dtmc, Pmf, Result as DtmcResult, StateId};
@@ -75,6 +76,25 @@ impl ExplicitChain {
             .collect())
     }
 
+    /// Solves the chain once for both absorption targets: the cycle
+    /// probability function and the discard probability. This is the
+    /// [`crate::ir::ExplicitSolver`] backend's workhorse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures (cannot happen for chains produced by
+    /// [`explicit_chain`], which always reach an absorbing state).
+    pub fn solve(&self) -> DtmcResult<(Pmf, f64)> {
+        let absorption = self.dtmc.absorption()?;
+        let cycle_probabilities = self
+            .goals
+            .iter()
+            .map(|&g| absorption.probability(self.initial, g))
+            .collect();
+        let discard = absorption.probability(self.initial, self.discard);
+        Ok((cycle_probabilities, discard))
+    }
+
     /// Graphviz rendering in the style of the paper's Figs. 4-5.
     pub fn to_dot(&self, name: &str) -> String {
         let options = whart_dtmc::dot::DotOptions {
@@ -85,21 +105,29 @@ impl ExplicitChain {
     }
 }
 
-/// Builds the explicit absorbing DTMC of a path model (Algorithm 1).
+/// Builds the explicit absorbing DTMC of a path model (Algorithm 1): the
+/// convenience wrapper that lowers the model to its compiled
+/// [`PathProblem`] first. See [`explicit_chain_of`].
+pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
+    explicit_chain_of(&model.compile())
+}
+
+/// Builds the explicit absorbing DTMC of a compiled path problem
+/// (Algorithm 1).
 ///
 /// States are generated breadth-first along the time axis, so the resulting
 /// indices read left-to-right like the paper's figures.
-pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
-    let n = model.hop_count();
-    let f_up = model.superframe().uplink_slots() as usize;
-    let cycles = model.interval().cycles() as usize;
+pub fn explicit_chain_of(problem: &PathProblem) -> ExplicitChain {
+    let n = problem.hop_count();
+    let f_up = problem.superframe().uplink_slots() as usize;
+    let cycles = problem.interval().cycles() as usize;
     let total = f_up * cycles;
-    let ttl = model.ttl() as usize;
-    let cycle_slots = u64::from(model.superframe().cycle_slots());
+    let ttl = problem.ttl() as usize;
+    let cycle_slots = u64::from(problem.superframe().cycle_slots());
 
     let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
-    for (slot, hop) in model.hop_slot_pairs() {
-        by_slot[slot] = Some(hop);
+    for (hop, h) in problem.hops().iter().enumerate() {
+        by_slot[h.frame_slot()] = Some(hop);
     }
 
     let mut builder = Dtmc::builder();
@@ -129,7 +157,7 @@ pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
             match transmitting_hop {
                 Some(hop) => {
                     let abs_slot = cycle as u64 * cycle_slots + slot_in_frame as u64;
-                    let ps = model.hop_dynamics()[hop].up_probability(abs_slot);
+                    let ps = problem.hops()[hop].dynamics().up_probability(abs_slot);
                     // Success branch.
                     if hop + 1 == n {
                         let goal = *goal_by_cycle
@@ -179,7 +207,7 @@ pub fn explicit_chain(model: &PathModel) -> ExplicitChain {
     // the TTL expires early) still get a placeholder absorbing state so the
     // cycle-probability pmf has the right length. Labels use the arrival
     // slot a0 of that cycle, matching the reachable goals.
-    let a0 = model.arrival_slot_number() as usize;
+    let a0 = problem.arrival_slot_number() as usize;
     for cycle in 0..cycles {
         let goal = *goal_by_cycle
             .entry(cycle)

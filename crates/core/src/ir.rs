@@ -1,0 +1,570 @@
+//! The compiled problem IR and the pluggable solver backends.
+//!
+//! Every frontend (the CLI's spec files, the engine's scenarios, the
+//! experiment harnesses, the sweeps) ultimately evaluates the same thing:
+//! a fully-resolved path problem — per-hop [`LinkDynamics`] with their
+//! transient/outage state, the frame slots the schedule grants each hop,
+//! the super-frame split, the reporting interval `Is` and the TTL. This
+//! module makes that object explicit:
+//!
+//! * [`PathProblem`] / [`NetworkProblem`] — the compiled intermediate
+//!   representation. [`crate::PathModel::compile`] and
+//!   [`crate::NetworkModel::compile`] lower the builder-level models to
+//!   it; [`PathProblem::signature`] derives the canonical cache key
+//!   directly from the IR, so *anything* that solves the same compiled
+//!   problem shares cache entries.
+//! * [`Solver`] — the backend trait. Three implementations ship:
+//!   [`FastSolver`] (the in-place transient iteration of Eq. 5),
+//!   [`ExplicitSolver`] (Algorithm 1's unrolled absorbing DTMC solved by
+//!   absorbing-state analysis) and `whart-sim`'s `MonteCarloSolver`
+//!   (statistical solution of the same compiled problem). Because all
+//!   three consume the identical [`PathProblem`], scenarios with link
+//!   overrides and failure injections can be cross-validated between the
+//!   analytical and simulative backends without re-deriving anything.
+//! * [`MeasurePlan`] — demand-driven measure extraction. The transient
+//!   goal trajectory (Fig. 6's step curves) costs `O(Is^2 * F_up)` memory
+//!   per evaluation; scalar-measure sweeps never look at it, so
+//!   retention is opt-in.
+
+use crate::dynamics::LinkDynamics;
+use crate::error::Result;
+use crate::explicit::explicit_chain_of;
+use crate::network::{NetworkEvaluation, PathReport};
+use crate::path::{fast_evaluate, PathEvaluation, PathModel};
+use crate::signature::PathSignature;
+use std::sync::Arc;
+use whart_dtmc::Pmf;
+use whart_net::{NodeId, Path, ReportingInterval, Superframe};
+
+/// Which optional artifacts a solve should materialize.
+///
+/// Scalar measures (reachability, delays, utilization — everything
+/// derived from the cycle probability function) are always available.
+/// The full per-slot goal trajectory is opt-in: cache entries for
+/// scalar-measure fleets then hold `O(Is)` cycle PMFs instead of
+/// `O(Is * F_up * Is)` trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MeasurePlan {
+    /// Materialize the transient goal-state trajectory
+    /// ([`PathEvaluation::trajectory`], the paper's Fig. 6 curves).
+    pub goal_trajectory: bool,
+}
+
+impl MeasurePlan {
+    /// Scalar measures only (the default): no trajectory retention.
+    pub const SCALAR: MeasurePlan = MeasurePlan {
+        goal_trajectory: false,
+    };
+
+    /// Scalar measures plus the full goal trajectory.
+    pub const WITH_TRAJECTORY: MeasurePlan = MeasurePlan {
+        goal_trajectory: true,
+    };
+}
+
+/// One fully-resolved hop of a compiled path problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemHop {
+    dynamics: LinkDynamics,
+    frame_slot: usize,
+    link: Option<(NodeId, NodeId)>,
+}
+
+impl ProblemHop {
+    pub(crate) fn new(
+        dynamics: LinkDynamics,
+        frame_slot: usize,
+        link: Option<(NodeId, NodeId)>,
+    ) -> ProblemHop {
+        ProblemHop {
+            dynamics,
+            frame_slot,
+            link,
+        }
+    }
+
+    /// The hop's resolved link dynamics (overrides and injections already
+    /// applied).
+    pub fn dynamics(&self) -> &LinkDynamics {
+        &self.dynamics
+    }
+
+    /// The 0-based frame slot (within the uplink half) the schedule
+    /// grants this hop.
+    pub fn frame_slot(&self) -> usize {
+        self.frame_slot
+    }
+
+    /// The physical link's undirected endpoints, when the problem was
+    /// compiled from a network (`None` for bare path models). Not part of
+    /// the signature — two paths crossing different physical links with
+    /// identical dynamics are the same computation.
+    pub fn link(&self) -> Option<(NodeId, NodeId)> {
+        self.link
+    }
+}
+
+/// A compiled path problem: the complete, fully-resolved input of a path
+/// solve. Every backend — fast transient iteration, explicit chain,
+/// Monte-Carlo — consumes exactly this object, and the engine's cache
+/// key ([`PathProblem::signature`]) is derived from it, so equal
+/// signatures guarantee bit-identical [`FastSolver`] results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathProblem {
+    hops: Vec<ProblemHop>,
+    superframe: Superframe,
+    interval: ReportingInterval,
+    ttl: u32,
+}
+
+impl PathProblem {
+    /// Invariants (hops non-empty, slots within the uplink half, distinct
+    /// and in path order, `0 < ttl <= Is * F_up`) are established by the
+    /// [`crate::PathModelBuilder`] validation every compile path goes
+    /// through.
+    pub(crate) fn new(
+        hops: Vec<ProblemHop>,
+        superframe: Superframe,
+        interval: ReportingInterval,
+        ttl: u32,
+    ) -> PathProblem {
+        debug_assert!(!hops.is_empty());
+        PathProblem {
+            hops,
+            superframe,
+            interval,
+            ttl,
+        }
+    }
+
+    /// The hops in path order.
+    pub fn hops(&self) -> &[ProblemHop] {
+        &self.hops
+    }
+
+    /// Number of hops.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The super-frame.
+    pub fn superframe(&self) -> Superframe {
+        self.superframe
+    }
+
+    /// The reporting interval.
+    pub fn interval(&self) -> ReportingInterval {
+        self.interval
+    }
+
+    /// The TTL in uplink slots.
+    pub fn ttl(&self) -> u32 {
+        self.ttl
+    }
+
+    /// The 1-based frame slot of the final hop (the paper's `a0`).
+    pub fn arrival_slot_number(&self) -> u32 {
+        self.hops
+            .iter()
+            .map(|h| h.frame_slot)
+            .max()
+            .expect("problems have >= 1 hop") as u32
+            + 1
+    }
+
+    /// Reconstructs a builder-level [`PathModel`] from the IR. The round
+    /// trip preserves the evaluation-relevant content bit-exactly:
+    /// `problem.to_model().signature() == problem.signature()`.
+    pub fn to_model(&self) -> PathModel {
+        PathModel::from_problem(self)
+    }
+
+    /// Assembles a [`PathEvaluation`] from externally computed measures —
+    /// the constructor solver backends use. `cycle_probabilities` is the
+    /// cycle function `g`, `discard_probability` the loss mass and
+    /// `expected_transmissions` the (estimated) attempt count; the
+    /// structural fields (`a0`, hop count, super-frame, interval) come
+    /// from the problem itself. No trajectory is attached.
+    pub fn evaluation_from_measures(
+        &self,
+        cycle_probabilities: Pmf,
+        discard_probability: f64,
+        expected_transmissions: f64,
+    ) -> PathEvaluation {
+        PathEvaluation::from_measures(
+            cycle_probabilities,
+            discard_probability,
+            expected_transmissions,
+            self.arrival_slot_number(),
+            self.hop_count(),
+            self.superframe,
+            self.interval,
+        )
+    }
+
+    /// Like [`PathProblem::evaluation_from_measures`], but estimates the
+    /// attempt count from the cycle function alone with the
+    /// [`crate::UtilizationConvention::LostCharged`] accounting (the only
+    /// convention derivable without per-slot information).
+    pub fn evaluation_from_cycles(
+        &self,
+        cycle_probabilities: Pmf,
+        discard_probability: f64,
+    ) -> PathEvaluation {
+        let expected = crate::path::lost_charged_transmissions(
+            &cycle_probabilities,
+            discard_probability,
+            self.hop_count(),
+            self.interval,
+        );
+        self.evaluation_from_measures(cycle_probabilities, discard_probability, expected)
+    }
+}
+
+/// A compiled network problem: one [`PathProblem`] per route, with the
+/// routes themselves kept for report assembly.
+#[derive(Debug, Clone)]
+pub struct NetworkProblem {
+    paths: Vec<Path>,
+    problems: Vec<PathProblem>,
+}
+
+impl NetworkProblem {
+    pub(crate) fn new(paths: Vec<Path>, problems: Vec<PathProblem>) -> NetworkProblem {
+        debug_assert_eq!(paths.len(), problems.len());
+        NetworkProblem { paths, problems }
+    }
+
+    /// The routes, in path order.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The compiled per-path problems, in path order.
+    pub fn path_problems(&self) -> &[PathProblem] {
+        &self.problems
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// Whether the network has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// Decomposes into `(paths, problems)` — the shape batch planners
+    /// want.
+    pub fn into_parts(self) -> (Vec<Path>, Vec<PathProblem>) {
+        (self.paths, self.problems)
+    }
+}
+
+/// A solver backend: anything that can turn a compiled [`PathProblem`]
+/// into a [`PathEvaluation`].
+///
+/// The analytical backends ([`FastSolver`], [`ExplicitSolver`]) agree to
+/// solver round-off (`< 1e-12`); the Monte-Carlo backend
+/// (`whart_sim::MonteCarloSolver`) converges statistically. All three
+/// consume the identical compiled problem, so link overrides and failure
+/// injections are cross-validated structurally rather than by hand-wired
+/// re-derivation.
+pub trait Solver: Send + Sync {
+    /// A short stable name for logs and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Solves one compiled path problem.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific solver failures (the fast evaluator is total;
+    /// the explicit chain propagates linear-solver errors).
+    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation>;
+
+    /// Solves a compiled network problem path by path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first path-solve failure.
+    fn solve_network(
+        &self,
+        problem: &NetworkProblem,
+        plan: MeasurePlan,
+    ) -> Result<NetworkEvaluation> {
+        let reports = problem
+            .paths()
+            .iter()
+            .zip(problem.path_problems())
+            .map(|(path, p)| {
+                Ok(PathReport {
+                    path: path.clone(),
+                    evaluation: Arc::new(self.solve_path(p, plan)?),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetworkEvaluation::from_reports(reports))
+    }
+}
+
+/// The production backend: the in-place transient iteration of Eq. 5
+/// (`O(Is * F_up)` time, `O(n)` working state). Total — never fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastSolver;
+
+impl Solver for FastSolver {
+    fn name(&self) -> &'static str {
+        "fast"
+    }
+
+    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation> {
+        Ok(fast_evaluate(problem, plan))
+    }
+
+    fn solve_network(
+        &self,
+        problem: &NetworkProblem,
+        plan: MeasurePlan,
+    ) -> Result<NetworkEvaluation> {
+        let evaluations = evaluate_parallel(problem.path_problems(), plan);
+        let reports = problem
+            .paths()
+            .iter()
+            .cloned()
+            .zip(evaluations)
+            .map(|(path, evaluation)| PathReport {
+                path,
+                evaluation: Arc::new(evaluation),
+            })
+            .collect();
+        Ok(NetworkEvaluation::from_reports(reports))
+    }
+}
+
+/// Solves a batch of compiled path problems on scoped worker threads
+/// (one chunk per available core, bounded by the batch size).
+pub(crate) fn evaluate_parallel(
+    problems: &[PathProblem],
+    plan: MeasurePlan,
+) -> Vec<PathEvaluation> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = workers.min(problems.len()).max(1);
+    if workers <= 1 {
+        return problems.iter().map(|p| fast_evaluate(p, plan)).collect();
+    }
+    let chunk = problems.len().div_ceil(workers);
+    let mut out: Vec<Option<PathEvaluation>> = vec![None; problems.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (problems_chunk, out_chunk) in problems.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || {
+                for (problem, slot) in problems_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(fast_evaluate(problem, plan));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("path evaluation workers do not panic");
+        }
+    });
+    out.into_iter()
+        .map(|e| e.expect("every slot filled"))
+        .collect()
+}
+
+/// The reference backend: Algorithm 1's explicit unrolled DTMC (Figs.
+/// 4-5), solved by absorbing-state analysis. Slower than [`FastSolver`]
+/// but independent of the transient iteration, so it serves as the exact
+/// cross-check. Does not materialize trajectories (the absorbing-state
+/// solve yields end-of-horizon probabilities only); a
+/// [`MeasurePlan::WITH_TRAJECTORY`] request is ignored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplicitSolver;
+
+impl Solver for ExplicitSolver {
+    fn name(&self) -> &'static str {
+        "explicit"
+    }
+
+    fn solve_path(&self, problem: &PathProblem, _plan: MeasurePlan) -> Result<PathEvaluation> {
+        let chain = explicit_chain_of(problem);
+        let (cycle_probabilities, discard) = chain.solve()?;
+        Ok(problem.evaluation_from_cycles(cycle_probabilities, discard))
+    }
+}
+
+/// Derives the canonical cache signature of this compiled problem.
+///
+/// The signature is total over the evaluation-relevant inputs (per-hop
+/// dynamics and slots, super-frame, interval, TTL) and deliberately
+/// excludes physical-link identity and measure conventions.
+impl PathProblem {
+    /// See [`PathSignature`].
+    pub fn signature(&self) -> PathSignature {
+        PathSignature::of_problem(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::Outage;
+    use crate::sweeps::{chain_model, section_v_model};
+    use whart_channel::{LinkModel, LinkState};
+    use whart_net::ReportingInterval;
+
+    fn example() -> PathModel {
+        section_v_model(0.75, ReportingInterval::REGULAR).unwrap()
+    }
+
+    #[test]
+    fn compile_round_trips_through_the_ir() {
+        let model = example();
+        let problem = model.compile();
+        assert_eq!(problem.hop_count(), 3);
+        assert_eq!(problem.arrival_slot_number(), 7);
+        assert_eq!(problem.signature(), model.signature());
+        let back = problem.to_model();
+        assert_eq!(back.signature(), model.signature());
+        assert_eq!(back.evaluate(), model.evaluate());
+    }
+
+    #[test]
+    fn fast_solver_matches_model_evaluate() {
+        let model = example();
+        let via_solver = FastSolver
+            .solve_path(&model.compile(), MeasurePlan::SCALAR)
+            .unwrap();
+        assert_eq!(via_solver, model.evaluate());
+    }
+
+    #[test]
+    fn explicit_solver_agrees_with_fast_solver() {
+        for &pi in &[0.693, 0.83, 0.948] {
+            let model = chain_model(2, pi, ReportingInterval::REGULAR).unwrap();
+            let problem = model.compile();
+            let fast = FastSolver
+                .solve_path(&problem, MeasurePlan::SCALAR)
+                .unwrap();
+            let explicit = ExplicitSolver
+                .solve_path(&problem, MeasurePlan::SCALAR)
+                .unwrap();
+            for i in 0..4 {
+                assert!(
+                    (fast.cycle_probabilities().get(i) - explicit.cycle_probabilities().get(i))
+                        .abs()
+                        < 1e-12
+                );
+            }
+            assert!((fast.discard_probability() - explicit.discard_probability()).abs() < 1e-12);
+            assert!((fast.reachability() - explicit.reachability()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn explicit_solver_handles_outages_and_initial_states() {
+        // The injection cases the solvers must agree on: a link starting
+        // DOWN with a mid-interval outage window.
+        let link = LinkModel::from_availability(0.83, 0.9).unwrap();
+        let mut b = PathModel::builder();
+        b.add_hop(
+            LinkDynamics::starting_in(link, LinkState::Down).with_outage(Outage::new(10, 20)),
+            2,
+        )
+        .add_hop(LinkDynamics::steady(link), 5);
+        b.superframe(whart_net::Superframe::symmetric(7).unwrap())
+            .interval(ReportingInterval::REGULAR);
+        let problem = b.build().unwrap().compile();
+        let fast = FastSolver
+            .solve_path(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        let explicit = ExplicitSolver
+            .solve_path(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        for i in 0..4 {
+            assert!(
+                (fast.cycle_probabilities().get(i) - explicit.cycle_probabilities().get(i)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn measure_plan_gates_the_trajectory() {
+        let problem = example().compile();
+        let scalar = FastSolver
+            .solve_path(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        assert!(!scalar.has_trajectory());
+        assert!(scalar.trajectory().is_empty());
+        let full = FastSolver
+            .solve_path(&problem, MeasurePlan::WITH_TRAJECTORY)
+            .unwrap();
+        assert!(full.has_trajectory());
+        assert_eq!(full.trajectory().len(), 29);
+        // Scalar content is identical either way.
+        assert_eq!(scalar.cycle_probabilities(), full.cycle_probabilities());
+        assert_eq!(scalar.discard_probability(), full.discard_probability());
+        assert_eq!(
+            scalar.expected_transmissions(),
+            full.expected_transmissions()
+        );
+    }
+
+    #[test]
+    fn network_problems_compile_with_link_identity() {
+        use whart_net::typical::TypicalNetwork;
+        let net = TypicalNetwork::new(LinkModel::from_availability(0.83, 0.9).unwrap());
+        let model = crate::NetworkModel::from_typical(
+            &net,
+            net.schedule_eta_a(),
+            ReportingInterval::REGULAR,
+        )
+        .unwrap();
+        let problem = model.compile().unwrap();
+        assert_eq!(problem.len(), 10);
+        assert!(!problem.is_empty());
+        for (path, p) in problem.paths().iter().zip(problem.path_problems()) {
+            assert_eq!(path.hop_count(), p.hop_count());
+            for hop in p.hops() {
+                assert!(hop.link().is_some(), "network hops carry link identity");
+            }
+        }
+        // Bare path models carry no link identity.
+        let bare = example().compile();
+        assert!(bare.hops().iter().all(|h| h.link().is_none()));
+    }
+
+    #[test]
+    fn solver_names_are_stable() {
+        assert_eq!(FastSolver.name(), "fast");
+        assert_eq!(ExplicitSolver.name(), "explicit");
+    }
+
+    #[test]
+    fn default_solve_network_matches_fast_override() {
+        use whart_net::typical::TypicalNetwork;
+        let net = TypicalNetwork::new(LinkModel::from_availability(0.83, 0.9).unwrap());
+        let model = crate::NetworkModel::from_typical(
+            &net,
+            net.schedule_eta_a(),
+            ReportingInterval::REGULAR,
+        )
+        .unwrap();
+        let problem = model.compile().unwrap();
+        let fast = FastSolver
+            .solve_network(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        // The default per-path implementation through ExplicitSolver
+        // agrees to solver round-off.
+        let explicit = ExplicitSolver
+            .solve_network(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        for (a, b) in fast.reports().iter().zip(explicit.reports()) {
+            assert!((a.evaluation.reachability() - b.evaluation.reachability()).abs() < 1e-12);
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //!
 //! * [`PathModel`] — the hierarchical path model (Section IV) with the
 //!   fast transient evaluator (Eq. 5);
+//! * [`ir`] — the compiled problem IR ([`PathProblem`] /
+//!   [`NetworkProblem`]) and the pluggable [`Solver`] backends
+//!   ([`FastSolver`], [`ExplicitSolver`], and `whart-sim`'s Monte-Carlo
+//!   adapter), plus the [`MeasurePlan`] for demand-driven artifacts;
 //! * [`explicit`] — Algorithm 1's explicit unrolled DTMC (Figs. 4-5),
 //!   equivalent to the fast evaluator and exportable to Graphviz;
 //! * [`PathEvaluation`] — reachability (Eq. 6), delay distribution and
@@ -67,12 +71,16 @@ pub mod closed_loop;
 pub mod compose;
 pub mod explicit;
 pub mod failure;
+pub mod ir;
 pub mod sensitivity;
 pub mod signature;
 pub mod sweeps;
 
 pub use dynamics::{LinkDynamics, Outage};
 pub use error::{ModelError, Result};
+pub use ir::{
+    ExplicitSolver, FastSolver, MeasurePlan, NetworkProblem, PathProblem, ProblemHop, Solver,
+};
 pub use measures::{DelayConvention, UtilizationConvention};
 pub use network::{NetworkEvaluation, NetworkModel, PathReport};
 pub use path::{PathEvaluation, PathModel, PathModelBuilder};

@@ -9,6 +9,7 @@
 
 use crate::dynamics::LinkDynamics;
 use crate::error::{ModelError, Result};
+use crate::ir::{FastSolver, MeasurePlan, NetworkProblem, PathProblem, Solver};
 use crate::measures::{DelayConvention, UtilizationConvention};
 use crate::path::{PathEvaluation, PathModel};
 use std::collections::BTreeMap;
@@ -153,68 +154,62 @@ impl NetworkModel {
         builder.build()
     }
 
-    /// Evaluates every path. Path models are independent, so they are
-    /// solved on parallel worker threads.
+    /// Compiles the problem of one path: the [`PathModel`] lowered to the
+    /// IR, with the physical-link identity of every hop attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Inconsistent`] for an out-of-range index.
+    pub fn path_problem(&self, path_index: usize) -> Result<PathProblem> {
+        if path_index >= self.paths.len() {
+            return Err(ModelError::Inconsistent {
+                reason: format!("path index {path_index} out of range"),
+            });
+        }
+        let mut builder = PathModel::builder();
+        let mut links = Vec::new();
+        for (slot, hop) in self.schedule.slots_for_path(path_index) {
+            let dynamics = match self.overrides.get(&hop.undirected_key()) {
+                Some(d) => d.clone(),
+                None => LinkDynamics::steady(self.topology.link_for(hop)?),
+            };
+            builder.add_hop(dynamics, slot);
+            links.push(hop.undirected_key());
+        }
+        builder.superframe(self.superframe).interval(self.interval);
+        Ok(builder.build()?.into_problem(links))
+    }
+
+    /// Lowers the whole network to its compiled [`NetworkProblem`] — the
+    /// object every solver backend consumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first path-model construction failure.
+    pub fn compile(&self) -> Result<NetworkProblem> {
+        let problems = (0..self.paths.len())
+            .map(|i| self.path_problem(i))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetworkProblem::new(self.paths.clone(), problems))
+    }
+
+    /// Evaluates every path with the fast backend. Path models are
+    /// independent, so they are solved on parallel worker threads;
+    /// equivalent to `FastSolver.solve_network(&self.compile()?, ..)`.
     ///
     /// # Errors
     ///
     /// Propagates the first path-model construction failure.
     pub fn evaluate(&self) -> Result<NetworkEvaluation> {
-        let models: Vec<PathModel> = (0..self.paths.len())
-            .map(|i| self.path_model(i))
-            .collect::<Result<_>>()?;
-        let evaluations = evaluate_parallel(models);
-        let reports = self
-            .paths
-            .iter()
-            .cloned()
-            .zip(evaluations)
-            .map(|(path, evaluation)| PathReport {
-                path,
-                evaluation: Arc::new(evaluation),
-            })
-            .collect();
-        Ok(NetworkEvaluation { reports })
+        FastSolver.solve_network(&self.compile()?, MeasurePlan::default())
     }
-}
-
-/// Evaluates a batch of path models on scoped worker threads (one chunk per
-/// available core, bounded by the batch size).
-fn evaluate_parallel(models: Vec<PathModel>) -> Vec<PathEvaluation> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let workers = workers.min(models.len()).max(1);
-    if workers <= 1 {
-        return models.iter().map(PathModel::evaluate).collect();
-    }
-    let chunk = models.len().div_ceil(workers);
-    let mut out: Vec<Option<PathEvaluation>> = vec![None; models.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (start, (models_chunk, out_chunk)) in
-            models.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let _ = start;
-            handles.push(scope.spawn(move || {
-                for (model, slot) in models_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(model.evaluate());
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("path evaluation workers do not panic");
-        }
-    });
-    out.into_iter()
-        .map(|e| e.expect("every slot filled"))
-        .collect()
 }
 
 /// One path's evaluation inside a network.
 ///
-/// The evaluation is immutable once solved and can be large (it carries
-/// the full transient trajectory), so it is shared behind an [`Arc`]:
+/// The evaluation is immutable once solved and can be large (under
+/// [`MeasurePlan::WITH_TRAJECTORY`] it carries the transient goal
+/// trajectory), so it is shared behind an [`Arc`]:
 /// batch evaluators that answer repeated paths from a cache hand out
 /// references instead of deep copies. All read access goes through
 /// `Deref`, so `report.evaluation.reachability()` reads as before.

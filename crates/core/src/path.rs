@@ -18,8 +18,9 @@
 
 use crate::dynamics::LinkDynamics;
 use crate::error::{ModelError, Result};
+use crate::ir::{MeasurePlan, PathProblem, ProblemHop};
 use whart_dtmc::Pmf;
-use whart_net::{Path, ReportingInterval, Schedule, Superframe, Topology};
+use whart_net::{NodeId, Path, ReportingInterval, Schedule, Superframe, Topology};
 
 /// One scheduled hop of a path model: the transmission of hop `hop` (0-based
 /// position along the path) in frame slot `slot` (0-based within the uplink
@@ -124,11 +125,6 @@ impl PathModel {
         &self.dynamics
     }
 
-    /// The `(frame_slot_0_based, hop_index)` assignments.
-    pub(crate) fn hop_slot_pairs(&self) -> Vec<(usize, usize)> {
-        self.hop_slots.iter().map(|hs| (hs.slot, hs.hop)).collect()
-    }
-
     /// The success probability of hop `hop` when transmitted in cycle
     /// `cycle` (0-based): the link's transient UP probability at the
     /// absolute slot of that transmission.
@@ -153,75 +149,152 @@ impl PathModel {
         model
     }
 
-    /// Evaluates the model: the transient iteration of Eq. 5 over the whole
-    /// reporting interval.
-    pub fn evaluate(&self) -> PathEvaluation {
-        let n = self.hop_count();
-        let f_up = self.superframe.uplink_slots() as usize;
-        let cycles = self.interval.cycles() as usize;
-        let total = f_up * cycles;
-        let cycle_slots = u64::from(self.superframe.cycle_slots());
+    /// Lowers this model to its compiled problem IR: the fully-resolved
+    /// input of a path solve, consumed by every [`crate::ir::Solver`]
+    /// backend. The round trip through [`PathProblem::to_model`] preserves
+    /// the [`crate::signature::PathSignature`] bit-exactly.
+    pub fn compile(&self) -> PathProblem {
+        let hops = self
+            .dynamics
+            .iter()
+            .zip(&self.hop_slots)
+            .map(|(dynamics, hs)| ProblemHop::new(dynamics.clone(), hs.slot, None))
+            .collect();
+        PathProblem::new(hops, self.superframe, self.interval, self.ttl)
+    }
 
-        // Which hop (if any) transmits in each frame slot for this path.
-        let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
-        for hs in &self.hop_slots {
-            by_slot[hs.slot] = Some(hs.hop);
+    /// Consuming lowering with physical-link identities attached: moves
+    /// the hop dynamics into the problem instead of cloning them (the hot
+    /// path of [`crate::NetworkModel::path_problem`], which builds a
+    /// throwaway model per planned path).
+    pub(crate) fn into_problem(self, links: Vec<(NodeId, NodeId)>) -> PathProblem {
+        debug_assert_eq!(links.len(), self.dynamics.len());
+        let hops = self
+            .dynamics
+            .into_iter()
+            .zip(self.hop_slots)
+            .zip(links)
+            .map(|((dynamics, hs), link)| ProblemHop::new(dynamics, hs.slot, Some(link)))
+            .collect();
+        PathProblem::new(hops, self.superframe, self.interval, self.ttl)
+    }
+
+    /// Reconstructs a model from a compiled problem (the inverse of
+    /// [`PathModel::compile`]). Direct construction — the problem's
+    /// invariants were established by the builder that originally
+    /// produced it, including an already-resolved TTL.
+    pub(crate) fn from_problem(problem: &PathProblem) -> PathModel {
+        PathModel {
+            dynamics: problem
+                .hops()
+                .iter()
+                .map(|h| h.dynamics().clone())
+                .collect(),
+            hop_slots: problem
+                .hops()
+                .iter()
+                .enumerate()
+                .map(|(hop, h)| HopSlot {
+                    slot: h.frame_slot(),
+                    hop,
+                })
+                .collect(),
+            superframe: problem.superframe(),
+            interval: problem.interval(),
+            ttl: problem.ttl(),
         }
+    }
 
-        // position[j] = P(message sits j hops along the path).
-        let mut position = vec![0.0f64; n];
-        position[0] = 1.0;
-        let mut goals = vec![0.0f64; cycles];
-        let mut discard = 0.0f64;
-        let mut expected_transmissions = 0.0f64;
-        let mut goal_trajectory: Vec<Vec<f64>> = Vec::with_capacity(total + 1);
+    /// Evaluates the model with scalar measures only: the transient
+    /// iteration of Eq. 5 over the whole reporting interval. Equivalent
+    /// to `evaluate_with(MeasurePlan::SCALAR)`; use
+    /// [`PathModel::evaluate_with`] to also retain the goal trajectory.
+    pub fn evaluate(&self) -> PathEvaluation {
+        self.evaluate_with(MeasurePlan::default())
+    }
+
+    /// Evaluates the model, materializing the optional artifacts `plan`
+    /// requests.
+    pub fn evaluate_with(&self, plan: MeasurePlan) -> PathEvaluation {
+        fast_evaluate(&self.compile(), plan)
+    }
+}
+
+/// The fast backend's core: the in-place transient iteration of Eq. 5
+/// over a compiled [`PathProblem`]. Trajectory rows are recorded only
+/// when `plan` asks for them, and only up to the TTL expiry (goals are
+/// constant afterwards); [`PathEvaluation::trajectory`] re-pads on
+/// demand.
+pub(crate) fn fast_evaluate(problem: &PathProblem, plan: MeasurePlan) -> PathEvaluation {
+    let n = problem.hop_count();
+    let f_up = problem.superframe().uplink_slots() as usize;
+    let cycles = problem.interval().cycles() as usize;
+    let total = f_up * cycles;
+    let cycle_slots = u64::from(problem.superframe().cycle_slots());
+    let ttl = problem.ttl();
+    let record = plan.goal_trajectory;
+
+    // Which hop (if any) transmits in each frame slot for this path.
+    let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
+    for (hop, h) in problem.hops().iter().enumerate() {
+        by_slot[h.frame_slot()] = Some(hop);
+    }
+
+    // position[j] = P(message sits j hops along the path).
+    let mut position = vec![0.0f64; n];
+    position[0] = 1.0;
+    let mut goals = vec![0.0f64; cycles];
+    let mut discard = 0.0f64;
+    let mut expected_transmissions = 0.0f64;
+    let mut goal_trajectory: Vec<Vec<f64>> = Vec::new();
+    if record {
+        goal_trajectory.reserve((ttl as usize).min(total) + 1);
         goal_trajectory.push(goals.clone());
+    }
 
-        for step in 1..=total {
-            let frame_slot = (step - 1) % f_up;
-            let cycle = (step - 1) / f_up;
-            if let Some(hop) = by_slot[frame_slot] {
-                let mass = position[hop];
-                if mass > 0.0 {
-                    expected_transmissions += mass;
-                    let abs_slot = cycle as u64 * cycle_slots + frame_slot as u64;
-                    let ps = self.dynamics[hop].up_probability(abs_slot);
-                    let moved = mass * ps;
-                    position[hop] = mass - moved;
-                    if hop + 1 == n {
-                        goals[cycle] += moved;
-                    } else {
-                        position[hop + 1] += moved;
-                    }
+    for step in 1..=total {
+        let frame_slot = (step - 1) % f_up;
+        let cycle = (step - 1) / f_up;
+        if let Some(hop) = by_slot[frame_slot] {
+            let mass = position[hop];
+            if mass > 0.0 {
+                expected_transmissions += mass;
+                let abs_slot = cycle as u64 * cycle_slots + frame_slot as u64;
+                let ps = problem.hops()[hop].dynamics().up_probability(abs_slot);
+                let moved = mass * ps;
+                position[hop] = mass - moved;
+                if hop + 1 == n {
+                    goals[cycle] += moved;
+                } else {
+                    position[hop + 1] += moved;
                 }
             }
-            // TTL expiry: the message is dropped once it has lived `ttl`
-            // uplink slots without reaching the gateway.
-            if step as u32 >= self.ttl {
-                discard += position.iter().sum::<f64>();
-                position.iter_mut().for_each(|p| *p = 0.0);
-                goal_trajectory.push(goals.clone());
-                // Goals no longer change; pad the trajectory to full length.
-                for _ in step + 1..=total {
-                    goal_trajectory.push(goals.clone());
-                }
-                break;
-            }
+        }
+        if record {
             goal_trajectory.push(goals.clone());
         }
-        // Mass still in flight at the end of the interval is lost.
-        discard += position.iter().sum::<f64>();
-
-        PathEvaluation {
-            cycle_probabilities: goals.iter().copied().collect(),
-            discard_probability: discard,
-            arrival_slot_number: self.arrival_slot_number(),
-            hop_count: n,
-            superframe: self.superframe,
-            interval: self.interval,
-            goal_trajectory,
-            expected_transmissions,
+        // TTL expiry: the message is dropped once it has lived `ttl`
+        // uplink slots without reaching the gateway. Goals can no longer
+        // change, so the recorded trajectory ends here.
+        if step as u32 >= ttl {
+            discard += position.iter().sum::<f64>();
+            position.iter_mut().for_each(|p| *p = 0.0);
+            break;
         }
+    }
+    // Mass still in flight at the end of the interval is lost.
+    discard += position.iter().sum::<f64>();
+
+    PathEvaluation {
+        cycle_probabilities: goals.iter().copied().collect(),
+        discard_probability: discard,
+        arrival_slot_number: problem.arrival_slot_number(),
+        hop_count: n,
+        superframe: problem.superframe(),
+        interval: problem.interval(),
+        goal_trajectory,
+        trajectory_len: if record { total + 1 } else { 0 },
+        expected_transmissions,
     }
 }
 
@@ -330,6 +403,11 @@ impl PathModelBuilder {
 
 /// The result of [`PathModel::evaluate`]: the absorption probabilities of
 /// the path DTMC, plus everything the measures of Section V need.
+///
+/// Scalar measures are always present; the per-slot goal trajectory is
+/// only attached when the evaluation was run with
+/// [`MeasurePlan::WITH_TRAJECTORY`], and even then only the rows up to
+/// the TTL expiry are stored (goals are constant afterwards).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PathEvaluation {
     cycle_probabilities: Pmf,
@@ -338,7 +416,12 @@ pub struct PathEvaluation {
     hop_count: usize,
     superframe: Superframe,
     interval: ReportingInterval,
+    /// Recorded rows: one per uplink slot up to the TTL expiry, empty
+    /// when the trajectory was not requested.
     goal_trajectory: Vec<Vec<f64>>,
+    /// Logical trajectory length (`Is * F_up + 1` rows when recorded,
+    /// 0 otherwise); [`PathEvaluation::trajectory`] pads to this.
+    trajectory_len: usize,
     expected_transmissions: f64,
 }
 
@@ -393,12 +476,27 @@ impl PathEvaluation {
             / f64::from(self.interval.cycles() * self.superframe.uplink_slots())
     }
 
+    /// Whether this evaluation carries a goal trajectory (i.e. it was
+    /// produced under [`MeasurePlan::WITH_TRAJECTORY`]).
+    pub fn has_trajectory(&self) -> bool {
+        self.trajectory_len > 0
+    }
+
     /// The transient probability of each goal state after every uplink slot:
     /// `trajectory()[t][i]` is the probability that the message has reached
     /// goal `i + 1` within the first `t` uplink slots — the curves of the
-    /// paper's Fig. 6.
-    pub fn trajectory(&self) -> &[Vec<f64>] {
-        &self.goal_trajectory
+    /// paper's Fig. 6. Rows after the TTL expiry repeat the final recorded
+    /// row (goals are constant once the message is discarded). Empty
+    /// unless the evaluation was run with
+    /// [`MeasurePlan::WITH_TRAJECTORY`].
+    pub fn trajectory(&self) -> Vec<Vec<f64>> {
+        let mut rows = self.goal_trajectory.clone();
+        if let Some(last) = rows.last().cloned() {
+            while rows.len() < self.trajectory_len {
+                rows.push(last.clone());
+            }
+        }
+        rows
     }
 
     /// Constructs an evaluation from raw parts (used by the composition and
@@ -412,17 +510,34 @@ impl PathEvaluation {
         interval: ReportingInterval,
     ) -> PathEvaluation {
         let discard_probability = 1.0 - cycle_probabilities.total_mass();
-        // For composed evaluations the exact attempt count is not derivable
-        // from the cycle function alone; charge delivered messages their
-        // minimum (n + i - 1) and lost ones the worst case, matching the
-        // LostCharged convention.
-        let is = interval.cycles();
-        let mut expected_transmissions =
-            discard_probability * (hop_count as f64 + f64::from(is) - 1.0);
-        for cycle in 1..=is {
-            expected_transmissions += cycle_probabilities.get(cycle as usize - 1)
-                * (hop_count as f64 + f64::from(cycle) - 1.0);
-        }
+        let expected_transmissions = lost_charged_transmissions(
+            &cycle_probabilities,
+            discard_probability,
+            hop_count,
+            interval,
+        );
+        PathEvaluation::from_measures(
+            cycle_probabilities,
+            discard_probability,
+            expected_transmissions,
+            arrival_slot_number,
+            hop_count,
+            superframe,
+            interval,
+        )
+    }
+
+    /// Constructs an evaluation from externally computed measures (the
+    /// explicit-chain and Monte-Carlo backends). No trajectory attached.
+    pub(crate) fn from_measures(
+        cycle_probabilities: Pmf,
+        discard_probability: f64,
+        expected_transmissions: f64,
+        arrival_slot_number: u32,
+        hop_count: usize,
+        superframe: Superframe,
+        interval: ReportingInterval,
+    ) -> PathEvaluation {
         PathEvaluation {
             cycle_probabilities,
             discard_probability,
@@ -431,9 +546,29 @@ impl PathEvaluation {
             superframe,
             interval,
             goal_trajectory: Vec::new(),
+            trajectory_len: 0,
             expected_transmissions,
         }
     }
+}
+
+/// The [`crate::UtilizationConvention::LostCharged`] estimate of the
+/// expected attempt count, derivable from the cycle function alone:
+/// delivered messages are charged their minimum `n + i - 1` slots, lost
+/// ones the worst case `n + Is - 1`.
+pub(crate) fn lost_charged_transmissions(
+    cycle_probabilities: &Pmf,
+    discard_probability: f64,
+    hop_count: usize,
+    interval: ReportingInterval,
+) -> f64 {
+    let is = interval.cycles();
+    let mut expected = discard_probability * (hop_count as f64 + f64::from(is) - 1.0);
+    for cycle in 1..=is {
+        expected += cycle_probabilities.get(cycle as usize - 1)
+            * (hop_count as f64 + f64::from(cycle) - 1.0);
+    }
+    expected
 }
 
 #[cfg(test)]
@@ -494,7 +629,8 @@ mod tests {
     fn trajectory_is_step_shaped() {
         // Goals only jump at their arrival slots: goal 1 at step 7, goal 2 at
         // step 14, ... (Fig. 6's step curves).
-        let eval = example_model(0.75, 4).evaluate();
+        let eval = example_model(0.75, 4).evaluate_with(MeasurePlan::WITH_TRAJECTORY);
+        assert!(eval.has_trajectory());
         let traj = eval.trajectory();
         assert_eq!(traj.len(), 29);
         assert_eq!(traj[0], vec![0.0; 4]);
@@ -551,12 +687,24 @@ mod tests {
         b.superframe(Superframe::symmetric(7).unwrap())
             .interval(ReportingInterval::new(4).unwrap())
             .ttl(7);
-        let eval = b.build().unwrap().evaluate();
+        let eval = b
+            .build()
+            .unwrap()
+            .evaluate_with(MeasurePlan::WITH_TRAJECTORY);
         assert!((eval.cycle_probabilities().get(0) - 0.75f64.powi(3)).abs() < 1e-12);
         assert_eq!(eval.cycle_probabilities().get(1), 0.0);
         assert!((eval.discard_probability() - (1.0 - 0.75f64.powi(3))).abs() < 1e-12);
-        // Trajectory still spans the whole interval.
-        assert_eq!(eval.trajectory().len(), 29);
+        // The returned trajectory still spans the whole interval, but only
+        // the rows up to the TTL expiry are stored.
+        let traj = eval.trajectory();
+        assert_eq!(traj.len(), 29);
+        for row in &traj[7..] {
+            assert_eq!(row, &traj[7]);
+        }
+        // Scalar evaluations carry no trajectory at all.
+        let scalar = example_model(0.75, 4).evaluate();
+        assert!(!scalar.has_trajectory());
+        assert!(scalar.trajectory().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! the DTMC solve itself.
 
 use crate::dynamics::LinkDynamics;
+use crate::ir::PathProblem;
 use crate::path::PathModel;
 
 /// Bit-exact encoding of an `f64` probability for use in a hash key.
@@ -57,11 +58,14 @@ impl DynamicsKey {
     }
 }
 
-/// Canonical signature of a [`PathModel`]: per-hop dynamics keys with
-/// their frame slots, the super-frame shape `(F_up, T_down)`, the
-/// reporting interval `Is` and the message TTL. This is the complete
-/// input of [`PathModel::evaluate`], so equal signatures guarantee
-/// bit-identical [`crate::path::PathEvaluation`]s.
+/// Canonical signature of a compiled [`PathProblem`]: per-hop dynamics
+/// keys with their frame slots, the super-frame shape `(F_up, T_down)`,
+/// the reporting interval `Is` and the message TTL. This is the complete
+/// input of a path solve, so equal signatures guarantee bit-identical
+/// [`crate::path::PathEvaluation`]s from the fast backend. Physical-link
+/// identity ([`crate::ir::ProblemHop::link`]) is deliberately excluded:
+/// two paths crossing different physical links with identical dynamics
+/// are the same computation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PathSignature {
     hops: Vec<(DynamicsKey, usize)>,
@@ -71,23 +75,30 @@ pub struct PathSignature {
     ttl: u32,
 }
 
-impl PathModel {
-    /// Derives the canonical cache signature of this path model.
-    pub fn signature(&self) -> PathSignature {
-        let slots = self.hop_slot_pairs();
-        let hops = self
-            .hop_dynamics()
-            .iter()
-            .zip(&slots)
-            .map(|(dynamics, &(slot, _hop))| (DynamicsKey::of(dynamics), slot))
-            .collect();
+impl PathSignature {
+    /// Derives the canonical signature of a compiled problem (the
+    /// implementation behind [`PathProblem::signature`]).
+    pub(crate) fn of_problem(problem: &PathProblem) -> PathSignature {
         PathSignature {
-            hops,
-            uplink_slots: self.superframe().uplink_slots(),
-            downlink_slots: self.superframe().downlink_slots(),
-            interval_cycles: self.interval().cycles(),
-            ttl: self.ttl(),
+            hops: problem
+                .hops()
+                .iter()
+                .map(|h| (DynamicsKey::of(h.dynamics()), h.frame_slot()))
+                .collect(),
+            uplink_slots: problem.superframe().uplink_slots(),
+            downlink_slots: problem.superframe().downlink_slots(),
+            interval_cycles: problem.interval().cycles(),
+            ttl: problem.ttl(),
         }
+    }
+}
+
+impl PathModel {
+    /// Derives the canonical cache signature of this path model — defined
+    /// as the signature of its compiled [`PathProblem`], so models and
+    /// problems always agree on cache identity.
+    pub fn signature(&self) -> PathSignature {
+        self.compile().signature()
     }
 }
 

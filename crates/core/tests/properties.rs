@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use whart_channel::{LinkModel, LinkState};
 use whart_dtmc::Pmf;
 use whart_model::{
-    compose, explicit::explicit_chain, DelayConvention, LinkDynamics, Outage, PathModel,
-    UtilizationConvention,
+    compose, explicit::explicit_chain, DelayConvention, FastSolver, LinkDynamics, MeasurePlan,
+    Outage, PathModel, Solver, UtilizationConvention,
 };
 use whart_net::{ReportingInterval, Superframe};
 
@@ -60,6 +60,27 @@ proptest! {
                 slow.get(i)
             );
         }
+    }
+
+    #[test]
+    fn ir_round_trip_preserves_the_signature(
+        (pis, slots, f_up, is) in model_params(),
+        // Roughly one case in eight runs without a TTL.
+        ttl in (0u32..40).prop_map(|t| if t < 5 { None } else { Some(t) }),
+    ) {
+        // Spec -> IR -> spec must be lossless where the signature is
+        // concerned: compiling, reconstructing the model, and recompiling
+        // all land on the same bit-exact identity.
+        let model = build_model(&pis, &slots, f_up, is, ttl);
+        let problem = model.compile();
+        let round = problem.to_model();
+        prop_assert_eq!(model.signature(), problem.signature());
+        prop_assert_eq!(model.signature(), round.signature());
+
+        // Equal signatures imply bit-identical fast-solver results.
+        let a = FastSolver.solve_path(&problem, MeasurePlan::SCALAR).unwrap();
+        let b = FastSolver.solve_path(&round.compile(), MeasurePlan::SCALAR).unwrap();
+        prop_assert_eq!(a, b);
     }
 
     #[test]

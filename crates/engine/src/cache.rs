@@ -3,9 +3,12 @@
 //! * [`LinkCache`] — link-model derivation keyed by the canonical quality
 //!   tuple `(kind, value, L, p_rc)`. The BER and SNR constructors run the
 //!   channel-layer math (Eqs. 1-2) once per distinct operating point.
-//! * [`PathCache`] — full path evaluations keyed by the canonical
-//!   [`PathSignature`]; a fleet that revisits a path DTMC (same hop
-//!   dynamics, slots, super-frame, `Is` and TTL) solves it exactly once.
+//! * [`PathCache`] — path evaluations keyed by the canonical
+//!   [`PathSignature`] (derived from the compiled
+//!   [`whart_model::PathProblem`]) paired with the requested
+//!   [`MeasurePlan`]; a fleet that revisits a path DTMC (same hop
+//!   dynamics, slots, super-frame, `Is` and TTL, same artifact demand)
+//!   solves it exactly once.
 //!
 //! Both caches are guarded by plain mutexes: entries are tiny relative to
 //! the DTMC solves they amortize, and the engine only touches them during
@@ -16,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use whart_channel::LinkModel;
 use whart_model::signature::PathSignature;
-use whart_model::PathEvaluation;
+use whart_model::{MeasurePlan, PathEvaluation};
 
 use crate::scenario::LinkQualitySpec;
 
@@ -140,11 +143,13 @@ impl<K: std::hash::Hash + Eq, V: Clone> CountedCache<K, V> {
 pub(crate) type LinkCache = CountedCache<LinkKey, LinkModel>;
 
 /// The path-evaluation memoization layer. Entries are shared behind an
-/// [`Arc`]: a cache hit hands out a reference, not a copy of the full
-/// evaluation (cycle probabilities, discard mass and the whole transient
-/// trajectory), so warm drains never deep-clone until a scenario result
-/// materializes its own copy.
-pub(crate) type PathCache = CountedCache<PathSignature, Arc<PathEvaluation>>;
+/// [`Arc`]: a cache hit hands out a reference, not a copy of the
+/// evaluation, so warm drains never deep-clone until a scenario result
+/// materializes its own copy. The [`MeasurePlan`] is part of the key:
+/// scalar-only entries hold `O(Is)` cycle PMFs, while trajectory entries
+/// additionally carry the `O(Is^2 * F_up)` goal trajectory — the two must
+/// not answer for each other.
+pub(crate) type PathCache = CountedCache<(PathSignature, MeasurePlan), Arc<PathEvaluation>>;
 
 #[cfg(test)]
 mod tests {

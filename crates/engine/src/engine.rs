@@ -6,7 +6,10 @@ use std::time::{Duration, Instant};
 
 use whart_channel::{EbN0, LinkModel, Modulation};
 use whart_model::signature::PathSignature;
-use whart_model::{NetworkEvaluation, PathEvaluation, PathModel, PathReport, Result};
+use whart_model::{
+    FastSolver, MeasurePlan, NetworkEvaluation, PathEvaluation, PathModel, PathProblem, PathReport,
+    Result, Solver,
+};
 
 use crate::cache::{LinkCache, LinkKey, PathCache};
 use crate::pool;
@@ -62,11 +65,15 @@ impl EngineStats {
 
 /// A parallel, memoizing batch evaluator for scenario fleets.
 ///
-/// Submitted scenarios are planned into a deduplicated set of path
-/// solves (keyed by [`PathSignature`]), executed on a work-stealing
-/// worker pool, and assembled back into per-scenario results in
-/// submission order. Caches persist across drains, so a warm engine
-/// answers repeated fleets without solving anything.
+/// Every scenario is lowered to the compiled problem IR
+/// ([`PathProblem`]), planned into a deduplicated set of path solves
+/// (keyed by the IR-derived [`PathSignature`] plus the requested
+/// [`MeasurePlan`]), executed on a work-stealing worker pool through the
+/// engine's [`Solver`] backend, and assembled back into per-scenario
+/// results in submission order. Caches persist across drains, so a warm
+/// engine answers repeated fleets without solving anything. The solver
+/// backend is fixed at construction (the caches hold that backend's
+/// results); use one engine per backend when comparing them.
 ///
 /// ```
 /// use whart_engine::{Engine, Scenario};
@@ -82,6 +89,7 @@ impl EngineStats {
 /// ```
 pub struct Engine {
     workers: usize,
+    solver: Arc<dyn Solver>,
     link_cache: LinkCache,
     path_cache: PathCache,
     pending: Vec<Scenario>,
@@ -90,11 +98,17 @@ pub struct Engine {
 
 impl Engine {
     /// Creates an engine with `workers` solver threads (clamped to at
-    /// least one).
+    /// least one) and the fast analytical backend.
     pub fn new(workers: usize) -> Engine {
+        Engine::with_solver(workers, Arc::new(FastSolver))
+    }
+
+    /// Creates an engine dispatching path solves through `solver`.
+    pub fn with_solver(workers: usize, solver: Arc<dyn Solver>) -> Engine {
         let workers = workers.max(1);
         Engine {
             workers,
+            solver,
             link_cache: LinkCache::new(),
             path_cache: PathCache::new(),
             pending: Vec::new(),
@@ -116,6 +130,11 @@ impl Engine {
     /// The worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The name of the solver backend this engine dispatches to.
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
     }
 
     /// Resolves a link-quality specification through the link cache: the
@@ -178,49 +197,58 @@ impl Engine {
     pub fn drain(&mut self) -> Result<Vec<ScenarioResult>> {
         let scenarios = std::mem::take(&mut self.pending);
 
-        // Plan: derive canonical signatures, answer warm entries from the
-        // cache, deduplicate the rest into a distinct task list.
+        // Plan: lower each workload to compiled problems, derive canonical
+        // signatures, answer warm entries from the cache, deduplicate the
+        // rest into a distinct task list. The measure plan is part of the
+        // key: a trajectory-requesting scenario must not be answered by a
+        // scalar-only cache entry (or vice versa).
+        type PathKey = (PathSignature, MeasurePlan);
         let plan_start = Instant::now();
         let mut planned_jobs = Vec::with_capacity(scenarios.len());
-        let mut resolved: HashMap<PathSignature, Arc<PathEvaluation>> = HashMap::new();
-        let mut planned: HashMap<PathSignature, usize> = HashMap::new();
-        let mut tasks: Vec<(PathSignature, PathModel)> = Vec::new();
+        let mut resolved: HashMap<PathKey, Arc<PathEvaluation>> = HashMap::new();
+        let mut planned: HashMap<PathKey, usize> = HashMap::new();
+        let mut tasks: Vec<(PathKey, PathProblem)> = Vec::new();
         for scenario in scenarios {
-            let models: Vec<PathModel> = match &scenario.workload {
+            let plan = scenario.measures.plan();
+            let problems: Vec<PathProblem> = match &scenario.workload {
                 Workload::Network(model) => (0..model.paths().len())
-                    .map(|i| model.path_model(i))
+                    .map(|i| model.path_problem(i))
                     .collect::<Result<_>>()?,
-                Workload::Paths(models) => models.clone(),
+                Workload::Paths(models) => models.iter().map(PathModel::compile).collect(),
             };
-            let mut signatures = Vec::with_capacity(models.len());
-            for model in models {
-                let signature = model.signature();
+            let mut signatures = Vec::with_capacity(problems.len());
+            for problem in problems {
+                let key = (problem.signature(), plan);
                 self.stats.paths_requested += 1;
-                if planned.contains_key(&signature) {
+                if planned.contains_key(&key) {
                     self.path_cache.count_shared_hit();
-                } else if !resolved.contains_key(&signature) {
-                    match self.path_cache.get(&signature) {
+                } else if !resolved.contains_key(&key) {
+                    match self.path_cache.get(&key) {
                         Some(evaluation) => {
-                            resolved.insert(signature.clone(), evaluation);
+                            resolved.insert(key.clone(), evaluation);
                         }
                         None => {
-                            planned.insert(signature.clone(), tasks.len());
-                            tasks.push((signature.clone(), model));
+                            planned.insert(key.clone(), tasks.len());
+                            tasks.push((key.clone(), problem));
                         }
                     }
                 } else {
                     self.path_cache.count_shared_hit();
                 }
-                signatures.push(signature);
+                signatures.push(key);
             }
             planned_jobs.push((scenario, signatures));
         }
         self.stats.plan_wall += plan_start.elapsed();
 
-        // Execute: solve the distinct path DTMCs on the worker pool.
+        // Execute: solve the distinct compiled problems on the worker pool
+        // through the engine's solver backend.
         let execute_start = Instant::now();
-        let (evaluations, pool_stats) =
-            pool::run(self.workers, tasks, |(_, model)| model.evaluate());
+        let solver = Arc::clone(&self.solver);
+        let (solved, pool_stats) = pool::run(self.workers, tasks, |((_, plan), problem)| {
+            solver.solve_path(problem, *plan)
+        });
+        let evaluations = solved.into_iter().collect::<Result<Vec<_>>>()?;
         self.stats.paths_evaluated += evaluations.len() as u64;
         let evaluations: Vec<Arc<PathEvaluation>> = evaluations.into_iter().map(Arc::new).collect();
         for (signature, &index) in &planned {

@@ -40,9 +40,11 @@
 mod engine;
 mod interference;
 mod samplers;
+mod solver;
 mod stats;
 
 pub use engine::{PhyMode, Simulator};
 pub use interference::{InterferedHoppingSampler, InterferenceWindow};
 pub use samplers::{GilbertSampler, HoppingSampler, LinkSampler};
+pub use solver::MonteCarloSolver;
 pub use stats::{wilson_interval, PathStats, SimReport};

@@ -1,0 +1,226 @@
+//! The Monte-Carlo backend of the compiled problem IR.
+//!
+//! [`MonteCarloSolver`] implements [`whart_model::Solver`] by statistical
+//! solution of the *same* [`PathProblem`] the analytical backends
+//! consume: each replication walks one message through the `Is * F_up`
+//! uplink slots, drawing every scheduled transmission as an independent
+//! Bernoulli trial with success probability `pi(up)(k)` at the absolute
+//! slot `k` — exactly the per-slot probabilities of Eq. 5, including
+//! transient initial states and outage windows. Estimates therefore
+//! converge to the [`whart_model::FastSolver`] values as replications
+//! grow, which is what closes the override/injection cross-validation
+//! gap: any scenario the engine can express (link overrides, failure
+//! injections, interval changes) lowers to a [`PathProblem`] and can be
+//! checked against this backend without hand-wiring.
+//!
+//! This is deliberately *not* the slot-level [`crate::Simulator`]: that
+//! one shares a persistent channel process among all paths crossing a
+//! physical link and serves as the physical-fidelity oracle quantifying
+//! the hierarchical abstraction's correlation error. The solver here
+//! simulates the hierarchical abstraction itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whart_model::{MeasurePlan, PathEvaluation, PathProblem, Result, Solver};
+
+/// Seed-mixing constant (the golden-ratio increment used throughout the
+/// workspace's parallel seeding).
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A statistical [`Solver`] over compiled path problems.
+///
+/// Deterministic for a fixed `(seed, intervals)` configuration — repeated
+/// solves of the same problem return identical estimates, so results are
+/// cacheable by the batch engine like any other backend's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloSolver {
+    seed: u64,
+    intervals: u64,
+}
+
+impl MonteCarloSolver {
+    /// Creates a solver running `intervals` replications (clamped to at
+    /// least one) per path problem from `seed`.
+    pub fn new(seed: u64, intervals: u64) -> MonteCarloSolver {
+        MonteCarloSolver {
+            seed,
+            intervals: intervals.max(1),
+        }
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Replications per path problem.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Simulates one replication: returns `(delivery_cycle, attempts)`,
+    /// with `delivery_cycle = None` when the message was discarded.
+    fn replicate(problem: &PathProblem, rng: &mut StdRng) -> (Option<usize>, u64) {
+        let n = problem.hop_count();
+        let f_up = problem.superframe().uplink_slots() as usize;
+        let total = f_up * problem.interval().cycles() as usize;
+        let cycle_slots = u64::from(problem.superframe().cycle_slots());
+        let ttl = problem.ttl();
+
+        let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
+        for (hop, h) in problem.hops().iter().enumerate() {
+            by_slot[h.frame_slot()] = Some(hop);
+        }
+
+        let mut position = 0usize;
+        let mut attempts = 0u64;
+        for step in 1..=total {
+            let frame_slot = (step - 1) % f_up;
+            let cycle = (step - 1) / f_up;
+            if by_slot[frame_slot] == Some(position) {
+                attempts += 1;
+                let abs_slot = cycle as u64 * cycle_slots + frame_slot as u64;
+                let ps = problem.hops()[position].dynamics().up_probability(abs_slot);
+                if rng.gen::<f64>() < ps {
+                    position += 1;
+                    if position == n {
+                        return (Some(cycle), attempts);
+                    }
+                }
+            }
+            if step as u32 >= ttl {
+                break;
+            }
+        }
+        (None, attempts)
+    }
+
+    /// The seed used for `problem` when solved in a batch at `index`
+    /// (mixed so per-path streams are independent).
+    fn path_seed(&self, index: u64) -> u64 {
+        self.seed
+            .wrapping_add(SEED_MIX.wrapping_mul(index.wrapping_add(1)))
+    }
+
+    fn solve_path_seeded(
+        &self,
+        problem: &PathProblem,
+        seed: u64,
+        _plan: MeasurePlan,
+    ) -> PathEvaluation {
+        let cycles = problem.interval().cycles() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut deliveries = vec![0u64; cycles];
+        let mut discards = 0u64;
+        let mut attempts = 0u64;
+        for _ in 0..self.intervals {
+            let (delivered, tx) = MonteCarloSolver::replicate(problem, &mut rng);
+            attempts += tx;
+            match delivered {
+                Some(cycle) => deliveries[cycle] += 1,
+                None => discards += 1,
+            }
+        }
+        let reps = self.intervals as f64;
+        let cycle_probabilities = deliveries.iter().map(|&d| d as f64 / reps).collect();
+        problem.evaluation_from_measures(
+            cycle_probabilities,
+            discards as f64 / reps,
+            attempts as f64 / reps,
+        )
+    }
+}
+
+impl Solver for MonteCarloSolver {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    /// Statistical estimates of the path measures. Total — never fails.
+    /// Trajectory requests are ignored (the estimator keeps no per-slot
+    /// record); the returned evaluation carries scalars only.
+    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation> {
+        Ok(self.solve_path_seeded(problem, self.path_seed(0), plan))
+    }
+
+    fn solve_network(
+        &self,
+        problem: &whart_model::NetworkProblem,
+        plan: MeasurePlan,
+    ) -> Result<whart_model::NetworkEvaluation> {
+        use std::sync::Arc;
+        let reports = problem
+            .paths()
+            .iter()
+            .zip(problem.path_problems())
+            .enumerate()
+            .map(|(i, (path, p))| whart_model::PathReport {
+                path: path.clone(),
+                evaluation: Arc::new(self.solve_path_seeded(p, self.path_seed(i as u64), plan)),
+            })
+            .collect();
+        Ok(whart_model::NetworkEvaluation::from_reports(reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whart_model::sweeps::section_v_model;
+    use whart_model::{FastSolver, MeasurePlan};
+    use whart_net::ReportingInterval;
+
+    #[test]
+    fn estimates_converge_to_the_analytical_values() {
+        let problem = section_v_model(0.75, ReportingInterval::REGULAR)
+            .unwrap()
+            .compile();
+        let exact = FastSolver
+            .solve_path(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        let mc = MonteCarloSolver::new(7, 200_000)
+            .solve_path(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        for i in 0..4 {
+            assert!(
+                (mc.cycle_probabilities().get(i) - exact.cycle_probabilities().get(i)).abs() < 5e-3,
+                "cycle {i}: {} vs {}",
+                mc.cycle_probabilities().get(i),
+                exact.cycle_probabilities().get(i)
+            );
+        }
+        assert!((mc.reachability() - exact.reachability()).abs() < 3e-3);
+        assert!((mc.expected_transmissions() - exact.expected_transmissions()).abs() < 2e-2);
+    }
+
+    #[test]
+    fn solves_are_deterministic_per_seed() {
+        let problem = section_v_model(0.83, ReportingInterval::REGULAR)
+            .unwrap()
+            .compile();
+        let solver = MonteCarloSolver::new(42, 10_000);
+        let a = solver.solve_path(&problem, MeasurePlan::SCALAR).unwrap();
+        let b = solver.solve_path(&problem, MeasurePlan::SCALAR).unwrap();
+        assert_eq!(a, b);
+        let other = MonteCarloSolver::new(43, 10_000)
+            .solve_path(&problem, MeasurePlan::SCALAR)
+            .unwrap();
+        assert_ne!(a.cycle_probabilities(), other.cycle_probabilities());
+    }
+
+    #[test]
+    fn trajectory_requests_stay_scalar() {
+        let problem = section_v_model(0.83, ReportingInterval::REGULAR)
+            .unwrap()
+            .compile();
+        let mc = MonteCarloSolver::new(1, 1_000)
+            .solve_path(&problem, MeasurePlan::WITH_TRAJECTORY)
+            .unwrap();
+        assert!(!mc.has_trajectory());
+    }
+
+    #[test]
+    fn replication_count_is_clamped_positive() {
+        assert_eq!(MonteCarloSolver::new(1, 0).intervals(), 1);
+    }
+}
