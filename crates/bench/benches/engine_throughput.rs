@@ -12,57 +12,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use whart_channel::LinkModel;
-use whart_engine::{Engine, MeasureSet, Scenario};
-use whart_model::NetworkModel;
-use whart_net::typical::TypicalNetwork;
-use whart_net::ReportingInterval;
-
-const AVAILABILITIES: [f64; 6] = [0.693, 0.774, 0.83, 0.903, 0.948, 0.989];
-const INTERVALS: [u32; 3] = [1, 2, 4];
-
-fn fleet() -> Vec<NetworkModel> {
-    let mut models = Vec::new();
-    for &pi in &AVAILABILITIES {
-        for &is in &INTERVALS {
-            let link = LinkModel::from_availability(pi, 0.9).expect("valid");
-            let net = TypicalNetwork::new(link);
-            models.push(
-                NetworkModel::from_typical(
-                    &net,
-                    net.schedule_eta_a(),
-                    ReportingInterval::new(is).expect("valid"),
-                )
-                .expect("valid"),
-            );
-        }
-    }
-    models
-}
-
-/// The serial baseline produces a bare `NetworkEvaluation`, so the engine
-/// scenarios request exactly that (no per-path measure extraction).
-fn evaluation_only() -> MeasureSet {
-    MeasureSet {
-        reachability: false,
-        expected_delay: false,
-        expected_intervals_to_first_loss: false,
-        utilization: false,
-        cycle_probabilities: false,
-        ..MeasureSet::default()
-    }
-}
-
-fn submit_fleet(engine: &mut Engine, models: &[NetworkModel]) {
-    for (i, model) in models.iter().enumerate() {
-        engine.submit(
-            Scenario::network(format!("s{i}"), model.clone()).with_measures(evaluation_only()),
-        );
-    }
-}
+use whart_bench::harness::{engine_fleet, submit_fleet};
+use whart_engine::Engine;
 
 fn bench_engine_throughput(c: &mut Criterion) {
-    let models = fleet();
+    let models = engine_fleet();
     let scenarios = models.len() as u64;
     let mut group = c.benchmark_group("engine_throughput");
     group.throughput(Throughput::Elements(scenarios));

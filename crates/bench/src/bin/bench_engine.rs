@@ -1,0 +1,106 @@
+//! `bench-engine` — regenerate `BENCH_engine.json` from a metrics
+//! snapshot and gate CI on throughput regressions.
+//!
+//! ```text
+//! bench-engine [--short] [--iterations N] [--warmup N]
+//!              [--out <bench.json>] [--check <baseline.json>] [--tolerance <fraction>]
+//! ```
+//!
+//! Runs the engine-throughput groups (serial loop, cold and warm engine
+//! drains at 1/2/4/8 workers) over the 18-scenario acceptance fleet,
+//! derives one JSON line per group from the `whart-obs` snapshot, and —
+//! with `--check` — fails (exit 1) when any group's serial-loop-
+//! normalized mean grew beyond the tolerance (default 0.25 = 25%).
+
+use std::process::ExitCode;
+use whart_bench::harness::{
+    bench_lines, check_regression, engine_fleet, run_engine_throughput, BenchConfig,
+};
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut config = if args.iter().any(|a| a == "--short") {
+        BenchConfig::short()
+    } else {
+        BenchConfig::full()
+    };
+    if let Some(n) = flag_value(args, "--iterations")? {
+        config.iterations = n
+            .parse()
+            .map_err(|_| format!("invalid --iterations '{n}'"))?;
+    }
+    if let Some(n) = flag_value(args, "--warmup")? {
+        config.warmup = n.parse().map_err(|_| format!("invalid --warmup '{n}'"))?;
+    }
+    if config.iterations == 0 {
+        return Err("--iterations must be positive".into());
+    }
+    let tolerance: f64 = match flag_value(args, "--tolerance")? {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("invalid --tolerance '{t}'"))?,
+        None => 0.25,
+    };
+
+    let out = flag_value(args, "--out")?;
+    let check = flag_value(args, "--check")?;
+    if let (Some(out), Some(check)) = (&out, &check) {
+        if out == check {
+            return Err(
+                "--out would overwrite the --check baseline before it is read; \
+                 write the fresh run elsewhere"
+                    .into(),
+            );
+        }
+    }
+
+    let models = engine_fleet();
+    let snapshot = run_engine_throughput(config, &models);
+    let lines = bench_lines(&snapshot, models.len() as u64);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &lines).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} groups to {path}", lines.lines().count());
+        }
+        None => print!("{lines}"),
+    }
+
+    if let Some(path) = check {
+        let baseline =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let failures = check_regression(&baseline, &lines, tolerance)?;
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("regression: {failure}");
+            }
+            return Ok(false);
+        }
+        eprintln!(
+            "no regression vs {path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The snapshot-backed engine-throughput harness.
+//!
+//! Times the acceptance fleet (the typical network at 6 availabilities
+//! x 3 reporting intervals) through the batch engine, recording each
+//! iteration's wall time into a `whart-obs` latency histogram per
+//! benchmark group. `BENCH_engine.json` is then *generated from the
+//! [`MetricsSnapshot`]* — the same observability path the engine and
+//! solvers report through — instead of a bespoke timing layer, and
+//! [`check_regression`] gates CI on it.
+//!
+//! Groups match the Criterion benchmark of the same name:
+//! * `serial-loop` — `NetworkModel::evaluate` per scenario, no sharing;
+//! * `cold/{workers}` — a fresh engine per iteration;
+//! * `warm/{workers}` — a pre-warmed engine (pure cache traffic).
+
+use std::hint::black_box;
+use whart_channel::LinkModel;
+use whart_engine::{Engine, MeasureSet, Scenario};
+use whart_json::Json;
+use whart_model::NetworkModel;
+use whart_net::typical::TypicalNetwork;
+use whart_net::ReportingInterval;
+use whart_obs::{Metrics, MetricsSnapshot};
+
+const AVAILABILITIES: [f64; 6] = [0.693, 0.774, 0.83, 0.903, 0.948, 0.989];
+const INTERVALS: [u32; 3] = [1, 2, 4];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The benchmark groups, in the order their lines are emitted.
+pub const GROUPS: [&str; 9] = [
+    "serial-loop",
+    "cold/1",
+    "cold/2",
+    "cold/4",
+    "cold/8",
+    "warm/1",
+    "warm/2",
+    "warm/4",
+    "warm/8",
+];
+
+/// Histogram-name prefix the harness records under.
+const PREFIX: &str = "bench.engine_throughput/";
+
+/// Iteration counts for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Timed iterations per group.
+    pub iterations: usize,
+    /// Untimed warm-up iterations per group.
+    pub warmup: usize,
+}
+
+impl BenchConfig {
+    /// The default full run.
+    pub fn full() -> BenchConfig {
+        BenchConfig {
+            iterations: 20,
+            warmup: 3,
+        }
+    }
+
+    /// The CI smoke run (`--short`): enough iterations for a stable
+    /// mean, small enough to stay in the seconds range.
+    pub fn short() -> BenchConfig {
+        BenchConfig {
+            iterations: 5,
+            warmup: 1,
+        }
+    }
+}
+
+/// The acceptance fleet: 18 scenarios, 180 path DTMCs.
+pub fn engine_fleet() -> Vec<NetworkModel> {
+    let mut models = Vec::new();
+    for &pi in &AVAILABILITIES {
+        for &is in &INTERVALS {
+            let link = LinkModel::from_availability(pi, 0.9).expect("valid");
+            let net = TypicalNetwork::new(link);
+            models.push(
+                NetworkModel::from_typical(
+                    &net,
+                    net.schedule_eta_a(),
+                    ReportingInterval::new(is).expect("valid"),
+                )
+                .expect("valid"),
+            );
+        }
+    }
+    models
+}
+
+/// The serial baseline produces a bare `NetworkEvaluation`, so the
+/// engine scenarios request exactly that (no per-path extraction).
+pub fn evaluation_only() -> MeasureSet {
+    MeasureSet {
+        reachability: false,
+        expected_delay: false,
+        expected_intervals_to_first_loss: false,
+        utilization: false,
+        cycle_probabilities: false,
+        ..MeasureSet::default()
+    }
+}
+
+/// Submits every fleet model as an evaluation-only scenario.
+pub fn submit_fleet(engine: &mut Engine, models: &[NetworkModel]) {
+    for (i, model) in models.iter().enumerate() {
+        engine.submit(
+            Scenario::network(format!("s{i}"), model.clone()).with_measures(evaluation_only()),
+        );
+    }
+}
+
+fn measure<F: FnMut()>(metrics: &Metrics, group: &str, config: BenchConfig, mut iteration: F) {
+    for _ in 0..config.warmup {
+        iteration();
+    }
+    let hist = metrics.histogram(&format!("{PREFIX}{group}"));
+    for _ in 0..config.iterations {
+        let span = hist.start();
+        iteration();
+        span.stop();
+    }
+}
+
+/// Runs every group over `models`, returning the registry snapshot the
+/// `BENCH_engine.json` lines are derived from.
+pub fn run_engine_throughput(config: BenchConfig, models: &[NetworkModel]) -> MetricsSnapshot {
+    let metrics = Metrics::new();
+
+    measure(&metrics, "serial-loop", config, || {
+        for model in models {
+            black_box(black_box(model).evaluate().expect("valid"));
+        }
+    });
+
+    for workers in WORKER_COUNTS {
+        measure(&metrics, &format!("cold/{workers}"), config, || {
+            let mut engine = Engine::new(workers);
+            submit_fleet(&mut engine, models);
+            black_box(engine.drain().expect("valid"));
+        });
+    }
+
+    for workers in WORKER_COUNTS {
+        let mut engine = Engine::new(workers);
+        submit_fleet(&mut engine, models);
+        engine.drain().expect("valid");
+        measure(&metrics, &format!("warm/{workers}"), config, || {
+            submit_fleet(&mut engine, models);
+            black_box(engine.drain().expect("valid"));
+        });
+    }
+
+    metrics.snapshot()
+}
+
+/// Renders the snapshot's harness histograms as `BENCH_engine.json`
+/// lines (one compact JSON object per group, in [`GROUPS`] order).
+pub fn bench_lines(snapshot: &MetricsSnapshot, elements: u64) -> String {
+    let mut out = String::new();
+    for group in GROUPS {
+        let Some(hist) = snapshot.histogram(&format!("{PREFIX}{group}")) else {
+            continue;
+        };
+        let mean = hist.mean().unwrap_or(0.0);
+        let line = Json::object([
+            ("id", Json::from(format!("engine_throughput/{group}"))),
+            ("mean_ns", Json::from((mean * 10.0).round() / 10.0)),
+            ("elements", Json::from(elements)),
+        ]);
+        out.push_str(&line.to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_bench_lines(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("bench line {}: {e}", i + 1))?;
+        let id = value["id"]
+            .as_str()
+            .ok_or_else(|| format!("bench line {}: missing 'id'", i + 1))?
+            .to_string();
+        let mean = value["mean_ns"]
+            .as_f64()
+            .ok_or_else(|| format!("bench line {}: missing 'mean_ns'", i + 1))?;
+        entries.push((id, mean));
+    }
+    Ok(entries)
+}
+
+/// Compares `current` bench lines against `baseline`, flagging groups
+/// whose mean grew by more than `tolerance` (0.25 = 25%).
+///
+/// Means are first normalized by the same file's
+/// `engine_throughput/serial-loop` mean, so the gate compares the
+/// engine's *speedup over the serial loop on the same machine* — a
+/// faster or slower CI runner shifts both means together and cancels
+/// out. The serial-loop group itself is the calibration and is never
+/// flagged. Returns one message per regression; empty means pass.
+///
+/// # Errors
+///
+/// Malformed bench lines, or a side missing the serial-loop group.
+pub fn check_regression(
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let serial = "engine_throughput/serial-loop";
+    let base = parse_bench_lines(baseline)?;
+    let cur = parse_bench_lines(current)?;
+    let find = |entries: &[(String, f64)], id: &str| {
+        entries.iter().find(|(e, _)| e == id).map(|(_, m)| *m)
+    };
+    let base_serial = find(&base, serial).ok_or("baseline has no serial-loop mean")?;
+    let cur_serial = find(&cur, serial).ok_or("current run has no serial-loop mean")?;
+    if base_serial <= 0.0 || cur_serial <= 0.0 {
+        return Err("serial-loop means must be positive".into());
+    }
+    let mut failures = Vec::new();
+    for (id, base_mean) in &base {
+        if id == serial || *base_mean <= 0.0 {
+            continue;
+        }
+        let Some(cur_mean) = find(&cur, id) else {
+            failures.push(format!("{id}: missing from the current run"));
+            continue;
+        };
+        let ratio = (cur_mean / cur_serial) / (base_mean / base_serial);
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{id}: normalized mean grew {:.1}% (> {:.0}% tolerance; \
+                 baseline {base_mean:.0} ns, current {cur_mean:.0} ns)",
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whart_net::ReportingInterval;
+
+    fn tiny_fleet() -> Vec<NetworkModel> {
+        let link = LinkModel::from_availability(0.83, 0.9).expect("valid");
+        let net = TypicalNetwork::new(link);
+        vec![
+            NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
+                .expect("valid"),
+        ]
+    }
+
+    #[test]
+    fn harness_emits_one_line_per_group() {
+        let config = BenchConfig {
+            iterations: 1,
+            warmup: 0,
+        };
+        let snapshot = run_engine_throughput(config, &tiny_fleet());
+        let lines = bench_lines(&snapshot, 1);
+        assert_eq!(lines.lines().count(), GROUPS.len());
+        for (line, group) in lines.lines().zip(GROUPS) {
+            let value = Json::parse(line).unwrap();
+            assert_eq!(
+                value["id"].as_str().unwrap(),
+                format!("engine_throughput/{group}")
+            );
+            assert!(value["mean_ns"].as_f64().unwrap() > 0.0);
+            assert_eq!(value["elements"].as_f64().unwrap(), 1.0);
+        }
+        // Every group histogram holds exactly the timed iterations.
+        for group in GROUPS {
+            let hist = snapshot.histogram(&format!("{PREFIX}{group}")).unwrap();
+            assert_eq!(hist.count, 1, "{group}");
+        }
+    }
+
+    #[test]
+    fn regression_check_is_normalized_by_the_serial_loop() {
+        let baseline = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/cold/2\",\"mean_ns\":500.0,\"elements\":18}\n";
+        // Twice as slow overall but the same *relative* cost: pass.
+        let same_ratio = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":2000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/cold/2\",\"mean_ns\":1000.0,\"elements\":18}\n";
+        assert!(check_regression(baseline, same_ratio, 0.25)
+            .unwrap()
+            .is_empty());
+        // The engine lost its edge relative to the serial loop: fail.
+        let regressed = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/cold/2\",\"mean_ns\":700.0,\"elements\":18}\n";
+        let failures = check_regression(baseline, regressed, 0.25).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("cold/2"), "{failures:?}");
+        // A wider tolerance accepts the same drift.
+        assert!(check_regression(baseline, regressed, 0.5)
+            .unwrap()
+            .is_empty());
+        // A group missing from the current run is a failure, not a skip.
+        let missing = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n";
+        let failures = check_regression(baseline, missing, 0.25).unwrap();
+        assert!(failures[0].contains("missing"), "{failures:?}");
+        // Malformed inputs are errors, not passes.
+        assert!(check_regression("nonsense", baseline, 0.25).is_err());
+        assert!(check_regression(missing, "{\"id\":\"x\"}", 0.25).is_err());
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_checks_against_itself() {
+        let baseline = include_str!("../../../BENCH_engine.json");
+        let failures = check_regression(baseline, baseline, 0.25).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

@@ -1,4 +1,8 @@
-//! Shared builders for the Criterion benchmark suite.
+//! Shared builders for the Criterion benchmark suite, plus the
+//! snapshot-backed [`harness`] behind the `bench-engine` binary and the
+//! CI regression gate.
+
+pub mod harness;
 
 use whart_channel::LinkModel;
 use whart_model::{LinkDynamics, NetworkModel, PathModel};

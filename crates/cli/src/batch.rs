@@ -27,12 +27,13 @@
 //! backend configuration share one memoizing engine, and output lines
 //! stay in submission order regardless.
 
-use crate::commands::Backend;
+use crate::commands::{write_metrics, Backend};
 use crate::spec::{node, LinkQuality, NetworkSpec};
 use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
 use whart_json::Json;
 use whart_model::{LinkDynamics, NetworkModel, Outage};
 use whart_net::Hop;
+use whart_obs::{Metrics, MetricsSnapshot};
 
 /// One decoded batch entry: the scenario, which measures its output
 /// lines should carry, and the solver backend it runs on.
@@ -251,6 +252,14 @@ fn stats_line(engine: &Engine) -> Json {
             ("path_cache_misses", Json::from(stats.path_cache_misses)),
             ("link_cache_hits", Json::from(stats.link_cache_hits)),
             ("link_cache_misses", Json::from(stats.link_cache_misses)),
+            (
+                "path_cache_evictions",
+                Json::from(stats.path_cache_evictions),
+            ),
+            (
+                "link_cache_evictions",
+                Json::from(stats.link_cache_evictions),
+            ),
             ("steals", Json::from(stats.steals)),
             ("max_queue_depth", Json::from(stats.max_queue_depth as u64)),
             ("plan_ms", Json::from(ms(stats.plan_wall))),
@@ -261,10 +270,56 @@ fn stats_line(engine: &Engine) -> Json {
     )])
 }
 
+/// One per-backend summary line of the registry: cache traffic plus the
+/// per-scenario solve-latency histogram (whose count is the number of
+/// scenarios routed to that backend).
+fn metrics_line(backend: &str, snapshot: &MetricsSnapshot) -> Json {
+    let counter = |name: &str| Json::from(snapshot.counter(name).unwrap_or(0));
+    let latency = |name: &str| match snapshot.histogram(name) {
+        Some(h) => Json::object([
+            ("count", Json::from(h.count)),
+            ("mean_ns", Json::from(h.mean())),
+            ("min_ns", Json::from(h.min)),
+            ("max_ns", Json::from(h.max)),
+        ]),
+        None => Json::Null,
+    };
+    Json::object([(
+        "metrics",
+        Json::object([
+            ("backend", Json::from(backend.to_string())),
+            ("path_cache_hits", counter("engine.path_cache.hits")),
+            ("path_cache_misses", counter("engine.path_cache.misses")),
+            (
+                "path_cache_evictions",
+                counter("engine.path_cache.evictions"),
+            ),
+            ("link_cache_hits", counter("engine.link_cache.hits")),
+            ("link_cache_misses", counter("engine.link_cache.misses")),
+            (
+                "scenario_solve_ns",
+                latency(&format!("engine.{backend}.scenario_solve_ns")),
+            ),
+            (
+                "path_solve_ns",
+                latency(&format!("engine.{backend}.path_solve_ns")),
+            ),
+        ]),
+    )])
+}
+
 /// Runs `batch`: evaluates every scenario in the list through a shared
 /// engine and returns one compact JSON line per scenario (submission
-/// order), plus a final `stats` line when requested.
-pub fn batch(text: &str, threads: usize, with_stats: bool) -> Result<String, String> {
+/// order), plus a final `stats` line when requested. With
+/// `metrics_path`, all engines record into one registry whose snapshot
+/// is written there as JSON, and one `metrics` summary line per backend
+/// is appended to the output.
+pub fn batch(
+    text: &str,
+    threads: usize,
+    with_stats: bool,
+    metrics_path: Option<&str>,
+) -> Result<String, String> {
     let value = Json::parse(text).map_err(|e| format!("invalid scenario list: {e}"))?;
     let list = match &value {
         Json::Array(items) => items.as_slice(),
@@ -286,16 +341,19 @@ pub fn batch(text: &str, threads: usize, with_stats: bool) -> Result<String, Str
     // One engine per distinct backend configuration; scenarios sharing a
     // backend share its caches. `placements` remembers where each entry
     // went so the output stays in submission order.
+    let metrics = match metrics_path {
+        Some(_) => Metrics::new(),
+        None => Metrics::disabled(),
+    };
     let mut engines: Vec<(Backend, Engine)> = Vec::new();
     let mut placements: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
     for entry in entries {
         let slot = match engines.iter().position(|(b, _)| *b == entry.backend) {
             Some(i) => i,
             None => {
-                engines.push((
-                    entry.backend,
-                    Engine::with_solver(threads, entry.backend.solver()),
-                ));
+                let mut engine = Engine::with_solver(threads, entry.backend.solver());
+                engine.set_metrics(metrics.clone());
+                engines.push((entry.backend, engine));
                 engines.len() - 1
             }
         };
@@ -316,6 +374,22 @@ pub fn batch(text: &str, threads: usize, with_stats: bool) -> Result<String, Str
             out.push_str(&stats_line(engine).to_compact());
             out.push('\n');
         }
+    }
+    if let Some(path) = metrics_path {
+        let snapshot = metrics.snapshot();
+        // One summary line per backend *name*: differently-seeded sim
+        // configurations run separate engines but share the registry's
+        // per-backend instruments.
+        let mut reported: Vec<&str> = Vec::new();
+        for (_, engine) in &engines {
+            let name = engine.solver_name();
+            if !reported.contains(&name) {
+                reported.push(name);
+                out.push_str(&metrics_line(name, &snapshot).to_compact());
+                out.push('\n');
+            }
+        }
+        write_metrics(path, &metrics)?;
     }
     Ok(out)
 }
@@ -341,7 +415,7 @@ mod tests {
 
     #[test]
     fn batch_streams_one_line_per_scenario() {
-        let out = batch(&fleet_json(), 2, true).unwrap();
+        let out = batch(&fleet_json(), 2, true, None).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 7, "6 scenarios + stats:\n{out}");
         let first = Json::parse(lines[0]).unwrap();
@@ -363,6 +437,7 @@ mod tests {
             "[{\"label\":\"x\",\"network\":\"typical\",\"availability\":0.83}]",
             2,
             false,
+            None,
         )
         .unwrap();
         let line = Json::parse(out.lines().next().unwrap()).unwrap();
@@ -381,6 +456,7 @@ mod tests {
             "[{\"network\":\"section-v\",\"measures\":[\"reachability\"]}]",
             1,
             false,
+            None,
         )
         .unwrap();
         let line = Json::parse(out.lines().next().unwrap()).unwrap();
@@ -396,6 +472,7 @@ mod tests {
             "[{\"network\":\"typical\",\"availability\":0.83}]",
             1,
             false,
+            None,
         )
         .unwrap();
         let hit = batch(
@@ -403,6 +480,7 @@ mod tests {
              \"inject\":[{\"link\":[3,0],\"availability\":0.5}]}]",
             1,
             false,
+            None,
         )
         .unwrap();
         let base = Json::parse(base.lines().next().unwrap()).unwrap();
@@ -417,6 +495,7 @@ mod tests {
              \"inject\":[{\"link\":[3,0],\"outage\":[0,40]}]}]",
             1,
             false,
+            None,
         )
         .unwrap();
         let outage = Json::parse(outage.lines().next().unwrap()).unwrap();
@@ -425,14 +504,15 @@ mod tests {
 
     #[test]
     fn bad_input_is_rejected_with_context() {
-        assert!(batch("42", 1, false).is_err());
-        assert!(batch("[]", 1, false).is_err());
-        let err = batch("[{\"network\":\"nope\"}]", 1, false).unwrap_err();
+        assert!(batch("42", 1, false, None).is_err());
+        assert!(batch("[]", 1, false, None).is_err());
+        let err = batch("[{\"network\":\"nope\"}]", 1, false, None).unwrap_err();
         assert!(err.contains("scenario 1"), "{err}");
         let err = batch(
             "[{\"network\":\"typical\",\"measures\":[\"bogus\"]}]",
             1,
             false,
+            None,
         )
         .unwrap_err();
         assert!(err.contains("unknown measure"), "{err}");
@@ -440,6 +520,7 @@ mod tests {
             "[{\"network\":\"typical\",\"inject\":[{\"link\":[1,2],\"initial\":\"down\"}]}]",
             1,
             false,
+            None,
         )
         .unwrap_err();
         assert!(err.contains("scenario 1"), "{err}");
@@ -457,6 +538,7 @@ mod tests {
               {\"label\":\"f2\",\"network\":\"section-v\",\"backend\":\"fast\"}]",
             2,
             true,
+            None,
         )
         .unwrap();
         let lines: Vec<&str> = out.lines().collect();
@@ -485,6 +567,7 @@ mod tests {
             "[{\"network\":\"typical\",\"backend\":\"magic\"}]",
             1,
             false,
+            None,
         )
         .unwrap_err();
         assert!(err.contains("scenario 1"), "{err}");
@@ -492,8 +575,66 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshot_attributes_every_scenario_to_a_backend() {
+        let dir = std::env::temp_dir().join("whart-batch-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let input = "[{\"label\":\"f1\",\"network\":\"section-v\"},\
+              {\"label\":\"f2\",\"network\":\"section-v\",\"availability\":0.83},\
+              {\"label\":\"e\",\"network\":\"section-v\",\"backend\":\"explicit\"},\
+              {\"label\":\"s\",\"network\":\"section-v\",\"backend\":\"sim\",\
+               \"seed\":7,\"intervals\":2000}]";
+        let out = batch(input, 2, false, Some(path.to_str().unwrap())).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // 4 scenario lines + one metrics line per backend (3).
+        assert_eq!(lines.len(), 7, "{out}");
+        let mut by_backend = std::collections::HashMap::new();
+        for line in &lines[4..] {
+            let parsed = Json::parse(line).unwrap();
+            let backend = parsed["metrics"]["backend"].as_str().unwrap().to_string();
+            let count = parsed["metrics"]["scenario_solve_ns"]["count"]
+                .as_f64()
+                .unwrap();
+            by_backend.insert(backend, count as u64);
+        }
+        assert_eq!(by_backend["fast"], 2);
+        assert_eq!(by_backend["explicit"], 1);
+        assert_eq!(by_backend["sim"], 1);
+        assert_eq!(by_backend.values().sum::<u64>(), 4, "sums to the fleet");
+        // The snapshot file round-trips and carries the same histograms.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = whart_obs::MetricsSnapshot::parse(&text).unwrap();
+        let total: u64 = ["fast", "explicit", "sim"]
+            .iter()
+            .map(|b| {
+                snapshot
+                    .histogram(&format!("engine.{b}.scenario_solve_ns"))
+                    .map_or(0, |h| h.count)
+            })
+            .sum();
+        assert_eq!(total, 4);
+        assert!(snapshot.counter("engine.path_cache.misses").unwrap_or(0) > 0);
+        assert!(
+            snapshot.counter("solver.sim.draws").unwrap_or(0) > 0,
+            "solver-level instruments flow into the shared registry"
+        );
+    }
+
+    #[test]
+    fn omitting_metrics_keeps_the_plain_output_shape() {
+        let with = batch(&fleet_json(), 2, false, None).unwrap();
+        assert_eq!(with.lines().count(), 6, "no metrics lines appended");
+    }
+
+    #[test]
     fn scenarios_object_wrapper_accepted() {
-        let out = batch("{\"scenarios\":[{\"network\":\"section-v\"}]}", 1, false).unwrap();
+        let out = batch(
+            "{\"scenarios\":[{\"network\":\"section-v\"}]}",
+            1,
+            false,
+            None,
+        )
+        .unwrap();
         assert_eq!(out.lines().count(), 1);
     }
 }

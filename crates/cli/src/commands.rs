@@ -7,7 +7,14 @@ use whart_model::{
     compose, explicit::explicit_chain, DelayConvention, ExplicitSolver, FastSolver, MeasurePlan,
     Solver, UtilizationConvention,
 };
+use whart_obs::Metrics;
 use whart_sim::{MonteCarloSolver, PhyMode, Simulator};
+
+/// Writes a pretty-printed [`whart_obs::MetricsSnapshot`] to `path`.
+pub fn write_metrics(path: &str, metrics: &Metrics) -> Result<(), String> {
+    let text = metrics.snapshot().to_json().to_pretty();
+    std::fs::write(path, text).map_err(|e| format!("cannot write metrics to {path}: {e}"))
+}
 
 /// The solver backend selected on the command line (`--backend`) or in a
 /// batch scenario's `backend` field. Every variant consumes the same
@@ -64,14 +71,27 @@ impl Backend {
 }
 
 /// Runs `analyze`: per-path measures and network aggregates, solved
-/// through the selected backend.
-pub fn analyze(spec: &NetworkSpec, json: bool, backend: &Backend) -> Result<String, String> {
+/// through the selected backend. With `metrics_path`, solver timings
+/// and counters are recorded and written there as snapshot JSON.
+pub fn analyze(
+    spec: &NetworkSpec,
+    json: bool,
+    backend: &Backend,
+    metrics_path: Option<&str>,
+) -> Result<String, String> {
     let model = spec.to_model()?;
     let problem = model.compile().map_err(|e| e.to_string())?;
+    let metrics = match metrics_path {
+        Some(_) => Metrics::new(),
+        None => Metrics::disabled(),
+    };
     let eval = backend
         .solver()
-        .solve_network(&problem, MeasurePlan::default())
+        .solve_network_observed(&problem, MeasurePlan::default(), &metrics)
         .map_err(|e| e.to_string())?;
+    if let Some(path) = metrics_path {
+        write_metrics(path, &metrics)?;
+    }
     if json {
         let paths = eval
             .reports()
@@ -340,7 +360,7 @@ mod tests {
     #[test]
     fn analyze_typical_text_output() {
         let spec = NetworkSpec::typical(0.83);
-        let out = analyze(&spec, false, &Backend::Fast).unwrap();
+        let out = analyze(&spec, false, &Backend::Fast, None).unwrap();
         assert!(out.contains("overall mean delay E[Gamma] = 235"), "{out}");
         assert!(out.contains("network utilization U = 0.28"), "{out}");
         assert!(out.lines().count() >= 13);
@@ -351,7 +371,7 @@ mod tests {
     #[test]
     fn analyze_json_output_parses() {
         let spec = NetworkSpec::section_v(0.75);
-        let out = analyze(&spec, true, &Backend::Fast).unwrap();
+        let out = analyze(&spec, true, &Backend::Fast, None).unwrap();
         let value = Json::parse(&out).unwrap();
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
         assert!((r - 0.9624).abs() < 1e-4);
@@ -361,8 +381,8 @@ mod tests {
     #[test]
     fn analyze_explicit_backend_matches_fast() {
         let spec = NetworkSpec::section_v(0.75);
-        let fast = analyze(&spec, true, &Backend::Fast).unwrap();
-        let explicit = analyze(&spec, true, &Backend::Explicit).unwrap();
+        let fast = analyze(&spec, true, &Backend::Fast, None).unwrap();
+        let explicit = analyze(&spec, true, &Backend::Explicit, None).unwrap();
         let f = Json::parse(&fast).unwrap();
         let e = Json::parse(&explicit).unwrap();
         assert_eq!(e["backend"].as_str().unwrap(), "explicit");
@@ -378,9 +398,9 @@ mod tests {
             seed: 7,
             intervals: 50_000,
         };
-        let out = analyze(&spec, false, &backend).unwrap();
+        let out = analyze(&spec, false, &backend, None).unwrap();
         assert!(out.starts_with("backend: sim (seed 7"), "{out}");
-        let json = analyze(&spec, true, &backend).unwrap();
+        let json = analyze(&spec, true, &backend, None).unwrap();
         let value = Json::parse(&json).unwrap();
         assert_eq!(value["backend"].as_str().unwrap(), "sim");
         let r = value["paths"][0]["reachability"].as_f64().unwrap();

@@ -4,8 +4,8 @@
 //! A Rust rebuild of the analysis tool described in Remke & Wu (DSN 2013).
 //!
 //! ```text
-//! whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json]
-//! whart batch    <scenarios.json> [--threads N] [--stats]
+//! whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>]
+//! whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>]
 //! whart dot      <spec.json> --path <i>
 //! whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
 //! whart predict  <spec.json> --path <i> --snr <EbN0>
@@ -20,8 +20,8 @@ use spec::NetworkSpec;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json]
-  whart batch    <scenarios.json> [--threads N] [--stats]
+  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>]
+  whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
@@ -35,7 +35,10 @@ network, overrides, failure injections, measures) and streams one JSON
 line per scenario through the memoizing engine. analyze solves through a
 pluggable backend: 'fast' (analytical transient, default), 'explicit'
 (Algorithm 1 chain) or 'sim' (Monte-Carlo; --seed and --intervals set
-the estimator); batch scenarios select theirs with a \"backend\" field.";
+the estimator); batch scenarios select theirs with a \"backend\" field.
+--metrics <out.json> records solver/engine counters and latency
+histograms during the run and writes the snapshot to the given file;
+batch additionally appends one 'metrics' summary line per backend.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +66,13 @@ fn run(args: &[String]) -> Result<String, String> {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let threads = parse_or(args, "--threads", num_cpus())?;
-            batch::batch(&text, threads, has_flag(args, "--stats"))
+            let metrics = flag_value(args, "--metrics")?;
+            batch::batch(
+                &text,
+                threads,
+                has_flag(args, "--stats"),
+                metrics.as_deref(),
+            )
         }
         "analyze" | "dot" | "simulate" | "predict" | "sensitivity" => {
             let path = args.get(1).ok_or("missing spec file")?;
@@ -76,7 +85,13 @@ fn run(args: &[String]) -> Result<String, String> {
                     let seed = parse_or(args, "--seed", 42u64)?;
                     let intervals = parse_or(args, "--intervals", 100_000u64)?;
                     let backend = commands::Backend::parse(&name, seed, intervals)?;
-                    commands::analyze(&spec, has_flag(args, "--json"), &backend)
+                    let metrics = flag_value(args, "--metrics")?;
+                    commands::analyze(
+                        &spec,
+                        has_flag(args, "--json"),
+                        &backend,
+                        metrics.as_deref(),
+                    )
                 }
                 "dot" => {
                     let index =
@@ -210,6 +225,29 @@ mod tests {
         assert!(sim.contains("0.96"), "{sim}");
 
         assert!(run(&s(&["analyze", file, "--backend", "magic"])).is_err());
+    }
+
+    #[test]
+    fn analyze_metrics_flag_writes_a_snapshot() {
+        let dir = std::env::temp_dir().join("whart-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("section_v.json");
+        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
+        let metrics = dir.join("metrics.json");
+        let out = run(&s(&[
+            "analyze",
+            spec.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("0.962"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let snapshot = whart_obs::MetricsSnapshot::parse(&text).unwrap();
+        let solves = snapshot.histogram("solver.fast.solve_ns").unwrap();
+        assert_eq!(solves.count, 1, "one path in the Section V network");
+        assert!(snapshot.counter("solver.fast.transient_steps").unwrap() > 0);
+        assert!(run(&s(&["analyze", spec.to_str().unwrap(), "--metrics"])).is_err());
     }
 
     #[test]

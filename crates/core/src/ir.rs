@@ -30,11 +30,12 @@ use crate::dynamics::LinkDynamics;
 use crate::error::Result;
 use crate::explicit::explicit_chain_of;
 use crate::network::{NetworkEvaluation, PathReport};
-use crate::path::{fast_evaluate, PathEvaluation, PathModel};
+use crate::path::{fast_evaluate_counted, PathEvaluation, PathModel};
 use crate::signature::PathSignature;
 use std::sync::Arc;
 use whart_dtmc::Pmf;
 use whart_net::{NodeId, Path, ReportingInterval, Superframe};
+use whart_obs::Metrics;
 
 /// Which optional artifacts a solve should materialize.
 ///
@@ -272,18 +273,63 @@ impl NetworkProblem {
 /// injections are cross-validated structurally rather than by hand-wired
 /// re-derivation.
 pub trait Solver: Send + Sync {
-    /// A short stable name for logs and CLI output.
+    /// A short stable name for logs, CLI output and metric names.
     fn name(&self) -> &'static str;
 
-    /// Solves one compiled path problem.
+    /// Solves one compiled path problem, recording backend
+    /// observability into `obs`: every backend times the solve into the
+    /// `solver.<name>.solve_ns` histogram, plus backend-specific work
+    /// counters (transient steps, chain sizes, Monte-Carlo draws). With
+    /// a disabled handle this must behave exactly like an
+    /// uninstrumented solve — bit-identical results, no clock reads.
     ///
     /// # Errors
     ///
     /// Backend-specific solver failures (the fast evaluator is total;
     /// the explicit chain propagates linear-solver errors).
-    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation>;
+    fn solve_path_observed(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+    ) -> Result<PathEvaluation>;
 
-    /// Solves a compiled network problem path by path.
+    /// Solves one compiled path problem without observability.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve_path_observed`].
+    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation> {
+        self.solve_path_observed(problem, plan, &Metrics::disabled())
+    }
+
+    /// Solves a compiled network problem path by path, recording
+    /// backend observability into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first path-solve failure.
+    fn solve_network_observed(
+        &self,
+        problem: &NetworkProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+    ) -> Result<NetworkEvaluation> {
+        let reports = problem
+            .paths()
+            .iter()
+            .zip(problem.path_problems())
+            .map(|(path, p)| {
+                Ok(PathReport {
+                    path: path.clone(),
+                    evaluation: Arc::new(self.solve_path_observed(p, plan, obs)?),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetworkEvaluation::from_reports(reports))
+    }
+
+    /// Solves a compiled network problem without observability.
     ///
     /// # Errors
     ///
@@ -293,18 +339,7 @@ pub trait Solver: Send + Sync {
         problem: &NetworkProblem,
         plan: MeasurePlan,
     ) -> Result<NetworkEvaluation> {
-        let reports = problem
-            .paths()
-            .iter()
-            .zip(problem.path_problems())
-            .map(|(path, p)| {
-                Ok(PathReport {
-                    path: path.clone(),
-                    evaluation: Arc::new(self.solve_path(p, plan)?),
-                })
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(NetworkEvaluation::from_reports(reports))
+        self.solve_network_observed(problem, plan, &Metrics::disabled())
     }
 }
 
@@ -318,16 +353,26 @@ impl Solver for FastSolver {
         "fast"
     }
 
-    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation> {
-        Ok(fast_evaluate(problem, plan))
+    fn solve_path_observed(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+    ) -> Result<PathEvaluation> {
+        let span = obs.timer("solver.fast.solve_ns");
+        let (evaluation, steps) = fast_evaluate_counted(problem, plan);
+        span.stop();
+        obs.counter("solver.fast.transient_steps").add(steps);
+        Ok(evaluation)
     }
 
-    fn solve_network(
+    fn solve_network_observed(
         &self,
         problem: &NetworkProblem,
         plan: MeasurePlan,
+        obs: &Metrics,
     ) -> Result<NetworkEvaluation> {
-        let evaluations = evaluate_parallel(problem.path_problems(), plan);
+        let evaluations = evaluate_parallel(problem.path_problems(), plan, obs);
         let reports = problem
             .paths()
             .iter()
@@ -343,26 +388,40 @@ impl Solver for FastSolver {
 }
 
 /// Solves a batch of compiled path problems on scoped worker threads
-/// (one chunk per available core, bounded by the batch size).
+/// (one chunk per available core, bounded by the batch size). Each
+/// solve is timed into `solver.fast.solve_ns`; instrument handles are
+/// resolved once, so the per-solve cost is two atomic updates (none
+/// when `obs` is disabled).
 pub(crate) fn evaluate_parallel(
     problems: &[PathProblem],
     plan: MeasurePlan,
+    obs: &Metrics,
 ) -> Vec<PathEvaluation> {
+    let latency = obs.histogram("solver.fast.solve_ns");
+    let steps_total = obs.counter("solver.fast.transient_steps");
+    let solve = |problem: &PathProblem| {
+        let span = latency.start();
+        let (evaluation, steps) = fast_evaluate_counted(problem, plan);
+        span.stop();
+        steps_total.add(steps);
+        evaluation
+    };
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let workers = workers.min(problems.len()).max(1);
     if workers <= 1 {
-        return problems.iter().map(|p| fast_evaluate(p, plan)).collect();
+        return problems.iter().map(solve).collect();
     }
     let chunk = problems.len().div_ceil(workers);
     let mut out: Vec<Option<PathEvaluation>> = vec![None; problems.len()];
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (problems_chunk, out_chunk) in problems.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let solve = &solve;
             handles.push(scope.spawn(move || {
                 for (problem, slot) in problems_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(fast_evaluate(problem, plan));
+                    *slot = Some(solve(problem));
                 }
             }));
         }
@@ -389,10 +448,22 @@ impl Solver for ExplicitSolver {
         "explicit"
     }
 
-    fn solve_path(&self, problem: &PathProblem, _plan: MeasurePlan) -> Result<PathEvaluation> {
+    fn solve_path_observed(
+        &self,
+        problem: &PathProblem,
+        _plan: MeasurePlan,
+        obs: &Metrics,
+    ) -> Result<PathEvaluation> {
+        let span = obs.timer("solver.explicit.solve_ns");
         let chain = explicit_chain_of(problem);
+        obs.counter("solver.explicit.states")
+            .add(chain.state_count() as u64);
+        obs.counter("solver.explicit.transitions")
+            .add(chain.transition_count() as u64);
         let (cycle_probabilities, discard) = chain.solve()?;
-        Ok(problem.evaluation_from_cycles(cycle_probabilities, discard))
+        let evaluation = problem.evaluation_from_cycles(cycle_probabilities, discard);
+        span.stop();
+        Ok(evaluation)
     }
 }
 

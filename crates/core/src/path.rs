@@ -226,6 +226,16 @@ impl PathModel {
 /// constant afterwards); [`PathEvaluation::trajectory`] re-pads on
 /// demand.
 pub(crate) fn fast_evaluate(problem: &PathProblem, plan: MeasurePlan) -> PathEvaluation {
+    fast_evaluate_counted(problem, plan).0
+}
+
+/// [`fast_evaluate`] plus the number of transient iteration steps the
+/// solve actually executed (the TTL can cut the horizon short) — the
+/// quantity the fast backend reports to the observability layer.
+pub(crate) fn fast_evaluate_counted(
+    problem: &PathProblem,
+    plan: MeasurePlan,
+) -> (PathEvaluation, u64) {
     let n = problem.hop_count();
     let f_up = problem.superframe().uplink_slots() as usize;
     let cycles = problem.interval().cycles() as usize;
@@ -252,7 +262,9 @@ pub(crate) fn fast_evaluate(problem: &PathProblem, plan: MeasurePlan) -> PathEva
         goal_trajectory.push(goals.clone());
     }
 
+    let mut steps = 0u64;
     for step in 1..=total {
+        steps += 1;
         let frame_slot = (step - 1) % f_up;
         let cycle = (step - 1) / f_up;
         if let Some(hop) = by_slot[frame_slot] {
@@ -285,7 +297,7 @@ pub(crate) fn fast_evaluate(problem: &PathProblem, plan: MeasurePlan) -> PathEva
     // Mass still in flight at the end of the interval is lost.
     discard += position.iter().sum::<f64>();
 
-    PathEvaluation {
+    let evaluation = PathEvaluation {
         cycle_probabilities: goals.iter().copied().collect(),
         discard_probability: discard,
         arrival_slot_number: problem.arrival_slot_number(),
@@ -295,7 +307,8 @@ pub(crate) fn fast_evaluate(problem: &PathProblem, plan: MeasurePlan) -> PathEva
         goal_trajectory,
         trajectory_len: if record { total + 1 } else { 0 },
         expected_transmissions,
-    }
+    };
+    (evaluation, steps)
 }
 
 /// Builder for [`PathModel`]; see [`PathModel::builder`].

@@ -1,0 +1,102 @@
+//! The `Solver` observability contract: instrumented solves must be
+//! bit-identical to plain ones, and a disabled registry must stay empty.
+
+use whart_model::sweeps::{chain_model, section_v_model};
+use whart_model::{ExplicitSolver, FastSolver, MeasurePlan, Solver};
+use whart_net::ReportingInterval;
+use whart_obs::Metrics;
+
+#[test]
+fn fast_solver_is_inert_when_observability_is_off() {
+    let problem = section_v_model(0.75, ReportingInterval::REGULAR)
+        .unwrap()
+        .compile();
+    let disabled = Metrics::disabled();
+    let plain = FastSolver
+        .solve_path(&problem, MeasurePlan::SCALAR)
+        .unwrap();
+    let observed = FastSolver
+        .solve_path_observed(&problem, MeasurePlan::SCALAR, &disabled)
+        .unwrap();
+    assert_eq!(plain, observed, "bit-identical evaluation");
+    assert!(
+        disabled.snapshot().is_empty(),
+        "zero snapshot entries with observability off"
+    );
+    assert!(!disabled.is_enabled());
+}
+
+#[test]
+fn fast_solver_records_timing_and_steps_without_perturbing_results() {
+    let problem = section_v_model(0.75, ReportingInterval::REGULAR)
+        .unwrap()
+        .compile();
+    let metrics = Metrics::new();
+    let plain = FastSolver
+        .solve_path(&problem, MeasurePlan::SCALAR)
+        .unwrap();
+    let observed = FastSolver
+        .solve_path_observed(&problem, MeasurePlan::SCALAR, &metrics)
+        .unwrap();
+    assert_eq!(plain, observed, "metrics must not perturb the solve");
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        snapshot.histogram("solver.fast.solve_ns").map(|h| h.count),
+        Some(1)
+    );
+    // The Section V example runs Is * F_up = 4 * 7 transient steps.
+    assert_eq!(snapshot.counter("solver.fast.transient_steps"), Some(28));
+}
+
+#[test]
+fn explicit_solver_reports_chain_dimensions() {
+    let problem = chain_model(2, 0.83, ReportingInterval::REGULAR)
+        .unwrap()
+        .compile();
+    let metrics = Metrics::new();
+    let observed = ExplicitSolver
+        .solve_path_observed(&problem, MeasurePlan::SCALAR, &metrics)
+        .unwrap();
+    let plain = ExplicitSolver
+        .solve_path(&problem, MeasurePlan::SCALAR)
+        .unwrap();
+    assert_eq!(plain, observed);
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        snapshot
+            .histogram("solver.explicit.solve_ns")
+            .map(|h| h.count),
+        Some(1)
+    );
+    assert!(snapshot.counter("solver.explicit.states").unwrap() > 0);
+    assert!(snapshot.counter("solver.explicit.transitions").unwrap() > 0);
+}
+
+#[test]
+fn network_solves_share_the_registry_across_paths() {
+    let link = whart_channel::LinkModel::from_availability(0.83, 0.9).unwrap();
+    let net = whart_net::typical::TypicalNetwork::new(link);
+    let model = whart_model::NetworkModel::from_typical(
+        &net,
+        net.schedule_eta_a(),
+        ReportingInterval::REGULAR,
+    )
+    .unwrap();
+    let network = model.compile().unwrap();
+    let metrics = Metrics::new();
+    let observed = FastSolver
+        .solve_network_observed(&network, MeasurePlan::SCALAR, &metrics)
+        .unwrap();
+    let plain = FastSolver
+        .solve_network(&network, MeasurePlan::SCALAR)
+        .unwrap();
+    assert_eq!(plain.reports().len(), observed.reports().len());
+    for (p, o) in plain.reports().iter().zip(observed.reports()) {
+        assert_eq!(p.evaluation, o.evaluation);
+    }
+    let count = metrics
+        .snapshot()
+        .histogram("solver.fast.solve_ns")
+        .map(|h| h.count);
+    assert_eq!(count, Some(network.path_problems().len() as u64));
+}

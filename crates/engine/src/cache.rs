@@ -14,7 +14,7 @@
 //! the DTMC solves they amortize, and the engine only touches them during
 //! the (serial) plan and assemble stages.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use whart_channel::LinkModel;
@@ -82,26 +82,50 @@ impl LinkKey {
     }
 }
 
-/// A memoized map with hit/miss counters readable without locking.
-pub(crate) struct CountedCache<K, V> {
-    entries: Mutex<HashMap<K, V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// The guarded interior of a [`CountedCache`]: the map, the FIFO
+/// insertion order (for eviction) and the optional capacity bound.
+struct Entries<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    capacity: Option<usize>,
 }
 
-impl<K: std::hash::Hash + Eq, V: Clone> CountedCache<K, V> {
+/// A memoized map with hit/miss/eviction counters readable without
+/// locking, and an optional capacity bound with FIFO eviction
+/// (unbounded by default).
+pub(crate) struct CountedCache<K, V> {
+    entries: Mutex<Entries<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> CountedCache<K, V> {
     pub(crate) fn new() -> Self {
         CountedCache {
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(Entries {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: None,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds (or unbounds, with `None`) the entry count. A bound of 0
+    /// is treated as 1 — the cache always holds the entry just
+    /// inserted. Shrinking below the current size evicts oldest-first
+    /// on the next insert.
+    pub(crate) fn set_capacity(&self, capacity: Option<usize>) {
+        self.entries.lock().expect("cache lock").capacity = capacity;
     }
 
     /// Looks up `key`, counting a hit or a miss.
     pub(crate) fn get(&self, key: &K) -> Option<V> {
         let entries = self.entries.lock().expect("cache lock");
-        match entries.get(key) {
+        match entries.map.get(key) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v.clone())
@@ -113,9 +137,31 @@ impl<K: std::hash::Hash + Eq, V: Clone> CountedCache<K, V> {
         }
     }
 
-    /// Inserts a freshly computed value (does not touch the counters).
-    pub(crate) fn insert(&self, key: K, value: V) {
-        self.entries.lock().expect("cache lock").insert(key, value);
+    /// Inserts a freshly computed value (does not touch the hit/miss
+    /// counters), evicting oldest entries while over capacity. Returns
+    /// how many entries were evicted.
+    pub(crate) fn insert(&self, key: K, value: V) -> u64 {
+        let mut entries = self.entries.lock().expect("cache lock");
+        if entries.map.insert(key.clone(), value).is_none() {
+            entries.order.push_back(key);
+        }
+        let Some(capacity) = entries.capacity else {
+            return 0;
+        };
+        let capacity = capacity.max(1);
+        let mut evicted = 0u64;
+        while entries.map.len() > capacity {
+            let Some(oldest) = entries.order.pop_front() else {
+                break;
+            };
+            if entries.map.remove(&oldest).is_some() {
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Records a hit satisfied outside the map itself — the engine uses
@@ -134,8 +180,12 @@ impl<K: std::hash::Hash + Eq, V: Clone> CountedCache<K, V> {
         self.misses.load(Ordering::Relaxed)
     }
 
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.entries.lock().expect("cache lock").map.len()
     }
 }
 
@@ -162,6 +212,33 @@ mod tests {
         cache.insert(1, 10);
         assert_eq!(cache.get(&1), Some(10));
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache: CountedCache<u32, u32> = CountedCache::new();
+        cache.set_capacity(Some(2));
+        assert_eq!(cache.insert(1, 10), 0);
+        assert_eq!(cache.insert(2, 20), 0);
+        assert_eq!(cache.insert(3, 30), 1, "one eviction over capacity");
+        assert_eq!(cache.get(&1), None, "oldest entry evicted");
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        // Re-inserting an existing key is an update, not growth.
+        assert_eq!(cache.insert(3, 31), 0);
+        assert_eq!(cache.get(&3), Some(31));
+        // A zero capacity still retains the latest entry.
+        cache.set_capacity(Some(0));
+        cache.insert(4, 40);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&4), Some(40));
+        // Unbounding stops eviction.
+        cache.set_capacity(None);
+        cache.insert(5, 50);
+        cache.insert(6, 60);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The batch-evaluation engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -10,6 +10,7 @@ use whart_model::{
     FastSolver, MeasurePlan, NetworkEvaluation, PathEvaluation, PathModel, PathProblem, PathReport,
     Result, Solver,
 };
+use whart_obs::Metrics;
 
 use crate::cache::{LinkCache, LinkKey, PathCache};
 use crate::pool;
@@ -37,6 +38,10 @@ pub struct EngineStats {
     pub link_cache_hits: u64,
     /// Link-model derivations computed.
     pub link_cache_misses: u64,
+    /// Path evaluations evicted by the path cache's capacity bound.
+    pub path_cache_evictions: u64,
+    /// Link models evicted by the link cache's capacity bound.
+    pub link_cache_evictions: u64,
     /// Tasks migrated between workers by work stealing.
     pub steals: u64,
     /// Peak per-worker queue depth observed while executing.
@@ -94,6 +99,7 @@ pub struct Engine {
     path_cache: PathCache,
     pending: Vec<Scenario>,
     stats: EngineStats,
+    metrics: Metrics,
 }
 
 impl Engine {
@@ -116,7 +122,31 @@ impl Engine {
                 workers,
                 ..EngineStats::default()
             },
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a metrics registry; every subsequent [`Engine::drain`]
+    /// and [`Engine::link_model`] call records cache traffic, stage and
+    /// per-scenario solve latencies into it. The default is the
+    /// disabled handle, which records nothing and reads no clocks.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The engine's metrics handle (disabled unless
+    /// [`Engine::set_metrics`] installed an enabled one).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Bounds the entry counts of the path and link caches (`None`
+    /// leaves a cache unbounded). Over-capacity inserts evict
+    /// oldest-first and surface in [`EngineStats::path_cache_evictions`]
+    /// / [`EngineStats::link_cache_evictions`].
+    pub fn set_cache_capacities(&mut self, paths: Option<usize>, links: Option<usize>) {
+        self.path_cache.set_capacity(paths);
+        self.link_cache.set_capacity(links);
     }
 
     /// Creates an engine sized to the machine's available parallelism.
@@ -147,8 +177,10 @@ impl Engine {
     pub fn link_model(&self, spec: &LinkQualitySpec) -> Result<LinkModel> {
         let key = LinkKey::of(spec);
         if let Some(model) = self.link_cache.get(&key) {
+            self.metrics.counter("engine.link_cache.hits").increment();
             return Ok(model);
         }
+        self.metrics.counter("engine.link_cache.misses").increment();
         let model = match *spec {
             LinkQualitySpec::Transitions { p_fl, p_rc } => LinkModel::new(p_fl, p_rc)?,
             LinkQualitySpec::Ber {
@@ -170,7 +202,12 @@ impl Engine {
                 LinkModel::from_availability(availability, p_rc)?
             }
         };
-        self.link_cache.insert(key, model);
+        let evicted = self.link_cache.insert(key, model);
+        if evicted > 0 {
+            self.metrics
+                .counter("engine.link_cache.evictions")
+                .add(evicted);
+        }
         Ok(model)
     }
 
@@ -203,6 +240,10 @@ impl Engine {
         // key: a trajectory-requesting scenario must not be answered by a
         // scalar-only cache entry (or vice versa).
         type PathKey = (PathSignature, MeasurePlan);
+        let obs = self.metrics.clone();
+        let path_hits = obs.counter("engine.path_cache.hits");
+        let path_misses = obs.counter("engine.path_cache.misses");
+        let compile_hist = obs.histogram("engine.compile_ns");
         let plan_start = Instant::now();
         let mut planned_jobs = Vec::with_capacity(scenarios.len());
         let mut resolved: HashMap<PathKey, Arc<PathEvaluation>> = HashMap::new();
@@ -210,61 +251,108 @@ impl Engine {
         let mut tasks: Vec<(PathKey, PathProblem)> = Vec::new();
         for scenario in scenarios {
             let plan = scenario.measures.plan();
+            let compile_span = compile_hist.start();
             let problems: Vec<PathProblem> = match &scenario.workload {
                 Workload::Network(model) => (0..model.paths().len())
                     .map(|i| model.path_problem(i))
                     .collect::<Result<_>>()?,
                 Workload::Paths(models) => models.iter().map(PathModel::compile).collect(),
             };
+            compile_span.stop();
             let mut signatures = Vec::with_capacity(problems.len());
             for problem in problems {
                 let key = (problem.signature(), plan);
                 self.stats.paths_requested += 1;
                 if planned.contains_key(&key) {
                     self.path_cache.count_shared_hit();
+                    path_hits.increment();
                 } else if !resolved.contains_key(&key) {
                     match self.path_cache.get(&key) {
                         Some(evaluation) => {
+                            path_hits.increment();
                             resolved.insert(key.clone(), evaluation);
                         }
                         None => {
+                            path_misses.increment();
                             planned.insert(key.clone(), tasks.len());
                             tasks.push((key.clone(), problem));
                         }
                     }
                 } else {
                     self.path_cache.count_shared_hit();
+                    path_hits.increment();
                 }
                 signatures.push(key);
             }
             planned_jobs.push((scenario, signatures));
         }
-        self.stats.plan_wall += plan_start.elapsed();
+        let plan_elapsed = plan_start.elapsed();
+        self.stats.plan_wall += plan_elapsed;
+        obs.histogram("engine.plan_ns")
+            .record(plan_elapsed.as_nanos() as u64);
 
         // Execute: solve the distinct compiled problems on the worker pool
         // through the engine's solver backend.
         let execute_start = Instant::now();
         let solver = Arc::clone(&self.solver);
+        let enabled = obs.is_enabled();
         let (solved, pool_stats) = pool::run(self.workers, tasks, |((_, plan), problem)| {
-            solver.solve_path(problem, *plan)
+            let start = enabled.then(Instant::now);
+            let result = solver.solve_path_observed(problem, *plan, &obs);
+            (result, start.map(|s| s.elapsed()).unwrap_or_default())
         });
-        let evaluations = solved.into_iter().collect::<Result<Vec<_>>>()?;
+        let backend = self.solver.name();
+        let path_solve_hist = obs.histogram(&format!("engine.{backend}.path_solve_ns"));
+        let mut evaluations = Vec::with_capacity(solved.len());
+        let mut durations = Vec::with_capacity(solved.len());
+        for (result, elapsed) in solved {
+            evaluations.push(result?);
+            durations.push(elapsed);
+            path_solve_hist.record(elapsed.as_nanos() as u64);
+        }
         self.stats.paths_evaluated += evaluations.len() as u64;
         let evaluations: Vec<Arc<PathEvaluation>> = evaluations.into_iter().map(Arc::new).collect();
+        let mut evicted = 0u64;
         for (signature, &index) in &planned {
             let evaluation = Arc::clone(&evaluations[index]);
-            self.path_cache
+            evicted += self
+                .path_cache
                 .insert(signature.clone(), Arc::clone(&evaluation));
             resolved.insert(signature.clone(), evaluation);
         }
+        if evicted > 0 {
+            obs.counter("engine.path_cache.evictions").add(evicted);
+        }
         self.stats.steals += pool_stats.steals;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(pool_stats.max_queue_depth);
-        self.stats.execute_wall += execute_start.elapsed();
+        obs.counter("engine.pool.steals").add(pool_stats.steals);
+        obs.gauge("engine.pool.max_queue_depth")
+            .record_max(pool_stats.max_queue_depth as u64);
+        let execute_elapsed = execute_start.elapsed();
+        self.stats.execute_wall += execute_elapsed;
+        obs.histogram("engine.execute_ns")
+            .record(execute_elapsed.as_nanos() as u64);
 
         // Assemble: per-scenario results in submission order.
         let assemble_start = Instant::now();
+        let scenario_hist = obs.histogram(&format!("engine.{backend}.scenario_solve_ns"));
         let mut results = Vec::with_capacity(planned_jobs.len());
         for (scenario, signatures) in planned_jobs {
+            // One observation per scenario: the solve time of its
+            // distinct path DTMCs in this drain (cache hits cost 0), so
+            // the histogram count equals the scenario count.
+            if enabled {
+                let mut seen: HashSet<&PathKey> = HashSet::with_capacity(signatures.len());
+                let mut total = Duration::ZERO;
+                for key in &signatures {
+                    if seen.insert(key) {
+                        if let Some(&index) = planned.get(key) {
+                            total += durations[index];
+                        }
+                    }
+                }
+                scenario_hist.record(total.as_nanos() as u64);
+            }
             // Shared references until here; each scenario result owns its
             // copy (the one unavoidable deep clone per path occurrence).
             let evaluations: Vec<Arc<PathEvaluation>> = signatures
@@ -309,7 +397,10 @@ impl Engine {
             });
             self.stats.jobs_completed += 1;
         }
-        self.stats.assemble_wall += assemble_start.elapsed();
+        let assemble_elapsed = assemble_start.elapsed();
+        self.stats.assemble_wall += assemble_elapsed;
+        obs.histogram("engine.assemble_ns")
+            .record(assemble_elapsed.as_nanos() as u64);
 
         Ok(results)
     }
@@ -322,6 +413,8 @@ impl Engine {
         stats.path_cache_misses = self.path_cache.misses();
         stats.link_cache_hits = self.link_cache.hits();
         stats.link_cache_misses = self.link_cache.misses();
+        stats.path_cache_evictions = self.path_cache.evictions();
+        stats.link_cache_evictions = self.link_cache.evictions();
         stats
     }
 

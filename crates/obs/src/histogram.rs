@@ -1,0 +1,174 @@
+//! The fixed log2-bucket histogram core and its snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of regular buckets. Bucket `i` holds values `v` with
+/// `floor(log2(max(v, 1))) == i`, i.e. `2^i <= v < 2^(i+1)` (bucket 0
+/// additionally holds 0). With 40 buckets the regular range tops out
+/// just below `2^40` — about 18 minutes when values are nanoseconds —
+/// and everything at or above that lands in the overflow bucket.
+pub const BUCKETS: usize = 40;
+
+/// The index of the regular bucket holding `value`, or `None` for the
+/// overflow bucket.
+pub(crate) fn bucket_index(value: u64) -> Option<usize> {
+    let index = 63 - value.max(1).leading_zeros() as usize;
+    (index < BUCKETS).then_some(index)
+}
+
+/// Inclusive upper bound of regular bucket `index`.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    debug_assert!(index < BUCKETS);
+    (1u64 << (index + 1)) - 1
+}
+
+/// Lock-free accumulation state of one histogram.
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    pub(crate) fn record(&self, value: u64) {
+        match bucket_index(value) {
+            Some(index) => self.buckets[index].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then_some((i, count))
+            })
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+            overflow: self.overflow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram: exact totals plus the
+/// populated log2 buckets (sparse `(index, count)` pairs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Populated regular buckets as `(bucket index, count)`, ascending.
+    pub buckets: Vec<(usize, u64)>,
+    /// Observations at or above `2^BUCKETS`.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, from the exact totals (not the buckets).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Sum of all bucket counts including overflow; always equals
+    /// [`HistogramSnapshot::count`].
+    pub fn bucketed_count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum::<u64>() + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 and 1 share bucket 0.
+        assert_eq!(bucket_index(0), Some(0));
+        assert_eq!(bucket_index(1), Some(0));
+        // Each boundary 2^i opens bucket i; 2^i - 1 still sits in i-1.
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_index(1u64 << i), Some(i), "2^{i}");
+            assert_eq!(bucket_index((1u64 << i) - 1), Some(i - 1), "2^{i} - 1");
+            assert_eq!(bucket_upper_bound(i - 1), (1u64 << i) - 1);
+        }
+        // The first value past the last regular bucket overflows.
+        assert_eq!(bucket_index((1u64 << BUCKETS) - 1), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(1u64 << BUCKETS), None);
+        assert_eq!(bucket_index(u64::MAX), None);
+    }
+
+    #[test]
+    fn overflow_bucket_counts_separately() {
+        let core = HistogramCore::default();
+        core.record(1u64 << BUCKETS);
+        core.record(u64::MAX);
+        core.record(5);
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.overflow, 2);
+        assert_eq!(snapshot.count, 3);
+        assert_eq!(snapshot.buckets, vec![(2, 1)]);
+        assert_eq!(snapshot.bucketed_count(), 3);
+        assert_eq!(snapshot.max, u64::MAX);
+        assert_eq!(snapshot.min, 5);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let snapshot = HistogramCore::default().snapshot();
+        assert_eq!(snapshot, HistogramSnapshot::default());
+        assert_eq!(snapshot.mean(), None);
+        assert_eq!(snapshot.bucketed_count(), 0);
+    }
+
+    #[test]
+    fn totals_are_exact() {
+        let core = HistogramCore::default();
+        for v in [3u64, 10, 1000, 7] {
+            core.record(v);
+        }
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.count, 4);
+        assert_eq!(snapshot.sum, 1020);
+        assert_eq!(snapshot.min, 3);
+        assert_eq!(snapshot.max, 1000);
+        assert_eq!(snapshot.mean(), Some(255.0));
+    }
+}

@@ -22,6 +22,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use whart_model::{MeasurePlan, PathEvaluation, PathProblem, Result, Solver};
+use whart_obs::Metrics;
 
 /// Seed-mixing constant (the golden-ratio increment used throughout the
 /// workspace's parallel seeding).
@@ -107,7 +108,9 @@ impl MonteCarloSolver {
         problem: &PathProblem,
         seed: u64,
         _plan: MeasurePlan,
+        obs: &Metrics,
     ) -> PathEvaluation {
+        let span = obs.timer("solver.sim.solve_ns");
         let cycles = problem.interval().cycles() as usize;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut deliveries = vec![0u64; cycles];
@@ -123,11 +126,16 @@ impl MonteCarloSolver {
         }
         let reps = self.intervals as f64;
         let cycle_probabilities = deliveries.iter().map(|&d| d as f64 / reps).collect();
-        problem.evaluation_from_measures(
+        let evaluation = problem.evaluation_from_measures(
             cycle_probabilities,
             discards as f64 / reps,
             attempts as f64 / reps,
-        )
+        );
+        span.stop();
+        // One Bernoulli draw per attempted transmission.
+        obs.counter("solver.sim.draws").add(attempts);
+        obs.counter("solver.sim.replications").add(self.intervals);
+        evaluation
     }
 }
 
@@ -139,14 +147,20 @@ impl Solver for MonteCarloSolver {
     /// Statistical estimates of the path measures. Total — never fails.
     /// Trajectory requests are ignored (the estimator keeps no per-slot
     /// record); the returned evaluation carries scalars only.
-    fn solve_path(&self, problem: &PathProblem, plan: MeasurePlan) -> Result<PathEvaluation> {
-        Ok(self.solve_path_seeded(problem, self.path_seed(0), plan))
+    fn solve_path_observed(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+    ) -> Result<PathEvaluation> {
+        Ok(self.solve_path_seeded(problem, self.path_seed(0), plan, obs))
     }
 
-    fn solve_network(
+    fn solve_network_observed(
         &self,
         problem: &whart_model::NetworkProblem,
         plan: MeasurePlan,
+        obs: &Metrics,
     ) -> Result<whart_model::NetworkEvaluation> {
         use std::sync::Arc;
         let reports = problem
@@ -156,7 +170,12 @@ impl Solver for MonteCarloSolver {
             .enumerate()
             .map(|(i, (path, p))| whart_model::PathReport {
                 path: path.clone(),
-                evaluation: Arc::new(self.solve_path_seeded(p, self.path_seed(i as u64), plan)),
+                evaluation: Arc::new(self.solve_path_seeded(
+                    p,
+                    self.path_seed(i as u64),
+                    plan,
+                    obs,
+                )),
             })
             .collect();
         Ok(whart_model::NetworkEvaluation::from_reports(reports))
