@@ -27,7 +27,7 @@
 //! backend configuration share one memoizing engine, and output lines
 //! stay in submission order regardless.
 
-use crate::commands::{write_metrics, Backend};
+use crate::commands::{trace_for, write_metrics, write_trace, Backend};
 use crate::spec::{node, LinkQuality, NetworkSpec};
 use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
 use whart_json::Json;
@@ -275,6 +275,15 @@ fn stats_line(engine: &Engine) -> Json {
 /// scenarios routed to that backend).
 fn metrics_line(backend: &str, snapshot: &MetricsSnapshot) -> Json {
     let counter = |name: &str| Json::from(snapshot.counter(name).unwrap_or(0));
+    // hits / (hits + misses), null when the layer saw no traffic.
+    let hit_ratio = |layer: &str| {
+        let hits = snapshot.counter(&format!("{layer}.hits")).unwrap_or(0);
+        let misses = snapshot.counter(&format!("{layer}.misses")).unwrap_or(0);
+        match hits + misses {
+            0 => Json::Null,
+            total => Json::from(hits as f64 / total as f64),
+        }
+    };
     let latency = |name: &str| match snapshot.histogram(name) {
         Some(h) => Json::object([
             ("count", Json::from(h.count)),
@@ -290,12 +299,14 @@ fn metrics_line(backend: &str, snapshot: &MetricsSnapshot) -> Json {
             ("backend", Json::from(backend.to_string())),
             ("path_cache_hits", counter("engine.path_cache.hits")),
             ("path_cache_misses", counter("engine.path_cache.misses")),
+            ("path_cache_hit_ratio", hit_ratio("engine.path_cache")),
             (
                 "path_cache_evictions",
                 counter("engine.path_cache.evictions"),
             ),
             ("link_cache_hits", counter("engine.link_cache.hits")),
             ("link_cache_misses", counter("engine.link_cache.misses")),
+            ("link_cache_hit_ratio", hit_ratio("engine.link_cache")),
             (
                 "scenario_solve_ns",
                 latency(&format!("engine.{backend}.scenario_solve_ns")),
@@ -313,12 +324,15 @@ fn metrics_line(backend: &str, snapshot: &MetricsSnapshot) -> Json {
 /// order), plus a final `stats` line when requested. With
 /// `metrics_path`, all engines record into one registry whose snapshot
 /// is written there as JSON, and one `metrics` summary line per backend
-/// is appended to the output.
+/// is appended to the output. With `trace_path`, all engines record
+/// into one journal (per-scenario spans, per-path solve spans, per-hop
+/// provenance) written there after the drains.
 pub fn batch(
     text: &str,
     threads: usize,
     with_stats: bool,
     metrics_path: Option<&str>,
+    trace_path: Option<&str>,
 ) -> Result<String, String> {
     let value = Json::parse(text).map_err(|e| format!("invalid scenario list: {e}"))?;
     let list = match &value {
@@ -345,6 +359,7 @@ pub fn batch(
         Some(_) => Metrics::new(),
         None => Metrics::disabled(),
     };
+    let trace = trace_for(trace_path);
     let mut engines: Vec<(Backend, Engine)> = Vec::new();
     let mut placements: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
     for entry in entries {
@@ -353,6 +368,7 @@ pub fn batch(
             None => {
                 let mut engine = Engine::with_solver(threads, entry.backend.solver());
                 engine.set_metrics(metrics.clone());
+                engine.set_trace(trace.clone());
                 engines.push((entry.backend, engine));
                 engines.len() - 1
             }
@@ -389,7 +405,10 @@ pub fn batch(
                 out.push('\n');
             }
         }
-        write_metrics(path, &metrics)?;
+        out.push_str(&write_metrics(path, &metrics)?);
+    }
+    if let Some(path) = trace_path {
+        out.push_str(&write_trace(path, &trace)?);
     }
     Ok(out)
 }
@@ -415,7 +434,7 @@ mod tests {
 
     #[test]
     fn batch_streams_one_line_per_scenario() {
-        let out = batch(&fleet_json(), 2, true, None).unwrap();
+        let out = batch(&fleet_json(), 2, true, None, None).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 7, "6 scenarios + stats:\n{out}");
         let first = Json::parse(lines[0]).unwrap();
@@ -438,6 +457,7 @@ mod tests {
             2,
             false,
             None,
+            None,
         )
         .unwrap();
         let line = Json::parse(out.lines().next().unwrap()).unwrap();
@@ -457,6 +477,7 @@ mod tests {
             1,
             false,
             None,
+            None,
         )
         .unwrap();
         let line = Json::parse(out.lines().next().unwrap()).unwrap();
@@ -473,6 +494,7 @@ mod tests {
             1,
             false,
             None,
+            None,
         )
         .unwrap();
         let hit = batch(
@@ -480,6 +502,7 @@ mod tests {
              \"inject\":[{\"link\":[3,0],\"availability\":0.5}]}]",
             1,
             false,
+            None,
             None,
         )
         .unwrap();
@@ -496,6 +519,7 @@ mod tests {
             1,
             false,
             None,
+            None,
         )
         .unwrap();
         let outage = Json::parse(outage.lines().next().unwrap()).unwrap();
@@ -504,14 +528,15 @@ mod tests {
 
     #[test]
     fn bad_input_is_rejected_with_context() {
-        assert!(batch("42", 1, false, None).is_err());
-        assert!(batch("[]", 1, false, None).is_err());
-        let err = batch("[{\"network\":\"nope\"}]", 1, false, None).unwrap_err();
+        assert!(batch("42", 1, false, None, None).is_err());
+        assert!(batch("[]", 1, false, None, None).is_err());
+        let err = batch("[{\"network\":\"nope\"}]", 1, false, None, None).unwrap_err();
         assert!(err.contains("scenario 1"), "{err}");
         let err = batch(
             "[{\"network\":\"typical\",\"measures\":[\"bogus\"]}]",
             1,
             false,
+            None,
             None,
         )
         .unwrap_err();
@@ -520,6 +545,7 @@ mod tests {
             "[{\"network\":\"typical\",\"inject\":[{\"link\":[1,2],\"initial\":\"down\"}]}]",
             1,
             false,
+            None,
             None,
         )
         .unwrap_err();
@@ -538,6 +564,7 @@ mod tests {
               {\"label\":\"f2\",\"network\":\"section-v\",\"backend\":\"fast\"}]",
             2,
             true,
+            None,
             None,
         )
         .unwrap();
@@ -568,6 +595,7 @@ mod tests {
             1,
             false,
             None,
+            None,
         )
         .unwrap_err();
         assert!(err.contains("scenario 1"), "{err}");
@@ -584,7 +612,7 @@ mod tests {
               {\"label\":\"e\",\"network\":\"section-v\",\"backend\":\"explicit\"},\
               {\"label\":\"s\",\"network\":\"section-v\",\"backend\":\"sim\",\
                \"seed\":7,\"intervals\":2000}]";
-        let out = batch(input, 2, false, Some(path.to_str().unwrap())).unwrap();
+        let out = batch(input, 2, false, Some(path.to_str().unwrap()), None).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         // 4 scenario lines + one metrics line per backend (3).
         assert_eq!(lines.len(), 7, "{out}");
@@ -621,8 +649,55 @@ mod tests {
     }
 
     #[test]
+    fn metrics_lines_carry_cache_hit_ratios() {
+        let dir = std::env::temp_dir().join("whart-batch-ratio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        // Two identical scenarios: 10 paths each, second fully cached.
+        let input = "[{\"network\":\"typical\"},{\"network\":\"typical\"}]";
+        let out = batch(input, 2, false, Some(path.to_str().unwrap()), None).unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.contains("\"metrics\""))
+            .expect("metrics line");
+        let parsed = Json::parse(line).unwrap();
+        let ratio = parsed["metrics"]["path_cache_hit_ratio"].as_f64().unwrap();
+        // 20 requests, 10 misses (first scenario), 10 hits (second).
+        assert!((ratio - 0.5).abs() < 1e-12, "{ratio}");
+        // No link-cache traffic in this fleet: ratio is null, not 0/0.
+        assert!(parsed["metrics"]["link_cache_hit_ratio"].is_null());
+    }
+
+    #[test]
+    fn trace_flag_writes_a_chrome_trace_of_the_drain() {
+        let dir = std::env::temp_dir().join("whart-batch-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = batch(&fleet_json(), 2, false, None, Some(path.to_str().unwrap())).unwrap();
+        assert_eq!(out.lines().count(), 6, "trace goes to the file, not stdout");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = Json::parse(&text).unwrap();
+        let events = match &value["traceEvents"] {
+            Json::Array(events) => events,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let named = |n: &str| {
+            events
+                .iter()
+                .filter(|e| e["name"].as_str() == Some(n))
+                .count()
+        };
+        assert_eq!(named("scenario"), 6, "one span per scenario");
+        assert!(named("path_solve") > 0, "solver spans recorded");
+        assert!(named("hop") > 0, "per-hop provenance recorded");
+        for stage in ["plan", "execute", "assemble"] {
+            assert_eq!(named(stage), 1, "{stage} stage span");
+        }
+    }
+
+    #[test]
     fn omitting_metrics_keeps_the_plain_output_shape() {
-        let with = batch(&fleet_json(), 2, false, None).unwrap();
+        let with = batch(&fleet_json(), 2, false, None, None).unwrap();
         assert_eq!(with.lines().count(), 6, "no metrics lines appended");
     }
 
@@ -632,6 +707,7 @@ mod tests {
             "{\"scenarios\":[{\"network\":\"section-v\"}]}",
             1,
             false,
+            None,
             None,
         )
         .unwrap();

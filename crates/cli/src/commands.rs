@@ -4,16 +4,53 @@ use crate::spec::NetworkSpec;
 use std::sync::Arc;
 use whart_json::Json;
 use whart_model::{
-    compose, explicit::explicit_chain, DelayConvention, ExplicitSolver, FastSolver, MeasurePlan,
-    Solver, UtilizationConvention,
+    compose, explain_path, explicit::explicit_chain, DelayConvention, ExplicitSolver, FastSolver,
+    MeasurePlan, Solver, UtilizationConvention,
 };
 use whart_obs::Metrics;
 use whart_sim::{MonteCarloSolver, PhyMode, Simulator};
+use whart_trace::Trace;
 
-/// Writes a pretty-printed [`whart_obs::MetricsSnapshot`] to `path`.
-pub fn write_metrics(path: &str, metrics: &Metrics) -> Result<(), String> {
-    let text = metrics.snapshot().to_json().to_pretty();
-    std::fs::write(path, text).map_err(|e| format!("cannot write metrics to {path}: {e}"))
+/// Writes `text` to `path`, or returns it for the caller to append to
+/// stdout when `path` is `-`.
+fn write_or_passthrough(path: &str, text: String, what: &str) -> Result<String, String> {
+    if path == "-" {
+        return Ok(text);
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {what} to {path}: {e}"))?;
+    Ok(String::new())
+}
+
+/// Writes a pretty-printed [`whart_obs::MetricsSnapshot`] to `path`
+/// (`-` returns it for stdout).
+pub fn write_metrics(path: &str, metrics: &Metrics) -> Result<String, String> {
+    let mut text = metrics.snapshot().to_json().to_pretty();
+    text.push('\n');
+    write_or_passthrough(path, text, "metrics")
+}
+
+/// Serializes a drained trace journal to `path`: JSON Lines when the
+/// path ends in `.jsonl` or is `-` (stdout), Chrome `trace_event` JSON
+/// (Perfetto / `chrome://tracing` loadable) otherwise.
+pub fn write_trace(path: &str, trace: &Trace) -> Result<String, String> {
+    let log = trace.drain();
+    let text = if path == "-" || path.ends_with(".jsonl") {
+        log.to_jsonl()
+    } else {
+        let mut text = log.to_chrome_json().to_pretty();
+        text.push('\n');
+        text
+    };
+    write_or_passthrough(path, text, "trace")
+}
+
+/// The trace handle for an optional `--trace` argument: enabled exactly
+/// when a destination was given.
+pub fn trace_for(trace_path: Option<&str>) -> Trace {
+    match trace_path {
+        Some(_) => Trace::new(),
+        None => Trace::disabled(),
+    }
 }
 
 /// The solver backend selected on the command line (`--backend`) or in a
@@ -72,12 +109,15 @@ impl Backend {
 
 /// Runs `analyze`: per-path measures and network aggregates, solved
 /// through the selected backend. With `metrics_path`, solver timings
-/// and counters are recorded and written there as snapshot JSON.
+/// and counters are recorded and written there as snapshot JSON; with
+/// `trace_path`, the structured event journal (per-path solve spans,
+/// per-hop provenance) is recorded and written there.
 pub fn analyze(
     spec: &NetworkSpec,
     json: bool,
     backend: &Backend,
     metrics_path: Option<&str>,
+    trace_path: Option<&str>,
 ) -> Result<String, String> {
     let model = spec.to_model()?;
     let problem = model.compile().map_err(|e| e.to_string())?;
@@ -85,12 +125,17 @@ pub fn analyze(
         Some(_) => Metrics::new(),
         None => Metrics::disabled(),
     };
+    let trace = trace_for(trace_path);
     let eval = backend
         .solver()
-        .solve_network_observed(&problem, MeasurePlan::default(), &metrics)
+        .solve_network_traced(&problem, MeasurePlan::default(), &metrics, &trace)
         .map_err(|e| e.to_string())?;
+    let mut appended = String::new();
     if let Some(path) = metrics_path {
-        write_metrics(path, &metrics)?;
+        appended.push_str(&write_metrics(path, &metrics)?);
+    }
+    if let Some(path) = trace_path {
+        appended.push_str(&write_trace(path, &trace)?);
     }
     if json {
         let paths = eval
@@ -138,7 +183,12 @@ pub fn analyze(
                 Json::from(eval.utilization(UtilizationConvention::AsEvaluated)),
             ),
         ]);
-        return Ok(payload.to_pretty());
+        let mut out = payload.to_pretty();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str(&appended);
+        return Ok(out);
     }
     let mut out = String::new();
     if *backend != Backend::Fast {
@@ -168,6 +218,120 @@ pub fn analyze(
         "network utilization U = {:.4}\n",
         eval.utilization(UtilizationConvention::AsEvaluated)
     ));
+    out.push_str(&appended);
+    Ok(out)
+}
+
+/// Runs `explain`: the per-hop breakdown of one path — channel
+/// provenance, expected attempts/failures, loss attribution (which hop
+/// kills the packets), and the per-cycle delay decomposition. With the
+/// `sim` backend, a divergence table cross-checks the analytical values
+/// against the Monte-Carlo estimate of the same compiled problem.
+pub fn explain(spec: &NetworkSpec, path_index: usize, backend: &Backend) -> Result<String, String> {
+    let model = spec.to_model()?;
+    if path_index >= model.paths().len() {
+        return Err(format!("path index {} out of range", path_index + 1));
+    }
+    let problem = model.path_problem(path_index).map_err(|e| e.to_string())?;
+    let ex = explain_path(&problem, DelayConvention::Absolute);
+    let eval = ex.evaluation();
+    let route = &model.paths()[path_index];
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "path {}: {route} ({} hops)\n",
+        path_index + 1,
+        ex.hops().len()
+    ));
+    let delay = eval
+        .expected_delay_ms(DelayConvention::Absolute)
+        .map_or("-".to_string(), |d| format!("{d:.1} ms"));
+    out.push_str(&format!(
+        "reachability R = {:.6}, E[delay] = {delay}, discard probability 1-R = {:.6}\n\n",
+        eval.reachability(),
+        eval.discard_probability()
+    ));
+
+    out.push_str("hop  link          slot  p_fl    p_rc    pi(up)  BER        E[tx]    E[fail]  loss mass  loss share\n");
+    let total_loss = ex.total_loss();
+    for hop in ex.hops() {
+        let link = hop.link.map_or_else(
+            || format!("hop-{}", hop.hop + 1),
+            |(a, b)| format!("{a}--{b}"),
+        );
+        let share = if total_loss > 0.0 {
+            format!("{:>9.1}%", hop.loss_mass / total_loss * 100.0)
+        } else {
+            format!("{:>10}", "-")
+        };
+        out.push_str(&format!(
+            "{:>3}  {:<12}  {:>4}  {:.4}  {:.4}  {:.4}  {:.3e}  {:>7.4}  {:>7.4}  {:>9.6}  {share}\n",
+            hop.hop + 1,
+            link,
+            hop.frame_slot + 1,
+            hop.p_fl,
+            hop.p_rc,
+            hop.availability,
+            hop.ber,
+            hop.expected_attempts,
+            hop.expected_failures,
+            hop.loss_mass,
+        ));
+    }
+    if let Some(dominant) = ex.dominant_loss_hop() {
+        let hop = &ex.hops()[dominant];
+        let link = hop.link.map_or_else(
+            || format!("hop-{}", dominant + 1),
+            |(a, b)| format!("{a}--{b}"),
+        );
+        out.push_str(&format!(
+            "dominant loss hop: {} ({link}), {:.1}% of lost packets\n",
+            dominant + 1,
+            hop.loss_mass / total_loss * 100.0
+        ));
+    }
+
+    out.push_str(&format!(
+        "\ndelay decomposition (sums to E[delay | delivered] = {delay})\n"
+    ));
+    out.push_str("cycle  g_i       delay ms  contribution ms\n");
+    for c in ex.cycles() {
+        out.push_str(&format!(
+            "{:>5}  {:.6}  {:>8.1}  {:>15.2}\n",
+            c.cycle, c.probability, c.delay_ms, c.contribution_ms
+        ));
+    }
+
+    if let Backend::Sim { seed, intervals } = *backend {
+        let solver = MonteCarloSolver::new(seed, intervals);
+        let sim = solver
+            .solve_path_observed(&problem, MeasurePlan::SCALAR, &Metrics::disabled())
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "\nsim cross-check (seed {seed}, {intervals} intervals)\n"
+        ));
+        out.push_str("measure            analytic    sim         |divergence|\n");
+        let mut row = |name: &str, a: f64, s: f64| {
+            out.push_str(&format!(
+                "{name:<17}  {a:>9.6}  {s:>9.6}  {:>12.6}\n",
+                (a - s).abs()
+            ));
+        };
+        row("reachability", eval.reachability(), sim.reachability());
+        if let (Some(a), Some(s)) = (
+            eval.expected_delay_ms(DelayConvention::Absolute),
+            sim.expected_delay_ms(DelayConvention::Absolute),
+        ) {
+            row("E[delay] ms", a, s);
+        }
+        for c in ex.cycles() {
+            row(
+                &format!("g_{}", c.cycle),
+                c.probability,
+                sim.cycle_probabilities().get(c.cycle as usize - 1),
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -360,7 +524,7 @@ mod tests {
     #[test]
     fn analyze_typical_text_output() {
         let spec = NetworkSpec::typical(0.83);
-        let out = analyze(&spec, false, &Backend::Fast, None).unwrap();
+        let out = analyze(&spec, false, &Backend::Fast, None, None).unwrap();
         assert!(out.contains("overall mean delay E[Gamma] = 235"), "{out}");
         assert!(out.contains("network utilization U = 0.28"), "{out}");
         assert!(out.lines().count() >= 13);
@@ -371,7 +535,7 @@ mod tests {
     #[test]
     fn analyze_json_output_parses() {
         let spec = NetworkSpec::section_v(0.75);
-        let out = analyze(&spec, true, &Backend::Fast, None).unwrap();
+        let out = analyze(&spec, true, &Backend::Fast, None, None).unwrap();
         let value = Json::parse(&out).unwrap();
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
         assert!((r - 0.9624).abs() < 1e-4);
@@ -381,8 +545,8 @@ mod tests {
     #[test]
     fn analyze_explicit_backend_matches_fast() {
         let spec = NetworkSpec::section_v(0.75);
-        let fast = analyze(&spec, true, &Backend::Fast, None).unwrap();
-        let explicit = analyze(&spec, true, &Backend::Explicit, None).unwrap();
+        let fast = analyze(&spec, true, &Backend::Fast, None, None).unwrap();
+        let explicit = analyze(&spec, true, &Backend::Explicit, None, None).unwrap();
         let f = Json::parse(&fast).unwrap();
         let e = Json::parse(&explicit).unwrap();
         assert_eq!(e["backend"].as_str().unwrap(), "explicit");
@@ -398,13 +562,45 @@ mod tests {
             seed: 7,
             intervals: 50_000,
         };
-        let out = analyze(&spec, false, &backend, None).unwrap();
+        let out = analyze(&spec, false, &backend, None, None).unwrap();
         assert!(out.starts_with("backend: sim (seed 7"), "{out}");
-        let json = analyze(&spec, true, &backend, None).unwrap();
+        let json = analyze(&spec, true, &backend, None, None).unwrap();
         let value = Json::parse(&json).unwrap();
         assert_eq!(value["backend"].as_str().unwrap(), "sim");
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
         assert!((r - 0.9624).abs() < 5e-3, "{r}");
+    }
+
+    #[test]
+    fn explain_reports_per_hop_provenance_from_the_channel_model() {
+        let spec = NetworkSpec::section_v(0.75);
+        let out = explain(&spec, 0, &Backend::Fast).unwrap();
+        // The printed p_fl/p_rc must be the whart-channel derivation,
+        // not a re-implementation.
+        let expected = whart_channel::LinkModel::from_availability(0.75, 0.9).unwrap();
+        assert!(out.contains(&format!("{:.4}", expected.p_fl())), "{out}");
+        assert!(out.contains(&format!("{:.4}", expected.p_rc())), "{out}");
+        assert!(out.contains("reachability R = 0.9624"), "{out}");
+        assert!(out.contains("dominant loss hop"), "{out}");
+        assert!(out.contains("delay decomposition"), "{out}");
+        assert!(explain(&spec, 5, &Backend::Fast).is_err());
+    }
+
+    #[test]
+    fn explain_sim_backend_appends_a_divergence_table() {
+        let spec = NetworkSpec::section_v(0.75);
+        let backend = Backend::Sim {
+            seed: 7,
+            intervals: 20_000,
+        };
+        let out = explain(&spec, 0, &backend).unwrap();
+        assert!(
+            out.contains("sim cross-check (seed 7, 20000 intervals)"),
+            "{out}"
+        );
+        assert!(out.contains("g_1"), "{out}");
+        let fast = explain(&spec, 0, &Backend::Fast).unwrap();
+        assert!(!fast.contains("sim cross-check"), "{fast}");
     }
 
     #[test]

@@ -20,8 +20,9 @@ use spec::NetworkSpec;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>]
-  whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>]
+  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>]
+  whart explain  <spec.json> [--path <i>] [--backend fast|explicit|sim] [--seed S] [--intervals N]
+  whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
@@ -36,9 +37,17 @@ line per scenario through the memoizing engine. analyze solves through a
 pluggable backend: 'fast' (analytical transient, default), 'explicit'
 (Algorithm 1 chain) or 'sim' (Monte-Carlo; --seed and --intervals set
 the estimator); batch scenarios select theirs with a \"backend\" field.
---metrics <out.json> records solver/engine counters and latency
-histograms during the run and writes the snapshot to the given file;
-batch additionally appends one 'metrics' summary line per backend.";
+explain breaks one path down per hop (channel provenance, expected
+attempts/failures, which hop loses the packets) and per delivery cycle
+(delay decomposition); with --backend sim it appends a sim-vs-analytic
+divergence table. --metrics <out.json> records solver/engine counters
+and latency histograms during the run and writes the snapshot to the
+given file; batch additionally appends one 'metrics' summary line per
+backend. --trace <out.json> records the structured event journal (solve
+spans, per-hop provenance, engine stages) as Chrome trace_event JSON
+(Perfetto-loadable), or as JSON Lines when the path ends in .jsonl.
+Both --metrics and --trace accept '-' to write to stdout (trace as
+JSON Lines).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,14 +76,16 @@ fn run(args: &[String]) -> Result<String, String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let threads = parse_or(args, "--threads", num_cpus())?;
             let metrics = flag_value(args, "--metrics")?;
+            let trace = flag_value(args, "--trace")?;
             batch::batch(
                 &text,
                 threads,
                 has_flag(args, "--stats"),
                 metrics.as_deref(),
+                trace.as_deref(),
             )
         }
-        "analyze" | "dot" | "simulate" | "predict" | "sensitivity" => {
+        "analyze" | "explain" | "dot" | "simulate" | "predict" | "sensitivity" => {
             let path = args.get(1).ok_or("missing spec file")?;
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -86,11 +97,25 @@ fn run(args: &[String]) -> Result<String, String> {
                     let intervals = parse_or(args, "--intervals", 100_000u64)?;
                     let backend = commands::Backend::parse(&name, seed, intervals)?;
                     let metrics = flag_value(args, "--metrics")?;
+                    let trace = flag_value(args, "--trace")?;
                     commands::analyze(
                         &spec,
                         has_flag(args, "--json"),
                         &backend,
                         metrics.as_deref(),
+                        trace.as_deref(),
+                    )
+                }
+                "explain" => {
+                    let name = flag_value(args, "--backend")?.unwrap_or_else(|| "fast".into());
+                    let seed = parse_or(args, "--seed", 42u64)?;
+                    let intervals = parse_or(args, "--intervals", 100_000u64)?;
+                    let backend = commands::Backend::parse(&name, seed, intervals)?;
+                    let index = parse_or(args, "--path", 1usize)?;
+                    commands::explain(
+                        &spec,
+                        index.checked_sub(1).ok_or("--path is 1-based")?,
+                        &backend,
                     )
                 }
                 "dot" => {
@@ -248,6 +273,74 @@ mod tests {
         assert_eq!(solves.count, 1, "one path in the Section V network");
         assert!(snapshot.counter("solver.fast.transient_steps").unwrap() > 0);
         assert!(run(&s(&["analyze", spec.to_str().unwrap(), "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn analyze_trace_flag_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("whart-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("section_v.json");
+        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
+        let trace = dir.join("trace.json");
+        let out = run(&s(&[
+            "analyze",
+            spec.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("0.962"), "{out}");
+        // The file round-trips through whart-json as Chrome trace_event
+        // JSON with solve spans and per-hop provenance instants.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let value = whart_json::Json::parse(&text).unwrap();
+        let events = match &value["traceEvents"] {
+            whart_json::Json::Array(events) => events,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let named = |n: &str| {
+            events
+                .iter()
+                .filter(|e| e["name"].as_str() == Some(n))
+                .count()
+        };
+        assert_eq!(named("path_solve"), 1, "one path in Section V");
+        assert_eq!(named("hop"), 3, "three hops");
+        assert!(run(&s(&["analyze", spec.to_str().unwrap(), "--trace"])).is_err());
+    }
+
+    #[test]
+    fn dash_streams_metrics_and_trace_to_stdout() {
+        let dir = std::env::temp_dir().join("whart-cli-dash-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("section_v.json");
+        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
+        let file = spec.to_str().unwrap();
+
+        let out = run(&s(&["analyze", file, "--metrics", "-"])).unwrap();
+        let start = out.find("\n{").expect("snapshot JSON after the table");
+        let snapshot = whart_obs::MetricsSnapshot::parse(&out[start..]).unwrap();
+        assert!(snapshot.histogram("solver.fast.solve_ns").is_some());
+
+        let out = run(&s(&["analyze", file, "--trace", "-"])).unwrap();
+        let jsonl: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
+        assert!(!jsonl.is_empty(), "{out}");
+        assert!(jsonl.iter().any(|l| l.contains("\"path_solve\"")), "{out}");
+        for line in jsonl {
+            whart_json::Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn explain_command_prints_the_breakdown() {
+        let dir = std::env::temp_dir().join("whart-cli-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("section_v.json");
+        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
+        let out = run(&s(&["explain", spec.to_str().unwrap()])).unwrap();
+        assert!(out.contains("dominant loss hop"), "{out}");
+        assert!(out.contains("delay decomposition"), "{out}");
+        assert!(run(&s(&["explain", spec.to_str().unwrap(), "--path", "0"])).is_err());
     }
 
     #[test]

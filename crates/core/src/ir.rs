@@ -30,12 +30,16 @@ use crate::dynamics::LinkDynamics;
 use crate::error::Result;
 use crate::explicit::explicit_chain_of;
 use crate::network::{NetworkEvaluation, PathReport};
-use crate::path::{fast_evaluate_counted, PathEvaluation, PathModel};
+use crate::path::{
+    fast_evaluate_counted, fast_evaluate_observed, PathEvaluation, PathModel, StepEvent,
+};
 use crate::signature::PathSignature;
 use std::sync::Arc;
+use whart_channel::{ber_from_failure_probability, Modulation, WIRELESSHART_MESSAGE_BITS};
 use whart_dtmc::Pmf;
 use whart_net::{NodeId, Path, ReportingInterval, Superframe};
 use whart_obs::Metrics;
+use whart_trace::{ArgValue, Trace};
 
 /// Which optional artifacts a solve should materialize.
 ///
@@ -303,6 +307,32 @@ pub trait Solver: Send + Sync {
         self.solve_path_observed(problem, plan, &Metrics::disabled())
     }
 
+    /// Solves one compiled path problem, recording metrics into `obs`
+    /// and structured provenance into `trace`: a `path_solve` span per
+    /// solve plus backend-specific events (per-hop link provenance,
+    /// per-cycle transition mass, chain sizes, Monte-Carlo seeds).
+    ///
+    /// The contract mirrors the metrics one: with a disabled trace
+    /// handle this must behave exactly like
+    /// [`Solver::solve_path_observed`] — bit-identical results, no
+    /// extra clock reads or allocation. The default implementation
+    /// ignores the trace entirely, so backends without provenance stay
+    /// correct.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve_path_observed`].
+    fn solve_path_traced(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> Result<PathEvaluation> {
+        let _ = trace;
+        self.solve_path_observed(problem, plan, obs)
+    }
+
     /// Solves a compiled network problem path by path, recording
     /// backend observability into `obs`.
     ///
@@ -340,6 +370,78 @@ pub trait Solver: Send + Sync {
         plan: MeasurePlan,
     ) -> Result<NetworkEvaluation> {
         self.solve_network_observed(problem, plan, &Metrics::disabled())
+    }
+
+    /// Solves a compiled network problem path by path with metrics and
+    /// provenance tracing; see [`Solver::solve_path_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first path-solve failure.
+    fn solve_network_traced(
+        &self,
+        problem: &NetworkProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> Result<NetworkEvaluation> {
+        if !trace.is_enabled() {
+            return self.solve_network_observed(problem, plan, obs);
+        }
+        let reports = problem
+            .paths()
+            .iter()
+            .zip(problem.path_problems())
+            .map(|(path, p)| {
+                Ok(PathReport {
+                    path: path.clone(),
+                    evaluation: Arc::new(self.solve_path_traced(p, plan, obs, trace)?),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetworkEvaluation::from_reports(reports))
+    }
+}
+
+///// The per-hop link provenance every traced backend emits: scheduling,
+/// the resolved transition probabilities, and the channel figures they
+/// imply (stationary availability, the Eq. 2-inverted BER at the
+/// standard 127-byte message and — when the BER is invertible through
+/// the OQPSK AWGN curve — the implied `Eb/N0`).
+pub fn hop_provenance(hop: usize, h: &ProblemHop) -> Vec<(&'static str, ArgValue)> {
+    let model = h.dynamics().model();
+    let ber = if model.p_fl() < 1.0 {
+        ber_from_failure_probability(model.p_fl(), WIRELESSHART_MESSAGE_BITS)
+    } else {
+        1.0
+    };
+    let mut args = vec![
+        ("hop", ArgValue::from(hop)),
+        ("frame_slot", ArgValue::from(h.frame_slot())),
+        ("p_fl", ArgValue::from(model.p_fl())),
+        ("p_rc", ArgValue::from(model.p_rc())),
+        ("availability", ArgValue::from(model.availability())),
+        ("ber", ArgValue::from(ber)),
+        ("initial_up", ArgValue::from(h.dynamics().initial().up())),
+        ("outages", ArgValue::from(h.dynamics().outages().len())),
+    ];
+    if let Some(snr) = Modulation::Oqpsk.required_snr(ber) {
+        args.push(("snr", ArgValue::from(snr.linear())));
+    }
+    if let Some((a, b)) = h.link() {
+        // The attached identity is the undirected canonical key, so the
+        // rendering must not imply a transmission direction.
+        args.push(("link", ArgValue::from(format!("{a}--{b}"))));
+    }
+    args
+}
+
+/// Emits one `hop` provenance instant per hop of `problem` (the static
+/// part — backends with per-hop solve statistics extend the args
+/// instead of calling this).
+pub fn trace_hops(problem: &PathProblem, cat: &'static str, trace: &Trace) {
+    for (hop, h) in problem.hops().iter().enumerate() {
+        trace.instant("hop", cat, hop_provenance(hop, h));
     }
 }
 
@@ -384,6 +486,80 @@ impl Solver for FastSolver {
             })
             .collect();
         Ok(NetworkEvaluation::from_reports(reports))
+    }
+
+    /// The traced fast solve: the identical transient iteration, with a
+    /// step observer feeding the journal. Per solve it emits one
+    /// `path_solve` span, one `hop` instant per hop (link provenance
+    /// plus the hop's expected attempts/failures and discard-attributed
+    /// loss mass), one `cycle` instant per completed cycle (transition
+    /// mass into the goal state and the in-flight residual) and one
+    /// `discard` instant at the TTL expiry.
+    fn solve_path_traced(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> Result<PathEvaluation> {
+        if !trace.is_enabled() {
+            return self.solve_path_observed(problem, plan, obs);
+        }
+        let mut span = trace.span("path_solve", "solver.fast");
+        let n = problem.hop_count();
+        let mut attempts = vec![0.0f64; n];
+        let mut failures = vec![0.0f64; n];
+        let mut loss = vec![0.0f64; n];
+        let timer = obs.timer("solver.fast.solve_ns");
+        let (evaluation, steps) = fast_evaluate_observed(problem, plan, |event| match event {
+            StepEvent::Transmission {
+                hop, mass, moved, ..
+            } => {
+                attempts[hop] += mass;
+                failures[hop] += mass - moved;
+            }
+            StepEvent::CycleEnd {
+                cycle,
+                goal_mass,
+                delivered,
+                in_flight,
+            } => {
+                trace.instant(
+                    "cycle",
+                    "solver.fast",
+                    [
+                        ("cycle", ArgValue::from(cycle as u64 + 1)),
+                        ("goal_mass", ArgValue::from(goal_mass)),
+                        ("delivered", ArgValue::from(delivered)),
+                        ("residual", ArgValue::from(in_flight)),
+                    ],
+                );
+            }
+            StepEvent::Discard { step, in_flight } => {
+                loss.copy_from_slice(in_flight);
+                trace.instant(
+                    "discard",
+                    "solver.fast",
+                    [
+                        ("step", ArgValue::from(step)),
+                        ("mass", ArgValue::from(in_flight.iter().sum::<f64>())),
+                    ],
+                );
+            }
+        });
+        timer.stop();
+        obs.counter("solver.fast.transient_steps").add(steps);
+        for (hop, h) in problem.hops().iter().enumerate() {
+            let mut args = hop_provenance(hop, h);
+            args.push(("expected_attempts", ArgValue::from(attempts[hop])));
+            args.push(("expected_failures", ArgValue::from(failures[hop])));
+            args.push(("loss_mass", ArgValue::from(loss[hop])));
+            trace.instant("hop", "solver.fast", args);
+        }
+        span.arg("hops", n);
+        span.arg("transient_steps", steps);
+        span.arg("reachability", evaluation.reachability());
+        Ok(evaluation)
     }
 }
 
@@ -463,6 +639,37 @@ impl Solver for ExplicitSolver {
         let (cycle_probabilities, discard) = chain.solve()?;
         let evaluation = problem.evaluation_from_cycles(cycle_probabilities, discard);
         span.stop();
+        Ok(evaluation)
+    }
+
+    /// The traced explicit solve: identical numerics, plus a `path_solve`
+    /// span carrying the enumerated chain's state/transition counts and
+    /// one `hop` provenance instant per hop.
+    fn solve_path_traced(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> Result<PathEvaluation> {
+        if !trace.is_enabled() {
+            return self.solve_path_observed(problem, plan, obs);
+        }
+        let mut tspan = trace.span("path_solve", "solver.explicit");
+        let span = obs.timer("solver.explicit.solve_ns");
+        let chain = explicit_chain_of(problem);
+        obs.counter("solver.explicit.states")
+            .add(chain.state_count() as u64);
+        obs.counter("solver.explicit.transitions")
+            .add(chain.transition_count() as u64);
+        tspan.arg("states", chain.state_count());
+        tspan.arg("transitions", chain.transition_count());
+        let (cycle_probabilities, discard) = chain.solve()?;
+        let evaluation = problem.evaluation_from_cycles(cycle_probabilities, discard);
+        span.stop();
+        trace_hops(problem, "solver.explicit", trace);
+        tspan.arg("hops", problem.hop_count());
+        tspan.arg("reachability", evaluation.reachability());
         Ok(evaluation)
     }
 }

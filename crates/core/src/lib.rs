@@ -69,6 +69,7 @@ mod path;
 
 pub mod closed_loop;
 pub mod compose;
+pub mod explain;
 pub mod explicit;
 pub mod failure;
 pub mod ir;
@@ -78,6 +79,7 @@ pub mod sweeps;
 
 pub use dynamics::{LinkDynamics, Outage};
 pub use error::{ModelError, Result};
+pub use explain::{explain_path, DelayComponent, HopBreakdown, PathExplanation};
 pub use ir::{
     ExplicitSolver, FastSolver, MeasurePlan, NetworkProblem, PathProblem, ProblemHop, Solver,
 };

@@ -229,12 +229,64 @@ pub(crate) fn fast_evaluate(problem: &PathProblem, plan: MeasurePlan) -> PathEva
     fast_evaluate_counted(problem, plan).0
 }
 
+/// A step-level observation of the transient iteration — the provenance
+/// feed shared by the traced fast solve and `whart explain`. The
+/// observer receives exactly the values the iteration computes and
+/// cannot influence them; a no-op observer monomorphizes back to the
+/// plain loop, so observed and unobserved runs are bit-identical by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum StepEvent<'a> {
+    /// A scheduled transmission fired with positive in-flight mass.
+    Transmission {
+        /// 0-based hop whose transmission fired.
+        hop: usize,
+        /// Mass sitting at the hop when the slot opened.
+        mass: f64,
+        /// The link's transient UP probability at the absolute slot.
+        success: f64,
+        /// Mass that advanced (absorbed into the cycle's goal on the
+        /// final hop).
+        moved: f64,
+    },
+    /// A cycle boundary: the interval's transition mass so far.
+    CycleEnd {
+        /// 0-based cycle that just ended.
+        cycle: usize,
+        /// Mass absorbed into this cycle's goal state.
+        goal_mass: f64,
+        /// Total goal mass accumulated across cycles so far.
+        delivered: f64,
+        /// Mass still in flight on the path — the transient-step
+        /// convergence residual.
+        in_flight: f64,
+    },
+    /// TTL expiry: the per-hop in-flight mass about to be discarded
+    /// (`in_flight[j]` waits to cross hop `j`).
+    Discard {
+        /// 1-based uplink slot at which the TTL expired.
+        step: usize,
+        /// Per-hop mass lost to the discard.
+        in_flight: &'a [f64],
+    },
+}
+
 /// [`fast_evaluate`] plus the number of transient iteration steps the
 /// solve actually executed (the TTL can cut the horizon short) — the
 /// quantity the fast backend reports to the observability layer.
 pub(crate) fn fast_evaluate_counted(
     problem: &PathProblem,
     plan: MeasurePlan,
+) -> (PathEvaluation, u64) {
+    fast_evaluate_observed(problem, plan, |_| {})
+}
+
+/// [`fast_evaluate_counted`] with a step observer attached; see
+/// [`StepEvent`].
+pub(crate) fn fast_evaluate_observed<F: for<'a> FnMut(StepEvent<'a>)>(
+    problem: &PathProblem,
+    plan: MeasurePlan,
+    mut observe: F,
 ) -> (PathEvaluation, u64) {
     let n = problem.hop_count();
     let f_up = problem.superframe().uplink_slots() as usize;
@@ -280,15 +332,33 @@ pub(crate) fn fast_evaluate_counted(
                 } else {
                     position[hop + 1] += moved;
                 }
+                observe(StepEvent::Transmission {
+                    hop,
+                    mass,
+                    success: ps,
+                    moved,
+                });
             }
         }
         if record {
             goal_trajectory.push(goals.clone());
         }
+        if frame_slot + 1 == f_up {
+            observe(StepEvent::CycleEnd {
+                cycle,
+                goal_mass: goals[cycle],
+                delivered: goals.iter().sum(),
+                in_flight: position.iter().sum(),
+            });
+        }
         // TTL expiry: the message is dropped once it has lived `ttl`
         // uplink slots without reaching the gateway. Goals can no longer
         // change, so the recorded trajectory ends here.
         if step as u32 >= ttl {
+            observe(StepEvent::Discard {
+                step,
+                in_flight: &position,
+            });
             discard += position.iter().sum::<f64>();
             position.iter_mut().for_each(|p| *p = 0.0);
             break;

@@ -11,6 +11,7 @@ use whart_model::{
     Result, Solver,
 };
 use whart_obs::Metrics;
+use whart_trace::Trace;
 
 use crate::cache::{LinkCache, LinkKey, PathCache};
 use crate::pool;
@@ -100,6 +101,7 @@ pub struct Engine {
     pending: Vec<Scenario>,
     stats: EngineStats,
     metrics: Metrics,
+    trace: Trace,
 }
 
 impl Engine {
@@ -123,6 +125,7 @@ impl Engine {
                 ..EngineStats::default()
             },
             metrics: Metrics::disabled(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -138,6 +141,22 @@ impl Engine {
     /// [`Engine::set_metrics`] installed an enabled one).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Attaches a trace journal; every subsequent [`Engine::drain`]
+    /// records per-scenario spans (with cache-hit/miss annotations),
+    /// per-stage spans and the solver backends' provenance events into
+    /// it. Worker threads record under their own journal-assigned
+    /// thread ids. The default is the disabled handle, which records
+    /// nothing, allocates nothing and reads no clocks.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The engine's trace handle (disabled unless [`Engine::set_trace`]
+    /// installed an enabled one).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Bounds the entry counts of the path and link caches (`None`
@@ -245,11 +264,15 @@ impl Engine {
         let path_misses = obs.counter("engine.path_cache.misses");
         let compile_hist = obs.histogram("engine.compile_ns");
         let plan_start = Instant::now();
+        let mut plan_span = self.trace.span("plan", "engine");
         let mut planned_jobs = Vec::with_capacity(scenarios.len());
         let mut resolved: HashMap<PathKey, Arc<PathEvaluation>> = HashMap::new();
         let mut planned: HashMap<PathKey, usize> = HashMap::new();
         let mut tasks: Vec<(PathKey, PathProblem)> = Vec::new();
         for scenario in scenarios {
+            let mut scenario_span = self.trace.span("scenario", "engine");
+            let mut scenario_hits = 0u64;
+            let mut scenario_misses = 0u64;
             let plan = scenario.measures.plan();
             let compile_span = compile_hist.start();
             let problems: Vec<PathProblem> = match &scenario.workload {
@@ -266,14 +289,17 @@ impl Engine {
                 if planned.contains_key(&key) {
                     self.path_cache.count_shared_hit();
                     path_hits.increment();
+                    scenario_hits += 1;
                 } else if !resolved.contains_key(&key) {
                     match self.path_cache.get(&key) {
                         Some(evaluation) => {
                             path_hits.increment();
+                            scenario_hits += 1;
                             resolved.insert(key.clone(), evaluation);
                         }
                         None => {
                             path_misses.increment();
+                            scenario_misses += 1;
                             planned.insert(key.clone(), tasks.len());
                             tasks.push((key.clone(), problem));
                         }
@@ -281,11 +307,22 @@ impl Engine {
                 } else {
                     self.path_cache.count_shared_hit();
                     path_hits.increment();
+                    scenario_hits += 1;
                 }
                 signatures.push(key);
             }
+            if scenario_span.is_recording() {
+                scenario_span.arg("label", scenario.label.as_str());
+                scenario_span.arg("paths", signatures.len());
+                scenario_span.arg("path_cache_hits", scenario_hits);
+                scenario_span.arg("path_cache_misses", scenario_misses);
+            }
+            scenario_span.finish();
             planned_jobs.push((scenario, signatures));
         }
+        plan_span.arg("scenarios", planned_jobs.len());
+        plan_span.arg("distinct_solves", tasks.len());
+        plan_span.finish();
         let plan_elapsed = plan_start.elapsed();
         self.stats.plan_wall += plan_elapsed;
         obs.histogram("engine.plan_ns")
@@ -294,11 +331,13 @@ impl Engine {
         // Execute: solve the distinct compiled problems on the worker pool
         // through the engine's solver backend.
         let execute_start = Instant::now();
+        let mut execute_span = self.trace.span("execute", "engine");
         let solver = Arc::clone(&self.solver);
         let enabled = obs.is_enabled();
+        let trace = self.trace.clone();
         let (solved, pool_stats) = pool::run(self.workers, tasks, |((_, plan), problem)| {
             let start = enabled.then(Instant::now);
-            let result = solver.solve_path_observed(problem, *plan, &obs);
+            let result = solver.solve_path_traced(problem, *plan, &obs, &trace);
             (result, start.map(|s| s.elapsed()).unwrap_or_default())
         });
         let backend = self.solver.name();
@@ -328,6 +367,10 @@ impl Engine {
         obs.counter("engine.pool.steals").add(pool_stats.steals);
         obs.gauge("engine.pool.max_queue_depth")
             .record_max(pool_stats.max_queue_depth as u64);
+        execute_span.arg("solves", self.stats.paths_evaluated);
+        execute_span.arg("workers", self.workers);
+        execute_span.arg("steals", pool_stats.steals);
+        execute_span.finish();
         let execute_elapsed = execute_start.elapsed();
         self.stats.execute_wall += execute_elapsed;
         obs.histogram("engine.execute_ns")
@@ -335,6 +378,7 @@ impl Engine {
 
         // Assemble: per-scenario results in submission order.
         let assemble_start = Instant::now();
+        let mut assemble_span = self.trace.span("assemble", "engine");
         let scenario_hist = obs.histogram(&format!("engine.{backend}.scenario_solve_ns"));
         let mut results = Vec::with_capacity(planned_jobs.len());
         for (scenario, signatures) in planned_jobs {
@@ -397,6 +441,8 @@ impl Engine {
             });
             self.stats.jobs_completed += 1;
         }
+        assemble_span.arg("scenarios", results.len());
+        assemble_span.finish();
         let assemble_elapsed = assemble_start.elapsed();
         self.stats.assemble_wall += assemble_elapsed;
         obs.histogram("engine.assemble_ns")

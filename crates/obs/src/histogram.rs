@@ -112,6 +112,52 @@ impl HistogramSnapshot {
     pub fn bucketed_count(&self) -> u64 {
         self.buckets.iter().map(|&(_, c)| c).sum::<u64>() + self.overflow
     }
+
+    /// Folds `other` into `self` as if every observation behind both
+    /// snapshots had been recorded into one histogram: count, sum,
+    /// overflow and per-bucket counts add; min/max combine (an empty
+    /// side contributes nothing). Saturates rather than wraps on
+    /// astronomically large sums.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        while let (Some(&&(ia, ca)), Some(&&(ib, cb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ia, ca));
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((ib, cb));
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ia, ca.saturating_add(cb)));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +216,96 @@ mod tests {
         assert_eq!(snapshot.min, 3);
         assert_eq!(snapshot.max, 1000);
         assert_eq!(snapshot.mean(), Some(255.0));
+    }
+
+    #[test]
+    fn zero_is_recorded_in_bucket_zero_with_exact_totals() {
+        let core = HistogramCore::default();
+        core.record(0);
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.buckets, vec![(0, 1)]);
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.sum, 0);
+        assert_eq!(snapshot.min, 0);
+        assert_eq!(snapshot.max, 0);
+        assert_eq!(snapshot.mean(), Some(0.0));
+    }
+
+    #[test]
+    fn exact_powers_of_two_land_on_their_own_boundary_bucket() {
+        let core = HistogramCore::default();
+        // Every exact power of two 2^i opens bucket i; totals stay exact.
+        for i in 0..BUCKETS {
+            core.record(1u64 << i);
+        }
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.buckets.len(), BUCKETS);
+        // 1 lands in bucket 0 alongside nothing else here; each higher
+        // power is alone in its bucket.
+        for (i, &(index, count)) in snapshot.buckets.iter().enumerate() {
+            assert_eq!(index, i);
+            assert_eq!(count, 1);
+        }
+        assert_eq!(snapshot.overflow, 0);
+        assert_eq!(snapshot.count, BUCKETS as u64);
+        assert_eq!(snapshot.sum, (1u64 << BUCKETS) - 1);
+        assert_eq!(snapshot.min, 1);
+        assert_eq!(snapshot.max, 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn u64_max_overflows_without_perturbing_totals() {
+        let core = HistogramCore::default();
+        core.record(u64::MAX);
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.buckets, vec![]);
+        assert_eq!(snapshot.overflow, 1);
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.sum, u64::MAX);
+        assert_eq!(snapshot.min, u64::MAX);
+        assert_eq!(snapshot.max, u64::MAX);
+        assert_eq!(snapshot.bucketed_count(), 1);
+    }
+
+    #[test]
+    fn merge_is_exact_for_count_sum_min_max() {
+        let a_core = HistogramCore::default();
+        for v in [0u64, 7, 1u64 << 12, u64::MAX] {
+            a_core.record(v);
+        }
+        let b_core = HistogramCore::default();
+        for v in [3u64, 1u64 << 12, 1u64 << 39] {
+            b_core.record(v);
+        }
+        // Reference: one histogram that saw every observation.
+        let all = HistogramCore::default();
+        for v in [0u64, 7, 1u64 << 12, u64::MAX, 3, 1u64 << 12, 1u64 << 39] {
+            all.record(v);
+        }
+        let mut merged = a_core.snapshot();
+        merged.merge(&b_core.snapshot());
+        assert_eq!(merged, all.snapshot());
+        assert_eq!(merged.count, 7);
+        assert_eq!(merged.min, 0);
+        assert_eq!(merged.max, u64::MAX);
+        assert_eq!(merged.bucketed_count(), merged.count);
+    }
+
+    #[test]
+    fn merge_with_empty_sides_changes_nothing() {
+        let core = HistogramCore::default();
+        core.record(42);
+        let populated = core.snapshot();
+
+        // empty.merge(populated) adopts the populated side's min/max.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&populated);
+        assert_eq!(empty, populated);
+
+        // populated.merge(empty) is a no-op — min must not become 0.
+        let mut unchanged = populated.clone();
+        unchanged.merge(&HistogramSnapshot::default());
+        assert_eq!(unchanged, populated);
+        assert_eq!(unchanged.min, 42);
     }
 }

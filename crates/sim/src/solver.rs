@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use whart_model::{MeasurePlan, PathEvaluation, PathProblem, Result, Solver};
 use whart_obs::Metrics;
+use whart_trace::Trace;
 
 /// Seed-mixing constant (the golden-ratio increment used throughout the
 /// workspace's parallel seeding).
@@ -154,6 +155,37 @@ impl Solver for MonteCarloSolver {
         obs: &Metrics,
     ) -> Result<PathEvaluation> {
         Ok(self.solve_path_seeded(problem, self.path_seed(0), plan, obs))
+    }
+
+    /// The traced statistical solve: the identical single sequential
+    /// RNG stream (replication `k` consumes the draws replication
+    /// `k-1` left off at — reseeding per replication would change the
+    /// estimates), plus a `path_solve` span carrying the replication
+    /// seed and the aggregate draw statistics, and one `hop` provenance
+    /// instant per hop.
+    fn solve_path_traced(
+        &self,
+        problem: &PathProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> Result<PathEvaluation> {
+        if !trace.is_enabled() {
+            return self.solve_path_observed(problem, plan, obs);
+        }
+        let mut span = trace.span("path_solve", "solver.sim");
+        let seed = self.path_seed(0);
+        let evaluation = self.solve_path_seeded(problem, seed, plan, obs);
+        whart_model::ir::trace_hops(problem, "solver.sim", trace);
+        span.arg("seed", seed);
+        span.arg("replications", self.intervals);
+        span.arg(
+            "draws",
+            (evaluation.expected_transmissions() * self.intervals as f64).round() as u64,
+        );
+        span.arg("reachability", evaluation.reachability());
+        span.arg("discard_probability", evaluation.discard_probability());
+        Ok(evaluation)
     }
 
     fn solve_network_observed(

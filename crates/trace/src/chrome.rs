@@ -1,0 +1,138 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The [object format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! a `traceEvents` array of complete (`ph: "X"`) and instant (`ph: "i"`)
+//! events with microsecond timestamps. Nanosecond precision is preserved
+//! as fractional microseconds.
+
+use crate::event::{Phase, TraceEvent, TraceLog};
+use whart_json::Json;
+
+/// One event in the viewer's object form.
+fn chrome_event(event: &TraceEvent) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("name".into(), Json::from(event.name.as_str())),
+        ("cat".into(), Json::from(event.cat)),
+        (
+            "ph".into(),
+            Json::from(match event.ph {
+                Phase::Complete { .. } => "X",
+                Phase::Instant => "i",
+            }),
+        ),
+        ("ts".into(), Json::from(event.ts_ns as f64 / 1e3)),
+    ];
+    if let Phase::Complete { dur_ns } = event.ph {
+        fields.push(("dur".into(), Json::from(dur_ns as f64 / 1e3)));
+    }
+    fields.push(("pid".into(), Json::from(1u64)));
+    fields.push(("tid".into(), Json::from(event.tid)));
+    if let Phase::Instant = event.ph {
+        // Instant scope: thread-scoped tick marks.
+        fields.push(("s".into(), Json::from("t")));
+    }
+    if !event.args.is_empty() {
+        fields.push((
+            "args".into(),
+            Json::Object(
+                event
+                    .args
+                    .iter()
+                    .map(|(k, v)| {
+                        let value = match v {
+                            crate::ArgValue::U64(n) => Json::from(*n),
+                            crate::ArgValue::F64(n) => Json::from(*n),
+                            crate::ArgValue::Str(s) => Json::from(s.as_str()),
+                            crate::ArgValue::Bool(b) => Json::from(*b),
+                        };
+                        ((*k).to_owned(), value)
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Object(fields)
+}
+
+impl TraceLog {
+    /// The journal in Chrome `trace_event` object form, loadable in
+    /// `chrome://tracing` or Perfetto. All events share `pid` 1; the
+    /// journal's thread ids become viewer rows. The drop count, when
+    /// non-zero, is recorded in `otherData.dropped_events`.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![(
+            "traceEvents".into(),
+            Json::Array(self.events.iter().map(chrome_event).collect()),
+        )];
+        fields.push(("displayTimeUnit".into(), Json::from("ms")));
+        if self.dropped > 0 {
+            fields.push((
+                "otherData".into(),
+                Json::object([("dropped_events", Json::from(self.dropped))]),
+            ));
+        }
+        Json::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArgValue;
+
+    fn sample() -> TraceLog {
+        TraceLog {
+            events: vec![
+                TraceEvent {
+                    name: "scenario".into(),
+                    cat: "engine",
+                    ph: Phase::Complete { dur_ns: 1500 },
+                    ts_ns: 500,
+                    tid: 0,
+                    args: vec![("cache", ArgValue::Str("miss".into()))],
+                },
+                TraceEvent {
+                    name: "hop".into(),
+                    cat: "solver.fast",
+                    ph: Phase::Instant,
+                    ts_ns: 800,
+                    tid: 1,
+                    args: vec![("p_fl", ArgValue::F64(0.3))],
+                },
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_form_uses_microseconds_and_pid_one() {
+        let json = sample().to_chrome_json();
+        let events = json.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        let span = &events[0];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(span.get("pid").and_then(Json::as_u64), Some(1));
+        let instant = &events[1];
+        assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(instant.get("tid").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn chrome_form_round_trips_through_whart_json() {
+        let mut log = sample();
+        log.dropped = 3;
+        let text = log.to_chrome_json().to_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, log.to_chrome_json());
+        assert_eq!(
+            back.get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The typed event record and the drained journal.
+
+use whart_json::Json;
+
+/// The kind of a recorded event, mirroring the Chrome `trace_event`
+/// phase letters that matter here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`ph: "X"`): a named duration starting at the
+    /// event's timestamp.
+    Complete {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time provenance record (`ph: "i"`).
+    Instant,
+}
+
+/// A typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A non-negative integer (counts, seeds, slot numbers).
+    U64(u64),
+    /// A real number (probabilities, masses, residuals).
+    F64(f64),
+    /// A short label (backend names, cache outcomes).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl ArgValue {
+    fn to_json(&self) -> Json {
+        match self {
+            ArgValue::U64(v) => Json::from(*v),
+            ArgValue::F64(v) => Json::from(*v),
+            ArgValue::Str(v) => Json::from(v.as_str()),
+            ArgValue::Bool(v) => Json::from(*v),
+        }
+    }
+
+    /// The value as a float, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ArgValue::U64(v) => Some(*v as f64),
+            ArgValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> ArgValue {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> ArgValue {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded event: a completed span or an instant provenance
+/// record, stamped with the journal-relative timestamp and the
+/// journal-assigned worker/thread id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span or record label).
+    pub name: String,
+    /// Dotted category, e.g. `"engine"` or `"solver.fast"`.
+    pub cat: &'static str,
+    /// Span or instant.
+    pub ph: Phase,
+    /// Nanoseconds since the trace handle was created.
+    pub ts_ns: u64,
+    /// Journal-assigned thread id (0 is the first thread that emitted).
+    pub tid: u64,
+    /// Typed provenance arguments, in emission order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// The argument named `key`, if attached.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Span duration in nanoseconds (0 for instants).
+    pub fn dur_ns(&self) -> u64 {
+        match self.ph {
+            Phase::Complete { dur_ns } => dur_ns,
+            Phase::Instant => 0,
+        }
+    }
+
+    /// The event's JSONL form: a flat object with nanosecond timing.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("cat".into(), Json::from(self.cat)),
+            (
+                "ph".into(),
+                Json::from(match self.ph {
+                    Phase::Complete { .. } => "X",
+                    Phase::Instant => "i",
+                }),
+            ),
+            ("ts_ns".into(), Json::from(self.ts_ns)),
+        ];
+        if let Phase::Complete { dur_ns } = self.ph {
+            fields.push(("dur_ns".into(), Json::from(dur_ns)));
+        }
+        fields.push(("tid".into(), Json::from(self.tid)));
+        if !self.args.is_empty() {
+            fields.push((
+                "args".into(),
+                Json::Object(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Object(fields)
+    }
+}
+
+/// The drained journal: every event flushed so far, in timestamp order,
+/// plus the number of events the capacity bound discarded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// Drained events, sorted by `(ts_ns, tid)`.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the journal was full.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Number of drained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the drain produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events whose name equals `name`, in timestamp order.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// The journal as JSON Lines: one compact event object per line
+    /// (nanosecond timing, lossless). A final `trace.dropped` instant
+    /// is appended when the capacity bound discarded events.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json().to_compact());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            let marker = TraceEvent {
+                name: "trace.dropped".into(),
+                cat: "trace",
+                ph: Phase::Instant,
+                ts_ns: self.events.last().map_or(0, |e| e.ts_ns),
+                tid: 0,
+                args: vec![("count", ArgValue::U64(self.dropped))],
+            };
+            out.push_str(&marker.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_has_phase_letters_and_args() {
+        let event = TraceEvent {
+            name: "hop".into(),
+            cat: "solver.fast",
+            ph: Phase::Instant,
+            ts_ns: 12,
+            tid: 3,
+            args: vec![("p_fl", ArgValue::F64(0.25)), ("slot", ArgValue::U64(6))],
+        };
+        let json = event.to_json();
+        assert_eq!(json.get("ph").and_then(Json::as_str), Some("i"));
+        assert!(json.get("dur_ns").is_none(), "instants carry no duration");
+        let args = json.get("args").unwrap();
+        assert_eq!(args.get("p_fl").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(args.get("slot").and_then(Json::as_u64), Some(6));
+        assert_eq!(event.arg("slot").and_then(ArgValue::as_u64), Some(6));
+        assert!(event.arg("missing").is_none());
+    }
+
+    #[test]
+    fn jsonl_appends_a_drop_marker() {
+        let log = TraceLog {
+            events: vec![TraceEvent {
+                name: "solve".into(),
+                cat: "engine",
+                ph: Phase::Complete { dur_ns: 42 },
+                ts_ns: 7,
+                tid: 0,
+                args: Vec::new(),
+            }],
+            dropped: 5,
+        };
+        let text = log.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("dur_ns").and_then(Json::as_u64), Some(42));
+        let marker = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            marker.get("name").and_then(Json::as_str),
+            Some("trace.dropped")
+        );
+        assert_eq!(
+            marker
+                .get("args")
+                .and_then(|a| a.get("count"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn arg_value_conversions() {
+        assert_eq!(ArgValue::from(3u32), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(3usize), ArgValue::U64(3));
+        assert_eq!(ArgValue::from("x").as_str(), Some("x"));
+        assert_eq!(ArgValue::from(0.5).as_f64(), Some(0.5));
+        assert_eq!(ArgValue::from(7u64).as_f64(), Some(7.0));
+        assert_eq!(ArgValue::from(true), ArgValue::Bool(true));
+        assert!(ArgValue::from("x").as_f64().is_none());
+    }
+}
