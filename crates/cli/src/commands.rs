@@ -224,10 +224,19 @@ pub fn analyze(
 
 /// Runs `explain`: the per-hop breakdown of one path — channel
 /// provenance, expected attempts/failures, loss attribution (which hop
-/// kills the packets), and the per-cycle delay decomposition. With the
+/// kills the packets), and the per-cycle delay decomposition. The
+/// breakdown always comes from the fast analytical evaluator; with the
 /// `sim` backend, a divergence table cross-checks the analytical values
-/// against the Monte-Carlo estimate of the same compiled problem.
+/// against the Monte-Carlo estimate of the same compiled problem. Other
+/// backends are rejected rather than silently behaving like `fast`.
 pub fn explain(spec: &NetworkSpec, path_index: usize, backend: &Backend) -> Result<String, String> {
+    if *backend == Backend::Explicit {
+        return Err(
+            "explain always breaks the path down with the fast evaluator; \
+             --backend accepts 'fast' or 'sim' (sim appends a divergence table)"
+                .into(),
+        );
+    }
     let model = spec.to_model()?;
     if path_index >= model.paths().len() {
         return Err(format!("path index {} out of range", path_index + 1));
@@ -584,6 +593,10 @@ mod tests {
         assert!(out.contains("dominant loss hop"), "{out}");
         assert!(out.contains("delay decomposition"), "{out}");
         assert!(explain(&spec, 5, &Backend::Fast).is_err());
+        // The explicit backend would silently behave like fast, so the
+        // flag grammar rejects it for explain.
+        let err = explain(&spec, 0, &Backend::Explicit).unwrap_err();
+        assert!(err.contains("fast"), "{err}");
     }
 
     #[test]

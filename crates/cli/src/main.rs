@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>]
-  whart explain  <spec.json> [--path <i>] [--backend fast|explicit|sim] [--seed S] [--intervals N]
+  whart explain  <spec.json> [--path <i>] [--backend fast|sim] [--seed S] [--intervals N]
   whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
@@ -39,8 +39,8 @@ pluggable backend: 'fast' (analytical transient, default), 'explicit'
 the estimator); batch scenarios select theirs with a \"backend\" field.
 explain breaks one path down per hop (channel provenance, expected
 attempts/failures, which hop loses the packets) and per delivery cycle
-(delay decomposition); with --backend sim it appends a sim-vs-analytic
-divergence table. --metrics <out.json> records solver/engine counters
+(delay decomposition); the breakdown always uses the fast evaluator,
+and --backend sim appends a sim-vs-analytic divergence table. --metrics <out.json> records solver/engine counters
 and latency histograms during the run and writes the snapshot to the
 given file; batch additionally appends one 'metrics' summary line per
 backend. --trace <out.json> records the structured event journal (solve

@@ -403,7 +403,7 @@ pub trait Solver: Send + Sync {
     }
 }
 
-///// The per-hop link provenance every traced backend emits: scheduling,
+/// The per-hop link provenance every traced backend emits: scheduling,
 /// the resolved transition probabilities, and the channel figures they
 /// imply (stationary availability, the Eq. 2-inverted BER at the
 /// standard 127-byte message and — when the BER is invertible through

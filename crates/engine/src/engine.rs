@@ -349,7 +349,8 @@ impl Engine {
             durations.push(elapsed);
             path_solve_hist.record(elapsed.as_nanos() as u64);
         }
-        self.stats.paths_evaluated += evaluations.len() as u64;
+        let drain_solves = evaluations.len() as u64;
+        self.stats.paths_evaluated += drain_solves;
         let evaluations: Vec<Arc<PathEvaluation>> = evaluations.into_iter().map(Arc::new).collect();
         let mut evicted = 0u64;
         for (signature, &index) in &planned {
@@ -367,7 +368,7 @@ impl Engine {
         obs.counter("engine.pool.steals").add(pool_stats.steals);
         obs.gauge("engine.pool.max_queue_depth")
             .record_max(pool_stats.max_queue_depth as u64);
-        execute_span.arg("solves", self.stats.paths_evaluated);
+        execute_span.arg("solves", drain_solves);
         execute_span.arg("workers", self.workers);
         execute_span.arg("steals", pool_stats.steals);
         execute_span.finish();

@@ -138,6 +138,34 @@ impl MonteCarloSolver {
         obs.counter("solver.sim.replications").add(self.intervals);
         evaluation
     }
+
+    /// The traced counterpart of [`MonteCarloSolver::solve_path_seeded`]:
+    /// the identical single sequential RNG stream (replication `k`
+    /// consumes the draws replication `k-1` left off at — reseeding per
+    /// replication would change the estimates), plus a `path_solve` span
+    /// carrying the replication seed and the aggregate draw statistics,
+    /// and one `hop` provenance instant per hop.
+    fn solve_path_traced_seeded(
+        &self,
+        problem: &PathProblem,
+        seed: u64,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> PathEvaluation {
+        let mut span = trace.span("path_solve", "solver.sim");
+        let evaluation = self.solve_path_seeded(problem, seed, plan, obs);
+        whart_model::ir::trace_hops(problem, "solver.sim", trace);
+        span.arg("seed", seed);
+        span.arg("replications", self.intervals);
+        span.arg(
+            "draws",
+            (evaluation.expected_transmissions() * self.intervals as f64).round() as u64,
+        );
+        span.arg("reachability", evaluation.reachability());
+        span.arg("discard_probability", evaluation.discard_probability());
+        evaluation
+    }
 }
 
 impl Solver for MonteCarloSolver {
@@ -157,12 +185,9 @@ impl Solver for MonteCarloSolver {
         Ok(self.solve_path_seeded(problem, self.path_seed(0), plan, obs))
     }
 
-    /// The traced statistical solve: the identical single sequential
-    /// RNG stream (replication `k` consumes the draws replication
-    /// `k-1` left off at — reseeding per replication would change the
-    /// estimates), plus a `path_solve` span carrying the replication
-    /// seed and the aggregate draw statistics, and one `hop` provenance
-    /// instant per hop.
+    /// The traced statistical solve; the RNG stream and therefore the
+    /// estimates are bit-identical to [`Solver::solve_path_observed`],
+    /// see [`MonteCarloSolver::solve_path_traced_seeded`].
     fn solve_path_traced(
         &self,
         problem: &PathProblem,
@@ -173,19 +198,7 @@ impl Solver for MonteCarloSolver {
         if !trace.is_enabled() {
             return self.solve_path_observed(problem, plan, obs);
         }
-        let mut span = trace.span("path_solve", "solver.sim");
-        let seed = self.path_seed(0);
-        let evaluation = self.solve_path_seeded(problem, seed, plan, obs);
-        whart_model::ir::trace_hops(problem, "solver.sim", trace);
-        span.arg("seed", seed);
-        span.arg("replications", self.intervals);
-        span.arg(
-            "draws",
-            (evaluation.expected_transmissions() * self.intervals as f64).round() as u64,
-        );
-        span.arg("reachability", evaluation.reachability());
-        span.arg("discard_probability", evaluation.discard_probability());
-        Ok(evaluation)
+        Ok(self.solve_path_traced_seeded(problem, self.path_seed(0), plan, obs, trace))
     }
 
     fn solve_network_observed(
@@ -207,6 +220,40 @@ impl Solver for MonteCarloSolver {
                     self.path_seed(i as u64),
                     plan,
                     obs,
+                )),
+            })
+            .collect();
+        Ok(whart_model::NetworkEvaluation::from_reports(reports))
+    }
+
+    /// The traced network solve. Must mirror the per-path-index seeding
+    /// of [`Solver::solve_network_observed`] — the trait default routes
+    /// through `solve_path_traced`, which always uses `path_seed(0)`
+    /// and would break traced/untraced bit-parity for network problems.
+    fn solve_network_traced(
+        &self,
+        problem: &whart_model::NetworkProblem,
+        plan: MeasurePlan,
+        obs: &Metrics,
+        trace: &Trace,
+    ) -> Result<whart_model::NetworkEvaluation> {
+        if !trace.is_enabled() {
+            return self.solve_network_observed(problem, plan, obs);
+        }
+        use std::sync::Arc;
+        let reports = problem
+            .paths()
+            .iter()
+            .zip(problem.path_problems())
+            .enumerate()
+            .map(|(i, (path, p))| whart_model::PathReport {
+                path: path.clone(),
+                evaluation: Arc::new(self.solve_path_traced_seeded(
+                    p,
+                    self.path_seed(i as u64),
+                    plan,
+                    obs,
+                    trace,
                 )),
             })
             .collect();
@@ -273,5 +320,45 @@ mod tests {
     #[test]
     fn replication_count_is_clamped_positive() {
         assert_eq!(MonteCarloSolver::new(1, 0).intervals(), 1);
+    }
+
+    #[test]
+    fn network_solves_are_bit_identical_with_tracing_enabled() {
+        use whart_channel::LinkModel;
+        use whart_model::NetworkModel;
+        use whart_net::typical::TypicalNetwork;
+        use whart_obs::Metrics;
+        use whart_trace::Trace;
+
+        let net = TypicalNetwork::new(LinkModel::from_availability(0.83, 0.9).unwrap());
+        let problem =
+            NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
+                .unwrap()
+                .compile()
+                .unwrap();
+        let solver = MonteCarloSolver::new(7, 5_000);
+        let plain = solver
+            .solve_network_observed(&problem, MeasurePlan::SCALAR, &Metrics::disabled())
+            .unwrap();
+        let trace = Trace::new();
+        let traced = solver
+            .solve_network_traced(&problem, MeasurePlan::SCALAR, &Metrics::disabled(), &trace)
+            .unwrap();
+        assert_eq!(plain.reports().len(), traced.reports().len());
+        for (a, b) in plain.reports().iter().zip(traced.reports()) {
+            assert_eq!(a.evaluation, b.evaluation, "{}", a.path);
+        }
+        // The journal records one solve span per path, each with the
+        // per-index seed the untraced network solve uses.
+        let log = trace.drain();
+        let seeds: std::collections::HashSet<u64> = log
+            .named("path_solve")
+            .map(|e| e.arg("seed").and_then(|a| a.as_u64()).unwrap())
+            .collect();
+        assert_eq!(
+            seeds.len(),
+            problem.paths().len(),
+            "per-path seeds distinct"
+        );
     }
 }
