@@ -165,9 +165,15 @@ pub fn bench_lines(snapshot: &MetricsSnapshot, elements: u64) -> String {
             continue;
         };
         let mean = hist.mean().unwrap_or(0.0);
+        // Quantile keys are informational: check_regression reads only
+        // id + mean_ns, so committed baselines stay valid.
+        let quantile = |q: f64| Json::from(hist.quantile(q).unwrap_or(0.0));
         let line = Json::object([
             ("id", Json::from(format!("engine_throughput/{group}"))),
             ("mean_ns", Json::from((mean * 10.0).round() / 10.0)),
+            ("p50_ns", quantile(0.5)),
+            ("p95_ns", quantile(0.95)),
+            ("p99_ns", quantile(0.99)),
             ("elements", Json::from(elements)),
         ]);
         out.push_str(&line.to_compact());
@@ -276,6 +282,11 @@ mod tests {
                 format!("engine_throughput/{group}")
             );
             assert!(value["mean_ns"].as_f64().unwrap() > 0.0);
+            // With a single iteration the quantiles collapse onto that
+            // one observation's min==max.
+            let p50 = value["p50_ns"].as_f64().unwrap();
+            let p99 = value["p99_ns"].as_f64().unwrap();
+            assert!(p50 > 0.0 && p99 >= p50, "p50={p50} p99={p99}");
             assert_eq!(value["elements"].as_f64().unwrap(), 1.0);
         }
         // Every group histogram holds exactly the timed iterations.

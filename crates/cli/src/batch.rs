@@ -37,10 +37,10 @@ use whart_obs::{Metrics, MetricsSnapshot};
 
 /// One decoded batch entry: the scenario, which measures its output
 /// lines should carry, and the solver backend it runs on.
-struct BatchEntry {
-    scenario: Scenario,
-    measures: MeasureSet,
-    backend: Backend,
+pub(crate) struct BatchEntry {
+    pub(crate) scenario: Scenario,
+    pub(crate) measures: MeasureSet,
+    pub(crate) backend: Backend,
 }
 
 fn u64_field(value: &Json, key: &str, default: u64) -> Result<u64, String> {
@@ -172,6 +172,28 @@ fn apply_injections(model: &mut NetworkModel, value: &Json) -> Result<(), String
     Ok(())
 }
 
+/// Decodes a scenario-list document (a JSON array, or an object with a
+/// `scenarios` array) into batch entries — the shared front half of the
+/// `batch` subcommand and the service's `POST /v1/batch`.
+pub(crate) fn decode_fleet(text: &str) -> Result<Vec<BatchEntry>, String> {
+    let value = Json::parse(text).map_err(|e| format!("invalid scenario list: {e}"))?;
+    let list = match &value {
+        Json::Array(items) => items.as_slice(),
+        Json::Object(_) => match &value["scenarios"] {
+            Json::Array(items) => items.as_slice(),
+            _ => return Err("invalid scenario list: missing 'scenarios' array".into()),
+        },
+        _ => return Err("invalid scenario list: expected an array of scenarios".into()),
+    };
+    if list.is_empty() {
+        return Err("invalid scenario list: no scenarios".into());
+    }
+    list.iter()
+        .enumerate()
+        .map(|(i, v)| decode_entry(i, v))
+        .collect()
+}
+
 fn decode_entry(index: usize, value: &Json) -> Result<BatchEntry, String> {
     let wrap = |e: String| format!("scenario {}: {e}", index + 1);
     let label = match value.get("label") {
@@ -193,7 +215,7 @@ fn decode_entry(index: usize, value: &Json) -> Result<BatchEntry, String> {
     })
 }
 
-fn result_line(result: &ScenarioResult, measures: MeasureSet) -> Json {
+pub(crate) fn result_line(result: &ScenarioResult, measures: MeasureSet) -> Json {
     let paths: Vec<Json> = result
         .path_measures
         .iter()
@@ -238,7 +260,7 @@ fn result_line(result: &ScenarioResult, measures: MeasureSet) -> Json {
     Json::Object(fields)
 }
 
-fn stats_line(engine: &Engine) -> Json {
+pub(crate) fn stats_line(engine: &Engine) -> Json {
     let stats = engine.stats();
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     Json::object([(
@@ -334,23 +356,7 @@ pub fn batch(
     metrics_path: Option<&str>,
     trace_path: Option<&str>,
 ) -> Result<String, String> {
-    let value = Json::parse(text).map_err(|e| format!("invalid scenario list: {e}"))?;
-    let list = match &value {
-        Json::Array(items) => items.as_slice(),
-        Json::Object(_) => match &value["scenarios"] {
-            Json::Array(items) => items.as_slice(),
-            _ => return Err("invalid scenario list: missing 'scenarios' array".into()),
-        },
-        _ => return Err("invalid scenario list: expected an array of scenarios".into()),
-    };
-    if list.is_empty() {
-        return Err("invalid scenario list: no scenarios".into());
-    }
-    let entries: Vec<BatchEntry> = list
-        .iter()
-        .enumerate()
-        .map(|(i, v)| decode_entry(i, v))
-        .collect::<Result<_, String>>()?;
+    let entries = decode_fleet(text)?;
     let measure_sets: Vec<MeasureSet> = entries.iter().map(|e| e.measures).collect();
     // One engine per distinct backend configuration; scenarios sharing a
     // backend share its caches. `placements` remembers where each entry

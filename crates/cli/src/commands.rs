@@ -137,6 +137,19 @@ pub fn analyze(
     if let Some(path) = trace_path {
         appended.push_str(&write_trace(path, &trace)?);
     }
+    let mut out = render_analyze(json, backend, &eval);
+    out.push_str(&appended);
+    Ok(out)
+}
+
+/// Renders a solved network evaluation exactly as `whart analyze` prints
+/// it — shared by the CLI and `whart serve` so the service's reports are
+/// byte-identical to the command line's.
+pub fn render_analyze(
+    json: bool,
+    backend: &Backend,
+    eval: &whart_model::NetworkEvaluation,
+) -> String {
     if json {
         let paths = eval
             .reports()
@@ -187,8 +200,7 @@ pub fn analyze(
         if !out.ends_with('\n') {
             out.push('\n');
         }
-        out.push_str(&appended);
-        return Ok(out);
+        return out;
     }
     let mut out = String::new();
     if *backend != Backend::Fast {
@@ -218,8 +230,7 @@ pub fn analyze(
         "network utilization U = {:.4}\n",
         eval.utilization(UtilizationConvention::AsEvaluated)
     ));
-    out.push_str(&appended);
-    Ok(out)
+    out
 }
 
 /// Runs `explain`: the per-hop breakdown of one path — channel

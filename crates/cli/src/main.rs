@@ -1,354 +1,7 @@
-//! `whart` — derive the DTMC performance model of a fully specified
-//! WirelessHART network and compute its measures of interest.
-//!
-//! A Rust rebuild of the analysis tool described in Remke & Wu (DSN 2013).
-//!
-//! ```text
-//! whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>]
-//! whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>]
-//! whart dot      <spec.json> --path <i>
-//! whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
-//! whart predict  <spec.json> --path <i> --snr <EbN0>
-//! whart example  <typical|section-v>
-//! ```
+//! `whart` binary shim — all the logic lives in the `whart_cli` library.
 
-mod batch;
-mod commands;
-mod spec;
-
-use spec::NetworkSpec;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage:
-  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>]
-  whart explain  <spec.json> [--path <i>] [--backend fast|sim] [--seed S] [--intervals N]
-  whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>]
-  whart dot      <spec.json> --path <i>
-  whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
-  whart predict  <spec.json> --path <i> --snr <EbN0-linear>
-  whart sensitivity <spec.json> [--step <delta>]
-  whart example  <typical|section-v>
-
-node 0 denotes the gateway; paths are listed source-first and may omit the
-trailing gateway. Link quality accepts {p_fl,p_rc}, {ber}, {snr} or
-{availability}. batch reads a JSON list of scenarios (template or inline
-network, overrides, failure injections, measures) and streams one JSON
-line per scenario through the memoizing engine. analyze solves through a
-pluggable backend: 'fast' (analytical transient, default), 'explicit'
-(Algorithm 1 chain) or 'sim' (Monte-Carlo; --seed and --intervals set
-the estimator); batch scenarios select theirs with a \"backend\" field.
-explain breaks one path down per hop (channel provenance, expected
-attempts/failures, which hop loses the packets) and per delivery cycle
-(delay decomposition); the breakdown always uses the fast evaluator,
-and --backend sim appends a sim-vs-analytic divergence table. --metrics <out.json> records solver/engine counters
-and latency histograms during the run and writes the snapshot to the
-given file; batch additionally appends one 'metrics' summary line per
-backend. --trace <out.json> records the structured event journal (solve
-spans, per-hop provenance, engine stages) as Chrome trace_event JSON
-(Perfetto-loadable), or as JSON Lines when the path ends in .jsonl.
-Both --metrics and --trace accept '-' to write to stdout (trace as
-JSON Lines).";
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
-        }
-        Err(message) => {
-            eprintln!("error: {message}\n\n{USAGE}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn run(args: &[String]) -> Result<String, String> {
-    let command = args.first().ok_or("missing command")?;
-    match command.as_str() {
-        "example" => {
-            let which = args.get(1).ok_or("missing example name")?;
-            commands::example(which)
-        }
-        "batch" => {
-            let path = args.get(1).ok_or("missing scenario list file")?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let threads = parse_or(args, "--threads", num_cpus())?;
-            let metrics = flag_value(args, "--metrics")?;
-            let trace = flag_value(args, "--trace")?;
-            batch::batch(
-                &text,
-                threads,
-                has_flag(args, "--stats"),
-                metrics.as_deref(),
-                trace.as_deref(),
-            )
-        }
-        "analyze" | "explain" | "dot" | "simulate" | "predict" | "sensitivity" => {
-            let path = args.get(1).ok_or("missing spec file")?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let spec = NetworkSpec::from_json(&text)?;
-            match command.as_str() {
-                "analyze" => {
-                    let name = flag_value(args, "--backend")?.unwrap_or_else(|| "fast".into());
-                    let seed = parse_or(args, "--seed", 42u64)?;
-                    let intervals = parse_or(args, "--intervals", 100_000u64)?;
-                    let backend = commands::Backend::parse(&name, seed, intervals)?;
-                    let metrics = flag_value(args, "--metrics")?;
-                    let trace = flag_value(args, "--trace")?;
-                    commands::analyze(
-                        &spec,
-                        has_flag(args, "--json"),
-                        &backend,
-                        metrics.as_deref(),
-                        trace.as_deref(),
-                    )
-                }
-                "explain" => {
-                    let name = flag_value(args, "--backend")?.unwrap_or_else(|| "fast".into());
-                    let seed = parse_or(args, "--seed", 42u64)?;
-                    let intervals = parse_or(args, "--intervals", 100_000u64)?;
-                    let backend = commands::Backend::parse(&name, seed, intervals)?;
-                    let index = parse_or(args, "--path", 1usize)?;
-                    commands::explain(
-                        &spec,
-                        index.checked_sub(1).ok_or("--path is 1-based")?,
-                        &backend,
-                    )
-                }
-                "dot" => {
-                    let index =
-                        flag_value(args, "--path")?.ok_or("dot requires --path <i> (1-based)")?;
-                    let index: usize = parse(&index, "--path")?;
-                    commands::dot(&spec, index.checked_sub(1).ok_or("--path is 1-based")?)
-                }
-                "simulate" => {
-                    let intervals = parse_or(args, "--intervals", 100_000u64)?;
-                    let seed = parse_or(args, "--seed", 42u64)?;
-                    // --threads is the documented spelling; --workers stays
-                    // accepted for compatibility.
-                    let workers = match flag_value(args, "--threads")? {
-                        Some(v) => parse(&v, "--threads")?,
-                        None => parse_or(args, "--workers", num_cpus())?,
-                    };
-                    commands::simulate(&spec, intervals, seed, workers, has_flag(args, "--json"))
-                }
-                "sensitivity" => {
-                    let step = parse_or(args, "--step", 0.05f64)?;
-                    commands::sensitivity(&spec, step)
-                }
-                "predict" => {
-                    let index = flag_value(args, "--path")?
-                        .ok_or("predict requires --path <i> (1-based)")?;
-                    let index: usize = parse(&index, "--path")?;
-                    let snr = flag_value(args, "--snr")?
-                        .ok_or("predict requires --snr <Eb/N0, linear>")?;
-                    let snr: f64 = parse(&snr, "--snr")?;
-                    commands::predict(&spec, index.checked_sub(1).ok_or("--path is 1-based")?, snr)
-                }
-                _ => unreachable!(),
-            }
-        }
-        "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
-        other => Err(format!("unknown command '{other}'")),
-    }
-}
-
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
-    match args.iter().position(|a| a == flag) {
-        Some(i) => args
-            .get(i + 1)
-            .cloned()
-            .map(Some)
-            .ok_or_else(|| format!("{flag} needs a value")),
-        None => Ok(None),
-    }
-}
-
-fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
-    value
-        .parse()
-        .map_err(|_| format!("invalid value '{value}' for {flag}"))
-}
-
-fn parse_or<T: std::str::FromStr + Copy>(
-    args: &[String],
-    flag: &str,
-    default: T,
-) -> Result<T, String> {
-    match flag_value(args, flag)? {
-        Some(v) => parse(&v, flag),
-        None => Ok(default),
-    }
-}
-
-fn num_cpus() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn s(parts: &[&str]) -> Vec<String> {
-        parts.iter().map(|p| p.to_string()).collect()
-    }
-
-    #[test]
-    fn help_and_errors() {
-        assert!(run(&s(&["help"])).unwrap().contains("usage"));
-        assert!(run(&[]).is_err());
-        assert!(run(&s(&["frobnicate"])).is_err());
-        assert!(run(&s(&["analyze"])).is_err());
-        assert!(run(&s(&["analyze", "/nonexistent.json"])).is_err());
-    }
-
-    #[test]
-    fn end_to_end_analyze_from_temp_file() {
-        let dir = std::env::temp_dir().join("whart-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("section_v.json");
-        std::fs::write(&path, commands::example("section-v").unwrap()).unwrap();
-        let out = run(&s(&["analyze", path.to_str().unwrap()])).unwrap();
-        assert!(out.contains("0.9624") || out.contains("0.962"), "{out}");
-        let dot = run(&s(&["dot", path.to_str().unwrap(), "--path", "1"])).unwrap();
-        assert!(dot.starts_with("digraph"));
-    }
-
-    #[test]
-    fn analyze_backend_flag_selects_the_solver() {
-        let dir = std::env::temp_dir().join("whart-cli-backend-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("section_v.json");
-        std::fs::write(&path, commands::example("section-v").unwrap()).unwrap();
-        let file = path.to_str().unwrap();
-
-        let explicit = run(&s(&["analyze", file, "--backend", "explicit"])).unwrap();
-        assert!(explicit.starts_with("backend: explicit"), "{explicit}");
-        assert!(explicit.contains("0.962"), "{explicit}");
-
-        let sim = run(&s(&[
-            "analyze",
-            file,
-            "--backend",
-            "sim",
-            "--seed",
-            "7",
-            "--intervals",
-            "20000",
-        ]))
-        .unwrap();
-        assert!(sim.starts_with("backend: sim (seed 7"), "{sim}");
-        assert!(sim.contains("0.96"), "{sim}");
-
-        assert!(run(&s(&["analyze", file, "--backend", "magic"])).is_err());
-    }
-
-    #[test]
-    fn analyze_metrics_flag_writes_a_snapshot() {
-        let dir = std::env::temp_dir().join("whart-cli-metrics-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let spec = dir.join("section_v.json");
-        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
-        let metrics = dir.join("metrics.json");
-        let out = run(&s(&[
-            "analyze",
-            spec.to_str().unwrap(),
-            "--metrics",
-            metrics.to_str().unwrap(),
-        ]))
-        .unwrap();
-        assert!(out.contains("0.962"), "{out}");
-        let text = std::fs::read_to_string(&metrics).unwrap();
-        let snapshot = whart_obs::MetricsSnapshot::parse(&text).unwrap();
-        let solves = snapshot.histogram("solver.fast.solve_ns").unwrap();
-        assert_eq!(solves.count, 1, "one path in the Section V network");
-        assert!(snapshot.counter("solver.fast.transient_steps").unwrap() > 0);
-        assert!(run(&s(&["analyze", spec.to_str().unwrap(), "--metrics"])).is_err());
-    }
-
-    #[test]
-    fn analyze_trace_flag_writes_chrome_json() {
-        let dir = std::env::temp_dir().join("whart-cli-trace-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let spec = dir.join("section_v.json");
-        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
-        let trace = dir.join("trace.json");
-        let out = run(&s(&[
-            "analyze",
-            spec.to_str().unwrap(),
-            "--trace",
-            trace.to_str().unwrap(),
-        ]))
-        .unwrap();
-        assert!(out.contains("0.962"), "{out}");
-        // The file round-trips through whart-json as Chrome trace_event
-        // JSON with solve spans and per-hop provenance instants.
-        let text = std::fs::read_to_string(&trace).unwrap();
-        let value = whart_json::Json::parse(&text).unwrap();
-        let events = match &value["traceEvents"] {
-            whart_json::Json::Array(events) => events,
-            other => panic!("traceEvents missing: {other:?}"),
-        };
-        let named = |n: &str| {
-            events
-                .iter()
-                .filter(|e| e["name"].as_str() == Some(n))
-                .count()
-        };
-        assert_eq!(named("path_solve"), 1, "one path in Section V");
-        assert_eq!(named("hop"), 3, "three hops");
-        assert!(run(&s(&["analyze", spec.to_str().unwrap(), "--trace"])).is_err());
-    }
-
-    #[test]
-    fn dash_streams_metrics_and_trace_to_stdout() {
-        let dir = std::env::temp_dir().join("whart-cli-dash-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let spec = dir.join("section_v.json");
-        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
-        let file = spec.to_str().unwrap();
-
-        let out = run(&s(&["analyze", file, "--metrics", "-"])).unwrap();
-        let start = out.find("\n{").expect("snapshot JSON after the table");
-        let snapshot = whart_obs::MetricsSnapshot::parse(&out[start..]).unwrap();
-        assert!(snapshot.histogram("solver.fast.solve_ns").is_some());
-
-        let out = run(&s(&["analyze", file, "--trace", "-"])).unwrap();
-        let jsonl: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
-        assert!(!jsonl.is_empty(), "{out}");
-        assert!(jsonl.iter().any(|l| l.contains("\"path_solve\"")), "{out}");
-        for line in jsonl {
-            whart_json::Json::parse(line).unwrap();
-        }
-    }
-
-    #[test]
-    fn explain_command_prints_the_breakdown() {
-        let dir = std::env::temp_dir().join("whart-cli-explain-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let spec = dir.join("section_v.json");
-        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
-        let out = run(&s(&["explain", spec.to_str().unwrap()])).unwrap();
-        assert!(out.contains("dominant loss hop"), "{out}");
-        assert!(out.contains("delay decomposition"), "{out}");
-        assert!(run(&s(&["explain", spec.to_str().unwrap(), "--path", "0"])).is_err());
-    }
-
-    #[test]
-    fn flag_parsing() {
-        let args = s(&["simulate", "x.json", "--seed", "7"]);
-        assert_eq!(parse_or(&args, "--seed", 42u64).unwrap(), 7);
-        assert_eq!(parse_or(&args, "--intervals", 5u64).unwrap(), 5);
-        assert!(flag_value(&s(&["--path"]), "--path").is_err());
-        assert!(parse::<u64>("abc", "--seed").is_err());
-    }
+    whart_cli::main_entry()
 }

@@ -1,0 +1,421 @@
+//! The `whart serve` application: the CLI's evaluation pipeline behind a
+//! long-running HTTP service.
+//!
+//! One process holds one [`EngineStore`] (an engine per solver backend,
+//! all sharing a metrics registry and trace journal), so the engines'
+//! path/link caches stay warm across requests — repeated or overlapping
+//! specs answer from memo instead of re-solving. The HTTP machinery
+//! itself lives in the `whart-serve` crate; this module wires the
+//! routes:
+//!
+//! * `POST /v1/analyze` — the `whart analyze` pipeline on the request
+//!   body (same spec JSON, same report bytes). Query parameters select
+//!   the backend (`backend=fast|explicit|sim`, `seed`, `intervals`) and
+//!   the rendering (`format=json|text`, JSON being the service default).
+//! * `POST /v1/batch` — the `whart batch` pipeline: one compact JSON
+//!   line per scenario, `?stats=true` appends per-engine stats lines.
+//! * `GET /metrics` — Prometheus text exposition of the shared registry,
+//!   with engine cache-size and hit-ratio gauges plus request-latency
+//!   quantiles derived at scrape time.
+//! * `GET /v1/trace` — drains the shared journal (`format=jsonl` or
+//!   `format=chrome`).
+//! * `GET /healthz`, `GET /readyz` — built into `whart-serve`; readiness
+//!   flips only after a background self-check solve of the Section V
+//!   network succeeds.
+//! * `POST /admin/shutdown` — trips the same graceful drain as Ctrl-C:
+//!   stop accepting, finish in-flight solves, write the final
+//!   `--metrics`/`--trace` artifacts, exit.
+
+use crate::batch::{decode_fleet, result_line, stats_line, BatchEntry};
+use crate::commands::{example, render_analyze, write_metrics, write_trace, Backend};
+use crate::spec::NetworkSpec;
+use std::sync::{Arc, Mutex};
+use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
+use whart_model::{MeasurePlan, NetworkModel};
+use whart_obs::prometheus::{self, DerivedGauge};
+use whart_obs::Metrics;
+use whart_serve::{Request, Response, Router, Server, ServerConfig};
+use whart_trace::Trace;
+
+/// `whart serve` command-line options.
+pub(crate) struct ServeOptions {
+    /// Listen address (`ip:port`; port 0 picks a free port).
+    pub addr: String,
+    /// HTTP worker threads; also the per-engine solver thread count.
+    pub threads: usize,
+    /// Where to write the final metrics snapshot at shutdown.
+    pub metrics_path: Option<String>,
+    /// Where to write the final trace journal at shutdown.
+    pub trace_path: Option<String>,
+    /// Engine path/link cache capacity bound (entries per layer).
+    pub cache_capacity: Option<usize>,
+    /// Trace journal capacity bound (retained events).
+    pub trace_capacity: Option<usize>,
+}
+
+/// One engine per solver backend, find-or-created on first use. All
+/// engines share the service's metrics registry and trace journal, and
+/// their caches persist for the life of the process.
+struct EngineStore {
+    threads: usize,
+    cache_capacity: Option<usize>,
+    metrics: Metrics,
+    trace: Trace,
+    engines: Vec<(Backend, Engine)>,
+}
+
+impl EngineStore {
+    fn new(
+        threads: usize,
+        cache_capacity: Option<usize>,
+        metrics: Metrics,
+        trace: Trace,
+    ) -> EngineStore {
+        EngineStore {
+            threads,
+            cache_capacity,
+            metrics,
+            trace,
+            engines: Vec::new(),
+        }
+    }
+
+    /// The engine slot for `backend`, creating it on first use.
+    fn slot(&mut self, backend: Backend) -> usize {
+        if let Some(i) = self.engines.iter().position(|(b, _)| *b == backend) {
+            return i;
+        }
+        let mut engine = Engine::with_solver(self.threads, backend.solver());
+        engine.set_metrics(self.metrics.clone());
+        engine.set_trace(self.trace.clone());
+        engine.set_cache_capacities(self.cache_capacity, self.cache_capacity);
+        self.engines.push((backend, engine));
+        self.engines.len() - 1
+    }
+
+    /// Solves one network scenario through `backend`'s warm engine.
+    /// Returns the result and how many cache hits the solve scored.
+    fn solve_network(
+        &mut self,
+        backend: Backend,
+        model: NetworkModel,
+    ) -> Result<(ScenarioResult, u64), String> {
+        let slot = self.slot(backend);
+        let engine = &mut self.engines[slot].1;
+        let before = engine.stats().cache_hits();
+        engine.submit(Scenario::network("http", model));
+        let mut results = engine.drain().map_err(|e| e.to_string())?;
+        let result = results.pop().ok_or("engine returned no result")?;
+        let hits = engine.stats().cache_hits() - before;
+        Ok((result, hits))
+    }
+
+    /// Runs a decoded scenario fleet exactly as `whart batch` does —
+    /// per-backend engines, submission-order output — but against the
+    /// store's persistent engines.
+    fn solve_fleet(
+        &mut self,
+        entries: Vec<BatchEntry>,
+        with_stats: bool,
+    ) -> Result<String, String> {
+        let measure_sets: Vec<MeasureSet> = entries.iter().map(|e| e.measures).collect();
+        let mut placements: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
+        let mut used: Vec<usize> = Vec::new();
+        for entry in entries {
+            let slot = self.slot(entry.backend);
+            if !used.contains(&slot) {
+                used.push(slot);
+            }
+            let index = self.engines[slot].1.submit(entry.scenario);
+            placements.push((slot, index));
+        }
+        let mut drained: Vec<Option<Vec<ScenarioResult>>> = Vec::new();
+        drained.resize_with(self.engines.len(), || None);
+        for &slot in &used {
+            drained[slot] = Some(self.engines[slot].1.drain().map_err(|e| e.to_string())?);
+        }
+        let mut out = String::new();
+        for ((slot, index), measures) in placements.iter().zip(measure_sets) {
+            let results = drained[*slot].as_ref().expect("used slot was drained");
+            out.push_str(&result_line(&results[*index], measures).to_compact());
+            out.push('\n');
+        }
+        if with_stats {
+            for &slot in &used {
+                out.push_str(&stats_line(&self.engines[slot].1).to_compact());
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Shared application state captured by every route handler.
+struct App {
+    metrics: Metrics,
+    trace: Trace,
+    engines: Mutex<EngineStore>,
+}
+
+impl App {
+    fn store(&self) -> Result<std::sync::MutexGuard<'_, EngineStore>, String> {
+        self.engines
+            .lock()
+            .map_err(|_| "engine store poisoned by an earlier panic".to_string())
+    }
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::text(400, format!("error: {message}\n"))
+}
+
+fn query_u64(request: &Request, key: &str, default: u64) -> Result<u64, String> {
+    match request.query_param(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for query parameter '{key}'")),
+    }
+}
+
+/// `POST /v1/analyze`: the `analyze` pipeline on the request body.
+fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let spec = NetworkSpec::from_json(request.body_text()?)?;
+    let name = request.query_param("backend").unwrap_or("fast");
+    let seed = query_u64(request, "seed", 42)?;
+    let intervals = query_u64(request, "intervals", 100_000)?;
+    let backend = Backend::parse(name, seed, intervals)?;
+    let json = match request.query_param("format") {
+        None | Some("json") => true,
+        Some("text") => false,
+        Some(other) => return Err(format!("unknown format '{other}' (expected json or text)")),
+    };
+    let model = spec.to_model()?;
+    // The sim backend solves directly (its per-path seeds are positional
+    // in the network, which the engine's per-path routing would not
+    // reproduce); the deterministic backends go through the warm engine.
+    let (body, paths, hits) = match backend {
+        Backend::Sim { .. } => {
+            let problem = model.compile().map_err(|e| e.to_string())?;
+            let eval = backend
+                .solver()
+                .solve_network_traced(&problem, MeasurePlan::default(), &app.metrics, &app.trace)
+                .map_err(|e| e.to_string())?;
+            let paths = eval.reports().len();
+            (render_analyze(json, &backend, &eval), paths, 0)
+        }
+        Backend::Fast | Backend::Explicit => {
+            let (result, hits) = app.store()?.solve_network(backend, model)?;
+            let eval = result
+                .network()
+                .ok_or("engine returned a non-network outcome")?;
+            let paths = eval.reports().len();
+            (render_analyze(json, &backend, eval), paths, hits)
+        }
+    };
+    let response = if json {
+        Response::json(200, body)
+    } else {
+        Response::text(200, body)
+    };
+    Ok(response
+        .with_trace_arg("paths", paths as u64)
+        .with_trace_arg("cache_hits", hits))
+}
+
+/// `POST /v1/batch`: the `batch` pipeline against the persistent engines.
+fn batch_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let entries = decode_fleet(request.body_text()?)?;
+    let with_stats = matches!(request.query_param("stats"), Some("true") | Some("1"));
+    let scenarios = entries.len();
+    let mut store = app.store()?;
+    let before: u64 = store
+        .engines
+        .iter()
+        .map(|(_, e)| e.stats().cache_hits())
+        .sum();
+    let out = store.solve_fleet(entries, with_stats)?;
+    let hits: u64 = store
+        .engines
+        .iter()
+        .map(|(_, e)| e.stats().cache_hits())
+        .sum::<u64>()
+        - before;
+    drop(store);
+    let mut response = Response::json(200, out);
+    response.content_type = "application/x-ndjson".into();
+    Ok(response
+        .with_trace_arg("scenarios", scenarios as u64)
+        .with_trace_arg("cache_hits", hits))
+}
+
+/// `GET /v1/trace`: drains the shared journal.
+fn trace_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let log = app.trace.drain();
+    match request.query_param("format") {
+        None | Some("jsonl") => {
+            let mut response = Response::json(200, log.to_jsonl());
+            response.content_type = "application/x-ndjson".into();
+            Ok(response)
+        }
+        Some("chrome") => {
+            let mut text = log.to_chrome_json().to_pretty();
+            text.push('\n');
+            Ok(Response::json(200, text))
+        }
+        Some(other) => Err(format!(
+            "unknown format '{other}' (expected jsonl or chrome)"
+        )),
+    }
+}
+
+/// `GET /metrics`: Prometheus text exposition of the shared registry.
+///
+/// On top of the verbatim counters/gauges/histograms, each scrape
+/// derives the values Prometheus cannot read from a raw registry:
+/// engine cache sizes (refreshed from the live engines), cache
+/// hit ratios, and request-latency quantiles from the log2 histograms.
+fn metrics_handler(app: &App) -> Result<Response, String> {
+    let snapshot = app.metrics.snapshot();
+    let mut derived: Vec<DerivedGauge> = Vec::new();
+    {
+        let store = app.store()?;
+        for (_, engine) in &store.engines {
+            let backend = engine.solver_name();
+            derived.push(DerivedGauge::new(
+                format!("engine.cache.path_entries{{backend={backend}}}"),
+                engine.cached_paths() as f64,
+            ));
+            derived.push(DerivedGauge::new(
+                format!("engine.cache.link_entries{{backend={backend}}}"),
+                engine.cached_links() as f64,
+            ));
+        }
+    }
+    for layer in ["engine.path_cache", "engine.link_cache"] {
+        let hits = snapshot.counter(&format!("{layer}.hits")).unwrap_or(0);
+        let misses = snapshot.counter(&format!("{layer}.misses")).unwrap_or(0);
+        if hits + misses > 0 {
+            derived.push(DerivedGauge::new(
+                format!("{layer}.hit_ratio"),
+                hits as f64 / (hits + misses) as f64,
+            ));
+        }
+    }
+    for (name, histogram) in &snapshot.histograms {
+        let Some(rest) = name.strip_prefix("http.request_ns") else {
+            continue;
+        };
+        for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            if let Some(value) = histogram.quantile(q) {
+                derived.push(DerivedGauge::new(
+                    format!("http.request_ns.{label}{rest}"),
+                    value,
+                ));
+            }
+        }
+    }
+    let mut response = Response::text(200, prometheus::render_with(&snapshot, &derived));
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8".into();
+    Ok(response)
+}
+
+/// Wraps a fallible handler into the router's infallible signature.
+fn wrap(result: Result<Response, String>) -> Response {
+    result.unwrap_or_else(|e| bad_request(&e))
+}
+
+fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
+    let analyze_app = Arc::clone(app);
+    let batch_app = Arc::clone(app);
+    let trace_app = Arc::clone(app);
+    let metrics_app = Arc::clone(app);
+    Router::new()
+        .route("POST", "/v1/analyze", move |req| {
+            wrap(analyze_handler(&analyze_app, req))
+        })
+        .route("POST", "/v1/batch", move |req| {
+            wrap(batch_handler(&batch_app, req))
+        })
+        .route("GET", "/v1/trace", move |req| {
+            wrap(trace_handler(&trace_app, req))
+        })
+        .route("GET", "/metrics", move |_req| {
+            wrap(metrics_handler(&metrics_app))
+        })
+        .route("POST", "/admin/shutdown", move |_req| {
+            shutdown.set();
+            Response::text(202, "draining\n")
+        })
+}
+
+/// The readiness self-check: one real solve of the paper's Section V
+/// network through the fast engine. Succeeding proves the whole stack
+/// (spec decode, model compile, engine, solver) and pre-warms the cache.
+fn self_check(app: &App) -> Result<(), String> {
+    let spec = NetworkSpec::from_json(&example("section-v")?)?;
+    let model = spec.to_model()?;
+    app.store()?.solve_network(Backend::Fast, model)?;
+    Ok(())
+}
+
+/// Runs `whart serve`: binds, serves until Ctrl-C or
+/// `POST /admin/shutdown`, drains, and writes the final artifacts.
+/// Returns the shutdown summary (plus any `-` artifact streams) for
+/// stdout.
+pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
+    let threads = options.threads.max(1);
+    let metrics = Metrics::new();
+    let trace = match options.trace_capacity {
+        Some(capacity) => Trace::with_capacity(capacity),
+        None => Trace::new(),
+    };
+    let mut server = Server::bind(&ServerConfig {
+        addr: options.addr.clone(),
+        threads,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    server.set_metrics(metrics.clone());
+    server.set_trace(trace.clone());
+    let app = Arc::new(App {
+        metrics: metrics.clone(),
+        trace: trace.clone(),
+        engines: Mutex::new(EngineStore::new(
+            threads,
+            options.cache_capacity,
+            metrics.clone(),
+            trace.clone(),
+        )),
+    });
+    server.set_router(build_router(&app, server.shutdown()));
+    let ready = server.ready();
+    let ready_app = Arc::clone(&app);
+    std::thread::Builder::new()
+        .name("whart-serve-ready".into())
+        .spawn(move || match self_check(&ready_app) {
+            Ok(()) => ready.set(),
+            Err(e) => eprintln!("whart serve: readiness self-check failed: {e}"),
+        })
+        .map_err(|e| format!("cannot spawn readiness check: {e}"))?;
+    // The address goes to stderr so stdout stays clean for the final
+    // artifacts (tests and scripts parse the port from this line).
+    eprintln!("whart serve: listening on http://{addr} ({threads} worker threads)");
+    server.serve().map_err(|e| format!("serve failed: {e}"))?;
+    let snapshot = metrics.snapshot();
+    let requests: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("http.requests_total"))
+        .map(|(_, count)| count)
+        .sum();
+    let mut out = format!("whart serve: drained after {requests} requests\n");
+    if let Some(path) = &options.metrics_path {
+        out.push_str(&write_metrics(path, &metrics)?);
+    }
+    if let Some(path) = &options.trace_path {
+        out.push_str(&write_trace(path, &trace)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,374 @@
+//! End-to-end tests for `whart serve`: a real `whart` binary serving a
+//! real TCP port, exercised with raw HTTP/1.1 over `TcpStream`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A spawned `whart serve` child plus its bound address. Kills the
+/// process on drop so a failing test cannot leak servers.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_serve(extra: &[&str]) -> ServeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_whart"))
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0", "--threads", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn whart serve");
+    // The listen address is the first stderr line.
+    let stderr = child.stderr.take().expect("child stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("read stderr");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after http://")
+                .to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    ServeProc { child, addr }
+}
+
+/// One raw HTTP/1.1 exchange. Returns (status, body).
+fn http(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `GET /readyz` until the self-check solve completes.
+fn await_ready(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _) = http(addr, "GET", "/readyz", "");
+        if status == 200 {
+            return;
+        }
+        assert_eq!(status, 503, "readyz answers 503 until ready");
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn section_v_spec() -> String {
+    whart_cli::run(&["example".into(), "section-v".into()]).expect("example spec")
+}
+
+fn cli(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+    whart_cli::run(&args).expect("cli run")
+}
+
+#[test]
+fn analyze_is_byte_identical_to_the_cli_for_every_backend() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let dir = std::env::temp_dir().join("whart-serve-parity-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("section_v.json");
+    let spec = section_v_spec();
+    std::fs::write(&spec_path, &spec).unwrap();
+    let file = spec_path.to_str().unwrap();
+
+    let cases = [
+        ("fast", "/v1/analyze", vec!["--backend", "fast"]),
+        (
+            "explicit",
+            "/v1/analyze?backend=explicit",
+            vec!["--backend", "explicit"],
+        ),
+        (
+            "sim",
+            "/v1/analyze?backend=sim&seed=7&intervals=5000",
+            vec!["--backend", "sim", "--seed", "7", "--intervals", "5000"],
+        ),
+    ];
+    for (name, target, flags) in cases {
+        let mut args = vec!["analyze", file, "--json"];
+        args.extend(&flags);
+        let expected = cli(&args);
+        let (status, body) = http(&serve.addr, "POST", target, &spec);
+        assert_eq!(status, 200, "{name}: {body}");
+        assert_eq!(body, expected, "{name} report drifted from the CLI");
+        // A second, cache-warm solve must not change a byte either.
+        let (status, warm) = http(&serve.addr, "POST", target, &spec);
+        assert_eq!(status, 200);
+        assert_eq!(warm, expected, "{name} warm solve drifted");
+    }
+
+    // The text rendering matches the CLI table too.
+    let expected = cli(&["analyze", file]);
+    let (status, body) = http(&serve.addr, "POST", "/v1/analyze?format=text", &spec);
+    assert_eq!(status, 200);
+    assert_eq!(body, expected, "text report drifted from the CLI");
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_instruments_the_requests() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let spec = section_v_spec();
+    for _ in 0..3 {
+        let (status, _) = http(&serve.addr, "POST", "/v1/analyze", &spec);
+        assert_eq!(status, 200);
+    }
+    let (status, text) = http(&serve.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let exposition = whart_obs::prometheus::parse(&text).expect("parse exposition");
+    exposition.validate().expect("valid exposition");
+
+    // The request counter carries route and code labels.
+    let requests = exposition
+        .named("http_requests_total")
+        .find(|s| s.label("route") == Some("/v1/analyze") && s.label("code") == Some("200"))
+        .expect("http_requests_total{route=/v1/analyze,code=200}");
+    assert!(requests.value >= 3.0, "{}", requests.value);
+
+    // The request-latency histogram exposes cumulative buckets and the
+    // scrape-time quantile gauges.
+    assert!(
+        exposition
+            .named("http_request_ns_bucket")
+            .any(|s| s.label("route") == Some("/v1/analyze")),
+        "request latency histogram missing:\n{text}"
+    );
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            exposition
+                .named(&format!("http_request_ns_{q}"))
+                .any(|s| s.label("route") == Some("/v1/analyze")),
+            "missing {q} gauge:\n{text}"
+        );
+    }
+
+    // Engine cache instrumentation: live entry counts and hit ratios.
+    let entries = exposition
+        .named("engine_cache_path_entries")
+        .find(|s| s.label("backend") == Some("fast"))
+        .expect("engine_cache_path_entries{backend=fast}");
+    assert!(entries.value >= 1.0, "{}", entries.value);
+    let ratio = exposition
+        .value("engine_path_cache_hit_ratio")
+        .expect("engine_path_cache_hit_ratio");
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "hit ratio out of range: {ratio}"
+    );
+    // Three identical solves after the self-check: the cache must hit.
+    assert!(ratio > 0.0, "warm solves scored no cache hits");
+}
+
+#[test]
+fn trace_endpoint_drains_the_journal_in_both_formats() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let spec = section_v_spec();
+    let (status, _) = http(&serve.addr, "POST", "/v1/analyze", &spec);
+    assert_eq!(status, 200);
+
+    let (status, jsonl) = http(&serve.addr, "GET", "/v1/trace", "");
+    assert_eq!(status, 200);
+    assert!(
+        jsonl.lines().any(|l| l.contains("\"http_request\"")),
+        "no request span in journal:\n{jsonl}"
+    );
+    for line in jsonl.lines().filter(|l| !l.is_empty()) {
+        whart_json::Json::parse(line).expect("JSONL line parses");
+    }
+
+    // The drain consumed those events; a new request refills the journal
+    // and format=chrome wraps it as a trace_event document.
+    let (status, _) = http(&serve.addr, "POST", "/v1/analyze", &spec);
+    assert_eq!(status, 200);
+    let (status, chrome) = http(&serve.addr, "GET", "/v1/trace?format=chrome", "");
+    assert_eq!(status, 200);
+    let value = whart_json::Json::parse(&chrome).expect("chrome JSON parses");
+    assert!(
+        matches!(&value["traceEvents"], whart_json::Json::Array(events) if !events.is_empty()),
+        "{chrome}"
+    );
+
+    let (status, _) = http(&serve.addr, "GET", "/v1/trace?format=yaml", "");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn batch_runs_against_the_persistent_engines() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let fleet = r#"[
+        {"label":"a","network":"typical","availability":0.83,"interval":1},
+        {"label":"b","network":"typical","availability":0.83,"interval":1},
+        {"label":"c","network":"section-v"}
+    ]"#;
+    let (status, body) = http(&serve.addr, "POST", "/v1/batch?stats=true", fleet);
+    assert_eq!(status, 200, "{body}");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 4, "3 results + 1 stats line:\n{body}");
+    for (i, label) in ["a", "b", "c"].iter().enumerate() {
+        let line = whart_json::Json::parse(lines[i]).expect("result line parses");
+        assert_eq!(line["label"].as_str(), Some(*label), "{body}");
+    }
+    let stats = whart_json::Json::parse(lines[3]).expect("stats line parses");
+    assert!(
+        stats["stats"]["path_cache_hits"].as_f64().unwrap_or(0.0) >= 1.0,
+        "identical scenarios must share the cache:\n{body}"
+    );
+    // Malformed fleets answer 400 with the CLI's decode error.
+    let (status, body) = http(&serve.addr, "POST", "/v1/batch", "[]");
+    assert_eq!(status, 400);
+    assert!(body.contains("no scenarios"), "{body}");
+}
+
+#[test]
+fn error_paths_answer_with_client_errors() {
+    let serve = spawn_serve(&[]);
+    let (status, _) = http(&serve.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "liveness is independent of readiness");
+    await_ready(&serve.addr);
+
+    let spec = section_v_spec();
+    let (status, body) = http(&serve.addr, "POST", "/v1/analyze", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http(&serve.addr, "POST", "/v1/analyze?backend=magic", &spec);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown backend"), "{body}");
+    let (status, _) = http(&serve.addr, "GET", "/v1/analyze", "");
+    assert_eq!(status, 405, "wrong method on a real route");
+    let (status, _) = http(&serve.addr, "GET", "/v1/nonsense", "");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_and_writes_final_artifacts() {
+    let dir = std::env::temp_dir().join("whart-serve-shutdown-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("final_metrics.json");
+    let trace_path = dir.join("final_trace.json");
+    let _ = std::fs::remove_file(&metrics_path);
+    let _ = std::fs::remove_file(&trace_path);
+    let mut serve = spawn_serve(&[
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    await_ready(&serve.addr);
+
+    // A slow request (Monte-Carlo, generous replication count) that is
+    // still in flight when the shutdown lands right behind it.
+    let addr = serve.addr.clone();
+    let spec = section_v_spec();
+    let slow = std::thread::spawn(move || {
+        http(
+            &addr,
+            "POST",
+            "/v1/analyze?backend=sim&seed=3&intervals=150000",
+            &spec,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, body) = http(&serve.addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 202);
+    assert_eq!(body, "draining\n");
+
+    // The in-flight solve completes instead of being reset.
+    let (status, body) = slow.join().expect("slow request thread");
+    assert_eq!(status, 200, "in-flight request dropped during drain");
+    assert!(body.contains("reachability"), "{body}");
+
+    // The process exits cleanly and writes both final artifacts.
+    let output = serve.child.wait_with_output_timeout();
+    assert!(output.status.success(), "serve exited nonzero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("drained after"), "{stdout}");
+    let snapshot_text = std::fs::read_to_string(&metrics_path).expect("final metrics written");
+    let snapshot = whart_obs::MetricsSnapshot::parse(&snapshot_text).expect("snapshot parses");
+    let served: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("http.requests_total"))
+        .map(|(_, count)| count)
+        .sum();
+    assert!(served >= 2, "final snapshot missed requests: {served}");
+    assert!(trace_path.exists(), "final trace written");
+}
+
+/// `Child::wait_with_output` with a watchdog: a hung drain should fail
+/// the test, not wedge the suite.
+trait WaitWithTimeout {
+    fn wait_with_output_timeout(&mut self) -> std::process::Output;
+}
+
+impl WaitWithTimeout for Child {
+    fn wait_with_output_timeout(&mut self) -> std::process::Output {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.try_wait().expect("try_wait") {
+                Some(_) => {
+                    let child = std::mem::replace(self, dead_child());
+                    return child.wait_with_output().expect("collect output");
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = self.kill();
+                    panic!("serve did not exit within the drain deadline");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// A placeholder child (already exited) to swap into the struct while
+/// collecting the real one's output.
+fn dead_child() -> Child {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_whart"))
+        .arg("help")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn placeholder");
+    let _ = child.wait();
+    child
+}

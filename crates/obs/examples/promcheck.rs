@@ -1,0 +1,57 @@
+//! Validates a Prometheus text-format scrape file.
+//!
+//! Used by the CI `serve-smoke` job to assert that a live `/metrics`
+//! scrape parses and holds the exposition invariants (cumulative
+//! buckets monotone, `+Inf` == `_count`, names in charset):
+//!
+//! ```sh
+//! cargo run -p whart-obs --example promcheck -- scrape.txt [required-name ...]
+//! ```
+//!
+//! Extra arguments are sample names that must be present (a missing one
+//! is an error). Exits non-zero with a message on any violation.
+
+use std::process::ExitCode;
+use whart_obs::prometheus::parse;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: promcheck <scrape-file> [required-sample-name ...]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("promcheck: cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exposition = match parse(&text) {
+        Ok(exposition) => exposition,
+        Err(error) => {
+            eprintln!("promcheck: {path}: parse error: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(error) = exposition.validate() {
+        eprintln!("promcheck: {path}: invalid exposition: {error}");
+        return ExitCode::FAILURE;
+    }
+    let mut missing = false;
+    for required in args {
+        if exposition.named(&required).next().is_none() {
+            eprintln!("promcheck: {path}: missing required sample {required}");
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "promcheck: {path}: ok ({} samples, {} families)",
+        exposition.samples.len(),
+        exposition.types.len()
+    );
+    ExitCode::SUCCESS
+}

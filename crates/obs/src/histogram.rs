@@ -113,6 +113,47 @@ impl HistogramSnapshot {
         self.buckets.iter().map(|&(_, c)| c).sum::<u64>() + self.overflow
     }
 
+    /// Estimates the `q`-quantile (`0.0 <= q <= 1.0`) from the log2
+    /// buckets.
+    ///
+    /// The rank `ceil(q * count)` (at least 1) is located in the
+    /// cumulative bucket counts; within its bucket the value is linearly
+    /// interpolated across the bucket's `[2^i, 2^(i+1))` span, then
+    /// clamped to the exact observed `[min, max]` — so `quantile(0.0)`
+    /// is exactly `min`, `quantile(1.0)` is exactly `max`, and a
+    /// single-valued histogram returns that value for every `q`. Ranks
+    /// landing in the overflow bucket report `max`.
+    ///
+    /// Returns `None` for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min as f64);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(index, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                // Bucket i spans [2^i, 2^(i+1)) — except bucket 0, which
+                // also holds 0.
+                let lo = if index == 0 {
+                    0.0
+                } else {
+                    (1u64 << index) as f64
+                };
+                let hi = bucket_upper_bound(index) as f64;
+                let into = (rank - (cumulative - count)) as f64 / count as f64;
+                let estimate = lo + into * (hi - lo);
+                return Some(estimate.clamp(self.min as f64, self.max as f64));
+            }
+        }
+        // Rank falls in the overflow bucket: the best exact bound is max.
+        Some(self.max as f64)
+    }
+
     /// Folds `other` into `self` as if every observation behind both
     /// snapshots had been recorded into one histogram: count, sum,
     /// overflow and per-bucket counts add; min/max combine (an empty
@@ -265,6 +306,76 @@ mod tests {
         assert_eq!(snapshot.min, u64::MAX);
         assert_eq!(snapshot.max, u64::MAX);
         assert_eq!(snapshot.bucketed_count(), 1);
+    }
+
+    #[test]
+    fn quantile_is_exact_at_the_ends_and_clamped_to_min_max() {
+        let core = HistogramCore::default();
+        for v in [100u64, 200, 300, 400, 1000] {
+            core.record(v);
+        }
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.quantile(0.0), Some(100.0), "q=0 is the exact min");
+        assert_eq!(snapshot.quantile(1.0), Some(1000.0), "q=1 is the exact max");
+        let p50 = snapshot.quantile(0.5).unwrap();
+        assert!((100.0..=1000.0).contains(&p50), "{p50}");
+        // Monotone in q.
+        let p95 = snapshot.quantile(0.95).unwrap();
+        assert!(p95 >= p50, "{p95} >= {p50}");
+        assert_eq!(snapshot.quantile(-0.1), None);
+        assert_eq!(snapshot.quantile(1.1), None);
+        assert_eq!(snapshot.quantile(f64::NAN), None);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // A single value exactly on a power-of-two boundary: every
+        // quantile collapses to it via the min/max clamp.
+        let core = HistogramCore::default();
+        core.record(1u64 << 12);
+        let snapshot = core.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snapshot.quantile(q), Some(4096.0), "q={q}");
+        }
+
+        // Two boundary values in distinct buckets: the median must come
+        // from the lower bucket, the p99 from the upper.
+        let core = HistogramCore::default();
+        core.record(1u64 << 4);
+        core.record(1u64 << 10);
+        let snapshot = core.snapshot();
+        let p50 = snapshot.quantile(0.5).unwrap();
+        assert!((16.0..32.0).contains(&p50), "median in bucket 4: {p50}");
+        assert_eq!(snapshot.quantile(0.99), Some(1024.0), "clamped to max");
+    }
+
+    #[test]
+    fn quantile_rank_in_the_overflow_bucket_reports_max() {
+        let core = HistogramCore::default();
+        core.record(7);
+        core.record(1u64 << BUCKETS);
+        core.record(u64::MAX);
+        let snapshot = core.snapshot();
+        assert_eq!(snapshot.quantile(1.0), Some(u64::MAX as f64));
+        assert_eq!(snapshot.quantile(0.9), Some(u64::MAX as f64));
+        assert_eq!(snapshot.quantile(0.0), Some(7.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // 64 observations spread across bucket 6 ([64, 128)): the
+        // interpolated quantiles walk the bucket span monotonically.
+        let core = HistogramCore::default();
+        for v in 64..128u64 {
+            core.record(v);
+        }
+        let snapshot = core.snapshot();
+        let p25 = snapshot.quantile(0.25).unwrap();
+        let p75 = snapshot.quantile(0.75).unwrap();
+        assert!(p25 < p75, "{p25} < {p75}");
+        assert!((64.0..=127.0).contains(&p25));
+        assert!((64.0..=127.0).contains(&p75));
     }
 
     #[test]

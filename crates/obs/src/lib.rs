@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod histogram;
+pub mod prometheus;
 mod snapshot;
 
 pub use histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};

@@ -1,0 +1,318 @@
+//! Minimal HTTP/1.1 request parsing and response writing over a
+//! [`std::io::Read`]/[`std::io::Write`] pair.
+//!
+//! The framework speaks exactly the subset a local evaluation service
+//! needs: one request per connection (`Connection: close` on every
+//! response), `Content-Length` bodies, query strings with percent
+//! decoding. Streaming bodies, chunked encoding and keep-alive are out
+//! of scope.
+
+use std::io::{Read, Write};
+use whart_trace::ArgValue;
+
+/// Maximum accepted header block, in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request body, in bytes.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string (`/v1/analyze`).
+    pub path: String,
+    /// Decoded query parameters in source order.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first query parameter named `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header named `key` (case-insensitive), if present.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        let key = key.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// When the body is not valid UTF-8.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".into())
+    }
+}
+
+/// One HTTP response to write back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Extra arguments the request middleware merges into the
+    /// per-request trace span (e.g. scenario counts, cache hits).
+    pub trace_args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+            trace_args: Vec::new(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            body: body.into().into_bytes(),
+            trace_args: Vec::new(),
+        }
+    }
+
+    /// Attaches a trace-span argument (builder style).
+    pub fn with_trace_arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Response {
+        self.trace_args.push((key, value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status code.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (status line, headers, body) to `out`.
+    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a query component.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|pair| {
+                    std::str::from_utf8(pair)
+                        .ok()
+                        .and_then(|s| u8::from_str_radix(s, 16).ok())
+                });
+                match hex {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a raw target into decoded path and query pairs.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    (percent_decode(path), pairs)
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// A human-readable parse/IO failure; the caller answers 400.
+pub fn read_request(stream: &mut dyn Read) -> Result<Request, String> {
+    // Read until the blank line ending the header block.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err("header block too large".into());
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| "header block is not valid UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let (path, query) = split_target(target);
+    let mut request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| format!("bad content-length '{length}'"))?;
+        if length > MAX_BODY {
+            return Err(format!(
+                "body of {length} bytes exceeds the {MAX_BODY} limit"
+            ));
+        }
+        let mut body = vec![0u8; length];
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| format!("short body: {e}"))?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, String> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_get_with_query_string() {
+        let req =
+            parse("GET /v1/trace?format=jsonl&x=a%20b+c HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/trace");
+        assert_eq!(req.query_param("format"), Some("jsonl"));
+        assert_eq!(req.query_param("x"), Some("a b c"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req =
+            parse("POST /v1/analyze HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}\n extra").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{}\n ");
+        assert_eq!(req.body_text().unwrap(), "{}\n ");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET / SPDY/9\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+        let mut out = Vec::new();
+        Response::text(503, "starting\n")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn percent_decoding_handles_truncated_escapes() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("a%zz"), "a%zz");
+        assert_eq!(percent_decode("%"), "%");
+    }
+}

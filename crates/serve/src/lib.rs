@@ -1,0 +1,48 @@
+//! whart-serve: a dependency-free HTTP/1.1 service framework for the
+//! WirelessHART workspace.
+//!
+//! The `whart serve` subcommand wraps this crate around the evaluation
+//! engine to form a long-running service whose caches stay warm across
+//! requests. The framework itself knows nothing about network specs —
+//! it provides the machinery a small internal service needs, on `std`
+//! alone (`TcpListener` + a worker thread pool, consistent with the
+//! workspace's offline/vendored dependency policy):
+//!
+//! * [`http`] — HTTP/1.1 request parsing and response writing
+//!   (`Content-Length` bodies, query strings, `Connection: close`).
+//! * [`router`] — exact-path routing with stable route labels for
+//!   metric cardinality control.
+//! * [`server`] — the accept loop and worker pool: built-in
+//!   `GET /healthz` / `GET /readyz` probes, per-request metrics
+//!   (`http.requests_total{route,code}`, per-route latency histograms,
+//!   in-flight gauge) and one trace span per request on the shared
+//!   [`whart_obs::Metrics`] / [`whart_trace::Trace`] facades, and
+//!   graceful shutdown that drains every accepted connection before
+//!   [`server::Server::serve`] returns.
+//! * [`signal`] — SIGINT observation (no libc dependency) so Ctrl-C
+//!   triggers the same drain as `POST /admin/shutdown`.
+//!
+//! ```no_run
+//! use whart_serve::{Response, Router, Server, ServerConfig};
+//!
+//! let mut server = Server::bind(&ServerConfig::default()).unwrap();
+//! let shutdown = server.shutdown();
+//! server.set_router(Router::new().route("POST", "/admin/shutdown", move |_req| {
+//!     shutdown.set();
+//!     Response::text(202, "draining\n")
+//! }));
+//! server.ready().set(); // readiness usually flips after a self-check
+//! server.serve().unwrap();
+//! ```
+
+#![deny(unsafe_code)] // `signal` opts out locally for the SIGINT shim.
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod signal;
+
+pub use http::{Request, Response};
+pub use router::{Handler, Router};
+pub use server::{Flag, Server, ServerConfig};

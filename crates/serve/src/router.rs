@@ -1,0 +1,111 @@
+//! Exact-path request routing with stable route labels.
+//!
+//! Routes are `(method, path)` pairs; the registered path doubles as the
+//! route label on `http.requests{route,code}` and the per-route latency
+//! histogram. Unmatched paths share the single label `unmatched` so a
+//! scanner cannot explode metric cardinality.
+
+use crate::http::{Request, Response};
+use std::sync::Arc;
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+struct Route {
+    method: &'static str,
+    path: &'static str,
+    handler: Handler,
+}
+
+/// An exact-path router.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers `handler` for `method` on the exact path `path`
+    /// (builder style).
+    pub fn route(
+        mut self,
+        method: &'static str,
+        path: &'static str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method,
+            path,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Dispatches `request`, returning the route label (the registered
+    /// path, or `unmatched`) and the response: the handler's on a match,
+    /// 405 when the path exists under a different method, 404 otherwise.
+    pub fn dispatch(&self, request: &Request) -> (&'static str, Response) {
+        let mut path_seen = false;
+        for route in &self.routes {
+            if route.path != request.path {
+                continue;
+            }
+            if route.method == request.method {
+                return (route.path, (route.handler)(request));
+            }
+            path_seen = true;
+        }
+        if path_seen {
+            // Report the label of the real path: the client got the
+            // method wrong, not the route.
+            let label = self
+                .routes
+                .iter()
+                .find(|r| r.path == request.path)
+                .map(|r| r.path)
+                .unwrap_or("unmatched");
+            return (label, Response::text(405, "method not allowed\n"));
+        }
+        ("unmatched", Response::text(404, "not found\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routes_by_method_and_exact_path() {
+        let router = Router::new()
+            .route("GET", "/a", |_| Response::text(200, "get-a"))
+            .route("POST", "/a", |_| Response::text(200, "post-a"))
+            .route("GET", "/b", |_| Response::text(200, "get-b"));
+        let (label, response) = router.dispatch(&request("GET", "/a"));
+        assert_eq!(
+            (label, response.body.as_slice()),
+            ("/a", b"get-a".as_slice())
+        );
+        let (_, response) = router.dispatch(&request("POST", "/a"));
+        assert_eq!(response.body, b"post-a");
+        let (label, response) = router.dispatch(&request("DELETE", "/b"));
+        assert_eq!((label, response.status), ("/b", 405));
+        let (label, response) = router.dispatch(&request("GET", "/nope"));
+        assert_eq!((label, response.status), ("unmatched", 404));
+        let (_, response) = router.dispatch(&request("GET", "/a/"));
+        assert_eq!(response.status, 404, "exact match only");
+    }
+}

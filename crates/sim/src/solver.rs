@@ -186,8 +186,8 @@ impl Solver for MonteCarloSolver {
     }
 
     /// The traced statistical solve; the RNG stream and therefore the
-    /// estimates are bit-identical to [`Solver::solve_path_observed`],
-    /// see [`MonteCarloSolver::solve_path_traced_seeded`].
+    /// estimates are bit-identical to [`Solver::solve_path_observed`];
+    /// the seeded worker behind both entry points is shared.
     fn solve_path_traced(
         &self,
         problem: &PathProblem,

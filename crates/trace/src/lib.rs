@@ -264,17 +264,16 @@ impl Trace {
             .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
     }
 
-    /// Drains the journal: the calling thread's pending chunk is flushed
-    /// first, then every event flushed so far is taken (sorted by
-    /// timestamp) and the capacity budget is released for them.
+    /// Flushes the calling thread's pending chunk to the shared sink.
     ///
-    /// Events still buffered on *other* live threads appear in a later
-    /// drain (threads flush every [`FLUSH_CHUNK`] events and when they
-    /// exit); the workspace drains after worker pools have joined, so a
-    /// post-run drain is complete. Disabled handles drain empty.
-    pub fn drain(&self) -> TraceLog {
+    /// Long-lived threads (e.g. `whart serve` HTTP workers) call this at
+    /// a natural publication point — after finishing a request — so a
+    /// [`Trace::drain`] from *another* thread observes their completed
+    /// events without waiting for a [`FLUSH_CHUNK`] boundary or thread
+    /// exit. No-op on disabled handles and when nothing is pending.
+    pub fn flush(&self) {
         let Some(shared) = &self.shared else {
-            return TraceLog::default();
+            return;
         };
         let _ = LOCAL.try_with(|local| {
             let mut buffers = local.borrow_mut();
@@ -282,6 +281,22 @@ impl Trace {
                 buffer.flush();
             }
         });
+    }
+
+    /// Drains the journal: the calling thread's pending chunk is flushed
+    /// first, then every event flushed so far is taken (sorted by
+    /// timestamp) and the capacity budget is released for them.
+    ///
+    /// Events still buffered on *other* live threads appear in a later
+    /// drain (threads flush every [`FLUSH_CHUNK`] events, on
+    /// [`Trace::flush`], and when they exit); the workspace drains after
+    /// worker pools have joined, so a post-run drain is complete.
+    /// Disabled handles drain empty.
+    pub fn drain(&self) -> TraceLog {
+        let Some(shared) = &self.shared else {
+            return TraceLog::default();
+        };
+        self.flush();
         let mut events = std::mem::take(&mut *shared.sink.lock().expect("trace sink"));
         shared.admitted.fetch_sub(events.len(), Ordering::Relaxed);
         events.sort_by_key(|a| (a.ts_ns, a.tid));
@@ -436,6 +451,28 @@ mod tests {
         // this thread's live buffer.
         let log = trace.drain();
         assert_eq!(log.len(), FLUSH_CHUNK + 3);
+    }
+
+    #[test]
+    fn flush_publishes_a_live_threads_events_to_another_threads_drain() {
+        let trace = Trace::new();
+        let worker = trace.clone();
+        let (flushed_tx, flushed_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            worker.instant("from-worker", "test", []);
+            worker.flush();
+            flushed_tx.send(()).unwrap();
+            // Stay alive through the drain: visibility must come from the
+            // explicit flush, not from thread-exit teardown.
+            done_rx.recv().unwrap();
+        });
+        flushed_rx.recv().unwrap();
+        let log = trace.drain();
+        assert_eq!(log.len(), 1, "flushed event visible before thread exit");
+        assert_eq!(log.events[0].name, "from-worker");
+        done_tx.send(()).unwrap();
+        handle.join().unwrap();
     }
 
     #[test]
