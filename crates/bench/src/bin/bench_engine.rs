@@ -10,7 +10,10 @@
 //! drains at 1/2/4/8 workers) over the 18-scenario acceptance fleet,
 //! derives one JSON line per group from the `whart-obs` snapshot, and —
 //! with `--check` — fails (exit 1) when any group's serial-loop-
-//! normalized mean grew beyond the tolerance (default 0.25 = 25%).
+//! normalized mean grew beyond the tolerance (default 0.25 = 25%), or
+//! when a cold/warm group's scaling ratio against its own 1-worker mean
+//! did (multi-thread speedup collapsing is a regression even when every
+//! absolute mean still fits the tolerance).
 
 use std::process::ExitCode;
 use whart_bench::harness::{

@@ -204,12 +204,23 @@ fn parse_bench_lines(text: &str) -> Result<Vec<(String, f64)>, String> {
 /// Compares `current` bench lines against `baseline`, flagging groups
 /// whose mean grew by more than `tolerance` (0.25 = 25%).
 ///
-/// Means are first normalized by the same file's
-/// `engine_throughput/serial-loop` mean, so the gate compares the
-/// engine's *speedup over the serial loop on the same machine* — a
-/// faster or slower CI runner shifts both means together and cancels
-/// out. The serial-loop group itself is the calibration and is never
-/// flagged. Returns one message per regression; empty means pass.
+/// Two gates run over the same lines:
+///
+/// 1. **Per-group means**, normalized by the same file's
+///    `engine_throughput/serial-loop` mean, so the gate compares the
+///    engine's *speedup over the serial loop on the same machine* — a
+///    faster or slower CI runner shifts both means together and cancels
+///    out. The serial-loop group itself is the calibration and is never
+///    flagged.
+/// 2. **Per-thread-count scaling ratios**: within each `cold`/`warm`
+///    family, every multi-worker mean is divided by the same file's
+///    single-worker mean (`warm/8` vs `warm/1`, and so on). This
+///    isolates how much adding threads still pays off — a contention
+///    regression can leave every serial-normalized mean inside the
+///    tolerance while the 8-worker drain quietly collapses toward the
+///    1-worker time, and only the scaling ratio moves.
+///
+/// Returns one message per regression; empty means pass.
 ///
 /// # Errors
 ///
@@ -247,6 +258,41 @@ pub fn check_regression(
                 (ratio - 1.0) * 100.0,
                 tolerance * 100.0,
             ));
+        }
+    }
+    for family in ["cold", "warm"] {
+        let one = format!("engine_throughput/{family}/1");
+        let (Some(base_one), Some(cur_one)) = (find(&base, &one), find(&cur, &one)) else {
+            continue;
+        };
+        if base_one <= 0.0 || cur_one <= 0.0 {
+            continue;
+        }
+        let prefix = format!("engine_throughput/{family}/");
+        for (id, base_mean) in &base {
+            let Some(workers) = id.strip_prefix(&prefix) else {
+                continue;
+            };
+            if workers == "1" || *base_mean <= 0.0 {
+                continue;
+            }
+            // A group missing from the current run was already flagged
+            // by the per-group pass.
+            let Some(cur_mean) = find(&cur, id) else {
+                continue;
+            };
+            let base_scaling = base_mean / base_one;
+            let cur_scaling = cur_mean / cur_one;
+            let ratio = cur_scaling / base_scaling;
+            if ratio > 1.0 + tolerance {
+                failures.push(format!(
+                    "{id}: scaling ratio vs {family}/1 grew {:.1}% \
+                     (> {:.0}% tolerance; baseline {base_scaling:.3}x, \
+                     current {cur_scaling:.3}x of the {family}/1 mean)",
+                    (ratio - 1.0) * 100.0,
+                    tolerance * 100.0,
+                ));
+            }
         }
     }
     Ok(failures)
@@ -327,6 +373,41 @@ mod tests {
         // Malformed inputs are errors, not passes.
         assert!(check_regression("nonsense", baseline, 0.25).is_err());
         assert!(check_regression(missing, "{\"id\":\"x\"}", 0.25).is_err());
+    }
+
+    #[test]
+    fn scaling_ratio_gate_catches_contention_the_mean_gate_misses() {
+        let baseline = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/1\",\"mean_ns\":400.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/8\",\"mean_ns\":100.0,\"elements\":18}\n";
+        // warm/8 stays within the per-group tolerance (1.2x normalized)
+        // but warm/1 got faster, so the 8-thread speedup collapsed from
+        // 4.0x to 2.5x — only the scaling gate sees it.
+        let contended = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/1\",\"mean_ns\":300.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/8\",\"mean_ns\":120.0,\"elements\":18}\n";
+        let failures = check_regression(baseline, contended, 0.25).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("warm/8"), "{failures:?}");
+        assert!(failures[0].contains("scaling ratio"), "{failures:?}");
+        // Proportional slowdowns keep every ratio and stay green.
+        let uniform = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":3000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/1\",\"mean_ns\":1200.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/8\",\"mean_ns\":300.0,\"elements\":18}\n";
+        assert!(check_regression(baseline, uniform, 0.25)
+            .unwrap()
+            .is_empty());
+        // Without a single-worker anchor the scaling gate stands down
+        // instead of erroring out (the per-group gate still ran).
+        let no_anchor = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n\
+{\"id\":\"engine_throughput/warm/8\",\"mean_ns\":100.0,\"elements\":18}\n";
+        assert!(check_regression(no_anchor, no_anchor, 0.25)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

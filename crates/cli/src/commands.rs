@@ -526,6 +526,140 @@ pub fn sensitivity(spec: &NetworkSpec, step: f64) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options for `whart optimize`: topology generation, search and output
+/// destinations, bundled so the flag grammar stays in one place.
+pub struct OptimizeOptions {
+    /// Random mesh parameters (seed, size, degree/depth caps, link
+    /// quality range, slot slack).
+    pub generator: whart_opt::GeneratorConfig,
+    /// Objective and local-search round budget.
+    pub search: whart_opt::SearchConfig,
+    /// Engine worker threads evaluating candidates.
+    pub threads: usize,
+    /// Emit the report as JSON instead of the text tables.
+    pub json: bool,
+    /// Write the optimized network as an `analyze`/`batch`-compatible
+    /// spec to this path (`-` appends it to stdout).
+    pub emit_spec: Option<String>,
+    /// Metrics snapshot destination.
+    pub metrics_path: Option<String>,
+    /// Trace journal destination.
+    pub trace_path: Option<String>,
+}
+
+/// Runs `optimize`: generates a seeded random mesh, builds the greedy
+/// Eq. 12 routing tree and hill-climbs routes and schedule order through
+/// the memoizing engine. The optimized network can be re-emitted as a
+/// spec for `analyze`/`batch` what-if follow-ups.
+pub fn optimize(options: &OptimizeOptions) -> Result<String, String> {
+    let net = whart_opt::generate(&options.generator).map_err(|e| e.to_string())?;
+    let metrics = match options.metrics_path {
+        Some(_) => Metrics::new(),
+        None => Metrics::disabled(),
+    };
+    let trace = trace_for(options.trace_path.as_deref());
+    let mut engine = whart_engine::Engine::new(options.threads);
+    engine.set_metrics(metrics.clone());
+    engine.set_trace(trace.clone());
+    let result =
+        whart_opt::optimize(&mut engine, &net, &options.search).map_err(|e| e.to_string())?;
+
+    let mut appended = String::new();
+    if let Some(path) = &options.emit_spec {
+        let mut text = result.spec_json(&net).to_pretty();
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        appended.push_str(&write_or_passthrough(path, text, "spec")?);
+    }
+    if let Some(path) = &options.metrics_path {
+        appended.push_str(&write_metrics(path, &metrics)?);
+    }
+    if let Some(path) = &options.trace_path {
+        appended.push_str(&write_trace(path, &trace)?);
+    }
+    let mut out = if options.json {
+        let mut text = result.to_json().to_pretty();
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text
+    } else {
+        render_optimize(&net, &result)
+    };
+    out.push_str(&appended);
+    Ok(out)
+}
+
+fn render_optimize(net: &whart_opt::GeneratedNetwork, result: &whart_opt::Optimized) -> String {
+    let mut out = String::new();
+    let direction = if result.objective.higher_is_better() {
+        "maximize"
+    } else {
+        "minimize"
+    };
+    out.push_str(&format!(
+        "objective: {} ({direction}), seed {}\n",
+        result.objective.name(),
+        net.config.seed,
+    ));
+    out.push_str(&format!(
+        "network: {} devices, {} links, {} of {} uplink slots used\n",
+        net.config.nodes,
+        net.topology.link_count(),
+        result.total_hops,
+        result.uplink_slots,
+    ));
+    out.push_str(&format!(
+        "greedy {:.6} -> optimized {:.6} after {} round(s), {} candidates, {} accepted\n",
+        result.initial_objective,
+        result.final_objective,
+        result.rounds.len(),
+        result.candidates_evaluated,
+        result.accepted_moves,
+    ));
+    if let Some(ratio) = result.cache_hit_ratio {
+        out.push_str(&format!("path cache hit ratio {ratio:.3}\n"));
+    }
+    out.push_str("\nround  candidates  accepted  objective  cache hit\n");
+    for r in &result.rounds {
+        let hit = r
+            .cache_hit_ratio
+            .map_or("-".to_string(), |h| format!("{h:.3}"));
+        out.push_str(&format!(
+            "{:>5}  {:>10}  {:>8}  {:>9.6}  {:>9}\n",
+            r.round,
+            r.candidates,
+            if r.accepted { "yes" } else { "no" },
+            r.objective_value,
+            hit,
+        ));
+    }
+    out.push_str("\npath  hops  reachability  E[delay] ms  route\n");
+    for p in &result.paths {
+        let delay = p
+            .expected_delay_ms
+            .map_or("-".to_string(), |d| format!("{d:.1}"));
+        let route = p
+            .route
+            .iter()
+            .map(|&n| {
+                if n == 0 {
+                    "G".to_string()
+                } else {
+                    format!("n{n}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" - ");
+        out.push_str(&format!(
+            "{:>4}  {:>4}  {:>11.6}  {:>11}  {}\n",
+            p.device, p.hop_count, p.reachability, delay, route,
+        ));
+    }
+    out
+}
+
 /// Runs `example`: prints a ready-made spec.
 pub fn example(which: &str) -> Result<String, String> {
     match which {
@@ -690,6 +824,45 @@ mod tests {
         assert!(out.contains("repair priorities"), "{out}");
         // Ten links ranked.
         assert_eq!(out.lines().count(), 12, "{out}");
+    }
+
+    #[test]
+    fn optimize_spec_round_trips_and_agrees_with_the_model() {
+        let options = OptimizeOptions {
+            generator: whart_opt::GeneratorConfig {
+                seed: 5,
+                nodes: 12,
+                ..whart_opt::GeneratorConfig::default()
+            },
+            search: whart_opt::SearchConfig {
+                max_rounds: 4,
+                ..whart_opt::SearchConfig::default()
+            },
+            threads: 2,
+            json: true,
+            emit_spec: Some("-".into()),
+            metrics_path: None,
+            trace_path: None,
+        };
+        let out = optimize(&options).unwrap();
+        // Two pretty JSON documents: the report, then the emitted spec.
+        let split = out.find("\n{").expect("spec JSON after the report");
+        let report = Json::parse(&out[..split + 1]).unwrap();
+        let spec = NetworkSpec::from_json(&out[split..]).unwrap();
+        let model = spec.to_model().unwrap();
+        assert_eq!(model.paths().len(), 12);
+        // Re-analyzing the emitted spec reproduces the optimizer's own
+        // per-path reachability (steady links: slot placement does not
+        // change the cycle function).
+        let eval = model.evaluate().unwrap();
+        for (i, r) in eval.reports().iter().enumerate() {
+            let reported = report["paths"][i]["reachability"].as_f64().unwrap();
+            assert!(
+                (r.evaluation.reachability() - reported).abs() < 1e-12,
+                "path {i}: {} vs {reported}",
+                r.evaluation.reachability()
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! whart dot      <spec.json> --path <i>
 //! whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
 //! whart predict  <spec.json> --path <i> --snr <EbN0>
+//! whart optimize [--seed S] [--nodes N] [--objective reachability|delay] [--rounds R]
 //! whart example  <typical|section-v>
 //! ```
 
@@ -32,6 +33,7 @@ const USAGE: &str = "usage:
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
   whart sensitivity <spec.json> [--step <delta>]
+  whart optimize [--seed S] [--nodes N] [--degree D] [--depth H] [--extra-links E] [--availability LO:HI] [--recovery P] [--slack K] [--interval Is] [--objective reachability|delay] [--rounds R] [--threads N] [--json] [--emit-spec <spec.json>] [--metrics <out.json>] [--trace <out.json>]
   whart example  <typical|section-v>
 
 node 0 denotes the gateway; paths are listed source-first and may omit the
@@ -60,7 +62,14 @@ GET /v1/trace drains the journal, GET /healthz and /readyz probe
 liveness/readiness, POST /admin/shutdown (or Ctrl-C) drains in-flight
 work and writes the final --metrics/--trace artifacts before exit.
 --metrics-capacity bounds the engine's path/link cache entries;
---trace-capacity bounds the trace journal's retained events.";
+--trace-capacity bounds the trace journal's retained events.
+optimize needs no spec file: it generates a seeded random mesh
+(generalizing the paper's Fig. 12 network), builds the greedy Eq. 12
+uplink routing tree and hill-climbs routes and schedule order through
+the memoizing engine, maximizing composed reachability or minimizing
+E[delay] under the uplink slot budget. --emit-spec writes the optimized
+network in the same JSON the other commands consume ('-' appends it to
+stdout), so what-if results feed straight back into analyze/batch.";
 
 /// Binary entry point: parses argv, runs, prints.
 pub fn main_entry() -> ExitCode {
@@ -137,6 +146,60 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 },
             };
             serve_app::serve(options)
+        }
+        "optimize" => {
+            let metrics = flag_value(args, "--metrics")?;
+            let trace = flag_value(args, "--trace")?;
+            reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
+            let emit_spec = flag_value(args, "--emit-spec")?;
+            if emit_spec.as_deref() == Some("-")
+                && (metrics.as_deref() == Some("-") || trace.as_deref() == Some("-"))
+            {
+                return Err("--emit-spec - shares stdout with another JSON stream and \
+                     would interleave; give at least one of them a file path"
+                    .into());
+            }
+            let defaults = whart_opt::GeneratorConfig::default();
+            let availability = match flag_value(args, "--availability")? {
+                Some(v) => {
+                    let (lo, hi) = v
+                        .split_once(':')
+                        .ok_or("--availability expects LO:HI (e.g. 0.75:0.99)")?;
+                    (parse(lo, "--availability")?, parse(hi, "--availability")?)
+                }
+                None => defaults.availability,
+            };
+            let generator = whart_opt::GeneratorConfig {
+                seed: parse_or(args, "--seed", defaults.seed)?,
+                nodes: parse_or(args, "--nodes", defaults.nodes)?,
+                max_degree: parse_or(args, "--degree", defaults.max_degree)?,
+                max_depth: parse_or(args, "--depth", defaults.max_depth)?,
+                extra_links: parse_or(args, "--extra-links", defaults.extra_links)?,
+                availability,
+                recovery: parse_or(args, "--recovery", defaults.recovery)?,
+                slot_slack: parse_or(args, "--slack", defaults.slot_slack)?,
+                reporting_interval: parse_or(args, "--interval", defaults.reporting_interval)?,
+            };
+            let search_defaults = whart_opt::SearchConfig::default();
+            let objective = match flag_value(args, "--objective")? {
+                Some(name) => whart_opt::Objective::parse(&name).ok_or(format!(
+                    "unknown objective '{name}' (expected reachability or delay)"
+                ))?,
+                None => search_defaults.objective,
+            };
+            let search = whart_opt::SearchConfig {
+                objective,
+                max_rounds: parse_or(args, "--rounds", search_defaults.max_rounds)?,
+            };
+            commands::optimize(&commands::OptimizeOptions {
+                generator,
+                search,
+                threads: parse_or(args, "--threads", num_cpus())?,
+                json: has_flag(args, "--json"),
+                emit_spec,
+                metrics_path: metrics,
+                trace_path: trace,
+            })
         }
         "analyze" | "explain" | "dot" | "simulate" | "predict" | "sensitivity" => {
             let path = args.get(1).ok_or("missing spec file")?;
@@ -435,6 +498,43 @@ mod tests {
         assert!(out.contains("dominant loss hop"), "{out}");
         assert!(out.contains("delay decomposition"), "{out}");
         assert!(run(&s(&["explain", spec.to_str().unwrap(), "--path", "0"])).is_err());
+    }
+
+    #[test]
+    fn optimize_end_to_end_emits_a_reusable_spec() {
+        let dir = std::env::temp_dir().join("whart-cli-optimize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("optimized.json");
+        let base = [
+            "optimize",
+            "--seed",
+            "11",
+            "--nodes",
+            "12",
+            "--rounds",
+            "4",
+            "--threads",
+            "2",
+        ];
+        let mut with_spec: Vec<&str> = base.to_vec();
+        with_spec.extend(["--emit-spec", spec.to_str().unwrap()]);
+        let out = run(&s(&with_spec)).unwrap();
+        assert!(out.contains("objective: reachability"), "{out}");
+        assert!(out.contains("path cache hit ratio"), "{out}");
+        // The emitted spec feeds straight back into analyze.
+        let analyzed = run(&s(&["analyze", spec.to_str().unwrap()])).unwrap();
+        assert!(analyzed.contains("network utilization"), "{analyzed}");
+        // Determinism: the same seed reproduces the JSON report.
+        let mut json_args: Vec<&str> = base.to_vec();
+        json_args.push("--json");
+        let a = run(&s(&json_args)).unwrap();
+        let b = run(&s(&json_args)).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the report");
+        // Flag grammar rejections.
+        assert!(run(&s(&["optimize", "--objective", "magic"])).is_err());
+        assert!(run(&s(&["optimize", "--availability", "0.9"])).is_err());
+        assert!(run(&s(&["optimize", "--nodes", "0"])).is_err());
+        assert!(run(&s(&["optimize", "--emit-spec", "-", "--metrics", "-"])).is_err());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   the rendering (`format=json|text`, JSON being the service default).
 //! * `POST /v1/batch` — the `whart batch` pipeline: one compact JSON
 //!   line per scenario, `?stats=true` appends per-engine stats lines.
+//! * `POST /v1/optimize` — the `whart optimize` pipeline: a seeded
+//!   random mesh plus the Eq. 12 what-if route/schedule search, run
+//!   against the store's warm fast engine. Topology size and round
+//!   budget are capped server-side.
 //! * `GET /metrics` — Prometheus text exposition of the shared registry,
 //!   with engine cache-size and hit-ratio gauges plus request-latency
 //!   quantiles derived at scrape time.
@@ -249,6 +253,101 @@ fn batch_handler(app: &App, request: &Request) -> Result<Response, String> {
         .with_trace_arg("cache_hits", hits))
 }
 
+/// `POST /v1/optimize`: generates a seeded random mesh and runs the
+/// what-if route/schedule search against the store's warm fast engine.
+/// The JSON body selects the generator and search parameters, all
+/// optional: `seed`, `nodes`, `degree`, `depth`, `extra_links`,
+/// `availability` (a `[lo, hi]` pair), `recovery`, `slack`, `interval`,
+/// `objective` (`"reachability"` or `"delay"`) and `rounds`. The knobs
+/// that drive search cost are capped server-side so one request cannot
+/// monopolize the service; `?spec=true` wraps the report together with
+/// the optimized network's `analyze`/`batch`-compatible spec.
+fn optimize_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let body = request.body_text()?;
+    let value = if body.trim().is_empty() {
+        whart_json::Json::object([] as [(&str, whart_json::Json); 0])
+    } else {
+        whart_json::Json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?
+    };
+    let uint = |key: &str, default: u64, max: u64| -> Result<u64, String> {
+        match &value[key] {
+            whart_json::Json::Null => Ok(default),
+            v => {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer"))?;
+                if n > max {
+                    return Err(format!("'{key}' is capped at {max} for the service"));
+                }
+                Ok(n)
+            }
+        }
+    };
+    let float = |key: &str, default: f64| -> Result<f64, String> {
+        match &value[key] {
+            whart_json::Json::Null => Ok(default),
+            v => v
+                .as_f64()
+                .ok_or_else(|| format!("'{key}' must be a number")),
+        }
+    };
+    let g = whart_opt::GeneratorConfig::default();
+    let s = whart_opt::SearchConfig::default();
+    let availability = match &value["availability"] {
+        whart_json::Json::Null => Ok(g.availability),
+        whart_json::Json::Array(pair) if pair.len() == 2 => {
+            match (pair[0].as_f64(), pair[1].as_f64()) {
+                (Some(lo), Some(hi)) => Ok((lo, hi)),
+                _ => Err("'availability' must be a [lo, hi] number pair".to_string()),
+            }
+        }
+        _ => Err("'availability' must be a [lo, hi] number pair".to_string()),
+    }?;
+    let objective = match &value["objective"] {
+        whart_json::Json::Null => s.objective,
+        v => {
+            let name = v.as_str().ok_or("'objective' must be a string")?;
+            whart_opt::Objective::parse(name).ok_or_else(|| {
+                format!("unknown objective '{name}' (expected reachability or delay)")
+            })?
+        }
+    };
+    let generator = whart_opt::GeneratorConfig {
+        seed: uint("seed", g.seed, u64::MAX)?,
+        nodes: uint("nodes", g.nodes.into(), 64)? as u32,
+        max_degree: uint("degree", g.max_degree as u64, 64)? as usize,
+        max_depth: uint("depth", g.max_depth as u64, 64)? as usize,
+        extra_links: uint("extra_links", g.extra_links.into(), 256)? as u32,
+        availability,
+        recovery: float("recovery", g.recovery)?,
+        slot_slack: uint("slack", g.slot_slack.into(), 1024)? as u32,
+        reporting_interval: uint("interval", g.reporting_interval.into(), 32)? as u32,
+    };
+    let search = whart_opt::SearchConfig {
+        objective,
+        max_rounds: uint("rounds", s.max_rounds as u64, 16)? as usize,
+    };
+    let net = whart_opt::generate(&generator).map_err(|e| e.to_string())?;
+    let mut store = app.store()?;
+    let slot = store.slot(Backend::Fast);
+    let result = whart_opt::optimize(&mut store.engines[slot].1, &net, &search)
+        .map_err(|e| e.to_string())?;
+    drop(store);
+    let candidates = result.candidates_evaluated;
+    let with_spec = matches!(request.query_param("spec"), Some("true") | Some("1"));
+    let payload = if with_spec {
+        whart_json::Json::object([
+            ("report", result.to_json()),
+            ("spec", result.spec_json(&net)),
+        ])
+    } else {
+        result.to_json()
+    };
+    let mut text = payload.to_pretty();
+    text.push('\n');
+    Ok(Response::json(200, text).with_trace_arg("candidates", candidates))
+}
+
 /// `GET /v1/trace`: drains the shared journal.
 fn trace_handler(app: &App, request: &Request) -> Result<Response, String> {
     let log = app.trace.drain();
@@ -328,6 +427,7 @@ fn wrap(result: Result<Response, String>) -> Response {
 fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
     let analyze_app = Arc::clone(app);
     let batch_app = Arc::clone(app);
+    let optimize_app = Arc::clone(app);
     let trace_app = Arc::clone(app);
     let metrics_app = Arc::clone(app);
     Router::new()
@@ -336,6 +436,9 @@ fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
         })
         .route("POST", "/v1/batch", move |req| {
             wrap(batch_handler(&batch_app, req))
+        })
+        .route("POST", "/v1/optimize", move |req| {
+            wrap(optimize_handler(&optimize_app, req))
         })
         .route("GET", "/v1/trace", move |req| {
             wrap(trace_handler(&trace_app, req))

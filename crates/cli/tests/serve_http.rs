@@ -262,6 +262,44 @@ fn batch_runs_against_the_persistent_engines() {
 }
 
 #[test]
+fn optimize_runs_against_the_persistent_engine() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let body = r#"{"seed": 11, "nodes": 12, "rounds": 3}"#;
+    let (status, report) = http(&serve.addr, "POST", "/v1/optimize", body);
+    assert_eq!(status, 200, "{report}");
+    let value = whart_json::Json::parse(&report).expect("report parses");
+    assert_eq!(value["objective"].as_str(), Some("reachability"));
+    let initial = value["initial_objective"].as_f64().unwrap();
+    let optimized = value["final_objective"].as_f64().unwrap();
+    assert!(optimized + 1e-12 >= initial, "{report}");
+
+    // The same seed answers with the same objective from the warm
+    // engine, and ?spec=true wraps report and emitted spec together.
+    let (status, wrapped) = http(&serve.addr, "POST", "/v1/optimize?spec=true", body);
+    assert_eq!(status, 200);
+    let value = whart_json::Json::parse(&wrapped).unwrap();
+    assert_eq!(value["report"]["final_objective"].as_f64(), Some(optimized));
+    // The embedded spec is a valid analyze input.
+    let spec_text = value["spec"].to_pretty();
+    let (status, analyzed) = http(&serve.addr, "POST", "/v1/analyze", &spec_text);
+    assert_eq!(status, 200, "{analyzed}");
+    assert!(analyzed.contains("reachability"), "{analyzed}");
+
+    // Server-side caps and bad parameters answer 400.
+    let (status, body) = http(&serve.addr, "POST", "/v1/optimize", r#"{"nodes": 500}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("capped"), "{body}");
+    let (status, _) = http(
+        &serve.addr,
+        "POST",
+        "/v1/optimize",
+        r#"{"objective": "magic"}"#,
+    );
+    assert_eq!(status, 400);
+}
+
+#[test]
 fn error_paths_answer_with_client_errors() {
     let serve = spawn_serve(&[]);
     let (status, _) = http(&serve.addr, "GET", "/healthz", "");

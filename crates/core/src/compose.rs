@@ -11,7 +11,7 @@ use crate::error::{ModelError, Result};
 use crate::path::PathEvaluation;
 use whart_channel::LinkModel;
 use whart_dtmc::Pmf;
-use whart_net::ReportingInterval;
+use whart_net::{ReportingInterval, Superframe};
 
 /// Composes two cycle probability functions (Eq. 12), truncating to the
 /// reporting interval: a message that needs `i` extra cycles on the peer
@@ -84,6 +84,66 @@ pub fn prediction_to_evaluation(
         existing.superframe(),
         existing.interval(),
     )
+}
+
+/// Builds a full [`PathEvaluation`] from an Eq. 12 composed cycle
+/// probability function and an explicit schedule placement.
+///
+/// For steady links served in increasing slot order within one frame, a
+/// path's cycle probability function depends only on its link chain, not
+/// on where the schedule places the hops — but the delay measures do
+/// depend on the arrival slot. This helper lets a caller evaluate (or
+/// compose) the cycle function once at canonical slots and then re-attach
+/// the real arrival slot of a candidate schedule, which is how the
+/// what-if optimizer prices schedule moves without re-solving the DTMC.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Inconsistent`] if the cycle function is empty or
+/// longer than the reporting interval, if `hop_count` is zero, or if
+/// `arrival_slot_number` lies outside the super-frame's uplink half
+/// (`1..=F_up`).
+pub fn evaluation_at_slot(
+    cycle_probabilities: Pmf,
+    arrival_slot_number: u32,
+    hop_count: usize,
+    superframe: Superframe,
+    interval: ReportingInterval,
+) -> Result<PathEvaluation> {
+    if cycle_probabilities.is_empty() {
+        return Err(ModelError::Inconsistent {
+            reason: "composed cycle probability function is empty".into(),
+        });
+    }
+    if cycle_probabilities.len() > interval.cycles() as usize {
+        return Err(ModelError::Inconsistent {
+            reason: format!(
+                "cycle function has {} entries but the reporting interval only spans {} cycles",
+                cycle_probabilities.len(),
+                interval.cycles()
+            ),
+        });
+    }
+    if hop_count == 0 {
+        return Err(ModelError::Inconsistent {
+            reason: "composed path needs at least one hop".into(),
+        });
+    }
+    if !(1..=superframe.uplink_slots()).contains(&arrival_slot_number) {
+        return Err(ModelError::Inconsistent {
+            reason: format!(
+                "arrival slot {arrival_slot_number} outside the uplink half 1..={}",
+                superframe.uplink_slots()
+            ),
+        });
+    }
+    Ok(PathEvaluation::from_parts(
+        cycle_probabilities,
+        arrival_slot_number,
+        hop_count,
+        superframe,
+        interval,
+    ))
 }
 
 /// Ranks candidate attachments the way Section VI-E decides between paths
@@ -250,5 +310,51 @@ mod tests {
     fn empty_peer_rejected() {
         let ex = existing(1, 0.83);
         assert!(predict_composition(&Pmf::default(), 1, &ex).is_err());
+    }
+
+    #[test]
+    fn evaluation_at_slot_round_trips_and_shifts_delay() {
+        use crate::measures::DelayConvention;
+        let full = existing(3, 0.83);
+        let same = evaluation_at_slot(
+            full.cycle_probabilities().clone(),
+            full.arrival_slot_number(),
+            full.hop_count(),
+            full.superframe(),
+            full.interval(),
+        )
+        .unwrap();
+        assert!((same.reachability() - full.reachability()).abs() < 1e-15);
+        let d_full = full.expected_delay_ms(DelayConvention::Absolute).unwrap();
+        let d_same = same.expected_delay_ms(DelayConvention::Absolute).unwrap();
+        assert!((d_full - d_same).abs() < 1e-12);
+
+        // Re-attaching the same cycle function two slots later adds
+        // exactly two slot times to the conditional expected delay.
+        let shifted = evaluation_at_slot(
+            full.cycle_probabilities().clone(),
+            full.arrival_slot_number() + 2,
+            full.hop_count(),
+            full.superframe(),
+            full.interval(),
+        )
+        .unwrap();
+        let d_shift = shifted
+            .expected_delay_ms(DelayConvention::Absolute)
+            .unwrap();
+        assert!((d_shift - d_same - 2.0 * f64::from(whart_net::SLOT_MS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_at_slot_rejects_bad_inputs() {
+        let frame = Superframe::symmetric(20).unwrap();
+        let interval = ReportingInterval::REGULAR;
+        let pmf = Pmf::geometric(0.75, interval.cycles() as usize).unwrap();
+        assert!(evaluation_at_slot(Pmf::default(), 1, 1, frame, interval).is_err());
+        assert!(evaluation_at_slot(pmf.clone(), 0, 1, frame, interval).is_err());
+        assert!(evaluation_at_slot(pmf.clone(), 21, 1, frame, interval).is_err());
+        assert!(evaluation_at_slot(pmf.clone(), 1, 0, frame, interval).is_err());
+        let long = Pmf::geometric(0.5, interval.cycles() as usize + 1).unwrap();
+        assert!(evaluation_at_slot(long, 1, 1, frame, interval).is_err());
     }
 }

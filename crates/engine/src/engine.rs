@@ -67,6 +67,27 @@ impl EngineStats {
     pub fn total_wall(&self) -> Duration {
         self.plan_wall + self.execute_wall + self.assemble_wall
     }
+
+    /// Fraction of path solves answered from the path cache, or `None`
+    /// when no path lookups have happened yet — callers reporting the
+    /// ratio must not manufacture a `NaN` from a cold engine.
+    pub fn path_cache_hit_ratio(&self) -> Option<f64> {
+        let total = self.path_cache_hits + self.path_cache_misses;
+        if total == 0 {
+            return None;
+        }
+        Some(self.path_cache_hits as f64 / total as f64)
+    }
+
+    /// Fraction of link derivations answered from the link cache, or
+    /// `None` when no link lookups have happened yet.
+    pub fn link_cache_hit_ratio(&self) -> Option<f64> {
+        let total = self.link_cache_hits + self.link_cache_misses;
+        if total == 0 {
+            return None;
+        }
+        Some(self.link_cache_hits as f64 / total as f64)
+    }
 }
 
 /// A parallel, memoizing batch evaluator for scenario fleets.
@@ -532,6 +553,20 @@ mod tests {
         assert_eq!(stats.paths_evaluated, 1, "warm drain reuses the cache");
         assert_eq!(stats.path_cache_hits, 1);
         assert_eq!(engine.cached_paths(), 1);
+    }
+
+    #[test]
+    fn hit_ratios_are_none_until_lookups_happen() {
+        let mut engine = Engine::new(1);
+        assert_eq!(engine.stats().path_cache_hit_ratio(), None);
+        assert_eq!(engine.stats().link_cache_hit_ratio(), None);
+        let model = chain_model(2, 0.83, ReportingInterval::REGULAR).unwrap();
+        engine.submit(Scenario::paths("cold", vec![model.clone()]));
+        engine.drain().unwrap();
+        engine.submit(Scenario::paths("warm", vec![model]));
+        engine.drain().unwrap();
+        let ratio = engine.stats().path_cache_hit_ratio().unwrap();
+        assert!((ratio - 0.5).abs() < 1e-12, "one hit, one miss: {ratio}");
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //!
 //! Ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 fig13 fig14 fig15 fig16
 //! table2 fig17 table3 table3-ablation fig18 fig19 table4 sim-validation
-//! control-loop
+//! control-loop interference floorplan optimizer
 
 mod engine_support;
 mod extensions;
 mod fast_control;
 mod network;
+mod optimizer;
 mod prediction;
 mod report;
 mod robustness;
@@ -47,6 +48,7 @@ const ALL_IDS: &[&str] = &[
     "control-loop",
     "interference",
     "floorplan",
+    "optimizer",
 ];
 
 fn run_experiment(id: &str, sim_intervals: u64) -> Option<ExperimentReport> {
@@ -74,6 +76,7 @@ fn run_experiment(id: &str, sim_intervals: u64) -> Option<ExperimentReport> {
         "control-loop" => validation::control_loop(),
         "interference" => extensions::interference(sim_intervals.min(20_000)),
         "floorplan" => extensions::floorplan(),
+        "optimizer" => optimizer::optimizer(),
         _ => return None,
     })
 }

@@ -1,0 +1,86 @@
+//! Optimizer study (extension): the what-if route/schedule search on a
+//! ~30-node random mesh — objective trajectory and path-cache hit ratio
+//! per local-search round, plus determinism and slot-budget checks.
+
+use crate::report::{series, Check, ExperimentReport};
+use whart_engine::Engine;
+use whart_opt::{generate, optimize, GeneratorConfig, Objective, SearchConfig};
+
+fn run_search() -> (whart_opt::GeneratedNetwork, whart_opt::Optimized) {
+    let net = generate(&GeneratorConfig {
+        seed: 42,
+        nodes: 30,
+        max_degree: 5,
+        extra_links: 12,
+        availability: (0.75, 0.99),
+        ..GeneratorConfig::default()
+    })
+    .expect("valid generator config");
+    let mut engine = Engine::new(2);
+    let result = optimize(
+        &mut engine,
+        &net,
+        &SearchConfig {
+            objective: Objective::MaxReachability,
+            max_rounds: 6,
+        },
+    )
+    .expect("search runs");
+    (net, result)
+}
+
+/// The `optimizer` experiment: objective value and cumulative cache hit
+/// ratio per round of the Eq. 12-guided local search.
+pub fn optimizer() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "optimizer",
+        "What-if route/schedule search on a 30-node mesh (extension)",
+    );
+    let (net, result) = run_search();
+    report.line(format!(
+        "{} devices, {} links, {} of {} uplink slots used, {} candidates over {} round(s)",
+        net.config.nodes,
+        net.topology.link_count(),
+        result.total_hops,
+        result.uplink_slots,
+        result.candidates_evaluated,
+        result.rounds.len(),
+    ));
+    report.line(series(
+        "mean reachability per round (round 0 = greedy tree)",
+        std::iter::once(result.initial_objective)
+            .chain(result.rounds.iter().map(|r| r.objective_value)),
+    ));
+    report.line(series(
+        "cumulative path-cache hit ratio per round",
+        result
+            .rounds
+            .iter()
+            .map(|r| r.cache_hit_ratio.unwrap_or(0.0)),
+    ));
+    report.check(Check::new(
+        "search improves or ties the greedy tree",
+        1.0,
+        f64::from(u8::from(result.improved_or_tied())),
+        0.0,
+    ));
+    report.check(Check::new(
+        "optimized tree respects the slot budget",
+        1.0,
+        f64::from(u8::from(result.total_hops <= result.uplink_slots as usize)),
+        0.0,
+    ));
+    let ratio = result.cache_hit_ratio.unwrap_or(0.0);
+    report.check(
+        Check::new("path cache stays hot across candidates", 1.0, ratio, 0.2)
+            .with_note("unchanged routes answer from memo; ratio must exceed 0.8"),
+    );
+    let (_, again) = run_search();
+    report.check(Check::new(
+        "same seed reproduces the final objective",
+        result.final_objective,
+        again.final_objective,
+        0.0,
+    ));
+    report
+}

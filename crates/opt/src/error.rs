@@ -1,0 +1,89 @@
+//! Error type of the generator and optimizer.
+
+use std::fmt;
+use whart_channel::ChannelError;
+use whart_model::ModelError;
+use whart_net::NetError;
+
+/// Everything that can go wrong while generating a topology or searching
+/// over routing trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// A generator or search parameter is out of range.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// The topology and slot budget admit no feasible routing tree.
+    Infeasible {
+        /// Why no candidate satisfies the constraints.
+        reason: String,
+    },
+    /// A model-layer failure while building or evaluating a candidate.
+    Model(ModelError),
+    /// A network-layer failure while assembling the topology.
+    Net(NetError),
+    /// A channel-layer failure while deriving a link model.
+    Channel(ChannelError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            OptError::Infeasible { reason } => write!(f, "infeasible search: {reason}"),
+            OptError::Model(e) => write!(f, "model error: {e}"),
+            OptError::Net(e) => write!(f, "network error: {e}"),
+            OptError::Channel(e) => write!(f, "channel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Model(e) => Some(e),
+            OptError::Net(e) => Some(e),
+            OptError::Channel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChannelError> for OptError {
+    fn from(e: ChannelError) -> OptError {
+        OptError::Channel(e)
+    }
+}
+
+impl From<ModelError> for OptError {
+    fn from(e: ModelError) -> OptError {
+        OptError::Model(e)
+    }
+}
+
+impl From<NetError> for OptError {
+    fn from(e: NetError) -> OptError {
+        OptError::Net(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T, E = OptError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = OptError::InvalidConfig {
+            reason: "zero nodes".into(),
+        };
+        assert!(e.to_string().contains("zero nodes"));
+        let e = OptError::Infeasible {
+            reason: "budget".into(),
+        };
+        assert!(e.to_string().contains("budget"));
+    }
+}
