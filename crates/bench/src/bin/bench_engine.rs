@@ -8,12 +8,14 @@
 //!
 //! Runs the engine-throughput groups (serial loop, cold and warm engine
 //! drains at 1/2/4/8 workers) over the 18-scenario acceptance fleet,
-//! derives one JSON line per group from the `whart-obs` snapshot, and —
-//! with `--check` — fails (exit 1) when any group's serial-loop-
-//! normalized mean grew beyond the tolerance (default 0.25 = 25%), or
-//! when a cold/warm group's scaling ratio against its own 1-worker mean
-//! did (multi-thread speedup collapsing is a regression even when every
-//! absolute mean still fits the tolerance).
+//! derives one JSON line per group plus the first-class scaling-ratio
+//! rows (`scale/cold/N` vs the serial loop, `scale/warm/N` vs `warm/1`)
+//! from the `whart-obs` snapshot, and — with `--check` — fails (exit 1)
+//! when any group's serial-loop-normalized mean grew beyond the
+//! tolerance (default 0.25 = 25%), when a scaling ratio drifted beyond
+//! it, or when any scale row in the fresh run exceeds the hard 1.25
+//! ceiling (the parallel path losing outright to the code it replaces
+//! is a regression no baseline can excuse).
 
 use std::process::ExitCode;
 use whart_bench::harness::{

@@ -14,6 +14,7 @@
 //! * `warm/{workers}` — a pre-warmed engine (pure cache traffic).
 
 use std::hint::black_box;
+use std::sync::Arc;
 use whart_channel::LinkModel;
 use whart_engine::{Engine, MeasureSet, Scenario};
 use whart_json::Json;
@@ -42,6 +43,12 @@ pub const GROUPS: [&str; 9] = [
 /// Histogram-name prefix the harness records under.
 const PREFIX: &str = "bench.engine_throughput/";
 
+/// Hard ceiling on every first-class scale row, checked against the
+/// current run alone (no baseline involved): a ratio above this means
+/// the parallel execution path is slower than its denominator by more
+/// than measurement noise allows.
+pub const SCALE_CEILING: f64 = 1.25;
+
 /// Iteration counts for one harness run.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchConfig {
@@ -52,39 +59,46 @@ pub struct BenchConfig {
 }
 
 impl BenchConfig {
-    /// The default full run.
+    /// The default full run. One fleet iteration is a few hundred
+    /// microseconds, so iterations are cheap — and the scaling-ratio
+    /// gates divide two measured means, which doubles their noise: a
+    /// single scheduler preemption inside a 5-iteration mean can swing
+    /// a ratio past the hard ceiling on an otherwise healthy build.
     pub fn full() -> BenchConfig {
         BenchConfig {
-            iterations: 20,
-            warmup: 3,
+            iterations: 100,
+            warmup: 10,
         }
     }
 
-    /// The CI smoke run (`--short`): enough iterations for a stable
-    /// mean, small enough to stay in the seconds range.
+    /// The CI smoke run (`--short`): enough iterations for ratio-stable
+    /// means (see [`BenchConfig::full`]), small enough to stay well
+    /// under a second.
     pub fn short() -> BenchConfig {
         BenchConfig {
-            iterations: 5,
-            warmup: 1,
+            iterations: 30,
+            warmup: 3,
         }
     }
 }
 
-/// The acceptance fleet: 18 scenarios, 180 path DTMCs.
-pub fn engine_fleet() -> Vec<NetworkModel> {
+/// The acceptance fleet: 18 scenarios, 180 path DTMCs. Models come
+/// wrapped in [`Arc`] so every submission bumps a reference count
+/// instead of deep-copying the topology.
+pub fn engine_fleet() -> Vec<Arc<NetworkModel>> {
     let mut models = Vec::new();
     for &pi in &AVAILABILITIES {
         for &is in &INTERVALS {
             let link = LinkModel::from_availability(pi, 0.9).expect("valid");
             let net = TypicalNetwork::new(link);
-            models.push(
+            models.push(Arc::new(
                 NetworkModel::from_typical(
                     &net,
                     net.schedule_eta_a(),
                     ReportingInterval::new(is).expect("valid"),
                 )
                 .expect("valid"),
-            );
+            ));
         }
     }
     models
@@ -103,61 +117,89 @@ pub fn evaluation_only() -> MeasureSet {
     }
 }
 
-/// Submits every fleet model as an evaluation-only scenario.
-pub fn submit_fleet(engine: &mut Engine, models: &[NetworkModel]) {
+/// Submits every fleet model as an evaluation-only scenario (a cheap
+/// `Arc` clone per submission).
+pub fn submit_fleet(engine: &mut Engine, models: &[Arc<NetworkModel>]) {
     for (i, model) in models.iter().enumerate() {
         engine.submit(
-            Scenario::network(format!("s{i}"), model.clone()).with_measures(evaluation_only()),
+            Scenario::network(format!("s{i}"), Arc::clone(model)).with_measures(evaluation_only()),
         );
     }
 }
 
-fn measure<F: FnMut()>(metrics: &Metrics, group: &str, config: BenchConfig, mut iteration: F) {
-    for _ in 0..config.warmup {
-        iteration();
-    }
-    let hist = metrics.histogram(&format!("{PREFIX}{group}"));
-    for _ in 0..config.iterations {
-        let span = hist.start();
-        iteration();
-        span.stop();
-    }
+fn time_one<F: FnOnce()>(metrics: &Metrics, group: &str, iteration: F) {
+    let span = metrics.histogram(&format!("{PREFIX}{group}")).start();
+    iteration();
+    span.stop();
 }
 
 /// Runs every group over `models`, returning the registry snapshot the
 /// `BENCH_engine.json` lines are derived from.
-pub fn run_engine_throughput(config: BenchConfig, models: &[NetworkModel]) -> MetricsSnapshot {
+///
+/// Groups are timed **round-robin**: iteration `k` of every group runs
+/// back-to-back before iteration `k+1` of any. The scale rows divide
+/// one group's mean by another's, so slow machine-level drift across
+/// the run (thermal throttling, a backup job starting) would otherwise
+/// land entirely on whichever group happened to run last and surface
+/// as a phantom scaling regression. Interleaving spreads that drift
+/// evenly over all the groups a ratio relates.
+pub fn run_engine_throughput(config: BenchConfig, models: &[Arc<NetworkModel>]) -> MetricsSnapshot {
     let metrics = Metrics::new();
 
-    measure(&metrics, "serial-loop", config, || {
+    let serial = || {
         for model in models {
             black_box(black_box(model).evaluate().expect("valid"));
         }
-    });
-
-    for workers in WORKER_COUNTS {
-        measure(&metrics, &format!("cold/{workers}"), config, || {
-            let mut engine = Engine::new(workers);
-            submit_fleet(&mut engine, models);
-            black_box(engine.drain().expect("valid"));
-        });
-    }
-
-    for workers in WORKER_COUNTS {
+    };
+    let cold = |workers: usize| {
         let mut engine = Engine::new(workers);
         submit_fleet(&mut engine, models);
-        engine.drain().expect("valid");
-        measure(&metrics, &format!("warm/{workers}"), config, || {
+        black_box(engine.drain().expect("valid"));
+    };
+
+    for _ in 0..config.warmup {
+        serial();
+        for workers in WORKER_COUNTS {
+            cold(workers);
+        }
+    }
+    for _ in 0..config.iterations {
+        time_one(&metrics, "serial-loop", serial);
+        for workers in WORKER_COUNTS {
+            time_one(&metrics, &format!("cold/{workers}"), || cold(workers));
+        }
+    }
+
+    let mut engines: Vec<(usize, Engine)> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut engine = Engine::new(workers);
             submit_fleet(&mut engine, models);
-            black_box(engine.drain().expect("valid"));
-        });
+            engine.drain().expect("valid");
+            (workers, engine)
+        })
+        .collect();
+    let warm = |engine: &mut Engine| {
+        submit_fleet(engine, models);
+        black_box(engine.drain().expect("valid"));
+    };
+    for _ in 0..config.warmup {
+        for (_, engine) in &mut engines {
+            warm(engine);
+        }
+    }
+    for _ in 0..config.iterations {
+        for (workers, engine) in &mut engines {
+            time_one(&metrics, &format!("warm/{workers}"), || warm(engine));
+        }
     }
 
     metrics.snapshot()
 }
 
 /// Renders the snapshot's harness histograms as `BENCH_engine.json`
-/// lines (one compact JSON object per group, in [`GROUPS`] order).
+/// lines: one compact JSON object per group, in [`GROUPS`] order,
+/// followed by the first-class scaling-ratio rows (see `scale_rows`).
 pub fn bench_lines(snapshot: &MetricsSnapshot, elements: u64) -> String {
     let mut out = String::new();
     for group in GROUPS {
@@ -179,11 +221,77 @@ pub fn bench_lines(snapshot: &MetricsSnapshot, elements: u64) -> String {
         out.push_str(&line.to_compact());
         out.push('\n');
     }
+    for (id, ratio, of) in scale_rows(snapshot) {
+        let line = Json::object([
+            ("id", Json::from(id)),
+            ("ratio", Json::from((ratio * 10_000.0).round() / 10_000.0)),
+            ("of", Json::from(of)),
+        ]);
+        out.push_str(&line.to_compact());
+        out.push('\n');
+    }
     out
 }
 
-fn parse_bench_lines(text: &str) -> Result<Vec<(String, f64)>, String> {
-    let mut entries = Vec::new();
+/// The per-thread-count scaling ratios as first-class rows:
+///
+/// * `scale/cold/{N}` — the cold N-worker drain over the serial loop.
+///   Below 1.0 the engine beats evaluating the fleet serially; the
+///   committed baseline pins that headroom per worker count.
+/// * `scale/warm/{N}` — the warm N-worker drain over `warm/1` (pure
+///   cache traffic, so this isolates pool + shard contention with zero
+///   solve work to hide it).
+///
+/// Ratios divide the groups' **minimum** iteration times, not their
+/// means: preemption and scheduler noise only ever add time, so the
+/// minimum over the iterations is the repeatable cost of the work
+/// itself. A mean-based ratio of two ~100µs drains can swing 2x from
+/// one multi-millisecond preemption; the min-based ratio holds steady
+/// on a loaded machine.
+///
+/// Returns `(id, ratio, denominator)` triples in emission order.
+fn scale_rows(snapshot: &MetricsSnapshot) -> Vec<(String, f64, &'static str)> {
+    let best = |group: &str| {
+        snapshot
+            .histogram(&format!("{PREFIX}{group}"))
+            .map(|h| h.min as f64)
+            .filter(|m| *m > 0.0)
+    };
+    let mut rows = Vec::new();
+    if let Some(serial) = best("serial-loop") {
+        for workers in WORKER_COUNTS {
+            if let Some(cold) = best(&format!("cold/{workers}")) {
+                rows.push((
+                    format!("engine_throughput/scale/cold/{workers}"),
+                    cold / serial,
+                    "serial-loop",
+                ));
+            }
+        }
+    }
+    if let Some(warm_one) = best("warm/1") {
+        for workers in WORKER_COUNTS {
+            if workers == 1 {
+                continue;
+            }
+            if let Some(warm) = best(&format!("warm/{workers}")) {
+                rows.push((
+                    format!("engine_throughput/scale/warm/{workers}"),
+                    warm / warm_one,
+                    "warm/1",
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Parsed `BENCH_engine.json`: `(mean rows, scale-ratio rows)`.
+type BenchRows = (Vec<(String, f64)>, Vec<(String, f64)>);
+
+fn parse_bench_lines(text: &str) -> Result<BenchRows, String> {
+    let mut means = Vec::new();
+    let mut scales = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -193,12 +301,19 @@ fn parse_bench_lines(text: &str) -> Result<Vec<(String, f64)>, String> {
             .as_str()
             .ok_or_else(|| format!("bench line {}: missing 'id'", i + 1))?
             .to_string();
-        let mean = value["mean_ns"]
-            .as_f64()
-            .ok_or_else(|| format!("bench line {}: missing 'mean_ns'", i + 1))?;
-        entries.push((id, mean));
+        if id.contains("/scale/") {
+            let ratio = value["ratio"]
+                .as_f64()
+                .ok_or_else(|| format!("bench line {}: scale row missing 'ratio'", i + 1))?;
+            scales.push((id, ratio));
+        } else {
+            let mean = value["mean_ns"]
+                .as_f64()
+                .ok_or_else(|| format!("bench line {}: missing 'mean_ns'", i + 1))?;
+            means.push((id, mean));
+        }
     }
-    Ok(entries)
+    Ok((means, scales))
 }
 
 /// Compares `current` bench lines against `baseline`, flagging groups
@@ -220,6 +335,16 @@ fn parse_bench_lines(text: &str) -> Result<Vec<(String, f64)>, String> {
 ///    tolerance while the 8-worker drain quietly collapses toward the
 ///    1-worker time, and only the scaling ratio moves.
 ///
+/// 3. **First-class scale rows** (`scale/cold/N`, `scale/warm/N`): the
+///    current run's ratios must stay under a hard ceiling of
+///    [`SCALE_CEILING`] regardless of the baseline — a cold engine
+///    drain that costs more than 1.25x the serial loop, or a warm
+///    N-worker drain more than 1.25x the warm 1-worker drain, means
+///    the parallel path is actively losing to the code it replaces.
+///    When the baseline carries scale rows too, each one additionally
+///    gates drift at `tolerance`, and a scale row missing from the
+///    current run is a failure.
+///
 /// Returns one message per regression; empty means pass.
 ///
 /// # Errors
@@ -231,8 +356,8 @@ pub fn check_regression(
     tolerance: f64,
 ) -> Result<Vec<String>, String> {
     let serial = "engine_throughput/serial-loop";
-    let base = parse_bench_lines(baseline)?;
-    let cur = parse_bench_lines(current)?;
+    let (base, base_scales) = parse_bench_lines(baseline)?;
+    let (cur, cur_scales) = parse_bench_lines(current)?;
     let find = |entries: &[(String, f64)], id: &str| {
         entries.iter().find(|(e, _)| e == id).map(|(_, m)| *m)
     };
@@ -295,6 +420,32 @@ pub fn check_regression(
             }
         }
     }
+    for (id, ratio) in &cur_scales {
+        if *ratio > SCALE_CEILING {
+            failures.push(format!(
+                "{id}: ratio {ratio:.3} exceeds the hard ceiling {SCALE_CEILING} \
+                 (the parallel path must not lose to its denominator)"
+            ));
+        }
+    }
+    for (id, base_ratio) in &base_scales {
+        if *base_ratio <= 0.0 {
+            continue;
+        }
+        let Some((_, cur_ratio)) = cur_scales.iter().find(|(c, _)| c == id) else {
+            failures.push(format!("{id}: scale row missing from the current run"));
+            continue;
+        };
+        let drift = cur_ratio / base_ratio;
+        if drift > 1.0 + tolerance {
+            failures.push(format!(
+                "{id}: scale ratio grew {:.1}% (> {:.0}% tolerance; \
+                 baseline {base_ratio:.3}, current {cur_ratio:.3})",
+                (drift - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
     Ok(failures)
 }
 
@@ -303,13 +454,13 @@ mod tests {
     use super::*;
     use whart_net::ReportingInterval;
 
-    fn tiny_fleet() -> Vec<NetworkModel> {
+    fn tiny_fleet() -> Vec<Arc<NetworkModel>> {
         let link = LinkModel::from_availability(0.83, 0.9).expect("valid");
         let net = TypicalNetwork::new(link);
-        vec![
+        vec![Arc::new(
             NetworkModel::from_typical(&net, net.schedule_eta_a(), ReportingInterval::REGULAR)
                 .expect("valid"),
-        ]
+        )]
     }
 
     #[test]
@@ -320,7 +471,9 @@ mod tests {
         };
         let snapshot = run_engine_throughput(config, &tiny_fleet());
         let lines = bench_lines(&snapshot, 1);
-        assert_eq!(lines.lines().count(), GROUPS.len());
+        // 9 mean rows plus 7 scale rows: scale/cold/{1,2,4,8} and
+        // scale/warm/{2,4,8}.
+        assert_eq!(lines.lines().count(), GROUPS.len() + 7);
         for (line, group) in lines.lines().zip(GROUPS) {
             let value = Json::parse(line).unwrap();
             assert_eq!(
@@ -339,6 +492,32 @@ mod tests {
         for group in GROUPS {
             let hist = snapshot.histogram(&format!("{PREFIX}{group}")).unwrap();
             assert_eq!(hist.count, 1, "{group}");
+        }
+        // The scale rows follow the mean rows, carry a positive ratio
+        // and name their denominator.
+        let scale_lines: Vec<&str> = lines.lines().skip(GROUPS.len()).collect();
+        let expected_ids = [
+            "scale/cold/1",
+            "scale/cold/2",
+            "scale/cold/4",
+            "scale/cold/8",
+            "scale/warm/2",
+            "scale/warm/4",
+            "scale/warm/8",
+        ];
+        for (line, id) in scale_lines.iter().zip(expected_ids) {
+            let value = Json::parse(line).unwrap();
+            assert_eq!(
+                value["id"].as_str().unwrap(),
+                format!("engine_throughput/{id}")
+            );
+            assert!(value["ratio"].as_f64().unwrap() > 0.0, "{line}");
+            let of = if id.starts_with("scale/cold") {
+                "serial-loop"
+            } else {
+                "warm/1"
+            };
+            assert_eq!(value["of"].as_str().unwrap(), of, "{line}");
         }
     }
 
@@ -408,6 +587,59 @@ mod tests {
         assert!(check_regression(no_anchor, no_anchor, 0.25)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn scale_rows_are_gated_by_a_hard_ceiling_and_baseline_drift() {
+        let means = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n";
+        // The pre-refactor pool's measured single-core ratios: a cold
+        // 8-worker drain 2.23x the serial loop, a warm 8-worker drain
+        // 1.57x the warm 1-worker drain. Both must fail the hard
+        // ceiling even when the baseline carries the same bad numbers.
+        let broken = format!(
+            "{means}\
+{{\"id\":\"engine_throughput/scale/cold/8\",\"ratio\":2.23,\"of\":\"serial-loop\"}}\n\
+{{\"id\":\"engine_throughput/scale/warm/8\",\"ratio\":1.57,\"of\":\"warm/1\"}}\n"
+        );
+        let failures = check_regression(&broken, &broken, 0.25).unwrap();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("scale/cold/8"), "{failures:?}");
+        assert!(failures[0].contains("hard ceiling"), "{failures:?}");
+        assert!(failures[1].contains("scale/warm/8"), "{failures:?}");
+
+        // Healthy ratios self-check clean.
+        let healthy = format!(
+            "{means}\
+{{\"id\":\"engine_throughput/scale/cold/8\",\"ratio\":0.55,\"of\":\"serial-loop\"}}\n\
+{{\"id\":\"engine_throughput/scale/warm/8\",\"ratio\":1.02,\"of\":\"warm/1\"}}\n"
+        );
+        assert!(check_regression(&healthy, &healthy, 0.25)
+            .unwrap()
+            .is_empty());
+
+        // Drift against the baseline is flagged even under the ceiling.
+        let drifted = format!(
+            "{means}\
+{{\"id\":\"engine_throughput/scale/cold/8\",\"ratio\":0.80,\"of\":\"serial-loop\"}}\n\
+{{\"id\":\"engine_throughput/scale/warm/8\",\"ratio\":1.02,\"of\":\"warm/1\"}}\n"
+        );
+        let failures = check_regression(&healthy, &drifted, 0.25).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("scale/cold/8"), "{failures:?}");
+        assert!(failures[0].contains("grew"), "{failures:?}");
+
+        // A scale row the baseline pins cannot silently vanish.
+        let failures = check_regression(&healthy, means, 0.25).unwrap();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(
+            failures.iter().all(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+
+        // A malformed scale row is an error, not a pass.
+        let bad = "{\"id\":\"engine_throughput/scale/cold/8\",\"mean_ns\":1.0}";
+        assert!(check_regression(&healthy, bad, 0.25).is_err());
     }
 
     #[test]

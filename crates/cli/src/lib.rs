@@ -115,7 +115,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let path = args.get(1).ok_or("missing scenario list file")?;
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let threads = parse_or(args, "--threads", num_cpus())?;
+            let threads = parse_threads(args, "--threads")?;
             let metrics = flag_value(args, "--metrics")?;
             let trace = flag_value(args, "--trace")?;
             reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
@@ -133,7 +133,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
             let options = serve_app::ServeOptions {
                 addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:9090".into()),
-                threads: parse_or(args, "--threads", num_cpus())?,
+                threads: parse_threads(args, "--threads")?,
                 metrics_path: metrics,
                 trace_path: trace,
                 cache_capacity: match flag_value(args, "--metrics-capacity")? {
@@ -194,7 +194,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             commands::optimize(&commands::OptimizeOptions {
                 generator,
                 search,
-                threads: parse_or(args, "--threads", num_cpus())?,
+                threads: parse_threads(args, "--threads")?,
                 json: has_flag(args, "--json"),
                 emit_spec,
                 metrics_path: metrics,
@@ -245,10 +245,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     let intervals = parse_or(args, "--intervals", 100_000u64)?;
                     let seed = parse_or(args, "--seed", 42u64)?;
                     // --threads is the documented spelling; --workers stays
-                    // accepted for compatibility.
-                    let workers = match flag_value(args, "--threads")? {
-                        Some(v) => parse(&v, "--threads")?,
-                        None => parse_or(args, "--workers", num_cpus())?,
+                    // accepted for compatibility. Both go through the
+                    // shared validating parser.
+                    let workers = if has_flag(args, "--threads") {
+                        parse_threads(args, "--threads")?
+                    } else {
+                        parse_threads(args, "--workers")?
                     };
                     commands::simulate(&spec, intervals, seed, workers, has_flag(args, "--json"))
                 }
@@ -309,6 +311,27 @@ fn num_cpus() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Largest accepted worker count: far above any real machine, low enough
+/// to catch a fat-fingered "10240" before the engine tries to honor it.
+const MAX_THREADS: usize = 1024;
+
+/// Parses a worker-count flag (default: the CPU count). Every command
+/// that spawns workers funnels through here so the grammar is uniform:
+/// 0 and values above [`MAX_THREADS`] are usage errors, not engine
+/// behavior.
+fn parse_threads(args: &[String], flag: &str) -> Result<usize, String> {
+    let threads: usize = parse_or(args, flag, num_cpus())?;
+    if threads == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    if threads > MAX_THREADS {
+        return Err(format!(
+            "{flag} must be at most {MAX_THREADS} (got {threads})"
+        ));
+    }
+    Ok(threads)
 }
 
 #[cfg(test)]
@@ -544,6 +567,54 @@ mod tests {
         assert_eq!(parse_or(&args, "--intervals", 5u64).unwrap(), 5);
         assert!(flag_value(&s(&["--path"]), "--path").is_err());
         assert!(parse::<u64>("abc", "--seed").is_err());
+    }
+
+    #[test]
+    fn thread_counts_are_validated_uniformly_across_commands() {
+        let dir = std::env::temp_dir().join("whart-cli-threads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("section_v.json");
+        std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
+        let scenarios = dir.join("fleet.json");
+        std::fs::write(&scenarios, "[{\"network\":\"section-v\"}]").unwrap();
+        let spec = spec.to_str().unwrap();
+        let scenarios = scenarios.to_str().unwrap();
+
+        // Every worker-spawning command rejects 0 and absurd counts with
+        // the same message shape, before doing any work.
+        let cases: [&[&str]; 5] = [
+            &["batch", scenarios, "--threads"],
+            &["serve", "--threads"],
+            &["optimize", "--threads"],
+            &["simulate", spec, "--threads"],
+            &["simulate", spec, "--workers"],
+        ];
+        for case in cases {
+            let flag = case[case.len() - 1];
+            let mut zero: Vec<&str> = case.to_vec();
+            zero.push("0");
+            let err = run(&s(&zero)).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("at least 1"), "{err}");
+            let mut huge: Vec<&str> = case.to_vec();
+            huge.push("4096");
+            let err = run(&s(&huge)).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("at most 1024"), "{err}");
+        }
+        // The bounds are inclusive: 1 and 1024 are accepted.
+        let out = run(&s(&[
+            "simulate",
+            spec,
+            "--intervals",
+            "200",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("simulated R"), "{out}");
+        let out = run(&s(&["batch", scenarios, "--threads", "1024"])).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
     }
 
     #[test]

@@ -138,6 +138,17 @@ impl LinkDynamics {
     pub fn is_time_invariant(&self) -> bool {
         self.outages.is_empty() && (self.initial.up() - self.model.availability()).abs() < 1e-15
     }
+
+    /// Whether `up_probability` returns the *same bits* at every slot:
+    /// no outages and an initial distribution exactly on the stationary
+    /// point, so the transient term of Eq. 3 is exactly `0.0` rather
+    /// than merely negligible. [`LinkDynamics::steady`] satisfies this
+    /// by construction; it is the predicate behind slot-shift
+    /// canonicalization in the batch engine, where bit-identical
+    /// results are required (not 1e-15-close ones).
+    pub fn is_exactly_stationary(&self) -> bool {
+        self.outages.is_empty() && (self.initial.up() - self.model.availability()) == 0.0
+    }
 }
 
 impl From<LinkModel> for LinkDynamics {

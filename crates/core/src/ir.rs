@@ -184,6 +184,46 @@ impl PathProblem {
         PathModel::from_problem(self)
     }
 
+    /// Whether shifting every frame slot by a common offset preserves
+    /// the evaluation bit-for-bit (for backends that opt in via
+    /// [`Solver::solves_shifted_slots_exactly`]): every hop's success
+    /// probability must be slot-constant to the last bit
+    /// ([`LinkDynamics::is_exactly_stationary`]) and the TTL must span
+    /// the whole interval (`Is * F_up`), so no transmission can move
+    /// across the expiry boundary when the slots shift.
+    pub fn is_slot_shift_exact(&self) -> bool {
+        self.ttl as u64
+            == u64::from(self.superframe.uplink_slots()) * u64::from(self.interval.cycles())
+            && self.hops.iter().all(|h| h.dynamics.is_exactly_stationary())
+    }
+
+    /// The slot-shift canonical form: the same problem with every frame
+    /// slot translated down so the first hop transmits at slot 0. Two
+    /// schedules that differ only by a common slot offset normalize to
+    /// the same problem (and signature), letting a cache solve the
+    /// class once and rebase each member's arrival slot afterwards
+    /// ([`crate::path::PathEvaluation::rebased_at_slot`]).
+    ///
+    /// Returns `None` when the problem is not shift-exact
+    /// ([`PathProblem::is_slot_shift_exact`]) or is already canonical
+    /// (first slot 0), so callers fall back to the problem itself.
+    pub fn shift_normalized(&self) -> Option<PathProblem> {
+        let first = self.hops.first().map(|h| h.frame_slot).unwrap_or(0);
+        if first == 0 || !self.is_slot_shift_exact() {
+            return None;
+        }
+        Some(PathProblem {
+            hops: self
+                .hops
+                .iter()
+                .map(|h| ProblemHop::new(h.dynamics.clone(), h.frame_slot - first, h.link))
+                .collect(),
+            superframe: self.superframe,
+            interval: self.interval,
+            ttl: self.ttl,
+        })
+    }
+
     /// Assembles a [`PathEvaluation`] from externally computed measures —
     /// the constructor solver backends use. `cycle_probabilities` is the
     /// cycle function `g`, `discard_probability` the loss mass and
@@ -279,6 +319,22 @@ impl NetworkProblem {
 pub trait Solver: Send + Sync {
     /// A short stable name for logs, CLI output and metric names.
     fn name(&self) -> &'static str;
+
+    /// Whether this backend's path results are *bit-identical* under
+    /// slot-shift normalization of shift-exact problems
+    /// ([`PathProblem::shift_normalized`]), so a cache may serve the
+    /// canonical problem's evaluation — rebased to the original arrival
+    /// slot — in place of a fresh solve.
+    ///
+    /// Defaults to `false`: opting in asserts a floating-point-level
+    /// property of the backend, not merely analytical equivalence. The
+    /// fast transient evaluator qualifies (its arithmetic sequence
+    /// depends on slots only through their relative offsets when every
+    /// success probability is slot-constant); the explicit chain's
+    /// state ordering and the Monte-Carlo RNG stream do not.
+    fn solves_shifted_slots_exactly(&self) -> bool {
+        false
+    }
 
     /// Solves one compiled path problem, recording backend
     /// observability into `obs`: every backend times the solve into the
@@ -453,6 +509,10 @@ pub struct FastSolver;
 impl Solver for FastSolver {
     fn name(&self) -> &'static str {
         "fast"
+    }
+
+    fn solves_shifted_slots_exactly(&self) -> bool {
+        true
     }
 
     fn solve_path_observed(

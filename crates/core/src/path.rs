@@ -281,8 +281,83 @@ pub(crate) fn fast_evaluate_counted(
     fast_evaluate_observed(problem, plan, |_| {})
 }
 
+/// Sums `values` four lanes at a time: manual unroll over `[f64; 4]`
+/// chunks with independent partial accumulators (autovectorizer-friendly,
+/// std-only), scalar tail, partials folded left-to-right.
+///
+/// The lane split changes the association order relative to
+/// `iter().sum()`, so the result is a *different* (equally valid)
+/// floating-point sum. Every result-feeding reduction in the evaluator
+/// goes through this one helper — both the per-slot recording loop and
+/// the event-driven scalar loop — which is what keeps the two loops
+/// bit-identical to each other.
+#[inline]
+fn sum_lanes4(values: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = values.chunks_exact(4);
+    for chunk in &mut chunks {
+        acc[0] += chunk[0];
+        acc[1] += chunk[1];
+        acc[2] += chunk[2];
+        acc[3] += chunk[3];
+    }
+    let mut tail = 0.0f64;
+    for &v in chunks.remainder() {
+        tail += v;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// The per-hop success probability feed for one transient solve.
+///
+/// For exactly-stationary dynamics ([`LinkDynamics::is_exactly_stationary`])
+/// `up_probability` returns the same bits at every slot — the Eq. 3
+/// transient term is exactly `±0.0` — so the value is fetched once and
+/// reused, skipping the per-transmission outage scan and `lambda^t`
+/// evaluation. Time-varying hops fall back to the full per-slot query.
+struct SuccessFeed<'a> {
+    hops: &'a [ProblemHop],
+    constant: Vec<Option<f64>>,
+}
+
+impl<'a> SuccessFeed<'a> {
+    fn new(hops: &'a [ProblemHop]) -> SuccessFeed<'a> {
+        let constant = hops
+            .iter()
+            .map(|h| {
+                h.dynamics()
+                    .is_exactly_stationary()
+                    .then(|| h.dynamics().up_probability(0))
+            })
+            .collect();
+        SuccessFeed { hops, constant }
+    }
+
+    #[inline]
+    fn at(&self, hop: usize, abs_slot: u64) -> f64 {
+        match self.constant[hop] {
+            Some(p) => p,
+            None => self.hops[hop].dynamics().up_probability(abs_slot),
+        }
+    }
+}
+
 /// [`fast_evaluate_counted`] with a step observer attached; see
 /// [`StepEvent`].
+///
+/// Two loop shapes share one set of state-update expressions:
+///
+/// * the **per-slot loop** walks every uplink slot (the trajectory plan
+///   needs one goal row per slot, observers see empty-slot boundaries);
+/// * the **event-driven loop** (scalar plan) visits only the scheduled
+///   transmissions plus cycle boundaries, skipping the empty slots that
+///   dominate sparse schedules.
+///
+/// Both apply transmissions in the same (cycle, slot) order with
+/// identical arithmetic and reduce through [`sum_lanes4`], so their
+/// results are bit-identical (asserted by the scalar-vs-trajectory
+/// parity test in `ir.rs`), and a no-op observer monomorphizes each to
+/// its plain loop.
 pub(crate) fn fast_evaluate_observed<F: for<'a> FnMut(StepEvent<'a>)>(
     problem: &PathProblem,
     plan: MeasurePlan,
@@ -295,12 +370,7 @@ pub(crate) fn fast_evaluate_observed<F: for<'a> FnMut(StepEvent<'a>)>(
     let cycle_slots = u64::from(problem.superframe().cycle_slots());
     let ttl = problem.ttl();
     let record = plan.goal_trajectory;
-
-    // Which hop (if any) transmits in each frame slot for this path.
-    let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
-    for (hop, h) in problem.hops().iter().enumerate() {
-        by_slot[h.frame_slot()] = Some(hop);
-    }
+    let success = SuccessFeed::new(problem.hops());
 
     // position[j] = P(message sits j hops along the path).
     let mut position = vec![0.0f64; n];
@@ -309,63 +379,143 @@ pub(crate) fn fast_evaluate_observed<F: for<'a> FnMut(StepEvent<'a>)>(
     let mut discard = 0.0f64;
     let mut expected_transmissions = 0.0f64;
     let mut goal_trajectory: Vec<Vec<f64>> = Vec::new();
+
+    // One scheduled transmission: the shared state update of both loops.
+    // Returns the success probability and the moved mass for observers.
+    let transmit = |hop: usize,
+                    cycle: usize,
+                    frame_slot: usize,
+                    position: &mut [f64],
+                    goals: &mut [f64],
+                    expected_transmissions: &mut f64|
+     -> Option<(f64, f64, f64)> {
+        let mass = position[hop];
+        if mass <= 0.0 {
+            return None;
+        }
+        *expected_transmissions += mass;
+        let abs_slot = cycle as u64 * cycle_slots + frame_slot as u64;
+        let ps = success.at(hop, abs_slot);
+        let moved = mass * ps;
+        position[hop] = mass - moved;
+        if hop + 1 == n {
+            goals[cycle] += moved;
+        } else {
+            position[hop + 1] += moved;
+        }
+        Some((mass, ps, moved))
+    };
+
+    let steps;
     if record {
+        // Per-slot loop: one trajectory row per uplink slot.
         goal_trajectory.reserve((ttl as usize).min(total) + 1);
         goal_trajectory.push(goals.clone());
-    }
 
-    let mut steps = 0u64;
-    for step in 1..=total {
-        steps += 1;
-        let frame_slot = (step - 1) % f_up;
-        let cycle = (step - 1) / f_up;
-        if let Some(hop) = by_slot[frame_slot] {
-            let mass = position[hop];
-            if mass > 0.0 {
-                expected_transmissions += mass;
-                let abs_slot = cycle as u64 * cycle_slots + frame_slot as u64;
-                let ps = problem.hops()[hop].dynamics().up_probability(abs_slot);
-                let moved = mass * ps;
-                position[hop] = mass - moved;
-                if hop + 1 == n {
-                    goals[cycle] += moved;
-                } else {
-                    position[hop + 1] += moved;
-                }
-                observe(StepEvent::Transmission {
+        // Which hop (if any) transmits in each frame slot for this path.
+        let mut by_slot: Vec<Option<usize>> = vec![None; f_up];
+        for (hop, h) in problem.hops().iter().enumerate() {
+            by_slot[h.frame_slot()] = Some(hop);
+        }
+
+        let mut counted = 0u64;
+        for step in 1..=total {
+            counted += 1;
+            let frame_slot = (step - 1) % f_up;
+            let cycle = (step - 1) / f_up;
+            if let Some(hop) = by_slot[frame_slot] {
+                if let Some((mass, ps, moved)) = transmit(
                     hop,
-                    mass,
-                    success: ps,
-                    moved,
+                    cycle,
+                    frame_slot,
+                    &mut position,
+                    &mut goals,
+                    &mut expected_transmissions,
+                ) {
+                    observe(StepEvent::Transmission {
+                        hop,
+                        mass,
+                        success: ps,
+                        moved,
+                    });
+                }
+            }
+            goal_trajectory.push(goals.clone());
+            if frame_slot + 1 == f_up {
+                observe(StepEvent::CycleEnd {
+                    cycle,
+                    goal_mass: goals[cycle],
+                    delivered: goals.iter().sum(),
+                    in_flight: position.iter().sum(),
                 });
             }
+            // TTL expiry: the message is dropped once it has lived `ttl`
+            // uplink slots without reaching the gateway. Goals can no
+            // longer change, so the recorded trajectory ends here.
+            if step as u32 >= ttl {
+                observe(StepEvent::Discard {
+                    step,
+                    in_flight: &position,
+                });
+                discard += sum_lanes4(&position);
+                position.iter_mut().for_each(|p| *p = 0.0);
+                break;
+            }
         }
-        if record {
-            goal_trajectory.push(goals.clone());
+        steps = counted;
+    } else {
+        // Event-driven loop: visit scheduled transmissions and cycle
+        // boundaries only. The builder guarantees `0 < ttl <= total` and
+        // hop slots strictly increasing, so the TTL always expires inside
+        // some cycle and transmissions replay in exactly the per-slot
+        // loop's order; within one step the per-slot loop fires
+        // transmission, then cycle end, then discard, replicated here.
+        let ttl = ttl as usize;
+        'cycles: for cycle in 0..cycles {
+            let base = cycle * f_up;
+            for (hop, h) in problem.hops().iter().enumerate() {
+                let step = base + h.frame_slot() + 1;
+                if step > ttl {
+                    break;
+                }
+                if let Some((mass, ps, moved)) = transmit(
+                    hop,
+                    cycle,
+                    h.frame_slot(),
+                    &mut position,
+                    &mut goals,
+                    &mut expected_transmissions,
+                ) {
+                    observe(StepEvent::Transmission {
+                        hop,
+                        mass,
+                        success: ps,
+                        moved,
+                    });
+                }
+            }
+            if base + f_up <= ttl {
+                observe(StepEvent::CycleEnd {
+                    cycle,
+                    goal_mass: goals[cycle],
+                    delivered: goals.iter().sum(),
+                    in_flight: position.iter().sum(),
+                });
+            }
+            if ttl <= base + f_up {
+                observe(StepEvent::Discard {
+                    step: ttl,
+                    in_flight: &position,
+                });
+                discard += sum_lanes4(&position);
+                position.iter_mut().for_each(|p| *p = 0.0);
+                break 'cycles;
+            }
         }
-        if frame_slot + 1 == f_up {
-            observe(StepEvent::CycleEnd {
-                cycle,
-                goal_mass: goals[cycle],
-                delivered: goals.iter().sum(),
-                in_flight: position.iter().sum(),
-            });
-        }
-        // TTL expiry: the message is dropped once it has lived `ttl`
-        // uplink slots without reaching the gateway. Goals can no longer
-        // change, so the recorded trajectory ends here.
-        if step as u32 >= ttl {
-            observe(StepEvent::Discard {
-                step,
-                in_flight: &position,
-            });
-            discard += position.iter().sum::<f64>();
-            position.iter_mut().for_each(|p| *p = 0.0);
-            break;
-        }
+        steps = ttl.min(total) as u64;
     }
     // Mass still in flight at the end of the interval is lost.
-    discard += position.iter().sum::<f64>();
+    discard += sum_lanes4(&position);
 
     let evaluation = PathEvaluation {
         cycle_probabilities: goals.iter().copied().collect(),
@@ -525,6 +675,34 @@ impl PathEvaluation {
     /// The 1-based frame slot at which arrivals happen (`a0`).
     pub fn arrival_slot_number(&self) -> u32 {
         self.arrival_slot_number
+    }
+
+    /// The same evaluation re-anchored at a different arrival slot:
+    /// every measure is cloned verbatim (bit-identical — nothing is
+    /// recomputed, unlike [`crate::compose::evaluation_at_slot`], which
+    /// re-derives the attempt count from the cycle function) and only
+    /// `arrival_slot_number` is replaced.
+    ///
+    /// This is the engine-side rebase step of slot-shift
+    /// canonicalization: a shift-normalized problem
+    /// ([`crate::ir::PathProblem::shift_normalized`]) evaluates to the
+    /// same bits as the original in every field except `a0`, so the
+    /// cached canonical evaluation plus this rebase reproduces the
+    /// original solve exactly.
+    ///
+    /// # Panics
+    ///
+    /// If `arrival_slot_number` lies outside the uplink half
+    /// `1..=F_up` (debug builds only).
+    pub fn rebased_at_slot(&self, arrival_slot_number: u32) -> PathEvaluation {
+        debug_assert!(
+            (1..=self.superframe.uplink_slots()).contains(&arrival_slot_number),
+            "arrival slot {arrival_slot_number} outside the uplink half"
+        );
+        PathEvaluation {
+            arrival_slot_number,
+            ..self.clone()
+        }
     }
 
     /// Number of hops of the evaluated path.

@@ -14,6 +14,10 @@
 //! applied downstream of the cached [`crate::path::PathEvaluation`], not
 //! the DTMC solve itself.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
 use crate::dynamics::LinkDynamics;
 use crate::ir::PathProblem;
 use crate::path::PathModel;
@@ -66,30 +70,78 @@ impl DynamicsKey {
 /// identity ([`crate::ir::ProblemHop::link`]) is deliberately excluded:
 /// two paths crossing different physical links with identical dynamics
 /// are the same computation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The per-hop keys live behind an `Arc` so cloning a signature (which
+/// the engine does once per cache operation) is a reference-count bump,
+/// and the content hash is computed once at construction so `HashMap`
+/// probes and shard/worker partitioning never re-walk the hop list.
+#[derive(Debug, Clone)]
 pub struct PathSignature {
-    hops: Vec<(DynamicsKey, usize)>,
+    hops: Arc<[(DynamicsKey, usize)]>,
     uplink_slots: u32,
     downlink_slots: u32,
     interval_cycles: u32,
     ttl: u32,
+    /// Precomputed content hash (fixed-key `DefaultHasher`, so it is
+    /// deterministic within a process — see [`PathSignature::affinity`]).
+    hash: u64,
+}
+
+impl PartialEq for PathSignature {
+    fn eq(&self, other: &PathSignature) -> bool {
+        // The hash is a pure function of the remaining fields, so it acts
+        // as a cheap reject before the hop-list walk.
+        self.hash == other.hash
+            && self.uplink_slots == other.uplink_slots
+            && self.downlink_slots == other.downlink_slots
+            && self.interval_cycles == other.interval_cycles
+            && self.ttl == other.ttl
+            && self.hops == other.hops
+    }
+}
+
+impl Eq for PathSignature {}
+
+impl Hash for PathSignature {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
 }
 
 impl PathSignature {
     /// Derives the canonical signature of a compiled problem (the
     /// implementation behind [`PathProblem::signature`]).
     pub(crate) fn of_problem(problem: &PathProblem) -> PathSignature {
+        let hops: Vec<(DynamicsKey, usize)> = problem
+            .hops()
+            .iter()
+            .map(|h| (DynamicsKey::of(h.dynamics()), h.frame_slot()))
+            .collect();
+        let uplink_slots = problem.superframe().uplink_slots();
+        let downlink_slots = problem.superframe().downlink_slots();
+        let interval_cycles = problem.interval().cycles();
+        let ttl = problem.ttl();
+        let mut hasher = DefaultHasher::new();
+        hops.hash(&mut hasher);
+        uplink_slots.hash(&mut hasher);
+        downlink_slots.hash(&mut hasher);
+        interval_cycles.hash(&mut hasher);
+        ttl.hash(&mut hasher);
         PathSignature {
-            hops: problem
-                .hops()
-                .iter()
-                .map(|h| (DynamicsKey::of(h.dynamics()), h.frame_slot()))
-                .collect(),
-            uplink_slots: problem.superframe().uplink_slots(),
-            downlink_slots: problem.superframe().downlink_slots(),
-            interval_cycles: problem.interval().cycles(),
-            ttl: problem.ttl(),
+            hops: hops.into(),
+            uplink_slots,
+            downlink_slots,
+            interval_cycles,
+            ttl,
+            hash: hasher.finish(),
         }
+    }
+
+    /// The precomputed content hash, for partitioning work and cache
+    /// shards by signature. Stable for equal signatures within one
+    /// process (it feeds scheduling decisions, never results), and equal
+    /// signatures always share one affinity value.
+    pub fn affinity(&self) -> u64 {
+        self.hash
     }
 }
 

@@ -10,13 +10,18 @@
 //!   dynamics, slots, super-frame, `Is` and TTL, same artifact demand)
 //!   solves it exactly once.
 //!
-//! Both caches are guarded by plain mutexes: entries are tiny relative to
-//! the DTMC solves they amortize, and the engine only touches them during
-//! the (serial) plan and assemble stages.
+//! Both caches are sharded by key hash: lookups touch only the owning
+//! shard's `RwLock` (concurrent warm reads on different shards — or even
+//! the same shard — never serialize on one global mutex), while the FIFO
+//! eviction order and capacity bound stay global, so the eviction
+//! *victims* are identical for every shard count and the hit / miss /
+//! eviction counters remain bit-for-bit what the single-mutex cache
+//! reported.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use whart_channel::LinkModel;
 use whart_model::signature::PathSignature;
 use whart_model::{MeasurePlan, PathEvaluation};
@@ -82,36 +87,71 @@ impl LinkKey {
     }
 }
 
-/// The guarded interior of a [`CountedCache`]: the map, the FIFO
-/// insertion order (for eviction) and the optional capacity bound.
-struct Entries<K, V> {
-    map: HashMap<K, V>,
+/// Default shard count: enough to spread concurrent readers, small
+/// enough that empty shards cost nothing noticeable.
+const DEFAULT_SHARDS: usize = 8;
+
+/// The global (cross-shard) eviction state: the FIFO insertion order and
+/// the optional capacity bound. Only writers take this lock, and always
+/// *before* any shard lock, so the lock order is acyclic with readers
+/// that take only their shard.
+struct OrderState<K> {
     order: VecDeque<K>,
     capacity: Option<usize>,
 }
 
-/// A memoized map with hit/miss/eviction counters readable without
-/// locking, and an optional capacity bound with FIFO eviction
-/// (unbounded by default).
+/// A memoized map sharded by key hash, with hit/miss/eviction counters
+/// readable without locking and an optional global capacity bound with
+/// FIFO eviction (unbounded by default).
+///
+/// Reads take a single shard's `RwLock` read guard — the warm fast
+/// path: concurrent lookups never contend on a writer lock or on other
+/// shards. Inserts serialize on the order lock (they are rare: one per
+/// distinct solve), update the owning shard under its write lock, and
+/// evict the *globally* oldest entries while over capacity, so the
+/// eviction victims — like every counter — are independent of the shard
+/// count.
 pub(crate) struct CountedCache<K, V> {
-    entries: Mutex<Entries<K, V>>,
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    order: Mutex<OrderState<K>>,
+    len: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl<K: std::hash::Hash + Eq + Clone, V: Clone> CountedCache<K, V> {
+impl<K: Hash + Eq + Clone, V: Clone> CountedCache<K, V> {
     pub(crate) fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (minimum 1). Behavior —
+    /// results, counters, eviction victims — is identical for every
+    /// shard count; only the lock granularity changes. The shard-count
+    /// invariance is pinned by a property test below.
+    pub(crate) fn with_shards(shards: usize) -> Self {
         CountedCache {
-            entries: Mutex::new(Entries {
-                map: HashMap::new(),
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            order: Mutex::new(OrderState {
                 order: VecDeque::new(),
                 capacity: None,
             }),
+            len: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The shard owning `key`. The hash is deterministic (fixed-key
+    /// `DefaultHasher`), and for [`PathSignature`] keys it reuses the
+    /// signature's precomputed content hash.
+    fn shard_of(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
     }
 
     /// Bounds (or unbounds, with `None`) the entry count. A bound of 0
@@ -119,13 +159,16 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CountedCache<K, V> {
     /// inserted. Shrinking below the current size evicts oldest-first
     /// on the next insert.
     pub(crate) fn set_capacity(&self, capacity: Option<usize>) {
-        self.entries.lock().expect("cache lock").capacity = capacity;
+        self.order.lock().expect("cache order lock").capacity = capacity;
     }
 
-    /// Looks up `key`, counting a hit or a miss.
+    /// Looks up `key`, counting a hit or a miss. Touches only the owning
+    /// shard, under a read guard.
     pub(crate) fn get(&self, key: &K) -> Option<V> {
-        let entries = self.entries.lock().expect("cache lock");
-        match entries.map.get(key) {
+        let shard = self.shards[self.shard_of(key)]
+            .read()
+            .expect("cache shard lock");
+        match shard.get(key) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v.clone())
@@ -138,23 +181,35 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CountedCache<K, V> {
     }
 
     /// Inserts a freshly computed value (does not touch the hit/miss
-    /// counters), evicting oldest entries while over capacity. Returns
-    /// how many entries were evicted.
+    /// counters), evicting globally-oldest entries while over capacity.
+    /// Returns how many entries were evicted.
     pub(crate) fn insert(&self, key: K, value: V) -> u64 {
-        let mut entries = self.entries.lock().expect("cache lock");
-        if entries.map.insert(key.clone(), value).is_none() {
-            entries.order.push_back(key);
+        let mut state = self.order.lock().expect("cache order lock");
+        let fresh = self.shards[self.shard_of(&key)]
+            .write()
+            .expect("cache shard lock")
+            .insert(key.clone(), value)
+            .is_none();
+        if fresh {
+            state.order.push_back(key);
+            self.len.fetch_add(1, Ordering::Relaxed);
         }
-        let Some(capacity) = entries.capacity else {
+        let Some(capacity) = state.capacity else {
             return 0;
         };
         let capacity = capacity.max(1);
         let mut evicted = 0u64;
-        while entries.map.len() > capacity {
-            let Some(oldest) = entries.order.pop_front() else {
+        while self.len.load(Ordering::Relaxed) > capacity {
+            let Some(oldest) = state.order.pop_front() else {
                 break;
             };
-            if entries.map.remove(&oldest).is_some() {
+            if self.shards[self.shard_of(&oldest)]
+                .write()
+                .expect("cache shard lock")
+                .remove(&oldest)
+                .is_some()
+            {
+                self.len.fetch_sub(1, Ordering::Relaxed);
                 evicted += 1;
             }
         }
@@ -185,7 +240,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CountedCache<K, V> {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").map.len()
+        self.len.load(Ordering::Relaxed)
     }
 }
 
@@ -239,6 +294,91 @@ mod tests {
         cache.insert(5, 50);
         cache.insert(6, 60);
         assert_eq!(cache.len(), 3);
+    }
+
+    /// One step of a scripted cache workload for the shard-invariance
+    /// property test.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Get(u32),
+        Insert(u32, u32),
+        SetCapacity(Option<usize>),
+    }
+
+    /// Every observable output of a replayed workload, in order: the
+    /// result of each get, the eviction count of each insert, and the
+    /// final (hits, misses, evictions, len).
+    type ReplayLog = (Vec<Option<u32>>, Vec<u64>, (u64, u64, u64, usize));
+
+    fn replay(cache: &CountedCache<u32, u32>, ops: &[Op]) -> ReplayLog {
+        let mut gets = Vec::new();
+        let mut evictions = Vec::new();
+        for op in ops {
+            match *op {
+                Op::Get(k) => gets.push(cache.get(&k)),
+                Op::Insert(k, v) => evictions.push(cache.insert(k, v)),
+                Op::SetCapacity(c) => cache.set_capacity(c),
+            }
+        }
+        (
+            gets,
+            evictions,
+            (cache.hits(), cache.misses(), cache.evictions(), cache.len()),
+        )
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sharding is an implementation detail: under any scripted
+        /// access sequence, a 1-shard cache and an N-shard cache return
+        /// the same get results, evict the same victims at the same
+        /// steps, and end with identical hit/miss/eviction counters.
+        #[test]
+        fn shard_count_is_unobservable(
+            ops in proptest::collection::vec(
+                ((0u8..10), (0u32..24), (0u32..1000)).prop_map(|(sel, k, v)| match sel {
+                    0..=3 => Op::Get(k),
+                    4..=7 => Op::Insert(k, v),
+                    8 => Op::SetCapacity(None),
+                    _ => Op::SetCapacity(Some((v % 6) as usize)),
+                }),
+                0..80usize,
+            ),
+            shards in 2usize..9,
+        ) {
+            let single: CountedCache<u32, u32> = CountedCache::with_shards(1);
+            let sharded: CountedCache<u32, u32> = CountedCache::with_shards(shards);
+            prop_assert_eq!(replay(&single, &ops), replay(&sharded, &ops));
+        }
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_no_counter_updates() {
+        let cache: Arc<CountedCache<u64, u64>> = Arc::new(CountedCache::new());
+        const THREADS: u64 = 8;
+        const OPS: u64 = 500;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let key = (t * OPS + i) % 64;
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, key * 2);
+                        }
+                    }
+                });
+            }
+        });
+        // Every lookup counted exactly once — no lost hit/miss updates
+        // under contention — and the map holds every touched key.
+        assert_eq!(cache.hits() + cache.misses(), THREADS * OPS);
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.evictions(), 0);
+        for key in 0..64 {
+            assert_eq!(cache.get(&key), Some(key * 2));
+        }
     }
 
     #[test]

@@ -43,8 +43,14 @@ pub struct EngineStats {
     pub path_cache_evictions: u64,
     /// Link models evicted by the link cache's capacity bound.
     pub link_cache_evictions: u64,
-    /// Tasks migrated between workers by work stealing.
+    /// *Chunks* of work migrated between workers by work stealing (a
+    /// steal claims a whole chunk of a sibling's share; see
+    /// [`EngineStats::stolen_tasks`] for the per-solve count).
     pub steals: u64,
+    /// Individual path solves that ran on a worker other than the one
+    /// their signature affinity assigned them to — the sum of the sizes
+    /// of all stolen chunks.
+    pub stolen_tasks: u64,
     /// Peak per-worker queue depth observed while executing.
     pub max_queue_depth: usize,
     /// Wall time spent planning (signature derivation, deduplication).
@@ -53,8 +59,13 @@ pub struct EngineStats {
     pub execute_wall: Duration,
     /// Wall time spent assembling results and extracting measures.
     pub assemble_wall: Duration,
-    /// The worker-thread count the engine runs with.
+    /// The worker-thread count the engine was configured with.
     pub workers: usize,
+    /// The worker-thread count the execute stage actually uses:
+    /// `workers` clamped to the machine's available parallelism (extra
+    /// threads on a CPU-bound fixed task set only add spawn and
+    /// context-switch overhead).
+    pub effective_workers: usize,
 }
 
 impl EngineStats {
@@ -116,6 +127,7 @@ impl EngineStats {
 /// ```
 pub struct Engine {
     workers: usize,
+    effective_workers: usize,
     solver: Arc<dyn Solver>,
     link_cache: LinkCache,
     path_cache: PathCache,
@@ -133,16 +145,29 @@ impl Engine {
     }
 
     /// Creates an engine dispatching path solves through `solver`.
+    ///
+    /// `workers` is clamped to at least one, and the execute stage
+    /// additionally clamps it to the machine's available parallelism
+    /// ([`EngineStats::effective_workers`]): the task set is fixed and
+    /// CPU-bound, so threads beyond the core count cannot help and
+    /// historically made over-provisioned drains *slower* than the
+    /// serial loop.
     pub fn with_solver(workers: usize, solver: Arc<dyn Solver>) -> Engine {
         let workers = workers.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let effective_workers = workers.min(cores);
         Engine {
             workers,
+            effective_workers,
             solver,
             link_cache: LinkCache::new(),
             path_cache: PathCache::new(),
             pending: Vec::new(),
             stats: EngineStats {
                 workers,
+                effective_workers,
                 ..EngineStats::default()
             },
             metrics: Metrics::disabled(),
@@ -290,6 +315,14 @@ impl Engine {
         let mut resolved: HashMap<PathKey, Arc<PathEvaluation>> = HashMap::new();
         let mut planned: HashMap<PathKey, usize> = HashMap::new();
         let mut tasks: Vec<(PathKey, PathProblem)> = Vec::new();
+        // Slot-shift canonicalization: when the backend guarantees
+        // bit-identical solves under a common slot shift, scalar-plan
+        // problems are cached (and solved) in shift-normalized form and
+        // each occurrence rebases the arrival slot at assembly, so
+        // schedules differing only by a slot offset share one solve.
+        // Tracing pins the real frame slots into hop provenance, so a
+        // tracing engine plans the raw problems instead.
+        let canonicalize = self.solver.solves_shifted_slots_exactly() && !self.trace.is_enabled();
         for scenario in scenarios {
             let mut scenario_span = self.trace.span("scenario", "engine");
             let mut scenario_hits = 0u64;
@@ -305,6 +338,20 @@ impl Engine {
             compile_span.stop();
             let mut signatures = Vec::with_capacity(problems.len());
             for problem in problems {
+                // The trajectory plan records per-slot rows, which a
+                // slot shift would visibly move — only scalar solves
+                // canonicalize.
+                let (problem, rebase) = if canonicalize && !plan.goal_trajectory {
+                    match problem.shift_normalized() {
+                        Some(canonical) => {
+                            let arrival = problem.arrival_slot_number();
+                            (canonical, Some(arrival))
+                        }
+                        None => (problem, None),
+                    }
+                } else {
+                    (problem, None)
+                };
                 let key = (problem.signature(), plan);
                 self.stats.paths_requested += 1;
                 if planned.contains_key(&key) {
@@ -330,7 +377,7 @@ impl Engine {
                     path_hits.increment();
                     scenario_hits += 1;
                 }
-                signatures.push(key);
+                signatures.push((key, rebase));
             }
             if scenario_span.is_recording() {
                 scenario_span.arg("label", scenario.label.as_str());
@@ -356,11 +403,16 @@ impl Engine {
         let solver = Arc::clone(&self.solver);
         let enabled = obs.is_enabled();
         let trace = self.trace.clone();
-        let (solved, pool_stats) = pool::run(self.workers, tasks, |((_, plan), problem)| {
-            let start = enabled.then(Instant::now);
-            let result = solver.solve_path_traced(problem, *plan, &obs, &trace);
-            (result, start.map(|s| s.elapsed()).unwrap_or_default())
-        });
+        let (solved, pool_stats) = pool::run(
+            self.effective_workers,
+            tasks,
+            |((signature, _), _): &(PathKey, PathProblem)| signature.affinity(),
+            |((_, plan), problem)| {
+                let start = enabled.then(Instant::now);
+                let result = solver.solve_path_traced(problem, *plan, &obs, &trace);
+                (result, start.map(|s| s.elapsed()).unwrap_or_default())
+            },
+        );
         let backend = self.solver.name();
         let path_solve_hist = obs.histogram(&format!("engine.{backend}.path_solve_ns"));
         let mut evaluations = Vec::with_capacity(solved.len());
@@ -385,13 +437,20 @@ impl Engine {
             obs.counter("engine.path_cache.evictions").add(evicted);
         }
         self.stats.steals += pool_stats.steals;
+        self.stats.stolen_tasks += pool_stats.stolen_tasks;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(pool_stats.max_queue_depth);
         obs.counter("engine.pool.steals").add(pool_stats.steals);
+        obs.counter("engine.pool.stolen_tasks")
+            .add(pool_stats.stolen_tasks);
         obs.gauge("engine.pool.max_queue_depth")
             .record_max(pool_stats.max_queue_depth as u64);
         execute_span.arg("solves", drain_solves);
         execute_span.arg("workers", self.workers);
+        execute_span.arg("effective_workers", self.effective_workers);
+        // Chunks migrated vs individual solves migrated — see
+        // `EngineStats::{steals, stolen_tasks}`.
         execute_span.arg("steals", pool_stats.steals);
+        execute_span.arg("stolen_tasks", pool_stats.stolen_tasks);
         execute_span.finish();
         let execute_elapsed = execute_start.elapsed();
         self.stats.execute_wall += execute_elapsed;
@@ -410,7 +469,7 @@ impl Engine {
             if enabled {
                 let mut seen: HashSet<&PathKey> = HashSet::with_capacity(signatures.len());
                 let mut total = Duration::ZERO;
-                for key in &signatures {
+                for (key, _) in &signatures {
                     if seen.insert(key) {
                         if let Some(&index) = planned.get(key) {
                             total += durations[index];
@@ -421,9 +480,17 @@ impl Engine {
             }
             // Shared references until here; each scenario result owns its
             // copy (the one unavoidable deep clone per path occurrence).
+            // Canonicalized occurrences re-anchor the shared canonical
+            // solve at their real arrival slot (bit-identical elsewhere).
             let evaluations: Vec<Arc<PathEvaluation>> = signatures
                 .iter()
-                .map(|s| Arc::clone(resolved.get(s).expect("every planned signature resolved")))
+                .map(|(s, rebase)| {
+                    let evaluation = resolved.get(s).expect("every planned signature resolved");
+                    match rebase {
+                        Some(arrival) => Arc::new(evaluation.rebased_at_slot(*arrival)),
+                        None => Arc::clone(evaluation),
+                    }
+                })
                 .collect();
             let measures = scenario.measures;
             let path_measures = evaluations

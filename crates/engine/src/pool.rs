@@ -1,103 +1,175 @@
-//! A scoped work-stealing worker pool over a fixed task set.
+//! A scoped worker pool with chunked, affinity-partitioned scheduling.
 //!
-//! Tasks are dealt round-robin onto per-worker deques; a worker pops from
-//! the back of its own deque and, when empty, steals from the front of
-//! the longest sibling deque. The task set is fixed up front (path solves
-//! never spawn new path solves), so termination is simply "every deque is
-//! empty". Built on `std::thread::scope` — no external runtime.
+//! The task set is fixed up front (path solves never spawn new path
+//! solves), so instead of mutex-guarded deques the pool pre-partitions
+//! item indices onto workers by an affinity hash (cache-affine work
+//! lands on the same worker), splits each worker's share into chunks,
+//! and lets workers claim chunks with a single `fetch_add` on the
+//! owner's atomic cursor — their own first, then whole chunks from the
+//! most-loaded sibling. Results travel back through each worker's join
+//! handle and are scattered once into a pre-sized slice, so the hot
+//! path takes no locks at all. Built on `std::thread::scope` — no
+//! external runtime.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// How many chunks each worker's share is split into: small enough that
+/// a chunk is worth migrating, large enough that stealing can rebalance
+/// a skewed partition.
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Counters observed while a batch executes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Peak length of any single worker queue (tasks not yet started).
+    /// Peak length of any single worker queue (tasks not yet started) —
+    /// with up-front partitioning, the largest initial share.
     pub max_queue_depth: usize,
-    /// Number of tasks a worker took from a sibling's queue.
+    /// Number of *chunks* a worker claimed from a sibling's share.
+    /// Stealing migrates whole chunks, so this counts migrations, not
+    /// tasks; see [`PoolStats::stolen_tasks`] for the task count.
     pub steals: u64,
+    /// Number of *tasks* (scenarios / path solves) that ran on a worker
+    /// other than the one their affinity assigned them to — the sum of
+    /// the sizes of all stolen chunks.
+    pub stolen_tasks: u64,
+}
+
+/// One worker's share of the batch: the item indices its affinity class
+/// mapped to, cut into `chunk`-sized runs claimed via `next`.
+struct Share {
+    indices: Vec<usize>,
+    chunk: usize,
+    chunks: usize,
+    next: AtomicUsize,
+}
+
+impl Share {
+    fn new(indices: Vec<usize>) -> Share {
+        let chunk = indices.len().div_ceil(CHUNKS_PER_WORKER).max(1);
+        let chunks = indices.len().div_ceil(chunk);
+        Share {
+            indices,
+            chunk,
+            chunks,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next unclaimed chunk (a single `fetch_add`), or `None`
+    /// when the share is exhausted.
+    fn claim(&self) -> Option<&[usize]> {
+        let c = self.next.fetch_add(1, Ordering::Relaxed);
+        if c >= self.chunks {
+            return None;
+        }
+        let start = c * self.chunk;
+        Some(&self.indices[start..(start + self.chunk).min(self.indices.len())])
+    }
+
+    /// Chunks not yet claimed (racy, used only to pick a steal victim).
+    fn remaining(&self) -> usize {
+        self.chunks
+            .saturating_sub(self.next.load(Ordering::Relaxed))
+    }
 }
 
 /// Runs `f` over every item on `workers` threads, returning results in
-/// item order plus the observed pool counters.
-pub(crate) fn run<T, R, F>(workers: usize, items: Vec<T>, f: F) -> (Vec<R>, PoolStats)
+/// item order plus the observed pool counters. `affinity` partitions
+/// items onto workers (`affinity % workers`): items sharing an affinity
+/// value always start on the same worker, so signature-affine work
+/// shares that worker's warm cache lines unless stealing rebalances.
+pub(crate) fn run<T, R, F, A>(
+    workers: usize,
+    items: Vec<T>,
+    affinity: A,
+    f: F,
+) -> (Vec<R>, PoolStats)
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
+    A: Fn(&T) -> u64,
 {
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
-        let depth = n;
         let results = items.iter().map(&f).collect();
         return (
             results,
             PoolStats {
-                max_queue_depth: depth,
+                max_queue_depth: n,
                 steals: 0,
+                stolen_tasks: 0,
             },
         );
     }
 
-    // Deal tasks round-robin; queues hold indices into `items`.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, queue) in (0..n).zip((0..workers).cycle()) {
-        queues[queue].lock().expect("queue lock").push_back(i);
+    // Partition item indices by affinity class.
+    let mut assigned: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.iter().enumerate() {
+        assigned[(affinity(item) % workers as u64) as usize].push(i);
     }
-    let max_depth = AtomicUsize::new(queues[0].lock().expect("queue lock").len());
+    let max_queue_depth = assigned.iter().map(Vec::len).max().unwrap_or(0);
+    let shares: Vec<Share> = assigned.into_iter().map(Share::new).collect();
     let steals = AtomicU64::new(0);
+    let stolen_tasks = AtomicU64::new(0);
 
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for me in 0..workers {
-            let queues = &queues;
-            let slots = &slots;
+            let shares = &shares;
             let steals = &steals;
-            let max_depth = &max_depth;
+            let stolen_tasks = &stolen_tasks;
             let f = &f;
             let items = &items;
-            handles.push(scope.spawn(move || loop {
-                // Own queue first (LIFO keeps the working set warm)...
-                let mut task = queues[me].lock().expect("queue lock").pop_back();
-                // ...then steal from the front of the longest sibling.
-                if task.is_none() {
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, R)> = Vec::new();
+                // Drain the worker's own share first (affinity order).
+                while let Some(chunk) = shares[me].claim() {
+                    out.extend(chunk.iter().map(|&i| (i, f(&items[i]))));
+                }
+                // Then steal whole chunks from the most-loaded sibling
+                // until every share is exhausted. A lost claim race just
+                // re-picks a victim; cursors only grow, so this
+                // terminates.
+                loop {
                     let victim = (0..workers)
                         .filter(|&w| w != me)
-                        .max_by_key(|&w| queues[w].lock().expect("queue lock").len());
-                    if let Some(victim) = victim {
-                        task = queues[victim].lock().expect("queue lock").pop_front();
-                        if task.is_some() {
-                            steals.fetch_add(1, Ordering::Relaxed);
+                        .max_by_key(|&w| shares[w].remaining());
+                    match victim {
+                        Some(v) if shares[v].remaining() > 0 => {
+                            if let Some(chunk) = shares[v].claim() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                stolen_tasks.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                                out.extend(chunk.iter().map(|&i| (i, f(&items[i]))));
+                            }
                         }
+                        _ => break,
                     }
                 }
-                let Some(index) = task else { break };
-                let depth = queues[me].lock().expect("queue lock").len();
-                max_depth.fetch_max(depth, Ordering::Relaxed);
-                let result = f(&items[index]);
-                *slots[index].lock().expect("slot lock") = Some(result);
+                out
             }));
         }
+        // Scatter every worker's results into the pre-sized slice — the
+        // only writer is this thread, after the workers have joined, so
+        // no per-result synchronization is needed.
         for handle in handles {
-            handle.join().expect("pool workers do not panic");
+            for (i, r) in handle.join().expect("pool workers do not panic") {
+                results[i] = Some(r);
+            }
         }
     });
 
-    let results = slots
+    let results = results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every task ran")
-        })
+        .map(|slot| slot.expect("every task ran"))
         .collect();
     let stats = PoolStats {
-        max_queue_depth: max_depth.load(Ordering::Relaxed).max(n.div_ceil(workers)),
+        max_queue_depth,
         steals: steals.load(Ordering::Relaxed),
+        stolen_tasks: stolen_tasks.load(Ordering::Relaxed),
     };
     (results, stats)
 }
@@ -106,27 +178,43 @@ where
 mod tests {
     use super::*;
 
+    /// Spread items round-robin, like the pre-chunking pool dealt them.
+    fn round_robin(x: &u64) -> u64 {
+        *x
+    }
+
     #[test]
     fn preserves_item_order() {
         let items: Vec<u64> = (0..100).collect();
-        let (results, stats) = run(4, items, |&x| x * x);
+        let (results, stats) = run(4, items, round_robin, |&x| x * x);
         assert_eq!(results, (0..100).map(|x| x * x).collect::<Vec<_>>());
         assert!(stats.max_queue_depth >= 25);
     }
 
     #[test]
     fn serial_fallback_matches() {
-        let (results, stats) = run(1, vec![1, 2, 3], |&x| x + 1);
+        let (results, stats) = run(1, vec![1, 2, 3], |&x| x, |&x| x + 1);
         assert_eq!(results, vec![2, 3, 4]);
         assert_eq!(stats.steals, 0);
+        assert_eq!(stats.stolen_tasks, 0);
     }
 
     #[test]
     fn empty_and_single_item_batches() {
-        let (results, _) = run(8, Vec::<u32>::new(), |&x| x);
+        let (results, _) = run(8, Vec::<u32>::new(), |&x| x.into(), |&x| x);
         assert!(results.is_empty());
-        let (results, _) = run(8, vec![7], |&x| x * 2);
+        let (results, _) = run(8, vec![7u32], |&x| x.into(), |&x| x * 2);
         assert_eq!(results, vec![14]);
+    }
+
+    #[test]
+    fn affinity_classes_start_on_their_worker() {
+        // All items share one affinity class, so one worker owns the
+        // whole batch up front and the peak queue depth is the batch.
+        let items: Vec<u64> = (0..64).collect();
+        let (results, stats) = run(4, items, |_| 7, |&x| x + 1);
+        assert_eq!(results, (1..=64).collect::<Vec<_>>());
+        assert_eq!(stats.max_queue_depth, 64);
     }
 
     #[test]
@@ -134,12 +222,15 @@ mod tests {
         // Worker 0's own tasks are slow; the cheap ones land elsewhere but
         // finish instantly, so its siblings steal from it.
         let items: Vec<u64> = (0..32).collect();
-        let (results, _) = run(4, items, |&x| {
+        let (results, stats) = run(4, items, round_robin, |&x| {
             if x % 4 == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
             x
         });
-        assert_eq!(results.len(), 32);
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+        // Chunk counts and task counts stay consistent: every stolen
+        // chunk moves at least one task.
+        assert!(stats.stolen_tasks >= stats.steals);
     }
 }

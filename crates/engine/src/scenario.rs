@@ -7,6 +7,8 @@
 //! into a deduplicated set of path solves and assembles a
 //! [`ScenarioResult`] per scenario, in submission order.
 
+use std::sync::Arc;
+
 use whart_model::{
     DelayConvention, MeasurePlan, NetworkEvaluation, NetworkModel, PathEvaluation, PathModel,
     UtilizationConvention,
@@ -64,8 +66,11 @@ impl LinkQualitySpec {
 #[derive(Debug, Clone)]
 pub enum Workload {
     /// A full network: one path solve per route, assembled into a
-    /// [`NetworkEvaluation`].
-    Network(Box<NetworkModel>),
+    /// [`NetworkEvaluation`]. Shared behind an [`Arc`] so resubmitting
+    /// the same model across drains (warm fleets, long-lived services)
+    /// bumps a reference count instead of deep-copying the topology,
+    /// schedule and override tables.
+    Network(Arc<NetworkModel>),
     /// Standalone path models (the single-path studies and sweeps).
     Paths(Vec<PathModel>),
 }
@@ -134,11 +139,13 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// A network scenario with default measures.
-    pub fn network(label: impl Into<String>, model: NetworkModel) -> Scenario {
+    /// A network scenario with default measures. Accepts an owned model
+    /// or an `Arc<NetworkModel>` — callers resubmitting one model across
+    /// drains should pass the `Arc` to skip the deep copy.
+    pub fn network(label: impl Into<String>, model: impl Into<Arc<NetworkModel>>) -> Scenario {
         Scenario {
             label: label.into(),
-            workload: Workload::Network(Box::new(model)),
+            workload: Workload::Network(model.into()),
             measures: MeasureSet::default(),
         }
     }

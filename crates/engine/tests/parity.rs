@@ -87,9 +87,14 @@ fn typical_fleet_matches_serial_evaluator_exactly() {
         stats.link_cache_hits,
         (AVAILABILITIES.len() * (INTERVALS.len() - 1)) as u64
     );
-    // 180 path solves requested, all distinct on the cold drain.
+    // 180 path solves requested; slot-shift canonicalization folds the
+    // schedules that differ only by a common slot offset (same hop
+    // dynamics, depths and relative slot gaps) into 54 distinct DTMC
+    // solves — while, per the assertions above, every one of the 180
+    // reported evaluations still matches the serial evaluator bit for
+    // bit.
     assert_eq!(stats.paths_requested, 180);
-    assert_eq!(stats.paths_evaluated, 180);
+    assert_eq!(stats.paths_evaluated, 54);
 
     // A warm resubmission of the whole fleet solves nothing.
     for &pi in &AVAILABILITIES {
@@ -110,9 +115,12 @@ fn typical_fleet_matches_serial_evaluator_exactly() {
     }
     let stats = engine.stats();
     assert_eq!(
-        stats.paths_evaluated, 180,
+        stats.paths_evaluated, 54,
         "warm drain re-solved a path DTMC"
     );
-    assert_eq!(stats.path_cache_hits, 180);
+    // Every request beyond the 54 cold solves answered from the cache:
+    // the cold drain's 126 in-batch canonical duplicates plus all 180
+    // warm requests.
+    assert_eq!(stats.path_cache_hits, 126 + 180);
     assert_eq!(stats.jobs_completed, 36);
 }

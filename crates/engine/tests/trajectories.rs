@@ -59,7 +59,10 @@ fn scalar_fleet_materializes_zero_trajectories() {
     for result in &warm {
         assert_no_trajectories(&result.path_evaluations(), &result.label);
     }
-    assert_eq!(engine.stats().paths_evaluated, 180);
+    // 360 scalar requests (cold + warm); slot-shift canonicalization
+    // folds the cold fleet into 54 distinct solves and the warm drain
+    // answers entirely from the cache.
+    assert_eq!(engine.stats().paths_evaluated, 54);
 }
 
 #[test]
@@ -77,8 +80,11 @@ fn trajectory_requests_get_distinct_cache_entries() {
     let results = engine.drain().expect("mixed drain");
 
     // Same compiled problems, but the measure plan splits the cache key:
-    // 10 scalar solves + 10 trajectory solves.
-    assert_eq!(engine.stats().paths_evaluated, 20);
+    // the 10 scalar requests canonicalize into 3 distinct solves, while
+    // the 10 trajectory solves are never canonicalized (the trajectory
+    // is indexed by absolute slot, so a shifted solve would record the
+    // wrong curve).
+    assert_eq!(engine.stats().paths_evaluated, 13);
     assert_no_trajectories(&results[0].path_evaluations(), "scalar");
     for e in results[1].path_evaluations() {
         assert!(e.has_trajectory(), "trajectory request must materialize");
@@ -99,7 +105,7 @@ fn trajectory_requests_get_distinct_cache_entries() {
     // A warm trajectory request answers from the trajectory entry.
     engine.submit(Scenario::network("full-warm", model).with_measures(full_measures));
     let warm = engine.drain().expect("warm drain");
-    assert_eq!(engine.stats().paths_evaluated, 20, "no re-solve");
+    assert_eq!(engine.stats().paths_evaluated, 13, "no re-solve");
     for e in warm[0].path_evaluations() {
         assert!(e.has_trajectory());
     }
