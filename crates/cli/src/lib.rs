@@ -8,7 +8,7 @@
 //! ```text
 //! whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>]
 //! whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>]
-//! whart serve    [--addr <ip:port>] [--threads N] [--metrics <out.json>] [--trace <out.json>]
+//! whart serve    [--addr <ip:port>] [--threads N] [--keepalive-timeout S] [--max-queue N] [--metrics <out.json>] [--trace <out.json>]
 //! whart dot      <spec.json> --path <i>
 //! whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
 //! whart predict  <spec.json> --path <i> --snr <EbN0>
@@ -28,7 +28,7 @@ const USAGE: &str = "usage:
   whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>]
   whart explain  <spec.json> [--path <i>] [--backend fast|sim] [--seed S] [--intervals N]
   whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>]
-  whart serve    [--addr <ip:port>] [--threads N] [--metrics <out.json>] [--trace <out.json>] [--metrics-capacity N] [--trace-capacity N]
+  whart serve    [--addr <ip:port>] [--threads N] [--keepalive-timeout S] [--max-queue N] [--metrics <out.json>] [--trace <out.json>] [--metrics-capacity N] [--trace-capacity N]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
@@ -63,6 +63,11 @@ liveness/readiness, POST /admin/shutdown (or Ctrl-C) drains in-flight
 work and writes the final --metrics/--trace artifacts before exit.
 --metrics-capacity bounds the engine's path/link cache entries;
 --trace-capacity bounds the trace journal's retained events.
+Connections are HTTP/1.1 keep-alive (pipelining supported);
+--keepalive-timeout sets how many seconds an idle connection may stay
+parked before the server closes it (default 60), and --max-queue caps
+the dispatch backlog — readable requests beyond it are rejected with
+503 + Retry-After instead of queueing unboundedly (default 1024).
 optimize needs no spec file: it generates a seeded random mesh
 (generalizing the paper's Fig. 12 network), builds the greedy Eq. 12
 uplink routing tree and hill-climbs routes and schedule order through
@@ -131,9 +136,26 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let metrics = flag_value(args, "--metrics")?;
             let trace = flag_value(args, "--trace")?;
             reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
+            let keepalive_timeout = match flag_value(args, "--keepalive-timeout")? {
+                Some(v) => {
+                    let seconds: f64 = parse(&v, "--keepalive-timeout")?;
+                    if !seconds.is_finite() || seconds <= 0.0 {
+                        return Err(format!(
+                            "--keepalive-timeout expects a positive number of seconds, got '{v}'"
+                        ));
+                    }
+                    Some(std::time::Duration::from_secs_f64(seconds))
+                }
+                None => None,
+            };
             let options = serve_app::ServeOptions {
                 addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:9090".into()),
                 threads: parse_threads(args, "--threads")?,
+                keepalive_timeout,
+                max_queue: match flag_value(args, "--max-queue")? {
+                    Some(v) => Some(parse(&v, "--max-queue")?),
+                    None => None,
+                },
                 metrics_path: metrics,
                 trace_path: trace,
                 cache_capacity: match flag_value(args, "--metrics-capacity")? {
@@ -625,5 +647,15 @@ mod tests {
         assert!(err.contains("--threads"), "{err}");
         let err = run(&s(&["serve", "--metrics-capacity", "x"])).unwrap_err();
         assert!(err.contains("--metrics-capacity"), "{err}");
+        let err = run(&s(&["serve", "--keepalive-timeout", "abc"])).unwrap_err();
+        assert!(err.contains("--keepalive-timeout"), "{err}");
+        for bad in ["0", "-3", "inf", "nan"] {
+            let err = run(&s(&["serve", "--keepalive-timeout", bad])).unwrap_err();
+            assert!(err.contains("--keepalive-timeout"), "{bad}: {err}");
+        }
+        let err = run(&s(&["serve", "--max-queue", "-1"])).unwrap_err();
+        assert!(err.contains("--max-queue"), "{err}");
+        let err = run(&s(&["serve", "--max-queue", "lots"])).unwrap_err();
+        assert!(err.contains("--max-queue"), "{err}");
     }
 }

@@ -47,6 +47,11 @@ pub(crate) struct ServeOptions {
     pub addr: String,
     /// HTTP worker threads; also the per-engine solver thread count.
     pub threads: usize,
+    /// Idle keep-alive timeout (`--keepalive-timeout`, seconds).
+    pub keepalive_timeout: Option<std::time::Duration>,
+    /// Dispatch-queue capacity (`--max-queue`); requests beyond it are
+    /// rejected with 503 + Retry-After.
+    pub max_queue: Option<usize>,
     /// Where to write the final metrics snapshot at shutdown.
     pub metrics_path: Option<String>,
     /// Where to write the final trace journal at shutdown.
@@ -154,11 +159,47 @@ impl EngineStore {
     }
 }
 
+/// How many distinct `(query, body)` analyze requests the response
+/// memo retains before evicting the oldest.
+const MEMO_CAPACITY: usize = 32;
+
+/// One memoized `/v1/analyze` response.
+///
+/// The analyze pipeline is a pure function of the query parameters and
+/// the spec body (every backend is deterministic — `sim` takes its seed
+/// from the query), so the *rendered response bytes* can be replayed
+/// verbatim for a repeated request. Production traffic is dominated by
+/// monitors re-analyzing an unchanged spec; replaying the bytes turns
+/// those requests from a solver round-trip into a table lookup, which
+/// is what lets a keep-alive connection stream analyses at
+/// connection-overhead cost.
+struct MemoEntry {
+    /// Hash over `(query, body)` — a fast reject before the full
+    /// comparison below (hash equality alone never serves a response).
+    fingerprint: u64,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+    /// Whether the rendered body is JSON (`format=text` renders plain).
+    json: bool,
+    rendered: String,
+    /// Path count of the original evaluation, replayed as a trace arg.
+    paths: u64,
+}
+
+fn memo_fingerprint(request: &Request) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    request.query.hash(&mut hasher);
+    request.body.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Shared application state captured by every route handler.
 struct App {
     metrics: Metrics,
     trace: Trace,
     engines: Mutex<EngineStore>,
+    analyze_memo: Mutex<std::collections::VecDeque<MemoEntry>>,
 }
 
 impl App {
@@ -167,10 +208,71 @@ impl App {
             .lock()
             .map_err(|_| "engine store poisoned by an earlier panic".to_string())
     }
+
+    /// Replays a memoized analyze response for this exact request, if
+    /// one exists.
+    fn memo_lookup(&self, request: &Request, fingerprint: u64) -> Option<Response> {
+        let memo = self.analyze_memo.lock().ok()?;
+        let entry = memo.iter().find(|e| {
+            e.fingerprint == fingerprint && e.query == request.query && e.body == request.body
+        })?;
+        self.metrics.counter("serve.analyze_memo.hits").increment();
+        let response = if entry.json {
+            Response::json(200, entry.rendered.clone())
+        } else {
+            Response::text(200, entry.rendered.clone())
+        };
+        Some(
+            response
+                .with_trace_arg("paths", entry.paths)
+                .with_trace_arg("memo", 1u64),
+        )
+    }
+
+    /// Records a freshly rendered analyze response, evicting the
+    /// oldest entry once the memo is full.
+    fn memo_store(
+        &self,
+        request: &Request,
+        fingerprint: u64,
+        json: bool,
+        rendered: &str,
+        paths: u64,
+    ) {
+        let Ok(mut memo) = self.analyze_memo.lock() else {
+            return;
+        };
+        if memo.len() >= MEMO_CAPACITY {
+            memo.pop_front();
+        }
+        memo.push_back(MemoEntry {
+            fingerprint,
+            query: request.query.clone(),
+            body: request.body.clone(),
+            json,
+            rendered: rendered.to_string(),
+            paths,
+        });
+    }
 }
 
 fn bad_request(message: &str) -> Response {
     Response::text(400, format!("error: {message}\n"))
+}
+
+/// Body size beyond which a response streams with
+/// `Transfer-Encoding: chunked` instead of one `Content-Length` body
+/// (batch fleets and trace drains routinely exceed this).
+const CHUNK_THRESHOLD: usize = 64 * 1024;
+
+/// Opts large bodies into chunked streaming (HTTP/1.0 peers still get
+/// `Content-Length` framing — the connection layer downgrades).
+fn maybe_chunked(response: Response) -> Response {
+    if response.body.len() > CHUNK_THRESHOLD {
+        response.with_chunked()
+    } else {
+        response
+    }
 }
 
 fn query_u64(request: &Request, key: &str, default: u64) -> Result<u64, String> {
@@ -183,7 +285,16 @@ fn query_u64(request: &Request, key: &str, default: u64) -> Result<u64, String> 
 }
 
 /// `POST /v1/analyze`: the `analyze` pipeline on the request body.
+///
+/// Responses are memoized per exact `(query, body)` pair — see
+/// [`MemoEntry`] — so a repeated analysis replays the original bytes
+/// instead of re-solving.
 fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let fingerprint = memo_fingerprint(request);
+    if let Some(response) = app.memo_lookup(request, fingerprint) {
+        return Ok(response);
+    }
+    app.metrics.counter("serve.analyze_memo.misses").increment();
     let spec = NetworkSpec::from_json(request.body_text()?)?;
     let name = request.query_param("backend").unwrap_or("fast");
     let seed = query_u64(request, "seed", 42)?;
@@ -217,6 +328,7 @@ fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
             (render_analyze(json, &backend, eval), paths, hits)
         }
     };
+    app.memo_store(request, fingerprint, json, &body, paths as u64);
     let response = if json {
         Response::json(200, body)
     } else {
@@ -248,7 +360,7 @@ fn batch_handler(app: &App, request: &Request) -> Result<Response, String> {
     drop(store);
     let mut response = Response::json(200, out);
     response.content_type = "application/x-ndjson".into();
-    Ok(response
+    Ok(maybe_chunked(response)
         .with_trace_arg("scenarios", scenarios as u64)
         .with_trace_arg("cache_hits", hits))
 }
@@ -355,12 +467,12 @@ fn trace_handler(app: &App, request: &Request) -> Result<Response, String> {
         None | Some("jsonl") => {
             let mut response = Response::json(200, log.to_jsonl());
             response.content_type = "application/x-ndjson".into();
-            Ok(response)
+            Ok(maybe_chunked(response))
         }
         Some("chrome") => {
             let mut text = log.to_chrome_json().to_pretty();
             text.push('\n');
-            Ok(Response::json(200, text))
+            Ok(maybe_chunked(Response::json(200, text)))
         }
         Some(other) => Err(format!(
             "unknown format '{other}' (expected jsonl or chrome)"
@@ -473,10 +585,15 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
         Some(capacity) => Trace::with_capacity(capacity),
         None => Trace::new(),
     };
+    let defaults = ServerConfig::default();
     let mut server = Server::bind(&ServerConfig {
         addr: options.addr.clone(),
         threads,
-        ..ServerConfig::default()
+        keepalive_timeout: options
+            .keepalive_timeout
+            .unwrap_or(defaults.keepalive_timeout),
+        max_queue: options.max_queue.unwrap_or(defaults.max_queue),
+        ..defaults
     })
     .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -491,6 +608,7 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
             metrics.clone(),
             trace.clone(),
         )),
+        analyze_memo: Mutex::new(std::collections::VecDeque::new()),
     });
     server.set_router(build_router(&app, server.shutdown()));
     let ready = server.ready();

@@ -300,6 +300,59 @@ fn optimize_runs_against_the_persistent_engine() {
 }
 
 #[test]
+fn keep_alive_connection_answers_byte_identically_to_fresh_connections() {
+    // New serve flags are accepted and the persistent-connection path
+    // returns exactly the bytes the close-per-request path does.
+    let serve = spawn_serve(&["--keepalive-timeout", "30", "--max-queue", "64"]);
+    await_ready(&serve.addr);
+    let spec = section_v_spec();
+    let (status, expected) = http(&serve.addr, "POST", "/v1/analyze", &spec);
+    assert_eq!(status, 200);
+
+    let stream = TcpStream::connect(&serve.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    for round in 0..3 {
+        write!(
+            reader.get_mut(),
+            "POST /v1/analyze HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{spec}",
+            spec.len()
+        )
+        .expect("write request");
+        // Parse one keep-alive framed response.
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line}");
+        let mut length = 0usize;
+        let mut keep_alive = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').unwrap();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => length = value.trim().parse().unwrap(),
+                "connection" => keep_alive = value.trim() == "keep-alive",
+                _ => {}
+            }
+        }
+        assert!(keep_alive, "round {round}: server kept the connection");
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).unwrap();
+        assert_eq!(
+            std::str::from_utf8(&body).unwrap(),
+            expected,
+            "round {round}: reused-connection response drifted"
+        );
+    }
+}
+
+#[test]
 fn error_paths_answer_with_client_errors() {
     let serve = spawn_serve(&[]);
     let (status, _) = http(&serve.addr, "GET", "/healthz", "");

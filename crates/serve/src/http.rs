@@ -1,19 +1,57 @@
-//! Minimal HTTP/1.1 request parsing and response writing over a
-//! [`std::io::Read`]/[`std::io::Write`] pair.
+//! HTTP/1.1 message parsing and response writing.
 //!
-//! The framework speaks exactly the subset a local evaluation service
-//! needs: one request per connection (`Connection: close` on every
-//! response), `Content-Length` bodies, query strings with percent
-//! decoding. Streaming bodies, chunked encoding and keep-alive are out
-//! of scope.
+//! The framework speaks the subset a high-throughput local evaluation
+//! service needs: persistent connections (keep-alive by default on
+//! HTTP/1.1, honored `Connection: close`), pipelined requests,
+//! `Content-Length` bodies with hardened validation, chunked response
+//! streaming for large payloads, and percent-decoded query strings.
+//! Head parsing works on a byte buffer (see [`find_head_end`] and
+//! [`parse_head`]) so the connection layer can frame pipelined requests
+//! out of whatever the socket delivered; chunked *request* bodies are
+//! rejected (the service's clients always know their payload size).
 
-use std::io::{Read, Write};
+use std::io::Write;
 use whart_trace::ArgValue;
 
 /// Maximum accepted header block, in bytes.
-const MAX_HEAD: usize = 16 * 1024;
+pub(crate) const MAX_HEAD: usize = 16 * 1024;
 /// Maximum accepted request body, in bytes.
-const MAX_BODY: usize = 16 * 1024 * 1024;
+pub(crate) const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Chunk payload size used when a response opts into chunked streaming.
+const CHUNK: usize = 64 * 1024;
+
+/// Why reading the next request off a connection failed.
+///
+/// The connection layer maps each variant to wire behavior: a clean
+/// close for [`RequestError::Closed`], 408 for [`RequestError::TimedOut`]
+/// mid-request, 413 for [`RequestError::TooLarge`], 400 for
+/// [`RequestError::Malformed`], and a silent drop for I/O errors.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection at a request boundary (no bytes
+    /// of a next request were received). Not an error on keep-alive.
+    Closed,
+    /// The read deadline passed mid-request.
+    TimedOut,
+    /// The head or declared body exceeds the server's caps (413).
+    TooLarge(String),
+    /// The bytes do not parse as an HTTP/1.x request (400).
+    Malformed(String),
+    /// The socket failed underneath the read.
+    Io(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::TimedOut => write!(f, "request read timed out"),
+            RequestError::TooLarge(m) | RequestError::Malformed(m) | RequestError::Io(m) => {
+                write!(f, "{m}")
+            }
+        }
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -28,6 +66,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Minor HTTP version: 1 for `HTTP/1.1`, 0 for `HTTP/1.0`.
+    pub minor_version: u8,
 }
 
 impl Request {
@@ -56,6 +96,22 @@ impl Request {
     pub fn body_text(&self) -> Result<&str, String> {
         std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".into())
     }
+
+    /// Whether this request asks to keep the connection open: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let tokens = self.header("connection").unwrap_or("");
+        let has = |token: &str| {
+            tokens
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if has("close") {
+            return false;
+        }
+        self.minor_version >= 1 || has("keep-alive")
+    }
 }
 
 /// One HTTP response to write back.
@@ -67,6 +123,12 @@ pub struct Response {
     pub content_type: String,
     /// Response body.
     pub body: Vec<u8>,
+    /// Extra headers (`Retry-After`, ...) appended verbatim.
+    pub headers: Vec<(&'static str, String)>,
+    /// Whether to stream the body with `Transfer-Encoding: chunked`
+    /// (large payloads; requires an HTTP/1.1 peer, see
+    /// [`Response::write_to`]).
+    pub chunked: bool,
     /// Extra arguments the request middleware merges into the
     /// per-request trace span (e.g. scenario counts, cache hits).
     pub trace_args: Vec<(&'static str, ArgValue)>,
@@ -79,6 +141,8 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8".into(),
             body: body.into().into_bytes(),
+            headers: Vec::new(),
+            chunked: false,
             trace_args: Vec::new(),
         }
     }
@@ -86,16 +150,27 @@ impl Response {
     /// An `application/json` response.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
         Response {
-            status,
             content_type: "application/json".into(),
-            body: body.into().into_bytes(),
-            trace_args: Vec::new(),
+            ..Response::text(status, body)
         }
     }
 
     /// Attaches a trace-span argument (builder style).
     pub fn with_trace_arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Response {
         self.trace_args.push((key, value.into()));
+        self
+    }
+
+    /// Appends a response header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Opts the body into chunked streaming (builder style). Connections
+    /// fall back to `Content-Length` framing for HTTP/1.0 peers.
+    pub fn with_chunked(mut self) -> Response {
+        self.chunked = true;
         self
     }
 
@@ -107,6 +182,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -114,17 +190,53 @@ impl Response {
         }
     }
 
-    /// Serializes the response (status line, headers, body) to `out`.
-    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+    /// Serializes the response to `out`.
+    ///
+    /// `keep_alive` selects the `Connection` header the peer sees; the
+    /// caller owns actually closing (or not closing) the socket.
+    /// `allow_chunked` is whether the peer speaks HTTP/1.1 — a chunked
+    /// response to an HTTP/1.0 client silently falls back to
+    /// `Content-Length` framing.
+    ///
+    /// # Errors
+    ///
+    /// When writing to `out` fails.
+    pub fn write_to(
+        &self,
+        out: &mut dyn Write,
+        keep_alive: bool,
+        allow_chunked: bool,
+    ) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
         )?;
-        out.write_all(&self.body)?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        if self.chunked && allow_chunked {
+            write!(
+                out,
+                "Transfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n"
+            )?;
+            for chunk in self.body.chunks(CHUNK) {
+                write!(out, "{:x}\r\n", chunk.len())?;
+                out.write_all(chunk)?;
+                out.write_all(b"\r\n")?;
+            }
+            out.write_all(b"0\r\n\r\n")?;
+        } else {
+            write!(
+                out,
+                "Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+                self.body.len()
+            )?;
+            out.write_all(&self.body)?;
+        }
         out.flush()
     }
 }
@@ -183,75 +295,152 @@ fn split_target(target: &str) -> (String, Vec<(String, String)>) {
     (percent_decode(path), pairs)
 }
 
-/// Reads and parses one request from `stream`.
+/// The index one past the `\r\n\r\n` terminating the header block, if
+/// `buf` contains a complete head.
 ///
 /// # Errors
 ///
-/// A human-readable parse/IO failure; the caller answers 400.
-pub fn read_request(stream: &mut dyn Read) -> Result<Request, String> {
-    // Read until the blank line ending the header block.
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD {
-            return Err("header block too large".into());
+/// [`RequestError::TooLarge`] once the (possibly still incomplete) head
+/// exceeds the cap — the connection layer stops buffering a client that
+/// streams headers forever.
+pub fn find_head_end(buf: &[u8]) -> Result<Option<usize>, RequestError> {
+    if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        let end = at + 4;
+        if end > MAX_HEAD {
+            return Err(RequestError::TooLarge(format!(
+                "header block of {end} bytes exceeds the {MAX_HEAD} limit"
+            )));
         }
-        match stream.read(&mut byte) {
-            Ok(0) => return Err("connection closed mid-request".into()),
-            Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(format!("read error: {e}")),
-        }
+        return Ok(Some(end));
     }
-    let head = std::str::from_utf8(&head).map_err(|_| "header block is not valid UTF-8")?;
+    if buf.len() >= MAX_HEAD {
+        return Err(RequestError::TooLarge(format!(
+            "header block exceeds the {MAX_HEAD} limit"
+        )));
+    }
+    Ok(None)
+}
+
+/// Parses a complete header block (request line through the blank line)
+/// into a body-less [`Request`].
+///
+/// # Errors
+///
+/// [`RequestError::Malformed`] with a human-readable reason.
+pub fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
+    let malformed = |m: &str| RequestError::Malformed(m.into());
+    let head =
+        std::str::from_utf8(head).map_err(|_| malformed("header block is not valid UTF-8"))?;
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or("empty request")?;
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
-    let target = parts.next().ok_or("missing request target")?;
-    let version = parts.next().ok_or("missing HTTP version")?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version}"));
-    }
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| malformed("missing HTTP version"))?;
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        other => {
+            return Err(RequestError::Malformed(format!(
+                "unsupported version {other}"
+            )))
+        }
+    };
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("malformed header line"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     let (path, query) = split_target(target);
-    let mut request = Request {
+    Ok(Request {
         method,
         path,
         query,
         headers,
         body: Vec::new(),
-    };
-    if let Some(length) = request.header("content-length") {
-        let length: usize = length
-            .parse()
-            .map_err(|_| format!("bad content-length '{length}'"))?;
-        if length > MAX_BODY {
-            return Err(format!(
-                "body of {length} bytes exceeds the {MAX_BODY} limit"
-            ));
-        }
-        let mut body = vec![0u8; length];
-        stream
-            .read_exact(&mut body)
-            .map_err(|e| format!("short body: {e}"))?;
-        request.body = body;
+        minor_version,
+    })
+}
+
+/// The validated body length a parsed head declares.
+///
+/// `Content-Length` must be all ASCII digits (no sign, no whitespace,
+/// no units); repeated headers must agree; chunked request bodies are
+/// not accepted.
+///
+/// # Errors
+///
+/// [`RequestError::Malformed`] for invalid or conflicting declarations,
+/// [`RequestError::TooLarge`] past the body cap.
+pub fn content_length(request: &Request) -> Result<usize, RequestError> {
+    if let Some(te) = request.header("transfer-encoding") {
+        return Err(RequestError::Malformed(format!(
+            "transfer-encoding '{te}' is not supported for request bodies; \
+             send a content-length"
+        )));
     }
-    Ok(request)
+    let mut declared: Option<&str> = None;
+    for (name, value) in &request.headers {
+        if name != "content-length" {
+            continue;
+        }
+        match declared {
+            None => declared = Some(value),
+            Some(first) if first == value => {}
+            Some(first) => {
+                return Err(RequestError::Malformed(format!(
+                    "conflicting content-length headers ('{first}' vs '{value}')"
+                )))
+            }
+        }
+    }
+    let Some(raw) = declared else {
+        return Ok(0);
+    };
+    if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(RequestError::Malformed(format!(
+            "bad content-length '{raw}'"
+        )));
+    }
+    let length: usize = raw
+        .parse()
+        .map_err(|_| RequestError::Malformed(format!("bad content-length '{raw}'")))?;
+    if length > MAX_BODY {
+        return Err(RequestError::TooLarge(format!(
+            "body of {length} bytes exceeds the {MAX_BODY} limit"
+        )));
+    }
+    Ok(length)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(raw: &str) -> Result<Request, String> {
-        read_request(&mut raw.as_bytes())
+    /// Parses one framed request out of a complete byte buffer (the
+    /// connection layer does this incrementally over a socket).
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        let bytes = raw.as_bytes();
+        let head_end = find_head_end(bytes)?.ok_or(RequestError::Closed)?;
+        let mut request = parse_head(&bytes[..head_end])?;
+        let length = content_length(&request)?;
+        let body = bytes
+            .get(head_end..head_end + length)
+            .ok_or_else(|| RequestError::Malformed("short body".into()))?;
+        request.body = body.to_vec();
+        Ok(request)
     }
 
     #[test]
@@ -264,6 +453,7 @@ mod tests {
         assert_eq!(req.query_param("x"), Some("a b c"));
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.minor_version, 1);
         assert!(req.body.is_empty());
     }
 
@@ -277,35 +467,133 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(parse("").is_err());
-        assert!(parse("GET\r\n\r\n").is_err());
-        assert!(parse("GET / SPDY/9\r\n\r\n").is_err());
-        assert!(parse("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
-        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab").is_err());
-        assert!(parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+    fn keep_alive_follows_version_and_connection_header() {
+        let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive(), "1.1 defaults to keep-alive");
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse("GET / HTTP/1.1\r\nConnection: Keep-Alive, TE\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive(), "token list, case-insensitive");
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive(), "1.0 defaults to close");
+        assert_eq!(req.minor_version, 0);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive(), "1.0 opt-in");
     }
 
     #[test]
-    fn responses_serialize_with_length_and_close() {
+    fn rejects_garbage() {
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.2\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_validation_is_strict() {
+        let malformed = [
+            "POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: +10\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 1 0\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ];
+        for raw in malformed {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Malformed(_))),
+                "{raw:?}"
+            );
+        }
+        // Agreeing duplicates are tolerated.
+        let req =
+            parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+        // Oversized bodies are a distinct, 413-worthy failure.
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&raw), Err(RequestError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversized_heads_are_too_large() {
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        assert!(matches!(parse(&raw), Err(RequestError::TooLarge(_))));
+        // Incomplete but already over the cap: same verdict.
+        let partial = vec![b'a'; MAX_HEAD + 1];
+        assert!(matches!(
+            find_head_end(&partial),
+            Err(RequestError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection_header() {
         let mut out = Vec::new();
         Response::json(200, "{\"ok\":true}")
-            .write_to(&mut out)
+            .write_to(&mut out, true, true)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"), "{text}");
-        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+
         let mut out = Vec::new();
         Response::text(503, "starting\n")
-            .write_to(&mut out)
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, false, true)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(
             text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
             "{text}"
         );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_responses_frame_the_body_and_fall_back_for_http10() {
+        let body = "x".repeat(CHUNK + 10);
+        let mut out = Vec::new();
+        Response::json(200, body.clone())
+            .with_chunked()
+            .write_to(&mut out, true, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "framing");
+        assert!(!text.contains("Content-Length"), "no length with chunked");
+        assert!(text.contains(&format!("{CHUNK:x}\r\n")), "first chunk size");
+        assert!(text.contains("\r\na\r\n"), "second chunk is 10 = 0xa bytes");
+        assert!(text.ends_with("0\r\n\r\n"), "terminator");
+
+        // An HTTP/1.0 peer cannot parse chunks: fall back to a length.
+        let mut out = Vec::new();
+        Response::json(200, body.clone())
+            .with_chunked()
+            .write_to(&mut out, false, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Transfer-Encoding"), "{}", &text[..200]);
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
     }
 
     #[test]

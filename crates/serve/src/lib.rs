@@ -4,21 +4,29 @@
 //! The `whart serve` subcommand wraps this crate around the evaluation
 //! engine to form a long-running service whose caches stay warm across
 //! requests. The framework itself knows nothing about network specs —
-//! it provides the machinery a small internal service needs, on `std`
-//! alone (`TcpListener` + a worker thread pool, consistent with the
-//! workspace's offline/vendored dependency policy):
+//! it provides the machinery a production-traffic internal service
+//! needs, on `std` alone (consistent with the workspace's
+//! offline/vendored dependency policy):
 //!
-//! * [`http`] — HTTP/1.1 request parsing and response writing
-//!   (`Content-Length` bodies, query strings, `Connection: close`).
+//! * [`http`] — HTTP/1.1 request parsing and response writing:
+//!   keep-alive/`Connection` semantics, hardened `Content-Length`
+//!   validation, query strings, and chunked streaming for large
+//!   response bodies.
+//! * [`conn`] — persistent-connection framing: a cross-request receive
+//!   buffer (pipelining) and deadline-bounded reads and writes.
+//! * [`poll`] (Unix) — readiness polling via a thin libc-free
+//!   `poll(2)` shim, plus the wake pipe workers use to interrupt the
+//!   event loop.
 //! * [`router`] — exact-path routing with stable route labels for
 //!   metric cardinality control.
-//! * [`server`] — the accept loop and worker pool: built-in
-//!   `GET /healthz` / `GET /readyz` probes, per-request metrics
-//!   (`http.requests_total{route,code}`, per-route latency histograms,
-//!   in-flight gauge) and one trace span per request on the shared
-//!   [`whart_obs::Metrics`] / [`whart_trace::Trace`] facades, and
-//!   graceful shutdown that drains every accepted connection before
-//!   [`server::Server::serve`] returns.
+//! * [`server`] — the event loop and worker pool: parked keep-alive
+//!   connections, a bounded dispatch queue with `503` + `Retry-After`
+//!   admission control, built-in `GET /healthz` / `GET /readyz` probes
+//!   (health flips to 503 once drain begins), per-request metrics and
+//!   trace spans on the shared [`whart_obs::Metrics`] /
+//!   [`whart_trace::Trace`] facades, and graceful shutdown that drains
+//!   every dispatched connection before [`server::Server::serve`]
+//!   returns.
 //! * [`signal`] — SIGINT observation (no libc dependency) so Ctrl-C
 //!   triggers the same drain as `POST /admin/shutdown`.
 //!
@@ -35,14 +43,17 @@
 //! server.serve().unwrap();
 //! ```
 
-#![deny(unsafe_code)] // `signal` opts out locally for the SIGINT shim.
+#![deny(unsafe_code)] // `signal` and `poll` opt out locally for their shims.
 #![warn(missing_docs)]
 
+pub mod conn;
 pub mod http;
+#[cfg(unix)]
+pub mod poll;
 pub mod router;
 pub mod server;
 pub mod signal;
 
-pub use http::{Request, Response};
+pub use http::{Request, RequestError, Response};
 pub use router::{Handler, Router};
 pub use server::{Flag, Server, ServerConfig};

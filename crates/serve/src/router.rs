@@ -85,6 +85,7 @@ mod tests {
             query: Vec::new(),
             headers: Vec::new(),
             body: Vec::new(),
+            minor_version: 1,
         }
     }
 

@@ -1,38 +1,56 @@
-//! The worker-pool HTTP server: nonblocking accept loop, graceful
-//! drain, built-in health/readiness probes, and per-request metrics and
-//! tracing middleware.
+//! The readiness-loop HTTP server: keep-alive connections, a bounded
+//! request queue with admission control, graceful drain, built-in
+//! health/readiness probes, and per-request metrics and tracing
+//! middleware.
 //!
-//! ## Threading model
+//! ## Threading model (Unix)
 //!
-//! One accept loop (the thread calling [`Server::serve`]) polls a
-//! nonblocking listener and hands accepted connections to a fixed pool
-//! of worker threads over an mpsc channel. Each connection carries one
-//! request (`Connection: close`), so a worker is busy for exactly one
-//! request at a time and the channel bounds nothing — backpressure is
-//! the OS accept queue.
+//! One event loop (the thread calling [`Server::serve`]) owns a poll
+//! set holding the nonblocking listener, a wake pipe, and every idle
+//! keep-alive connection. When a parked connection turns readable it is
+//! dispatched to a fixed pool of worker threads over a **bounded**
+//! channel of capacity [`ServerConfig::max_queue`]; a full queue is
+//! answered immediately with `503` + `Retry-After` instead of buffering
+//! without bound (finite-queue admission, the degradation mode the
+//! finite-queue mesh models in the related work prescribe). A worker
+//! serves requests back-to-back while more are buffered or in flight on
+//! the socket (pipelining), then hands the connection back to the event
+//! loop for parking and wakes its poll via the wake pipe. Idle
+//! connections past [`ServerConfig::keepalive_timeout`] are closed by
+//! the event loop.
+//!
+//! On non-Unix targets there is no poller: workers own connections for
+//! their whole lifetime and idle keep-alive waits consume a worker (a
+//! documented fallback, not the production path).
 //!
 //! ## Shutdown and drain
 //!
 //! [`Server::shutdown`] returns a [`Flag`]; setting it (or a SIGINT
-//! observed via [`crate::signal`]) makes the accept loop stop accepting,
-//! close the channel, and join the workers. Workers finish every
-//! already-accepted connection — queued or mid-solve — before exiting,
-//! so in-flight requests are never reset. [`Server::serve`] then
-//! returns and the caller writes its final artifacts.
+//! observed via [`crate::signal`]) makes the event loop stop accepting,
+//! close idle connections, close the work queue, and join the workers.
+//! Workers finish every dispatched connection — queued or mid-solve —
+//! and serve already-buffered pipelined requests, but answer with
+//! `Connection: close` and stop parking, so the drain converges.
+//! `GET /healthz` answers `503 draining` the moment drain begins, so a
+//! load balancer stops routing to the instance while in-flight work
+//! completes.
 //!
 //! ## Observability
 //!
-//! Every request increments `http.requests_total{route,code}`, records
-//! into the per-route latency histogram `http.request_ns{route}`,
-//! tracks the `http.in_flight` gauge, and emits one `http_request`
-//! trace span carrying the route, status code, and any
-//! [`Response::trace_args`] the handler attached.
+//! Per request: `http.requests_total{route,code}`, the per-route
+//! latency histogram `http.request_ns{route}`, the `http.in_flight`
+//! gauge, and one `http_request` trace span. Per connection:
+//! `http.connections_open` (gauge), `http.keepalive.reuses_total`,
+//! `http.keepalive.expired_total`, and the admission-control pair
+//! `http.queue_depth` (gauge) / `http.rejected_total{reason=queue_full}`.
 
-use crate::http::{read_request, Response};
+use crate::conn::{After, Conn};
+use crate::http::{RequestError, Response};
 use crate::router::Router;
 use crate::signal;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -40,8 +58,21 @@ use std::time::{Duration, Instant};
 use whart_obs::Metrics;
 use whart_trace::Trace;
 
-/// How long the accept loop sleeps when no connection is pending.
+#[cfg(unix)]
+use crate::poll;
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+
+/// Event-loop tick: the upper bound on how long a poll sleeps, so
+/// shutdown flags and idle expiry are observed promptly.
+const TICK: Duration = Duration::from_millis(250);
+
+/// How long the non-Unix accept loop sleeps when nothing is pending.
+#[cfg(not(unix))]
 const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// How long the event loop spends writing a queue-full rejection.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// A cloneable one-way boolean latch (readiness, shutdown).
 #[derive(Clone, Default)]
@@ -77,9 +108,20 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker thread count (minimum 1).
     pub threads: usize,
-    /// Per-connection read timeout, so a silent client cannot pin a
-    /// worker forever.
+    /// Per-request read deadline once bytes have started arriving, so a
+    /// trickling client cannot pin a worker forever (408 on expiry).
     pub read_timeout: Duration,
+    /// Per-response write deadline, so a peer that stops reading cannot
+    /// pin a worker forever.
+    pub write_timeout: Duration,
+    /// How long an idle keep-alive connection may sit parked before the
+    /// server closes it.
+    pub keepalive_timeout: Duration,
+    /// Dispatch-queue capacity. Readable connections beyond the free
+    /// workers plus this backlog are rejected with `503` +
+    /// `Retry-After` instead of queueing unboundedly. `0` means a
+    /// request is admitted only when a worker is free right now.
+    pub max_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +130,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 4,
             read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            keepalive_timeout: Duration::from_secs(60),
+            max_queue: 1024,
         }
     }
 }
@@ -98,8 +143,47 @@ struct Ctx {
     metrics: Metrics,
     trace: Trace,
     ready: Flag,
+    shutdown: Flag,
     in_flight: AtomicU64,
+    open: AtomicU64,
+    queued: AtomicU64,
     read_timeout: Duration,
+    write_timeout: Duration,
+    keepalive_timeout: Duration,
+}
+
+impl Ctx {
+    /// Whether graceful drain has begun (flag or SIGINT).
+    fn draining(&self) -> bool {
+        self.shutdown.is_set() || signal::interrupted()
+    }
+}
+
+/// A connection plus the bookkeeping that must run when it dies, no
+/// matter which thread drops it.
+struct Tracked {
+    conn: Conn,
+    ctx: Arc<Ctx>,
+}
+
+impl Deref for Tracked {
+    type Target = Conn;
+    fn deref(&self) -> &Conn {
+        &self.conn
+    }
+}
+
+impl DerefMut for Tracked {
+    fn deref_mut(&mut self) -> &mut Conn {
+        &mut self.conn
+    }
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        let open = self.ctx.open.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.ctx.metrics.gauge("http.connections_open").set(open);
+    }
 }
 
 /// A bound HTTP server, not yet serving.
@@ -112,6 +196,9 @@ pub struct Server {
     shutdown: Flag,
     threads: usize,
     read_timeout: Duration,
+    write_timeout: Duration,
+    keepalive_timeout: Duration,
+    max_queue: usize,
 }
 
 impl Server {
@@ -133,6 +220,9 @@ impl Server {
             shutdown: Flag::new(),
             threads: config.threads.max(1),
             read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            keepalive_timeout: config.keepalive_timeout,
+            max_queue: config.max_queue,
         })
     }
 
@@ -172,41 +262,182 @@ impl Server {
         self.shutdown.clone()
     }
 
-    /// Runs the accept loop until shutdown (flag or SIGINT), then drains
-    /// the workers and returns.
-    ///
-    /// # Errors
-    ///
-    /// When the listener cannot be switched to nonblocking mode.
-    pub fn serve(mut self) -> io::Result<()> {
-        signal::install();
-        self.listener.set_nonblocking(true)?;
-        let ctx = Arc::new(Ctx {
+    fn make_ctx(&mut self) -> Arc<Ctx> {
+        Arc::new(Ctx {
             router: std::mem::take(&mut self.router),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             ready: self.ready.clone(),
+            shutdown: self.shutdown.clone(),
             in_flight: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
             read_timeout: self.read_timeout,
-        });
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<_> = (0..self.threads)
-            .map(|i| {
+            write_timeout: self.write_timeout,
+            keepalive_timeout: self.keepalive_timeout,
+        })
+    }
+
+    /// Runs the event loop until shutdown (flag or SIGINT), then drains
+    /// the workers and returns.
+    ///
+    /// # Errors
+    ///
+    /// When the listener cannot be switched to nonblocking mode or the
+    /// wake pipe cannot be created.
+    #[cfg(unix)]
+    pub fn serve(mut self) -> io::Result<()> {
+        signal::install();
+        self.listener.set_nonblocking(true)?;
+        let ctx = self.make_ctx();
+        let (work_tx, work_rx) = mpsc::sync_channel::<Tracked>(self.max_queue);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (park_tx, park_rx) = mpsc::channel::<Tracked>();
+        let mut wake = poll::WakePipe::new()?;
+        let wakers: Vec<poll::Waker> = (0..self.threads)
+            .map(|_| wake.waker())
+            .collect::<io::Result<_>>()?;
+        let workers: Vec<_> = wakers
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut waker)| {
                 let ctx = Arc::clone(&ctx);
-                let rx = Arc::clone(&rx);
+                let work_rx = Arc::clone(&work_rx);
+                let park_tx = park_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("whart-serve-{i}"))
-                    .spawn(move || worker_loop(&ctx, &rx))
+                    .spawn(move || worker_loop(&ctx, &work_rx, &park_tx, &mut waker))
                     .expect("spawn worker")
             })
             .collect();
-        while !self.shutdown.is_set() && !signal::interrupted() {
+        drop(park_tx); // the event loop only receives
+
+        let mut idle: Vec<Tracked> = Vec::new();
+        while !ctx.draining() {
+            // Expire idle keep-alive connections; note the next expiry
+            // so the poll timeout does not sleep past it.
+            let now = Instant::now();
+            let mut next_expiry: Option<Duration> = None;
+            let mut i = 0;
+            while i < idle.len() {
+                let idle_for = now.duration_since(idle[i].idle_since);
+                if idle_for >= ctx.keepalive_timeout {
+                    drop(idle.swap_remove(i));
+                    ctx.metrics
+                        .counter("http.keepalive.expired_total")
+                        .increment();
+                } else {
+                    let left = ctx.keepalive_timeout - idle_for;
+                    next_expiry = Some(next_expiry.map_or(left, |m| m.min(left)));
+                    i += 1;
+                }
+            }
+            let timeout = next_expiry.map_or(TICK, |d| d.min(TICK));
+
+            let mut fds = Vec::with_capacity(idle.len() + 2);
+            fds.push(poll::PollFd::new(self.listener.as_raw_fd(), poll::POLLIN));
+            fds.push(poll::PollFd::new(wake.fd(), poll::POLLIN));
+            for parked in &idle {
+                fds.push(poll::PollFd::new(parked.fd(), poll::POLLIN));
+            }
+            match poll::poll(&mut fds, Some(timeout)) {
+                Ok(0) => continue,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+
+            // Readable (or hung-up) parked connections go to the
+            // workers; descending order keeps swap_remove indices valid.
+            for index in (0..idle.len()).rev() {
+                if fds[index + 2].ready() {
+                    dispatch(&ctx, idle.swap_remove(index), &work_tx);
+                }
+            }
+            if fds[1].ready() {
+                wake.drain();
+            }
+            // Park connections the workers handed back (the wake byte
+            // may still be in flight; collecting every tick is cheap
+            // and loses nothing).
+            idle.extend(park_rx.try_iter());
+            if fds[0].ready() {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            if let Ok(conn) = Conn::new(stream) {
+                                let open = ctx.open.fetch_add(1, Ordering::SeqCst) + 1;
+                                ctx.metrics.gauge("http.connections_open").set(open);
+                                // Parked until its first bytes arrive;
+                                // the next poll dispatches it.
+                                idle.push(Tracked {
+                                    conn,
+                                    ctx: Arc::clone(&ctx),
+                                });
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        // Drain: stop accepting, close idle connections, close the work
+        // queue. Workers finish every dispatched connection, then see
+        // the closed channel and exit. Connections parked during the
+        // race are closed after the join.
+        drop(work_tx);
+        idle.clear();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        wake.drain();
+        for parked in park_rx.try_iter() {
+            drop(parked);
+        }
+        Ok(())
+    }
+
+    /// Fallback accept loop for non-Unix targets: workers own their
+    /// connections end-to-end (idle keep-alive waits consume a worker).
+    ///
+    /// # Errors
+    ///
+    /// When the listener cannot be switched to nonblocking mode.
+    #[cfg(not(unix))]
+    pub fn serve(mut self) -> io::Result<()> {
+        signal::install();
+        self.listener.set_nonblocking(true)?;
+        let ctx = self.make_ctx();
+        let (work_tx, work_rx) = mpsc::sync_channel::<Tracked>(self.max_queue);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let workers: Vec<_> = (0..self.threads)
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let work_rx = Arc::clone(&work_rx);
+                std::thread::Builder::new()
+                    .name(format!("whart-serve-{i}"))
+                    .spawn(move || worker_loop_blocking(&ctx, &work_rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        while !ctx.draining() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    // A send can only fail after the workers exited,
-                    // which only happens once tx is dropped below.
-                    let _ = tx.send(stream);
+                    if let Ok(conn) = Conn::new(stream) {
+                        let open = ctx.open.fetch_add(1, Ordering::SeqCst) + 1;
+                        ctx.metrics.gauge("http.connections_open").set(open);
+                        dispatch(
+                            &ctx,
+                            Tracked {
+                                conn,
+                                ctx: Arc::clone(&ctx),
+                            },
+                            &work_tx,
+                        );
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -215,10 +446,7 @@ impl Server {
                 Err(_) => std::thread::sleep(ACCEPT_POLL),
             }
         }
-        // Stop accepting; close the queue. Workers finish every accepted
-        // connection (queued or in-flight), then see the closed channel
-        // and exit.
-        drop(tx);
+        drop(work_tx);
         for worker in workers {
             let _ = worker.join();
         }
@@ -231,28 +459,106 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("addr", &self.listener.local_addr().ok())
             .field("threads", &self.threads)
+            .field("max_queue", &self.max_queue)
             .finish()
     }
 }
 
-fn worker_loop(ctx: &Ctx, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+/// Admits a readable connection into the bounded work queue, or rejects
+/// it with `503` + `Retry-After` when the queue is full.
+fn dispatch(ctx: &Arc<Ctx>, tracked: Tracked, work_tx: &mpsc::SyncSender<Tracked>) {
+    // Count before sending so a worker's decrement can never observe
+    // the queue below zero.
+    let depth = ctx.queued.fetch_add(1, Ordering::SeqCst) + 1;
+    ctx.metrics.gauge("http.queue_depth").set(depth);
+    match work_tx.try_send(tracked) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(mut rejected)) => {
+            let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
+            ctx.metrics.gauge("http.queue_depth").set(depth);
+            ctx.metrics
+                .counter("http.rejected_total{reason=queue_full}")
+                .increment();
+            let response = Response::text(503, "server busy: request queue is full\n")
+                .with_header("Retry-After", "1");
+            let _ = rejected.write_response(&response, false, false, REJECT_WRITE_TIMEOUT);
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
+            ctx.metrics.gauge("http.queue_depth").set(depth);
+        }
+    }
+}
+
+/// What a worker should do with a connection after serving it.
+enum Disposition {
+    /// Hand the connection back to the event loop's idle set.
+    #[cfg_attr(not(unix), allow(dead_code))]
+    Park,
+    /// Drop the connection.
+    Close,
+}
+
+#[cfg(unix)]
+fn worker_loop(
+    ctx: &Arc<Ctx>,
+    work_rx: &Mutex<mpsc::Receiver<Tracked>>,
+    park_tx: &mpsc::Sender<Tracked>,
+    waker: &mut poll::Waker,
+) {
     loop {
         // Hold the lock only for the handoff, not while serving.
-        let stream = match rx.lock() {
+        let tracked = match work_rx.lock() {
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
-        match stream {
-            Ok(stream) => handle_connection(ctx, stream),
-            Err(_) => return, // channel closed: drain complete
+        let Ok(mut tracked) = tracked else {
+            return; // channel closed: drain complete
+        };
+        let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
+        ctx.metrics.gauge("http.queue_depth").set(depth);
+        match serve_conn(ctx, &mut tracked.conn) {
+            Disposition::Park => {
+                if park_tx.send(tracked).is_ok() {
+                    waker.wake();
+                }
+            }
+            Disposition::Close => drop(tracked),
         }
+    }
+}
+
+#[cfg(not(unix))]
+fn worker_loop_blocking(ctx: &Arc<Ctx>, work_rx: &Mutex<mpsc::Receiver<Tracked>>) {
+    loop {
+        let tracked = match work_rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(mut tracked) = tracked else {
+            return;
+        };
+        let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
+        ctx.metrics.gauge("http.queue_depth").set(depth);
+        // serve_conn never returns Park off-Unix (idle waits loop
+        // inside it at the keep-alive timeout).
+        let _ = serve_conn(ctx, &mut tracked.conn);
     }
 }
 
 /// Built-in probe routes, answered before the router.
 fn builtin(ctx: &Ctx, method: &str, path: &str) -> Option<(&'static str, Response)> {
     match (method, path) {
-        ("GET", "/healthz") => Some(("/healthz", Response::text(200, "ok\n"))),
+        ("GET", "/healthz") => Some((
+            "/healthz",
+            // A draining server must stop reporting healthy so load
+            // balancers route around it while in-flight work finishes.
+            if ctx.draining() {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ok\n")
+            },
+        )),
         ("GET", "/readyz") => Some((
             "/readyz",
             if ctx.ready.is_set() {
@@ -265,20 +571,8 @@ fn builtin(ctx: &Ctx, method: &str, path: &str) -> Option<(&'static str, Respons
     }
 }
 
-fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
-    let flight = ctx.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-    let gauge = ctx.metrics.gauge("http.in_flight");
-    gauge.set(flight);
-    let started = Instant::now();
-    let (label, response) = match read_request(&mut stream) {
-        Ok(request) => match builtin(ctx, &request.method, &request.path) {
-            Some(hit) => hit,
-            None => ctx.router.dispatch(&request),
-        },
-        Err(error) => ("malformed", Response::text(400, format!("{error}\n"))),
-    };
-    let _ = response.write_to(&mut stream);
+/// Records the request middleware's metrics and trace span.
+fn instrument(ctx: &Ctx, label: &str, response: &Response, started: Instant) {
     let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     ctx.metrics
         .counter(&format!(
@@ -292,26 +586,134 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
     let mut span = ctx.trace.span("http_request", "http");
     span.arg("route", label);
     span.arg("code", u64::from(response.status));
-    for (key, value) in response.trace_args {
-        span.arg(key, value);
+    for (key, value) in &response.trace_args {
+        span.arg(key, value.clone());
     }
     span.finish();
     // Workers are long-lived, so publish this thread's buffered events
     // now: a `GET /v1/trace` drain from another worker must observe
     // every request that already completed.
     ctx.trace.flush();
-    let remaining = ctx.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
-    gauge.set(remaining);
+}
+
+/// Writes a protocol-error response (the connection closes after it).
+fn answer_error(ctx: &Ctx, conn: &mut Conn, label: &'static str, response: &Response) {
+    let started = Instant::now();
+    let _ = conn.write_response(response, false, false, ctx.write_timeout);
+    instrument(ctx, label, response, started);
+}
+
+/// Serves requests on one connection until it closes, errors, or goes
+/// idle (Unix: parked; elsewhere: waits in place up to the keep-alive
+/// timeout).
+fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
+    // Whether the connection sits at a clean request boundary waiting
+    // for the peer's *next* request (non-Unix in-place idling): a
+    // timeout there is normal keep-alive expiry, not a client stall.
+    let mut at_boundary = false;
+    loop {
+        let timeout = if at_boundary {
+            ctx.keepalive_timeout
+        } else {
+            ctx.read_timeout
+        };
+        let request = match conn.next_request(timeout) {
+            Ok(request) => request,
+            Err(RequestError::Closed) => return Disposition::Close,
+            Err(RequestError::TimedOut) => {
+                if !at_boundary {
+                    answer_error(
+                        ctx,
+                        conn,
+                        "timeout",
+                        &Response::text(408, "request read timed out\n"),
+                    );
+                }
+                return Disposition::Close;
+            }
+            Err(RequestError::TooLarge(message)) => {
+                answer_error(
+                    ctx,
+                    conn,
+                    "oversized",
+                    &Response::text(413, format!("{message}\n")),
+                );
+                return Disposition::Close;
+            }
+            Err(RequestError::Malformed(message)) => {
+                answer_error(
+                    ctx,
+                    conn,
+                    "malformed",
+                    &Response::text(400, format!("{message}\n")),
+                );
+                return Disposition::Close;
+            }
+            Err(RequestError::Io(_)) => return Disposition::Close,
+        };
+        at_boundary = false;
+        if conn.served > 0 {
+            ctx.metrics
+                .counter("http.keepalive.reuses_total")
+                .increment();
+        }
+        // Drain begins between requests too: answer the current request
+        // but tell the client the connection is done.
+        let keep_alive = request.wants_keep_alive() && !ctx.draining();
+        let allow_chunked = request.minor_version >= 1;
+
+        let flight = ctx.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let gauge = ctx.metrics.gauge("http.in_flight");
+        gauge.set(flight);
+        let started = Instant::now();
+        let (label, response) = match builtin(ctx, &request.method, &request.path) {
+            Some(hit) => hit,
+            None => ctx.router.dispatch(&request),
+        };
+        // Drain may have begun while the handler ran: the header the
+        // client sees must match what the connection will actually do.
+        let keep_alive = keep_alive && !ctx.draining();
+        let wrote = conn
+            .write_response(&response, keep_alive, allow_chunked, ctx.write_timeout)
+            .is_ok();
+        instrument(ctx, label, &response, started);
+        let remaining = ctx.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        gauge.set(remaining);
+
+        if !wrote || !keep_alive {
+            return Disposition::Close;
+        }
+        match conn.after_response() {
+            After::Buffered => continue,
+            After::Closed => return Disposition::Close,
+            After::Idle => {
+                if ctx.draining() {
+                    return Disposition::Close;
+                }
+                if cfg!(unix) {
+                    return Disposition::Park;
+                }
+                at_boundary = true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
+    /// One request over a fresh connection, `Connection: close` so the
+    /// read-to-EOF below terminates under keep-alive defaults.
     fn get(addr: SocketAddr, target: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
@@ -371,6 +773,7 @@ mod tests {
             .expect("per-route latency histogram");
         assert_eq!(latency.count, 1);
         assert_eq!(snapshot.gauge("http.in_flight"), Some(0), "drained");
+        assert_eq!(snapshot.gauge("http.connections_open"), Some(0), "closed");
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! A minimal HTTP/1.1 benchmark client over raw `TcpStream`s.
+//!
+//! The client speaks exactly what `whart serve` emits: status line +
+//! headers, `Content-Length` or chunked bodies, keep-alive reuse, and
+//! request pipelining (several requests written before the first
+//! response is read — the throughput lever persistent connections
+//! exist for). It deliberately does nothing else: no TLS, no
+//! redirects, no compression.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One decoded HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Decoded body (chunked bodies are reassembled).
+    pub body: Vec<u8>,
+    /// Whether the server announced it will close the connection.
+    pub close: bool,
+}
+
+/// A benchmark connection to one server address.
+pub struct HttpClient {
+    addr: String,
+    keep_alive: bool,
+    read_timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr` (`ip:port`). With `keep_alive` the
+    /// connection is reused across requests; without it every request
+    /// opens a fresh connection and asks the server to close.
+    pub fn new(addr: impl Into<String>, keep_alive: bool) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            keep_alive,
+            read_timeout: Duration::from_secs(30),
+            stream: None,
+        }
+    }
+
+    /// Drops the current connection (the next request reconnects).
+    pub fn reset(&mut self) {
+        self.stream = None;
+    }
+
+    fn connection(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("connection just ensured"))
+    }
+
+    /// Writes one request without reading its response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Connect or write failure; the connection is dropped so the next
+    /// call reconnects.
+    pub fn send(&mut self, method: &str, target: &str, body: &[u8]) -> Result<(), String> {
+        let connection_header = if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: stress\r\nContent-Length: {}\r\nConnection: {connection_header}\r\n\r\n",
+            body.len()
+        );
+        let result = (|| {
+            let reader = self.connection()?;
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            Ok::<(), std::io::Error>(())
+        })();
+        result.map_err(|e| {
+            self.reset();
+            format!("send to {}: {e}", self.addr)
+        })
+    }
+
+    /// Writes `count` copies of one request in a single buffer and a
+    /// single syscall — the batch variant of [`HttpClient::send`] the
+    /// closed-loop generator uses to fill a pipeline without paying
+    /// per-request write overhead.
+    ///
+    /// # Errors
+    ///
+    /// Connect or write failure; the connection is dropped so the next
+    /// call reconnects.
+    pub fn send_batch(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        count: usize,
+    ) -> Result<(), String> {
+        let connection_header = if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: stress\r\nContent-Length: {}\r\nConnection: {connection_header}\r\n\r\n",
+            body.len()
+        );
+        let mut buffer = Vec::with_capacity((head.len() + body.len()) * count);
+        for _ in 0..count {
+            buffer.extend_from_slice(head.as_bytes());
+            buffer.extend_from_slice(body);
+        }
+        let result = (|| {
+            let reader = self.connection()?;
+            reader.get_mut().write_all(&buffer)?;
+            Ok::<(), std::io::Error>(())
+        })();
+        result.map_err(|e| {
+            self.reset();
+            format!("send to {}: {e}", self.addr)
+        })
+    }
+
+    /// Reads one framed response off the connection.
+    ///
+    /// # Errors
+    ///
+    /// Read or framing failure; the connection is dropped.
+    pub fn recv(&mut self) -> Result<HttpResponse, String> {
+        let addr = self.addr.clone();
+        let result = match self.stream.as_mut() {
+            Some(reader) => read_response(reader).map_err(|e| format!("recv from {addr}: {e}")),
+            None => Err(format!("recv from {addr}: not connected")),
+        };
+        match &result {
+            Ok(response) if response.close || !self.keep_alive => self.reset(),
+            Ok(_) => {}
+            Err(_) => self.reset(),
+        }
+        result
+    }
+
+    /// One request/response exchange. On a reused connection that turns
+    /// out to be stale (the server closed it while idle), retries once
+    /// on a fresh connection.
+    ///
+    /// # Errors
+    ///
+    /// Connect, write, read, or framing failure after the retry.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<HttpResponse, String> {
+        let reused = self.stream.is_some();
+        self.send(method, target, body)?;
+        match self.recv() {
+            Ok(response) => Ok(response),
+            Err(first) if reused => {
+                // A stale keep-alive connection fails on the read of the
+                // first reuse; one clean retry is standard client
+                // behavior, not error masking.
+                self.send(method, target, body)
+                    .map_err(|e| format!("{first}; retry: {e}"))?;
+                self.recv().map_err(|e| format!("{first}; retry: {e}"))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn io_invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpResponse> {
+    let status_line = read_line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io_invalid(format!("bad status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut close = false;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io_invalid(format!("bad header line {line:?}")));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| io_invalid(format!("bad content-length {value:?}")))?,
+                );
+            }
+            "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| io_invalid(format!("bad chunk size {size_line:?}")))?;
+            let mut chunk = vec![0u8; size + 2]; // payload + CRLF
+            reader.read_exact(&mut chunk)?;
+            if size == 0 {
+                break;
+            }
+            body.extend_from_slice(&chunk[..size]);
+        }
+    } else {
+        let length = content_length.unwrap_or(0);
+        body.resize(length, 0);
+        reader.read_exact(&mut body)?;
+    }
+    Ok(HttpResponse {
+        status,
+        body,
+        close,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-shot server thread answering `responses` verbatim after
+    /// consuming one head per response.
+    fn canned_server(responses: Vec<String>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let mut pending = Vec::new();
+            for response in responses {
+                // Consume bytes until one full request head arrived.
+                while !pending.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let n = stream.read(&mut buf).unwrap();
+                    pending.extend_from_slice(&buf[..n]);
+                }
+                let end = pending.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+                pending.drain(..end);
+                stream.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn decodes_content_length_and_chunked_responses() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nConnection: keep-alive\r\n\r\nhello".into(),
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
+             3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n"
+                .into(),
+        ]);
+        let mut client = HttpClient::new(addr, true);
+        let first = client.request("GET", "/a", b"").unwrap();
+        assert_eq!(
+            (first.status, first.body.as_slice()),
+            (200, b"hello".as_slice())
+        );
+        assert!(!first.close);
+        let second = client.request("GET", "/b", b"").unwrap();
+        assert_eq!(second.body, b"abcde");
+        assert!(second.close);
+        assert!(client.stream.is_none(), "close response drops the stream");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_sends_read_back_in_order() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: keep-alive\r\n\r\n1".into(),
+            "HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: keep-alive\r\n\r\n2".into(),
+        ]);
+        let mut client = HttpClient::new(addr, true);
+        client.send("GET", "/a", b"").unwrap();
+        client.send("GET", "/b", b"").unwrap();
+        assert_eq!(client.recv().unwrap().body, b"1");
+        assert_eq!(client.recv().unwrap().body, b"2");
+        server.join().unwrap();
+    }
+}

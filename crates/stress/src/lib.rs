@@ -1,0 +1,284 @@
+//! `whart-stress`: an HTTP load harness for `whart serve`.
+//!
+//! Two generation modes drive the server:
+//!
+//! - **Open loop** (`rate: Some(r)`): arrivals are scheduled on a fixed
+//!   grid at `r` requests/second, independent of how fast the server
+//!   answers. Latency is measured from the *scheduled* arrival time, not
+//!   the send time, so a stalled server inflates the tail instead of
+//!   silently thinning the load (coordinated-omission correction).
+//! - **Closed loop** (`rate: None`): every connection issues requests
+//!   back-to-back as fast as responses return, optionally pipelined.
+//!   This measures the ceiling — and is how the keep-alive vs
+//!   `Connection: close` speedup is established.
+//!
+//! Latencies land in a `whart-obs` log2 histogram; [`StressOutcome`]
+//! carries the snapshot plus request/error counts. `report` turns
+//! outcomes into `BENCH_serve.json` lines and gates them against a
+//! committed baseline, mirroring `bench-engine --check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod report;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use whart_obs::{HistogramSnapshot, Metrics};
+
+use crate::client::HttpClient;
+
+/// One load-generation run against a single endpoint.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Server address, `ip:port`.
+    pub addr: String,
+    /// Request target, e.g. `/v1/analyze`.
+    pub endpoint: String,
+    /// Request method.
+    pub method: String,
+    /// Request body sent with every request.
+    pub body: Vec<u8>,
+    /// Target arrival rate in requests/second (open loop), or `None`
+    /// for closed-loop maximum throughput.
+    pub rate: Option<f64>,
+    /// How long to generate load for.
+    pub duration: Duration,
+    /// Number of concurrent connections (worker threads).
+    pub connections: usize,
+    /// Reuse connections across requests (HTTP keep-alive).
+    pub keep_alive: bool,
+    /// Closed-loop pipelining depth per connection: how many requests
+    /// may be in flight on one connection before reading a response.
+    /// Only effective with `keep_alive`; open-loop mode ignores it.
+    pub pipeline: usize,
+}
+
+impl StressConfig {
+    /// A closed-loop keep-alive config with defaults matching the CLI.
+    pub fn closed_loop(addr: impl Into<String>, endpoint: impl Into<String>) -> StressConfig {
+        StressConfig {
+            addr: addr.into(),
+            endpoint: endpoint.into(),
+            method: "GET".to_string(),
+            body: Vec::new(),
+            rate: None,
+            duration: Duration::from_secs(10),
+            connections: 4,
+            keep_alive: true,
+            pipeline: 32,
+        }
+    }
+}
+
+/// Aggregated result of one run.
+#[derive(Debug, Clone)]
+pub struct StressOutcome {
+    /// Per-request latency distribution, nanoseconds.
+    pub latency: HistogramSnapshot,
+    /// Requests that completed with a non-5xx response.
+    pub requests: u64,
+    /// Requests that failed (transport error or 5xx status).
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Connections the run used.
+    pub connections: usize,
+}
+
+impl StressOutcome {
+    /// Successful requests per second of wall-clock time.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Errors as a fraction of all attempted requests (0 when idle).
+    pub fn error_rate(&self) -> f64 {
+        let attempted = self.requests + self.errors;
+        if attempted > 0 {
+            self.errors as f64 / attempted as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Shared per-run counters the workers update.
+struct Counters {
+    metrics: Metrics,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+const LATENCY_HISTOGRAM: &str = "stress.latency_ns";
+
+/// Runs one load generation pass and aggregates the outcome.
+///
+/// # Errors
+///
+/// Invalid configuration (zero connections, non-positive rate), or every
+/// single request failing — which almost always means the address is
+/// wrong or the server is down, and deserves a hard error rather than a
+/// 100% error-rate report.
+pub fn run(config: &StressConfig) -> Result<StressOutcome, String> {
+    if config.connections == 0 {
+        return Err("connections must be at least 1".to_string());
+    }
+    if let Some(rate) = config.rate {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("rate must be a positive number, got {rate}"));
+        }
+    }
+    if config.pipeline == 0 {
+        return Err("pipeline depth must be at least 1".to_string());
+    }
+
+    let counters = Arc::new(Counters {
+        metrics: Metrics::new(),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+    let start = Instant::now();
+    let workers: Vec<_> = (0..config.connections)
+        .map(|worker| {
+            let config = config.clone();
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || match config.rate {
+                Some(rate) => open_loop_worker(&config, rate, worker, start, &counters),
+                None => closed_loop_worker(&config, start, &counters),
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| "stress worker panicked".to_string())?;
+    }
+    let elapsed = start.elapsed();
+
+    let requests = counters.requests.load(Ordering::Relaxed);
+    let errors = counters.errors.load(Ordering::Relaxed);
+    if requests == 0 {
+        return Err(format!(
+            "no request against {} succeeded ({errors} errors) — is the server up?",
+            config.addr
+        ));
+    }
+    let snapshot = counters.metrics.snapshot();
+    let latency = snapshot
+        .histogram(LATENCY_HISTOGRAM)
+        .cloned()
+        .ok_or_else(|| "latency histogram missing from metrics snapshot".to_string())?;
+    Ok(StressOutcome {
+        latency,
+        requests,
+        errors,
+        duration: elapsed,
+        connections: config.connections,
+    })
+}
+
+/// Records one completed exchange: non-5xx statuses count as successes.
+fn record(counters: &Counters, status: u16, latency: Duration) {
+    if status < 500 {
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        counters
+            .metrics
+            .histogram(LATENCY_HISTOGRAM)
+            .record(latency.as_nanos() as u64);
+    } else {
+        counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Open loop: worker `w` owns arrivals `w, w + C, w + 2C, ...` on the
+/// global schedule `start + i / rate`. Requests are issued sequentially
+/// per connection; latency runs from the scheduled arrival so queueing
+/// behind a slow server shows up in the measurement.
+fn open_loop_worker(
+    config: &StressConfig,
+    rate: f64,
+    worker: usize,
+    start: Instant,
+    counters: &Counters,
+) {
+    let total = (rate * config.duration.as_secs_f64()).floor() as u64;
+    let mut client = HttpClient::new(config.addr.clone(), config.keep_alive);
+    let mut arrival = worker as u64;
+    while arrival < total {
+        let scheduled = start + Duration::from_secs_f64(arrival as f64 / rate);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        match client.request(&config.method, &config.endpoint, &config.body) {
+            Ok(response) => record(counters, response.status, scheduled.elapsed()),
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        arrival += config.connections as u64;
+    }
+}
+
+/// Closed loop: issue requests back-to-back until the deadline.
+///
+/// With keep-alive and `pipeline > 1` the worker runs in batches: one
+/// buffered write of `pipeline` requests (a single syscall — see
+/// [`HttpClient::send_batch`]), then `pipeline` reads. Each response's
+/// latency runs from the batch send instant, which over-counts early
+/// responses slightly and is exactly right for the last — conservative
+/// for a throughput-ceiling measurement. Without keep-alive (or at
+/// depth 1) requests go one at a time.
+fn closed_loop_worker(config: &StressConfig, start: Instant, counters: &Counters) {
+    let deadline = start + config.duration;
+    let mut client = HttpClient::new(config.addr.clone(), config.keep_alive);
+    let depth = if config.keep_alive {
+        config.pipeline
+    } else {
+        1
+    };
+    while Instant::now() < deadline {
+        let sent = Instant::now();
+        let dispatched = if depth == 1 {
+            client
+                .send(&config.method, &config.endpoint, &config.body)
+                .map(|()| 1)
+        } else {
+            client
+                .send_batch(&config.method, &config.endpoint, &config.body, depth)
+                .map(|()| depth)
+        };
+        let dispatched = match dispatched {
+            Ok(n) => n,
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                // Back off instead of hot-spinning against a dead server.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let mut pending = dispatched;
+        while pending > 0 {
+            pending -= 1;
+            match client.recv() {
+                Ok(response) => record(counters, response.status, sent.elapsed()),
+                Err(_) => {
+                    // The rest of the pipeline is lost with the connection.
+                    counters
+                        .errors
+                        .fetch_add(1 + pending as u64, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+}

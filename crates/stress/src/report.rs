@@ -1,0 +1,380 @@
+//! `BENCH_serve.json` emission and the SLO gate.
+//!
+//! One compact JSON object per line, mirroring `BENCH_engine.json`:
+//!
+//! * **stat rows** — one per `(endpoint, mode, rate)` group:
+//!   `{"id":"serve/v1_analyze/keepalive/rate500","mean_ns":...,
+//!   "p50_ns":...,"p95_ns":...,"p99_ns":...,"requests":...,
+//!   "errors":...,"error_rate":...,"throughput_rps":...,
+//!   "connections":...,"duration_s":...}`
+//! * **speedup rows** — keep-alive over `Connection: close` closed-loop
+//!   throughput: `{"id":"serve/v1_analyze/keepalive_speedup",
+//!   "ratio":...,"of":"close/max"}`. Unlike the engine's scale rows,
+//!   bigger is better here.
+//!
+//! [`check_slo`] gates a current run against a committed baseline the
+//! way `bench-engine --check` does, plus two hard, baseline-independent
+//! ceilings: the error rate may never exceed [`ERROR_RATE_CEILING`]
+//! (a saturated admission queue fails by construction — every 503 is
+//! an error), and every keep-alive speedup row must stay above
+//! [`KEEPALIVE_SPEEDUP_FLOOR`].
+
+use whart_json::Json;
+
+use crate::StressOutcome;
+
+/// Hard ceiling on the error rate of every current-run stat row,
+/// independent of the baseline. `whart serve` answers queue overflow
+/// with 503, and the stress harness counts every 5xx as an error — so
+/// a run against a saturated queue fails this gate by construction.
+pub const ERROR_RATE_CEILING: f64 = 0.01;
+
+/// Hard floor on every keep-alive speedup row in the current run: if
+/// reusing connections is not at least this much faster than
+/// open-close-per-request at the same concurrency, the keep-alive path
+/// has regressed into pointlessness. The committed baseline records
+/// the real measured ratio (well above this floor); the floor is the
+/// never-acceptable boundary, the baseline drift gate is the tight one.
+pub const KEEPALIVE_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// `/v1/analyze?x=1` -> `v1_analyze`: path only, slashes flattened, so
+/// the id stays one `/`-delimited token per axis.
+pub fn sanitize_endpoint(endpoint: &str) -> String {
+    let path = endpoint.split('?').next().unwrap_or(endpoint);
+    let flat: String = path
+        .trim_matches('/')
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if flat.is_empty() {
+        "root".to_string()
+    } else {
+        flat
+    }
+}
+
+/// The id of a stat row: `serve/{endpoint}/{keepalive|close}/{load}`,
+/// where load is `rate{R}` (open loop) or `max` (closed loop).
+pub fn row_id(endpoint: &str, keep_alive: bool, rate: Option<f64>) -> String {
+    let mode = if keep_alive { "keepalive" } else { "close" };
+    let load = match rate {
+        Some(r) => format!("rate{}", r.round() as u64),
+        None => "max".to_string(),
+    };
+    format!("serve/{}/{mode}/{load}", sanitize_endpoint(endpoint))
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// One stat row for `outcome` under `id`.
+pub fn stat_line(id: &str, outcome: &StressOutcome) -> String {
+    let quantile = |q: f64| Json::from(outcome.latency.quantile(q).unwrap_or(0.0));
+    Json::object([
+        ("id", Json::from(id)),
+        (
+            "mean_ns",
+            Json::from(round1(outcome.latency.mean().unwrap_or(0.0))),
+        ),
+        ("p50_ns", quantile(0.5)),
+        ("p95_ns", quantile(0.95)),
+        ("p99_ns", quantile(0.99)),
+        ("requests", Json::from(outcome.requests)),
+        ("errors", Json::from(outcome.errors)),
+        (
+            "error_rate",
+            Json::from((outcome.error_rate() * 1_000_000.0).round() / 1_000_000.0),
+        ),
+        (
+            "throughput_rps",
+            Json::from(round1(outcome.throughput_rps())),
+        ),
+        ("connections", Json::from(outcome.connections as u64)),
+        (
+            "duration_s",
+            Json::from((outcome.duration.as_secs_f64() * 1000.0).round() / 1000.0),
+        ),
+    ])
+    .to_compact()
+}
+
+/// The keep-alive speedup row: closed-loop keep-alive throughput over
+/// closed-loop `Connection: close` throughput for one endpoint.
+pub fn speedup_line(endpoint: &str, keepalive: &StressOutcome, close: &StressOutcome) -> String {
+    let ratio = if close.throughput_rps() > 0.0 {
+        keepalive.throughput_rps() / close.throughput_rps()
+    } else {
+        0.0
+    };
+    Json::object([
+        (
+            "id",
+            Json::from(format!(
+                "serve/{}/keepalive_speedup",
+                sanitize_endpoint(endpoint)
+            )),
+        ),
+        ("ratio", Json::from((ratio * 100.0).round() / 100.0)),
+        ("of", Json::from("close/max")),
+    ])
+    .to_compact()
+}
+
+/// A parsed stat row (the fields the gate reads).
+struct StatRow {
+    id: String,
+    p99_ns: f64,
+    error_rate: f64,
+    throughput_rps: f64,
+}
+
+/// Parsed `BENCH_serve.json`: stat rows and `(id, ratio)` speedup rows.
+type ParsedLines = (Vec<StatRow>, Vec<(String, f64)>);
+
+fn parse_lines(text: &str) -> Result<ParsedLines, String> {
+    let mut stats = Vec::new();
+    let mut speedups = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("serve bench line {}: {e}", i + 1))?;
+        let id = value["id"]
+            .as_str()
+            .ok_or_else(|| format!("serve bench line {}: missing 'id'", i + 1))?
+            .to_string();
+        if id.ends_with("/keepalive_speedup") {
+            let ratio = value["ratio"].as_f64().ok_or_else(|| {
+                format!("serve bench line {}: speedup row missing 'ratio'", i + 1)
+            })?;
+            speedups.push((id, ratio));
+        } else {
+            let field = |key: &str| {
+                value[key]
+                    .as_f64()
+                    .ok_or_else(|| format!("serve bench line {}: missing '{key}'", i + 1))
+            };
+            stats.push(StatRow {
+                id,
+                p99_ns: field("p99_ns")?,
+                error_rate: field("error_rate")?,
+                throughput_rps: field("throughput_rps")?,
+            });
+        }
+    }
+    Ok((stats, speedups))
+}
+
+/// Compares `current` serve bench lines against `baseline`, flagging
+/// SLO violations. `tolerance` (0.25 = 25%) bounds drift relative to
+/// the baseline; the two hard gates ([`ERROR_RATE_CEILING`],
+/// [`KEEPALIVE_SPEEDUP_FLOOR`]) apply to the current run alone.
+///
+/// Per stat row present in the baseline:
+/// * missing from the current run — failure;
+/// * current `error_rate` above the hard ceiling — failure, whatever
+///   the baseline said;
+/// * current `p99_ns` more than `(1 + tolerance)` times the baseline —
+///   failure;
+/// * current `throughput_rps` below `baseline / (1 + tolerance)` —
+///   failure.
+///
+/// Per speedup row **in the current run**: ratio below the hard floor
+/// is a failure. Per speedup row in the baseline: missing from the
+/// current run, or current ratio below `baseline / (1 + tolerance)`,
+/// is a failure.
+///
+/// Returns one message per violation; empty means pass.
+///
+/// # Errors
+///
+/// Malformed lines on either side.
+pub fn check_slo(baseline: &str, current: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let (base_stats, base_speedups) = parse_lines(baseline)?;
+    let (cur_stats, cur_speedups) = parse_lines(current)?;
+    let mut failures = Vec::new();
+
+    for row in &cur_stats {
+        if row.error_rate > ERROR_RATE_CEILING {
+            failures.push(format!(
+                "{}: error rate {:.2}% exceeds the hard {:.0}% ceiling",
+                row.id,
+                row.error_rate * 100.0,
+                ERROR_RATE_CEILING * 100.0,
+            ));
+        }
+    }
+    for base in &base_stats {
+        let Some(cur) = cur_stats.iter().find(|r| r.id == base.id) else {
+            failures.push(format!("{}: missing from the current run", base.id));
+            continue;
+        };
+        if base.p99_ns > 0.0 && cur.p99_ns > base.p99_ns * (1.0 + tolerance) {
+            failures.push(format!(
+                "{}: p99 grew {:.1}% (> {:.0}% tolerance; baseline {:.0} ns, current {:.0} ns)",
+                base.id,
+                (cur.p99_ns / base.p99_ns - 1.0) * 100.0,
+                tolerance * 100.0,
+                base.p99_ns,
+                cur.p99_ns,
+            ));
+        }
+        if base.throughput_rps > 0.0 && cur.throughput_rps < base.throughput_rps / (1.0 + tolerance)
+        {
+            failures.push(format!(
+                "{}: throughput fell {:.1}% (> {:.0}% tolerance; \
+                 baseline {:.1} rps, current {:.1} rps)",
+                base.id,
+                (1.0 - cur.throughput_rps / base.throughput_rps) * 100.0,
+                tolerance * 100.0,
+                base.throughput_rps,
+                cur.throughput_rps,
+            ));
+        }
+    }
+    for (id, ratio) in &cur_speedups {
+        if *ratio < KEEPALIVE_SPEEDUP_FLOOR {
+            failures.push(format!(
+                "{id}: keep-alive speedup {ratio:.2}x is below the hard \
+                 {KEEPALIVE_SPEEDUP_FLOOR:.0}x floor",
+            ));
+        }
+    }
+    for (id, base_ratio) in &base_speedups {
+        let Some((_, cur_ratio)) = cur_speedups.iter().find(|(cur_id, _)| cur_id == id) else {
+            failures.push(format!("{id}: speedup row missing from the current run"));
+            continue;
+        };
+        if *base_ratio > 0.0 && *cur_ratio < base_ratio / (1.0 + tolerance) {
+            failures.push(format!(
+                "{id}: keep-alive speedup fell {:.1}% (> {:.0}% tolerance; \
+                 baseline {base_ratio:.2}x, current {cur_ratio:.2}x)",
+                (1.0 - cur_ratio / base_ratio) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEALTHY: &str = concat!(
+        "{\"id\":\"serve/v1_analyze/keepalive/rate500\",\"mean_ns\":400000.0,",
+        "\"p50_ns\":350000.0,\"p95_ns\":900000.0,\"p99_ns\":1500000.0,",
+        "\"requests\":5000,\"errors\":0,\"error_rate\":0.0,",
+        "\"throughput_rps\":500.0,\"connections\":8,\"duration_s\":10.0}\n",
+        "{\"id\":\"serve/v1_analyze/keepalive/max\",\"mean_ns\":200000.0,",
+        "\"p50_ns\":180000.0,\"p95_ns\":500000.0,\"p99_ns\":900000.0,",
+        "\"requests\":90000,\"errors\":0,\"error_rate\":0.0,",
+        "\"throughput_rps\":30000.0,\"connections\":4,\"duration_s\":3.0}\n",
+        "{\"id\":\"serve/v1_analyze/close/max\",\"mean_ns\":900000.0,",
+        "\"p50_ns\":800000.0,\"p95_ns\":2000000.0,\"p99_ns\":4000000.0,",
+        "\"requests\":12000,\"errors\":0,\"error_rate\":0.0,",
+        "\"throughput_rps\":4000.0,\"connections\":4,\"duration_s\":3.0}\n",
+        "{\"id\":\"serve/v1_analyze/keepalive_speedup\",\"ratio\":7.5,\"of\":\"close/max\"}\n",
+    );
+
+    #[test]
+    fn healthy_run_passes_against_itself() {
+        let failures = check_slo(HEALTHY, HEALTHY, 0.25).unwrap();
+        assert_eq!(failures, Vec::<String>::new());
+    }
+
+    #[test]
+    fn saturated_queue_fails_by_construction() {
+        // A run against a saturated admission queue: 40% of requests
+        // answered 503, and the survivors' p99 blown out. The hard
+        // error-rate ceiling fails it even at an absurd tolerance.
+        let saturated = HEALTHY.replace(
+            "\"requests\":5000,\"errors\":0,\"error_rate\":0.0,\"throughput_rps\":500.0",
+            "\"requests\":3000,\"errors\":2000,\"error_rate\":0.4,\"throughput_rps\":300.0",
+        );
+        let failures = check_slo(HEALTHY, &saturated, 100.0).unwrap();
+        assert!(
+            failures.iter().any(|f| f.contains("error rate")),
+            "expected an error-rate failure, got {failures:?}"
+        );
+    }
+
+    #[test]
+    fn p99_and_throughput_drift_are_flagged() {
+        let slow = HEALTHY
+            .replace("\"p99_ns\":1500000.0", "\"p99_ns\":4000000.0")
+            .replace("\"throughput_rps\":500.0", "\"throughput_rps\":200.0");
+        let failures = check_slo(HEALTHY, &slow, 0.25).unwrap();
+        assert!(
+            failures.iter().any(|f| f.contains("p99 grew")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("throughput fell")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_rows_fail() {
+        let current: String = HEALTHY
+            .lines()
+            .filter(|l| !l.contains("/close/max") && !l.contains("keepalive_speedup"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let failures = check_slo(HEALTHY, &current, 0.25).unwrap();
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("serve/v1_analyze/close/max: missing")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("speedup row missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn speedup_below_the_hard_floor_fails() {
+        let flat = HEALTHY.replace("\"ratio\":7.5", "\"ratio\":1.1");
+        let failures = check_slo(&flat, &flat, 0.25).unwrap();
+        assert!(
+            failures.iter().any(|f| f.contains("below the hard")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(check_slo("not json", HEALTHY, 0.25).is_err());
+        assert!(check_slo(HEALTHY, "{\"no_id\":1}", 0.25).is_err());
+    }
+
+    #[test]
+    fn ids_are_sanitized_and_stable() {
+        assert_eq!(
+            row_id("/v1/analyze", true, Some(500.0)),
+            "serve/v1_analyze/keepalive/rate500"
+        );
+        assert_eq!(
+            row_id("/v1/analyze?q=1", false, None),
+            "serve/v1_analyze/close/max"
+        );
+        assert_eq!(row_id("/", true, None), "serve/root/keepalive/max");
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_checks_against_itself() {
+        let baseline = include_str!("../../../BENCH_serve.json");
+        let failures = check_slo(baseline, baseline, 0.25).unwrap();
+        assert_eq!(failures, Vec::<String>::new());
+    }
+}

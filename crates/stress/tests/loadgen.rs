@@ -1,0 +1,149 @@
+//! End-to-end load-generation tests against a real in-process
+//! `whart-serve` instance: closed-loop keep-alive and close modes,
+//! open-loop rate pacing, and the emit/check round trip.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use whart_serve::{Flag, Response, Router, Server, ServerConfig};
+use whart_stress::{report, run, StressConfig};
+
+fn start() -> (SocketAddr, Flag, std::thread::JoinHandle<()>) {
+    let config = ServerConfig::default();
+    let router = Router::new()
+        .route("GET", "/ping", |_| Response::text(200, "pong\n"))
+        .route("POST", "/echo", |req| {
+            Response::text(200, req.body_text().unwrap_or("?").to_string())
+        });
+    let mut server = Server::bind(&config).unwrap();
+    server.set_router(router);
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+    (addr, shutdown, handle)
+}
+
+fn base_config(addr: SocketAddr) -> StressConfig {
+    StressConfig {
+        addr: addr.to_string(),
+        endpoint: "/ping".to_string(),
+        method: "GET".to_string(),
+        body: Vec::new(),
+        rate: None,
+        duration: Duration::from_millis(400),
+        connections: 2,
+        keep_alive: true,
+        pipeline: 8,
+    }
+}
+
+#[test]
+fn closed_loop_keepalive_outruns_connection_close() {
+    let (addr, shutdown, handle) = start();
+    let keepalive = run(&base_config(addr)).unwrap();
+    let close = run(&StressConfig {
+        keep_alive: false,
+        ..base_config(addr)
+    })
+    .unwrap();
+    shutdown.set();
+    handle.join().unwrap();
+
+    assert_eq!(keepalive.errors, 0, "keep-alive run saw errors");
+    assert_eq!(close.errors, 0, "close run saw errors");
+    assert!(keepalive.requests > 0 && close.requests > 0);
+    // The acceptance bar is 5x on the real /v1/analyze baseline; here
+    // only the direction is asserted so a loaded CI box cannot flake.
+    assert!(
+        keepalive.throughput_rps() > close.throughput_rps(),
+        "keep-alive ({:.0} rps) should beat Connection: close ({:.0} rps)",
+        keepalive.throughput_rps(),
+        close.throughput_rps(),
+    );
+    assert!(keepalive.latency.count > 0);
+}
+
+#[test]
+fn open_loop_rate_issues_the_scheduled_number_of_requests() {
+    let (addr, shutdown, handle) = start();
+    // 200 req/s for 0.5 s = exactly 100 scheduled arrivals.
+    let outcome = run(&StressConfig {
+        rate: Some(200.0),
+        duration: Duration::from_millis(500),
+        ..base_config(addr)
+    })
+    .unwrap();
+    shutdown.set();
+    handle.join().unwrap();
+
+    assert_eq!(outcome.errors, 0);
+    assert_eq!(
+        outcome.requests, 100,
+        "open loop must issue every scheduled arrival exactly once"
+    );
+}
+
+#[test]
+fn outcomes_round_trip_through_report_lines_and_the_slo_gate() {
+    let (addr, shutdown, handle) = start();
+    let keepalive = run(&base_config(addr)).unwrap();
+    let close = run(&StressConfig {
+        keep_alive: false,
+        ..base_config(addr)
+    })
+    .unwrap();
+    shutdown.set();
+    handle.join().unwrap();
+
+    let mut lines = String::new();
+    lines.push_str(&report::stat_line(
+        &report::row_id("/ping", true, None),
+        &keepalive,
+    ));
+    lines.push('\n');
+    lines.push_str(&report::stat_line(
+        &report::row_id("/ping", false, None),
+        &close,
+    ));
+    lines.push('\n');
+    lines.push_str(&report::speedup_line("/ping", &keepalive, &close));
+    lines.push('\n');
+
+    // The freshly measured lines must parse and pass against
+    // themselves — except possibly the speedup floor, which a loaded
+    // test machine cannot guarantee; tolerate only that failure class.
+    let failures = report::check_slo(&lines, &lines, 0.25).unwrap();
+    for failure in &failures {
+        assert!(
+            failure.contains("below the hard"),
+            "unexpected self-check failure: {failure}"
+        );
+    }
+}
+
+#[test]
+fn run_rejects_invalid_configurations() {
+    let config = StressConfig {
+        connections: 0,
+        ..base_config("127.0.0.1:1".parse().unwrap())
+    };
+    assert!(run(&config).unwrap_err().contains("connections"));
+    let config = StressConfig {
+        rate: Some(0.0),
+        ..base_config("127.0.0.1:1".parse().unwrap())
+    };
+    assert!(run(&config).unwrap_err().contains("rate"));
+}
+
+#[test]
+fn a_dead_server_is_a_hard_error_not_a_silent_report() {
+    // Port 1 refuses connections; every request fails, which must be
+    // surfaced as Err rather than an all-error outcome.
+    let config = StressConfig {
+        duration: Duration::from_millis(100),
+        connections: 1,
+        ..base_config("127.0.0.1:1".parse().unwrap())
+    };
+    let error = run(&config).unwrap_err();
+    assert!(error.contains("is the server up"), "{error}");
+}
