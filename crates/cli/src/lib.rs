@@ -28,7 +28,7 @@ const USAGE: &str = "usage:
   whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>]
   whart explain  <spec.json> [--path <i>] [--backend fast|sim] [--seed S] [--intervals N]
   whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>]
-  whart serve    [--addr <ip:port>] [--threads N] [--keepalive-timeout S] [--max-queue N] [--metrics <out.json>] [--trace <out.json>] [--metrics-capacity N] [--trace-capacity N]
+  whart serve    [--addr <ip:port>] [--threads N] [--keepalive-timeout S] [--max-queue N] [--metrics <out.json>] [--trace <out.json>] [--metrics-capacity N] [--trace-capacity N] [--log <out.jsonl>] [--log-level error|warn|info|debug] [--slo-target-ms MS] [--flight-threshold-ms MS]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
@@ -61,6 +61,19 @@ specs as the CLI, GET /metrics is Prometheus text exposition,
 GET /v1/trace drains the journal, GET /healthz and /readyz probe
 liveness/readiness, POST /admin/shutdown (or Ctrl-C) drains in-flight
 work and writes the final --metrics/--trace artifacts before exit.
+Every request carries an X-Request-Id correlation id (assigned if the
+client sent none), returned on all responses and stamped on the
+request's log event, trace spans, and flight-recorder entry. --log
+writes one structured JSON line per request ('-' = stdout, 'stderr',
+or a file path; --log-level filters, default info; like --metrics and
+--trace, at most one such stream may use stdout). GET /statusz shows
+per-route rolling 30 s p50/p95/p99, error rate and SLO burn rate
+(--slo-target-ms sets the latency target, default 5); the same windows
+back http.*.window30s gauges on /metrics. GET /v1/debug/requests lists
+the flight recorder's retained request traces (the most recent plus
+those slower than --flight-threshold-ms, default the committed serve
+benchmark p99); GET /v1/debug/requests/<id> replays one request's
+per-hop timeline.
 --metrics-capacity bounds the engine's path/link cache entries;
 --trace-capacity bounds the trace journal's retained events.
 Connections are HTTP/1.1 keep-alive (pipelining supported);
@@ -91,17 +104,28 @@ pub fn main_entry() -> ExitCode {
     }
 }
 
-/// Rejects the one flag combination whose output would interleave: both
-/// `--metrics` and `--trace` streaming to stdout.
-fn reject_dual_stdout(metrics: Option<&str>, trace: Option<&str>) -> Result<(), String> {
-    if metrics == Some("-") && trace == Some("-") {
-        return Err(
-            "--metrics - and --trace - both stream JSON to stdout and would \
-             interleave; give at least one of them a file path"
-                .into(),
-        );
+/// Rejects flag combinations whose output would interleave: more than
+/// one of the given streams (`--metrics`, `--trace`, `--log`, ...)
+/// pointed at stdout via `-`.
+fn reject_stdout_interleave(streams: &[(&str, Option<&str>)]) -> Result<(), String> {
+    let dashed: Vec<String> = streams
+        .iter()
+        .filter(|(_, value)| *value == Some("-"))
+        .map(|(flag, _)| format!("{flag} -"))
+        .collect();
+    if dashed.len() > 1 {
+        return Err(format!(
+            "{} both stream to stdout and would interleave; give at \
+             least one of them a file path",
+            dashed.join(" and ")
+        ));
     }
     Ok(())
+}
+
+/// The two-stream case every artifact-writing command shares.
+fn reject_dual_stdout(metrics: Option<&str>, trace: Option<&str>) -> Result<(), String> {
+    reject_stdout_interleave(&[("--metrics", metrics), ("--trace", trace)])
 }
 
 /// Runs one `whart` invocation and returns what it prints to stdout.
@@ -135,7 +159,32 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "serve" => {
             let metrics = flag_value(args, "--metrics")?;
             let trace = flag_value(args, "--trace")?;
-            reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
+            let log = flag_value(args, "--log")?;
+            reject_stdout_interleave(&[
+                ("--metrics", metrics.as_deref()),
+                ("--trace", trace.as_deref()),
+                ("--log", log.as_deref()),
+            ])?;
+            let log_level = match flag_value(args, "--log-level")? {
+                Some(v) => Some(whart_log::Level::parse(&v)?),
+                None => None,
+            };
+            let positive_ms = |flag: &str| -> Result<Option<f64>, String> {
+                match flag_value(args, flag)? {
+                    Some(v) => {
+                        let ms: f64 = parse(&v, flag)?;
+                        if !ms.is_finite() || ms <= 0.0 {
+                            return Err(format!(
+                                "{flag} expects a positive number of milliseconds, got '{v}'"
+                            ));
+                        }
+                        Ok(Some(ms))
+                    }
+                    None => Ok(None),
+                }
+            };
+            let slo_target_ms = positive_ms("--slo-target-ms")?;
+            let flight_threshold_ms = positive_ms("--flight-threshold-ms")?;
             let keepalive_timeout = match flag_value(args, "--keepalive-timeout")? {
                 Some(v) => {
                     let seconds: f64 = parse(&v, "--keepalive-timeout")?;
@@ -166,6 +215,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     Some(v) => Some(parse(&v, "--trace-capacity")?),
                     None => None,
                 },
+                log_path: log,
+                log_level,
+                slo_target_ms,
+                flight_threshold_ms,
             };
             serve_app::serve(options)
         }
@@ -657,5 +710,28 @@ mod tests {
         assert!(err.contains("--max-queue"), "{err}");
         let err = run(&s(&["serve", "--max-queue", "lots"])).unwrap_err();
         assert!(err.contains("--max-queue"), "{err}");
+    }
+
+    #[test]
+    fn serve_log_flags_are_validated_before_binding() {
+        // --log - joins the stdout-interleave family: any pair of
+        // stdout streams is rejected, naming both flags.
+        let err = run(&s(&["serve", "--log", "-", "--metrics", "-"])).unwrap_err();
+        assert!(err.contains("interleave"), "{err}");
+        assert!(err.contains("--log"), "{err}");
+        assert!(err.contains("--metrics"), "{err}");
+        let err = run(&s(&["serve", "--log", "-", "--trace", "-"])).unwrap_err();
+        assert!(err.contains("interleave"), "{err}");
+        assert!(err.contains("--trace"), "{err}");
+        // Level grammar is checked up front...
+        let err = run(&s(&["serve", "--log-level", "loud"])).unwrap_err();
+        assert!(err.contains("unknown log level"), "{err}");
+        // ...as are the SLO and tail-sampling thresholds.
+        for flag in ["--slo-target-ms", "--flight-threshold-ms"] {
+            for bad in ["0", "-2", "nan", "abc"] {
+                let err = run(&s(&["serve", flag, bad])).unwrap_err();
+                assert!(err.contains(flag), "{flag} {bad}: {err}");
+            }
+        }
     }
 }

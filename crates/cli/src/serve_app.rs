@@ -23,6 +23,13 @@
 //!   quantiles derived at scrape time.
 //! * `GET /v1/trace` — drains the shared journal (`format=jsonl` or
 //!   `format=chrome`).
+//! * `GET /statusz` — the live SLO view: per-route rolling p50/p95/p99,
+//!   error rate and burn rate over the last 30 s, queue depth,
+//!   keep-alive reuse ratio.
+//! * `GET /v1/debug/requests` — flight-recorder summaries (the last N
+//!   requests plus retained-slow outliers), one JSON line each;
+//!   `GET /v1/debug/requests/<id>` replays one request's full per-hop
+//!   timeline by correlation id.
 //! * `GET /healthz`, `GET /readyz` — built into `whart-serve`; readiness
 //!   flips only after a background self-check solve of the Section V
 //!   network succeeds.
@@ -34,11 +41,15 @@ use crate::batch::{decode_fleet, result_line, stats_line, BatchEntry};
 use crate::commands::{example, render_analyze, write_metrics, write_trace, Backend};
 use crate::spec::NetworkSpec;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
+use whart_log::{Level, Logger};
 use whart_model::{MeasurePlan, NetworkModel};
 use whart_obs::prometheus::{self, DerivedGauge};
 use whart_obs::Metrics;
-use whart_serve::{Request, Response, Router, Server, ServerConfig};
+use whart_serve::flight::{DEFAULT_RECENT, DEFAULT_SLOW};
+use whart_serve::windows::DEFAULT_WINDOW;
+use whart_serve::{FlightRecorder, HttpWindows, Request, Response, Router, Server, ServerConfig};
 use whart_trace::Trace;
 
 /// `whart serve` command-line options.
@@ -60,7 +71,26 @@ pub(crate) struct ServeOptions {
     pub cache_capacity: Option<usize>,
     /// Trace journal capacity bound (retained events).
     pub trace_capacity: Option<usize>,
+    /// Structured request-log target (`--log`; `-` is stdout, `stderr`
+    /// the diagnostic stream, anything else a file path).
+    pub log_path: Option<String>,
+    /// Minimum level the request log records (`--log-level`).
+    pub log_level: Option<Level>,
+    /// Rolling-window SLO latency target, milliseconds
+    /// (`--slo-target-ms`).
+    pub slo_target_ms: Option<f64>,
+    /// Flight-recorder tail-sampling threshold, milliseconds
+    /// (`--flight-threshold-ms`).
+    pub flight_threshold_ms: Option<f64>,
 }
+
+/// Default SLO latency target: the service promises p99 < 5 ms warm.
+const DEFAULT_SLO_TARGET_MS: f64 = 5.0;
+
+/// Default flight-recorder tail threshold: the committed `BENCH_serve`
+/// keep-alive p99 at the rated load (see `BENCH_serve.json`, `rate500`).
+/// Requests slower than the benchmarked tail are the ones worth keeping.
+const DEFAULT_FLIGHT_THRESHOLD_MS: f64 = 0.91;
 
 /// One engine per solver backend, find-or-created on first use. All
 /// engines share the service's metrics registry and trace journal, and
@@ -104,11 +134,17 @@ impl EngineStore {
 
     /// Solves one network scenario through `backend`'s warm engine.
     /// Returns the result and how many cache hits the solve scored.
+    /// `request_id` is stamped on every trace span the solve emits, so
+    /// the journal links back to the originating HTTP request.
     fn solve_network(
         &mut self,
         backend: Backend,
         model: NetworkModel,
+        request_id: &str,
     ) -> Result<(ScenarioResult, u64), String> {
+        let _scope = self
+            .trace
+            .context_scope([("request_id", request_id.into())]);
         let slot = self.slot(backend);
         let engine = &mut self.engines[slot].1;
         let before = engine.stats().cache_hits();
@@ -126,7 +162,11 @@ impl EngineStore {
         &mut self,
         entries: Vec<BatchEntry>,
         with_stats: bool,
+        request_id: &str,
     ) -> Result<String, String> {
+        let _scope = self
+            .trace
+            .context_scope([("request_id", request_id.into())]);
         let measure_sets: Vec<MeasureSet> = entries.iter().map(|e| e.measures).collect();
         let mut placements: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
         let mut used: Vec<usize> = Vec::new();
@@ -198,6 +238,10 @@ fn memo_fingerprint(request: &Request) -> u64 {
 struct App {
     metrics: Metrics,
     trace: Trace,
+    log: Logger,
+    windows: Arc<HttpWindows>,
+    flight: FlightRecorder,
+    started: Instant,
     engines: Mutex<EngineStore>,
     analyze_memo: Mutex<std::collections::VecDeque<MemoEntry>>,
 }
@@ -306,11 +350,16 @@ fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
         Some(other) => return Err(format!("unknown format '{other}' (expected json or text)")),
     };
     let model = spec.to_model()?;
+    let request_id = request.request_id().unwrap_or("-").to_owned();
+    let solve_started = Instant::now();
     // The sim backend solves directly (its per-path seeds are positional
     // in the network, which the engine's per-path routing would not
     // reproduce); the deterministic backends go through the warm engine.
     let (body, paths, hits) = match backend {
         Backend::Sim { .. } => {
+            let _scope = app
+                .trace
+                .context_scope([("request_id", request_id.as_str().into())]);
             let problem = model.compile().map_err(|e| e.to_string())?;
             let eval = backend
                 .solver()
@@ -320,7 +369,7 @@ fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
             (render_analyze(json, &backend, &eval), paths, 0)
         }
         Backend::Fast | Backend::Explicit => {
-            let (result, hits) = app.store()?.solve_network(backend, model)?;
+            let (result, hits) = app.store()?.solve_network(backend, model, &request_id)?;
             let eval = result
                 .network()
                 .ok_or("engine returned a non-network outcome")?;
@@ -328,6 +377,7 @@ fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
             (render_analyze(json, &backend, eval), paths, hits)
         }
     };
+    let engine_ns = u64::try_from(solve_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     app.memo_store(request, fingerprint, json, &body, paths as u64);
     let response = if json {
         Response::json(200, body)
@@ -336,7 +386,8 @@ fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
     };
     Ok(response
         .with_trace_arg("paths", paths as u64)
-        .with_trace_arg("cache_hits", hits))
+        .with_trace_arg("cache_hits", hits)
+        .with_trace_arg("engine_ns", engine_ns))
 }
 
 /// `POST /v1/batch`: the `batch` pipeline against the persistent engines.
@@ -344,13 +395,14 @@ fn batch_handler(app: &App, request: &Request) -> Result<Response, String> {
     let entries = decode_fleet(request.body_text()?)?;
     let with_stats = matches!(request.query_param("stats"), Some("true") | Some("1"));
     let scenarios = entries.len();
+    let request_id = request.request_id().unwrap_or("-").to_owned();
     let mut store = app.store()?;
     let before: u64 = store
         .engines
         .iter()
         .map(|(_, e)| e.stats().cache_hits())
         .sum();
-    let out = store.solve_fleet(entries, with_stats)?;
+    let out = store.solve_fleet(entries, with_stats, &request_id)?;
     let hits: u64 = store
         .engines
         .iter()
@@ -440,7 +492,11 @@ fn optimize_handler(app: &App, request: &Request) -> Result<Response, String> {
         max_rounds: uint("rounds", s.max_rounds as u64, 16)? as usize,
     };
     let net = whart_opt::generate(&generator).map_err(|e| e.to_string())?;
+    let request_id = request.request_id().unwrap_or("-").to_owned();
     let mut store = app.store()?;
+    let _scope = store
+        .trace
+        .context_scope([("request_id", request_id.as_str().into())]);
     let slot = store.slot(Backend::Fast);
     let result = whart_opt::optimize(&mut store.engines[slot].1, &net, &search)
         .map_err(|e| e.to_string())?;
@@ -526,9 +582,129 @@ fn metrics_handler(app: &App) -> Result<Response, String> {
             }
         }
     }
+    // Sliding-window gauges: what the last window of traffic looked
+    // like, per route, alongside the cumulative series above.
+    let window_s = app.windows.window().as_secs();
+    for route in app.windows.snapshot() {
+        let suffix = format!("window{window_s}s{{route={}}}", route.route);
+        derived.push(DerivedGauge::new(
+            format!("http.requests.{suffix}"),
+            route.requests as f64,
+        ));
+        derived.push(DerivedGauge::new(
+            format!("http.errors.{suffix}"),
+            route.errors as f64,
+        ));
+        derived.push(DerivedGauge::new(
+            format!("http.slo_burn.{suffix}"),
+            route.slo_burn_rate(),
+        ));
+        for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            if let Some(value) = route.latency.quantile(q) {
+                derived.push(DerivedGauge::new(
+                    format!("http.request_ns.{label}.{suffix}"),
+                    value,
+                ));
+            }
+        }
+    }
     let mut response = Response::text(200, prometheus::render_with(&snapshot, &derived));
     response.content_type = "text/plain; version=0.0.4; charset=utf-8".into();
     Ok(response)
+}
+
+/// `GET /statusz`: the live SLO view — per-route rolling quantiles,
+/// error rate and burn rate over the last window, plus queue and
+/// connection health, as a plain-text page for humans and smoke tests.
+fn statusz_handler(app: &App) -> Result<Response, String> {
+    use std::fmt::Write as _;
+    let snapshot = app.metrics.snapshot();
+    let requests_total: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("http.requests_total"))
+        .map(|(_, count)| count)
+        .sum();
+    let reuses = snapshot.counter("http.keepalive.reuses_total").unwrap_or(0);
+    let reuse_ratio = if requests_total == 0 {
+        0.0
+    } else {
+        reuses as f64 / requests_total as f64
+    };
+    let slo_target_ms = app.windows.slo_target_ns() as f64 / 1e6;
+    let mut out = String::new();
+    let _ = writeln!(out, "whart serve status");
+    let _ = writeln!(out, "uptime_s: {}", app.started.elapsed().as_secs());
+    let _ = writeln!(out, "window_s: {}", app.windows.window().as_secs());
+    let _ = writeln!(out, "slo_target_ms: {slo_target_ms:.3}");
+    let _ = writeln!(out, "requests_total: {requests_total}");
+    let _ = writeln!(
+        out,
+        "queue_depth: {}",
+        snapshot.gauge("http.queue_depth").unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "connections_open: {}",
+        snapshot.gauge("http.connections_open").unwrap_or(0)
+    );
+    let _ = writeln!(out, "keepalive_reuse_ratio: {reuse_ratio:.3}");
+    let _ = writeln!(
+        out,
+        "flight_threshold_ms: {:.3}",
+        app.flight.threshold_ns().unwrap_or(0) as f64 / 1e6
+    );
+    let _ = writeln!(out, "log_write_errors: {}", app.log.write_errors());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "route", "requests", "errors", "err_rate", "p50_ms", "p95_ms", "p99_ms", "slo_miss", "burn"
+    );
+    let ms = |q: Option<f64>| q.map_or(0.0, |ns| ns / 1e6);
+    for route in app.windows.snapshot() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9} {:>7.2}",
+            route.route,
+            route.requests,
+            route.errors,
+            route.error_rate(),
+            ms(route.latency.quantile(0.5)),
+            ms(route.latency.quantile(0.95)),
+            ms(route.latency.quantile(0.99)),
+            route.slo_misses,
+            route.slo_burn_rate(),
+        );
+    }
+    Ok(Response::text(200, out))
+}
+
+/// `GET /v1/debug/requests`: flight-recorder summaries, newest first,
+/// one JSON object per line.
+fn debug_requests_handler(app: &App) -> Response {
+    let mut out = String::new();
+    for entry in app.flight.summaries() {
+        out.push_str(&entry.summary_json().to_compact());
+        out.push('\n');
+    }
+    let mut response = Response::json(200, out);
+    response.content_type = "application/x-ndjson".into();
+    maybe_chunked(response)
+}
+
+/// `GET /v1/debug/requests/<id>`: one retained request's summary plus
+/// its per-hop timeline, as trace-journal JSONL.
+fn debug_request_detail_handler(app: &App, request: &Request) -> Response {
+    let id = request.path.rsplit('/').next().unwrap_or("");
+    match app.flight.lookup(id) {
+        Some(entry) => {
+            let mut response = Response::json(200, entry.detail_jsonl());
+            response.content_type = "application/x-ndjson".into();
+            maybe_chunked(response)
+        }
+        None => Response::text(404, format!("no retained trace for request id '{id}'\n")),
+    }
 }
 
 /// Wraps a fallible handler into the router's infallible signature.
@@ -542,6 +718,9 @@ fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
     let optimize_app = Arc::clone(app);
     let trace_app = Arc::clone(app);
     let metrics_app = Arc::clone(app);
+    let statusz_app = Arc::clone(app);
+    let debug_list_app = Arc::clone(app);
+    let debug_detail_app = Arc::clone(app);
     Router::new()
         .route("POST", "/v1/analyze", move |req| {
             wrap(analyze_handler(&analyze_app, req))
@@ -558,6 +737,18 @@ fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
         .route("GET", "/metrics", move |_req| {
             wrap(metrics_handler(&metrics_app))
         })
+        .route("GET", "/statusz", move |_req| {
+            wrap(statusz_handler(&statusz_app))
+        })
+        .route("GET", "/v1/debug/requests", move |_req| {
+            debug_requests_handler(&debug_list_app)
+        })
+        .prefix_route(
+            "GET",
+            "/v1/debug/requests/",
+            "/v1/debug/requests/:id",
+            move |req| debug_request_detail_handler(&debug_detail_app, req),
+        )
         .route("POST", "/admin/shutdown", move |_req| {
             shutdown.set();
             Response::text(202, "draining\n")
@@ -570,7 +761,8 @@ fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
 fn self_check(app: &App) -> Result<(), String> {
     let spec = NetworkSpec::from_json(&example("section-v")?)?;
     let model = spec.to_model()?;
-    app.store()?.solve_network(Backend::Fast, model)?;
+    app.store()?
+        .solve_network(Backend::Fast, model, "self-check")?;
     Ok(())
 }
 
@@ -599,9 +791,33 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     server.set_metrics(metrics.clone());
     server.set_trace(trace.clone());
+    let log = match &options.log_path {
+        Some(target) => Logger::for_target(target, options.log_level.unwrap_or(Level::Info))?,
+        None => Logger::disabled(),
+    };
+    let slo_target_ms = options.slo_target_ms.unwrap_or(DEFAULT_SLO_TARGET_MS);
+    let flight_threshold_ms = options
+        .flight_threshold_ms
+        .unwrap_or(DEFAULT_FLIGHT_THRESHOLD_MS);
+    let windows = Arc::new(HttpWindows::new(
+        DEFAULT_WINDOW,
+        std::time::Duration::from_secs_f64(slo_target_ms / 1e3),
+    ));
+    let flight = FlightRecorder::new(
+        DEFAULT_RECENT,
+        DEFAULT_SLOW,
+        (flight_threshold_ms * 1e6) as u64,
+    );
+    server.set_log(log.clone());
+    server.set_windows(Arc::clone(&windows));
+    server.set_flight(flight.clone());
     let app = Arc::new(App {
         metrics: metrics.clone(),
         trace: trace.clone(),
+        log: log.clone(),
+        windows,
+        flight,
+        started: Instant::now(),
         engines: Mutex::new(EngineStore::new(
             threads,
             options.cache_capacity,
@@ -623,6 +839,11 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
     // The address goes to stderr so stdout stays clean for the final
     // artifacts (tests and scripts parse the port from this line).
     eprintln!("whart serve: listening on http://{addr} ({threads} worker threads)");
+    log.event(Level::Info, "server_listening")
+        .field("addr", addr.to_string())
+        .field("threads", threads as u64)
+        .emit();
+    log.flush();
     server.serve().map_err(|e| format!("serve failed: {e}"))?;
     let snapshot = metrics.snapshot();
     let requests: u64 = snapshot
@@ -631,6 +852,10 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
         .filter(|(name, _)| name.starts_with("http.requests_total"))
         .map(|(_, count)| count)
         .sum();
+    log.event(Level::Info, "server_drained")
+        .field("requests", requests)
+        .emit();
+    log.flush();
     let mut out = format!("whart serve: drained after {requests} requests\n");
     if let Some(path) = &options.metrics_path {
         out.push_str(&write_metrics(path, &metrics)?);

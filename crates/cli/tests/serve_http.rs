@@ -77,6 +77,53 @@ fn http(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
     (status, body)
 }
 
+/// One raw HTTP/1.1 exchange with extra request headers. Returns
+/// (status, response headers lowercased, body).
+fn http_full(
+    addr: &str,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    write!(stream, "{head}{body}").expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
 /// Polls `GET /readyz` until the self-check solve completes.
 fn await_ready(addr: &str) {
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -424,6 +471,218 @@ fn graceful_shutdown_drains_in_flight_work_and_writes_final_artifacts() {
         .sum();
     assert!(served >= 2, "final snapshot missed requests: {served}");
     assert!(trace_path.exists(), "final trace written");
+}
+
+#[test]
+fn request_ids_flow_from_header_to_log_trace_and_flight_recorder() {
+    let dir = std::env::temp_dir().join("whart-serve-request-id-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("requests.jsonl");
+    let _ = std::fs::remove_file(&log_path);
+    let serve = spawn_serve(&[
+        "--log",
+        log_path.to_str().unwrap(),
+        // A generous threshold so only the recent ring retains entries;
+        // retention by id must not depend on the request being slow.
+        "--flight-threshold-ms",
+        "60000",
+    ]);
+    await_ready(&serve.addr);
+    let spec = section_v_spec();
+
+    // A client-supplied correlation id is echoed on the response. The
+    // explicit backend's engine is cold (the self-check only warms the
+    // fast one), so this request demonstrably reaches the solver.
+    let id = "e2e-corr-0001";
+    let (status, headers, _) = http_full(
+        &serve.addr,
+        "POST",
+        "/v1/analyze?backend=explicit",
+        &[("X-Request-Id", id)],
+        &spec,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some(id));
+    // ...and a server-assigned id comes back when the client sends none,
+    // even on error responses.
+    let (status, headers, _) = http_full(&serve.addr, "POST", "/v1/analyze", &[], "{not json");
+    assert_eq!(status, 400);
+    let assigned = header(&headers, "x-request-id").expect("assigned id");
+    assert!(!assigned.is_empty() && assigned != id, "{assigned}");
+
+    // The flight recorder lists the request and replays it by id.
+    let (status, list) = http(&serve.addr, "GET", "/v1/debug/requests", "");
+    assert_eq!(status, 200);
+    assert!(list.lines().any(|l| l.contains(id)), "{list}");
+    let (status, detail) = http(&serve.addr, "GET", &format!("/v1/debug/requests/{id}"), "");
+    assert_eq!(status, 200, "{detail}");
+    let summary = whart_json::Json::parse(detail.lines().next().unwrap()).unwrap();
+    assert_eq!(summary["id"].as_str(), Some(id));
+    assert_eq!(summary["route"].as_str(), Some("/v1/analyze"));
+    assert_eq!(summary["status"].as_u64(), Some(200));
+    assert!(
+        detail.lines().any(|l| l.contains("\"handler\"")),
+        "per-hop timeline missing:\n{detail}"
+    );
+    let (status, _) = http(&serve.addr, "GET", "/v1/debug/requests/no-such-id", "");
+    assert_eq!(status, 404);
+
+    // The trace journal's request span carries the id, and so do the
+    // solver spans the request triggered (the context scope).
+    let (_, jsonl) = http(&serve.addr, "GET", "/v1/trace", "");
+    assert!(
+        jsonl
+            .lines()
+            .any(|l| l.contains("\"http_request\"") && l.contains(id)),
+        "request span lost the id:\n{jsonl}"
+    );
+    assert!(
+        jsonl
+            .lines()
+            .any(|l| l.contains("\"path_solve\"") && l.contains(id)),
+        "solver span lost the id:\n{jsonl}"
+    );
+
+    // The structured log's wide event carries the same id (the log is
+    // flushed per request; poll briefly for the write to land).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let event = loop {
+        let text = std::fs::read_to_string(&log_path).unwrap_or_default();
+        if let Some(line) = text.lines().find(|l| l.contains(id)) {
+            break whart_json::Json::parse(line).expect("log line parses");
+        }
+        assert!(Instant::now() < deadline, "log line never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(event["event"].as_str(), Some("http_request"));
+    assert_eq!(event["request_id"].as_str(), Some(id));
+    assert_eq!(event["route"].as_str(), Some("/v1/analyze"));
+    assert_eq!(event["code"].as_u64(), Some(200));
+    assert!(event["total_ns"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn statusz_and_windowed_gauges_track_recent_traffic() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let spec = section_v_spec();
+
+    let (status, page) = http(&serve.addr, "GET", "/statusz", "");
+    assert_eq!(status, 200);
+    assert!(page.contains("window_s: 30"), "{page}");
+    assert!(page.contains("slo_target_ms: 5.000"), "{page}");
+    assert!(page.contains("keepalive_reuse_ratio:"), "{page}");
+
+    for _ in 0..4 {
+        let (status, _) = http(&serve.addr, "POST", "/v1/analyze", &spec);
+        assert_eq!(status, 200);
+    }
+    let (_, page) = http(&serve.addr, "GET", "/statusz", "");
+    let row = page
+        .lines()
+        .find(|l| l.starts_with("/v1/analyze"))
+        .expect("analyze row on statusz");
+    let requests: u64 = row.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(requests >= 4, "{row}");
+
+    // /metrics carries the windowed gauges alongside the cumulative
+    // series; traffic moves both, the cumulative one monotonically.
+    let (_, text) = http(&serve.addr, "GET", "/metrics", "");
+    let exposition = whart_obs::prometheus::parse(&text).expect("parse exposition");
+    exposition.validate().expect("valid exposition");
+    let windowed = |text: &str| -> f64 {
+        whart_obs::prometheus::parse(text)
+            .unwrap()
+            .named("http_requests_window30s")
+            .find(|s| s.label("route") == Some("/v1/analyze"))
+            .expect("windowed request gauge")
+            .value
+    };
+    let cumulative = |text: &str| -> f64 {
+        whart_obs::prometheus::parse(text)
+            .unwrap()
+            .named("http_requests_total")
+            .find(|s| s.label("route") == Some("/v1/analyze") && s.label("code") == Some("200"))
+            .expect("cumulative request counter")
+            .value
+    };
+    assert!(
+        exposition
+            .named("http_request_ns_p99_window30s")
+            .any(|s| s.label("route") == Some("/v1/analyze")),
+        "windowed p99 gauge missing:\n{text}"
+    );
+    assert!(
+        exposition
+            .named("http_slo_burn_window30s")
+            .any(|s| s.label("route") == Some("/v1/analyze")),
+        "windowed burn-rate gauge missing:\n{text}"
+    );
+    let (w1, c1) = (windowed(&text), cumulative(&text));
+    assert!(w1 >= 4.0, "{w1}");
+    for _ in 0..2 {
+        let (status, _) = http(&serve.addr, "POST", "/v1/analyze", &spec);
+        assert_eq!(status, 200);
+    }
+    let (_, text) = http(&serve.addr, "GET", "/metrics", "");
+    let (w2, c2) = (windowed(&text), cumulative(&text));
+    assert!(
+        w2 >= w1,
+        "window lost traffic inside its span: {w1} -> {w2}"
+    );
+    assert!(
+        c2 >= c1 + 2.0,
+        "cumulative counter must only grow: {c1} -> {c2}"
+    );
+}
+
+#[test]
+fn structured_logging_does_not_change_report_bytes() {
+    let dir = std::env::temp_dir().join("whart-serve-log-parity-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("parity.jsonl");
+    let _ = std::fs::remove_file(&log_path);
+    let plain = spawn_serve(&[]);
+    let logged = spawn_serve(&["--log", log_path.to_str().unwrap(), "--log-level", "debug"]);
+    await_ready(&plain.addr);
+    await_ready(&logged.addr);
+    let spec = section_v_spec();
+
+    for target in ["/v1/analyze", "/v1/analyze?format=text"] {
+        let (status_plain, expected) = http(&plain.addr, "POST", target, &spec);
+        let (status_logged, body) = http(&logged.addr, "POST", target, &spec);
+        assert_eq!((status_plain, status_logged), (200, 200));
+        assert_eq!(body, expected, "{target}: logging changed the report bytes");
+    }
+
+    // The log itself is schema-stable JSONL: every line parses and
+    // carries the envelope fields.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        let text = std::fs::read_to_string(&log_path).unwrap_or_default();
+        if text.lines().any(|l| l.contains("\"http_request\"")) {
+            break text;
+        }
+        assert!(Instant::now() < deadline, "request log never materialized");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        let event = whart_json::Json::parse(line).expect("log line parses");
+        assert!(event["ts_ms"].as_u64().is_some(), "{line}");
+        assert!(event["level"].as_str().is_some(), "{line}");
+        assert!(event["event"].as_str().is_some(), "{line}");
+    }
+    let wide = text
+        .lines()
+        .map(|l| whart_json::Json::parse(l).unwrap())
+        .find(|e| e["event"].as_str() == Some("http_request"))
+        .expect("wide request event");
+    for field in ["request_id", "method", "route"] {
+        assert!(wide[field].as_str().is_some(), "missing {field}");
+    }
+    for field in ["code", "bytes_in", "bytes_out", "queue_ns", "total_ns"] {
+        assert!(wide[field].as_u64().is_some(), "missing {field}");
+    }
 }
 
 /// `Child::wait_with_output` with a watchdog: a hung drain should fail

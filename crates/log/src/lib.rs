@@ -1,0 +1,535 @@
+//! whart-log: the workspace's structured logger.
+//!
+//! `whart-obs` answers *how much*, `whart-trace` answers *why*; this
+//! crate answers *what happened*, one line at a time: leveled, wide
+//! JSONL events — a service emits one canonical event per HTTP request
+//! carrying the route, status code, byte counts, queue wait, engine
+//! time, cache hits and the request id — written to a file, stdout or
+//! stderr.
+//!
+//! The contract mirrors the `whart-obs`/`whart-trace` facades:
+//!
+//! * [`Logger::disabled`] (the default) carries no sink at all. Every
+//!   event site costs a single `Option` branch — no allocation, no
+//!   clock read, no lock. Logging must never perturb results: enabled
+//!   or disabled, the observed computation is bit-identical.
+//! * Events below the configured [`Level`] are refused at the same
+//!   single branch, before any field is converted.
+//! * Enabled handles render events into per-thread buffers, so the hot
+//!   path takes no lock; buffers flush to the shared sink every
+//!   [`FLUSH_CHUNK`] lines, on [`Logger::flush`] (a service calls it
+//!   after each request) and when a thread exits.
+//!
+//! Every line is a flat JSON object with three fixed leading fields —
+//! `ts_ms` (Unix milliseconds), `level`, `event` — followed by the
+//! event's own fields in emission order:
+//!
+//! ```text
+//! {"ts_ms":1754650000123,"level":"info","event":"http_request","request_id":"a3f2c1-000007","route":"/v1/analyze","code":200}
+//! ```
+//!
+//! ```
+//! use whart_log::{Level, Logger};
+//!
+//! // Disabled: same call sites, no effect, one branch each.
+//! let log = Logger::disabled();
+//! log.event(Level::Info, "http_request")
+//!     .field("route", "/v1/analyze")
+//!     .field("code", 200u64)
+//!     .emit();
+//! assert!(!log.is_enabled());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use whart_json::Json;
+
+/// Thread-local buffer length (in lines) at which a chunk is flushed to
+/// the shared sink.
+pub const FLUSH_CHUNK: usize = 64;
+
+/// Source of unique logger identities (thread-local buffers key on
+/// these, so a new logger never inherits a dead logger's buffers).
+static NEXT_LOGGER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Event severity, from most to least urgent. The logger's configured
+/// level admits events at that level and above (`Info` admits `Error`,
+/// `Warn` and `Info`; `Debug` admits everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A request or subsystem failed.
+    Error,
+    /// Degraded but proceeding (overflow rejections, slow outliers).
+    Warn,
+    /// The canonical per-request wide events.
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used on log lines and by `--log-level`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `--log-level` value (case-insensitive). This is the one
+    /// shared parser every CLI flag goes through.
+    ///
+    /// # Errors
+    ///
+    /// Names the accepted levels.
+    pub fn parse(text: &str) -> Result<Level, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level '{other}' (expected error, warn, info or debug)"
+            )),
+        }
+    }
+}
+
+/// Where rendered lines go.
+enum Target {
+    Stdout,
+    Stderr,
+    File(std::fs::File),
+}
+
+impl Target {
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            Target::Stdout => {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                lock.write_all(bytes)?;
+                lock.flush()
+            }
+            Target::Stderr => {
+                let stderr = std::io::stderr();
+                let mut lock = stderr.lock();
+                lock.write_all(bytes)?;
+                lock.flush()
+            }
+            Target::File(file) => {
+                file.write_all(bytes)?;
+                file.flush()
+            }
+        }
+    }
+}
+
+/// The sink behind an enabled [`Logger`] handle.
+struct Shared {
+    id: u64,
+    level: Level,
+    sink: Mutex<Target>,
+    /// Lines lost to sink write failures (logging must not take the
+    /// service down; failures are counted, not propagated).
+    write_errors: AtomicU64,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Vec<LocalBuffer>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One thread's pending rendered lines for one logger.
+struct LocalBuffer {
+    logger_id: u64,
+    shared: Weak<Shared>,
+    bytes: Vec<u8>,
+    lines: usize,
+}
+
+impl LocalBuffer {
+    fn flush(&mut self) {
+        if self.bytes.is_empty() {
+            return;
+        }
+        if let Some(shared) = self.shared.upgrade() {
+            let result = shared.sink.lock().expect("log sink").write_all(&self.bytes);
+            if result.is_err() {
+                shared
+                    .write_errors
+                    .fetch_add(self.lines as u64, Ordering::Relaxed);
+            }
+        }
+        self.bytes.clear();
+        self.lines = 0;
+    }
+}
+
+impl Drop for LocalBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Appends one rendered line to this thread's buffer for `shared`.
+fn buffer_line(shared: &Arc<Shared>, line: &str) {
+    let mut pending = Some(line);
+    let _ = LOCAL.try_with(|local| {
+        let mut buffers = local.borrow_mut();
+        let buffer = match buffers.iter_mut().position(|b| b.logger_id == shared.id) {
+            Some(i) => &mut buffers[i],
+            None => {
+                buffers.retain(|b| b.shared.strong_count() > 0);
+                buffers.push(LocalBuffer {
+                    logger_id: shared.id,
+                    shared: Arc::downgrade(shared),
+                    bytes: Vec::with_capacity(4096),
+                    lines: 0,
+                });
+                buffers.last_mut().expect("just pushed")
+            }
+        };
+        let line = pending.take().expect("line buffered once");
+        buffer.bytes.extend_from_slice(line.as_bytes());
+        buffer.bytes.push(b'\n');
+        buffer.lines += 1;
+        if buffer.lines >= FLUSH_CHUNK {
+            buffer.flush();
+        }
+    });
+    if let Some(line) = pending {
+        // Thread-local storage is tearing down (thread exit): write
+        // straight to the sink.
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        if shared
+            .sink
+            .lock()
+            .expect("log sink")
+            .write_all(&bytes)
+            .is_err()
+        {
+            shared.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A cloneable handle to a structured JSONL sink, or a no-op stand-in.
+///
+/// Cloning shares the sink: events emitted through any clone (on any
+/// thread) land in the same output in flush order. The default handle
+/// is disabled.
+#[derive(Clone, Default)]
+pub struct Logger {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Logger {
+    fn with_target(target: Target, level: Level) -> Logger {
+        Logger {
+            shared: Some(Arc::new(Shared {
+                id: NEXT_LOGGER_ID.fetch_add(1, Ordering::Relaxed),
+                level,
+                sink: Mutex::new(target),
+                write_errors: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The no-op handle: every event site resolved through it records
+    /// nothing and costs one branch.
+    pub fn disabled() -> Logger {
+        Logger { shared: None }
+    }
+
+    /// An enabled logger writing JSONL to stdout.
+    pub fn to_stdout(level: Level) -> Logger {
+        Logger::with_target(Target::Stdout, level)
+    }
+
+    /// An enabled logger writing JSONL to stderr.
+    pub fn to_stderr(level: Level) -> Logger {
+        Logger::with_target(Target::Stderr, level)
+    }
+
+    /// An enabled logger writing JSONL to `path` (created or
+    /// truncated).
+    ///
+    /// # Errors
+    ///
+    /// When the file cannot be created.
+    pub fn to_file(path: &str, level: Level) -> std::io::Result<Logger> {
+        Ok(Logger::with_target(
+            Target::File(std::fs::File::create(path)?),
+            level,
+        ))
+    }
+
+    /// The shared `--log <target>` mapping: `-` is stdout, `stderr` is
+    /// stderr, anything else is a file path.
+    ///
+    /// # Errors
+    ///
+    /// When a file target cannot be created.
+    pub fn for_target(target: &str, level: Level) -> Result<Logger, String> {
+        match target {
+            "-" => Ok(Logger::to_stdout(level)),
+            "stderr" => Ok(Logger::to_stderr(level)),
+            path => Logger::to_file(path, level)
+                .map_err(|e| format!("cannot open log file {path}: {e}")),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The configured admission level (`None` when disabled).
+    pub fn level(&self) -> Option<Level> {
+        self.shared.as_ref().map(|s| s.level)
+    }
+
+    /// Lines lost to sink write failures so far.
+    pub fn write_errors(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.write_errors.load(Ordering::Relaxed))
+    }
+
+    /// Starts an event at `level` named `event`. Returns a no-op
+    /// builder when the handle is disabled or the level is below the
+    /// configured threshold — fields attached to a refused event are
+    /// never converted.
+    pub fn event(&self, level: Level, event: &'static str) -> Event<'_> {
+        let inner = self.shared.as_ref().filter(|s| level <= s.level).map(|s| {
+            let ts_ms = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64);
+            EventInner {
+                shared: s,
+                fields: vec![
+                    ("ts_ms".into(), Json::from(ts_ms)),
+                    ("level".into(), Json::from(level.as_str())),
+                    ("event".into(), Json::from(event)),
+                ],
+            }
+        });
+        Event { inner }
+    }
+
+    /// Flushes the calling thread's pending lines to the sink. Services
+    /// call this at a natural publication point — after finishing a
+    /// request — so a reader tailing the file observes completed events
+    /// without waiting for a [`FLUSH_CHUNK`] boundary or thread exit.
+    pub fn flush(&self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let _ = LOCAL.try_with(|local| {
+            let mut buffers = local.borrow_mut();
+            if let Some(buffer) = buffers.iter_mut().find(|b| b.logger_id == shared.id) {
+                buffer.flush();
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("enabled", &self.is_enabled())
+            .field("level", &self.level())
+            .finish()
+    }
+}
+
+struct EventInner<'a> {
+    shared: &'a Arc<Shared>,
+    fields: Vec<(String, Json)>,
+}
+
+/// A wide-event builder; renders and buffers one JSONL line on
+/// [`Event::emit`]. Dropping without `emit` discards the event.
+pub struct Event<'a> {
+    inner: Option<EventInner<'a>>,
+}
+
+impl Event<'_> {
+    /// Whether this event will be written (false when the logger is
+    /// disabled or the level was refused). Guard expensive field values
+    /// with this.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches one field. On a refused event the value is not
+    /// converted.
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<Json>) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key.into(), value.into()));
+        }
+        self
+    }
+
+    /// Renders the event and buffers it for the sink.
+    pub fn emit(self) {
+        if let Some(inner) = self.inner {
+            let line = Json::Object(inner.fields).to_compact();
+            buffer_line(inner.shared, &line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("whart-log-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("info"), Ok(Level::Info));
+        assert_eq!(Level::parse("WARN"), Ok(Level::Warn));
+        assert_eq!(Level::parse("warning"), Ok(Level::Warn));
+        assert_eq!(Level::parse("debug").unwrap().as_str(), "debug");
+        assert!(Level::parse("verbose").unwrap_err().contains("log level"));
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let log = Logger::disabled();
+        assert!(!log.is_enabled());
+        assert_eq!(log.level(), None);
+        let event = log.event(Level::Error, "boom");
+        assert!(!event.is_recording());
+        event.field("k", 1u64).emit();
+        log.flush();
+        assert_eq!(log.write_errors(), 0);
+        assert!(!Logger::default().is_enabled());
+    }
+
+    #[test]
+    fn file_sink_writes_schema_lines_in_order() {
+        let path = temp_path("lines.jsonl");
+        let log = Logger::to_file(&path, Level::Info).unwrap();
+        log.event(Level::Info, "http_request")
+            .field("request_id", "req-1")
+            .field("route", "/v1/analyze")
+            .field("code", 200u64)
+            .emit();
+        log.event(Level::Warn, "queue_overflow")
+            .field("request_id", "req-2")
+            .emit();
+        log.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert!(first["ts_ms"].as_u64().is_some());
+        assert_eq!(first["level"].as_str(), Some("info"));
+        assert_eq!(first["event"].as_str(), Some("http_request"));
+        assert_eq!(first["request_id"].as_str(), Some("req-1"));
+        assert_eq!(first["code"].as_u64(), Some(200));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second["level"].as_str(), Some("warn"));
+    }
+
+    #[test]
+    fn events_below_the_level_are_refused_before_conversion() {
+        let path = temp_path("filtered.jsonl");
+        let log = Logger::to_file(&path, Level::Warn).unwrap();
+        assert!(log.event(Level::Error, "kept").is_recording());
+        assert!(!log.event(Level::Info, "refused").is_recording());
+        log.event(Level::Info, "refused").field("k", 1u64).emit();
+        log.event(Level::Error, "kept").emit();
+        log.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("\"kept\""));
+    }
+
+    #[test]
+    fn threads_flush_on_exit_and_clones_share_the_sink() {
+        let path = temp_path("threads.jsonl");
+        let log = Logger::to_file(&path, Level::Debug).unwrap();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let log = log.clone();
+                scope.spawn(move || {
+                    for i in 0..10u64 {
+                        log.event(Level::Debug, "tick")
+                            .field("worker", worker as u64)
+                            .field("i", i)
+                            .emit();
+                    }
+                });
+            }
+        });
+        // Thread-local destructors may straggle briefly after join on a
+        // loaded machine; poll rather than racing them.
+        let mut text = String::new();
+        for _ in 0..200 {
+            text = std::fs::read_to_string(&path).unwrap();
+            if text.lines().count() == 40 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(text.lines().count(), 40, "threads flush on exit");
+        for line in text.lines() {
+            Json::parse(line).expect("every line parses");
+        }
+    }
+
+    #[test]
+    fn chunked_flushing_reaches_the_sink_mid_thread() {
+        let path = temp_path("chunks.jsonl");
+        let log = Logger::to_file(&path, Level::Info).unwrap();
+        for i in 0..(FLUSH_CHUNK as u64 + 3) {
+            log.event(Level::Info, "e").field("i", i).emit();
+        }
+        // The first chunk is already durable without an explicit flush.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            FLUSH_CHUNK,
+            "{}",
+            text.lines().count()
+        );
+        log.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), FLUSH_CHUNK + 3);
+    }
+
+    #[test]
+    fn target_mapping_matches_the_cli_contract() {
+        assert!(Logger::for_target("-", Level::Info).is_ok());
+        assert!(Logger::for_target("stderr", Level::Info).is_ok());
+        let path = temp_path("mapped.jsonl");
+        let log = Logger::for_target(&path, Level::Info).unwrap();
+        assert!(log.is_enabled());
+        assert!(
+            Logger::for_target("/nonexistent-dir-xyz/log.jsonl", Level::Info)
+                .unwrap_err()
+                .contains("cannot open log file")
+        );
+    }
+}

@@ -117,12 +117,17 @@ impl HistogramSnapshot {
     /// buckets.
     ///
     /// The rank `ceil(q * count)` (at least 1) is located in the
-    /// cumulative bucket counts; within its bucket the value is linearly
-    /// interpolated across the bucket's `[2^i, 2^(i+1))` span, then
-    /// clamped to the exact observed `[min, max]` — so `quantile(0.0)`
-    /// is exactly `min`, `quantile(1.0)` is exactly `max`, and a
-    /// single-valued histogram returns that value for every `q`. Ranks
-    /// landing in the overflow bucket report `max`.
+    /// cumulative bucket counts; within its bucket the value is
+    /// interpolated *geometrically* — ranks walk the bucket's
+    /// `[2^i, 2^(i+1))` span on the log scale with a half-rank offset,
+    /// so the bucket's median rank reports the geometric midpoint
+    /// `2^(i+1/2)` rather than the upper bound. (Linear-to-upper-bound
+    /// interpolation systematically overstates bucket quantiles: with
+    /// most mass in one bucket it reports p50 above the exact mean.)
+    /// The estimate is clamped to the exact observed `[min, max]`, so
+    /// `quantile(0.0)` is exactly `min`, `quantile(1.0)` is exactly
+    /// `max`, and a single-valued histogram returns that value for
+    /// every `q`. Ranks landing in the overflow bucket report `max`.
     ///
     /// Returns `None` for an empty histogram or a `q` outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -132,26 +137,58 @@ impl HistogramSnapshot {
         if q == 0.0 {
             return Some(self.min as f64);
         }
+        if q == 1.0 {
+            return Some(self.max as f64);
+        }
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for &(index, count) in &self.buckets {
             cumulative += count;
             if cumulative >= rank {
-                // Bucket i spans [2^i, 2^(i+1)) — except bucket 0, which
-                // also holds 0.
-                let lo = if index == 0 {
-                    0.0
+                // Half-rank offset: rank r of `count` sits at fraction
+                // (r - 1/2) / count through the bucket, so the middle
+                // rank lands on the bucket midpoint instead of its
+                // upper edge.
+                let into = ((rank - (cumulative - count)) as f64 - 0.5) / count as f64;
+                let estimate = if index == 0 {
+                    // Bucket 0 holds {0, 1}; the geometric scale
+                    // degenerates at 0, so interpolate linearly.
+                    into
                 } else {
-                    (1u64 << index) as f64
+                    // Geometric walk across [2^i, 2^(i+1)): at
+                    // into = 1/2 this is the geometric midpoint
+                    // 2^(i+1/2).
+                    (1u64 << index) as f64 * 2f64.powf(into)
                 };
-                let hi = bucket_upper_bound(index) as f64;
-                let into = (rank - (cumulative - count)) as f64 / count as f64;
-                let estimate = lo + into * (hi - lo);
                 return Some(estimate.clamp(self.min as f64, self.max as f64));
             }
         }
         // Rank falls in the overflow bucket: the best exact bound is max.
         Some(self.max as f64)
+    }
+
+    /// Records one observation directly into the snapshot form,
+    /// keeping the same exact totals and sparse log2 buckets the atomic
+    /// core maintains. This is the single-threaded accumulation path
+    /// used by rolling sub-windows, where each slot is a plain snapshot
+    /// behind its window's lock.
+    pub fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        match bucket_index(value) {
+            None => self.overflow = self.overflow.saturating_add(1),
+            Some(index) => match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(at) => self.buckets[at].1 = self.buckets[at].1.saturating_add(1),
+                Err(at) => self.buckets.insert(at, (index, 1)),
+            },
+        }
     }
 
     /// Folds `other` into `self` as if every observation behind both
@@ -376,6 +413,43 @@ mod tests {
         assert!(p25 < p75, "{p25} < {p75}");
         assert!((64.0..=127.0).contains(&p25));
         assert!((64.0..=127.0).contains(&p75));
+    }
+
+    #[test]
+    fn bucket_median_reports_the_geometric_midpoint() {
+        // Five observations in bucket 6 ([64, 128)) put the median rank
+        // at the bucket's half-rank point: the estimate is the geometric
+        // midpoint 2^6.5, not the bucket's upper bound.
+        let core = HistogramCore::default();
+        core.record(64);
+        for _ in 0..3 {
+            core.record(65);
+        }
+        core.record(127);
+        let snapshot = core.snapshot();
+        let p50 = snapshot.quantile(0.5).unwrap();
+        let midpoint = 64.0 * 2f64.sqrt();
+        assert!((p50 - midpoint).abs() < 1e-9, "{p50} vs {midpoint}");
+    }
+
+    #[test]
+    fn p50_stays_at_or_below_max_for_mass_at_a_bucket_floor() {
+        // The committed-bench bias case: every observation near the
+        // floor of one wide bucket. Upper-bound interpolation reported
+        // p50 ~50% above the exact mean; the geometric estimate clamps
+        // to the observed max instead.
+        let core = HistogramCore::default();
+        for v in 262_144..262_244u64 {
+            core.record(v);
+        }
+        let snapshot = core.snapshot();
+        let mean = snapshot.mean().unwrap();
+        let p50 = snapshot.quantile(0.5).unwrap();
+        assert!(p50 <= snapshot.max as f64, "{p50}");
+        assert!(
+            p50 <= mean + 100.0,
+            "p50 {p50} still biased over mean {mean}"
+        );
     }
 
     #[test]

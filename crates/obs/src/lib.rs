@@ -19,6 +19,9 @@
 //!   read.
 //! * [`MetricsSnapshot`] — a point-in-time copy of every instrument,
 //!   serializable to and from JSON (machine-readable CLI/CI artifacts).
+//! * [`RollingCounter`] / [`RollingHistogram`] — sliding-window
+//!   instruments (a ring of K sub-windows over an explicit clock) for
+//!   "last 30 seconds" views next to the cumulative ones.
 //!
 //! Instrument handles resolve their storage once — hot loops should
 //! resolve outside the loop and reuse the handle; each record is then
@@ -49,9 +52,11 @@
 mod histogram;
 pub mod prometheus;
 mod snapshot;
+pub mod window;
 
 pub use histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
 pub use snapshot::MetricsSnapshot;
+pub use window::{RollingCounter, RollingHistogram, DEFAULT_SUB_WINDOWS};
 
 use histogram::HistogramCore;
 use std::collections::HashMap;

@@ -1,0 +1,282 @@
+//! Sliding-window instruments: a ring of K sub-windows over an
+//! explicit clock.
+//!
+//! The cumulative instruments in this crate answer "what happened since
+//! the process started"; a live service also needs "what happened in
+//! the last 30 seconds". [`RollingCounter`] and [`RollingHistogram`]
+//! provide that as a fixed ring of `K` sub-window slots, each covering
+//! `window / K` of time. Records land in the slot the supplied
+//! timestamp falls into (lazily resetting a slot whose previous tenant
+//! has expired), and reads merge every slot still inside the window —
+//! so a read sees between `(K-1)/K` and the full window of history, and
+//! old traffic ages out in `window / K` granules without any background
+//! thread.
+//!
+//! Both types take the clock as an argument (`now_ns`, nanoseconds on
+//! any monotonic scale the caller chooses) rather than reading it,
+//! which keeps window advance and expiry deterministic under test and
+//! lets one clock read serve several instruments per request.
+
+use crate::histogram::HistogramSnapshot;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default number of sub-windows (`K`): a 30 s window advances in 3 s
+/// granules.
+pub const DEFAULT_SUB_WINDOWS: usize = 10;
+
+/// One ring slot: the sub-window index it currently holds data for
+/// (`now_ns / slot_ns`), plus the accumulated payload.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    epoch: u64,
+    data: T,
+}
+
+/// The shared ring mechanics: epoch bookkeeping for record and read.
+struct Ring<T> {
+    slot_ns: u64,
+    slots: Mutex<Vec<Slot<T>>>,
+}
+
+impl<T: Default + Clone> Ring<T> {
+    fn new(window: Duration, sub_windows: usize) -> Ring<T> {
+        assert!(sub_windows >= 1, "a rolling window needs at least 1 slot");
+        let window_ns = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);
+        let slot_ns = (window_ns / sub_windows as u64).max(1);
+        Ring {
+            slot_ns,
+            slots: Mutex::new(vec![
+                Slot {
+                    // No epoch a real timestamp can produce: the slot
+                    // reads as expired until first written.
+                    epoch: u64::MAX,
+                    data: T::default(),
+                };
+                sub_windows
+            ]),
+        }
+    }
+
+    fn record(&self, now_ns: u64, update: impl FnOnce(&mut T)) {
+        let epoch = now_ns / self.slot_ns;
+        let mut slots = self.slots.lock().expect("window lock");
+        let k = slots.len() as u64;
+        let slot = &mut slots[(epoch % k) as usize];
+        if slot.epoch != epoch {
+            // The previous tenant of this ring position is at least a
+            // full window old: reset lazily instead of sweeping.
+            slot.data = T::default();
+            slot.epoch = epoch;
+        }
+        update(&mut slot.data);
+    }
+
+    fn fold<R>(&self, now_ns: u64, mut init: R, mut fold: impl FnMut(&mut R, &T)) -> R {
+        let epoch = now_ns / self.slot_ns;
+        let slots = self.slots.lock().expect("window lock");
+        let k = slots.len() as u64;
+        for slot in slots.iter() {
+            // Live slots cover (epoch - K, epoch]; anything older — or
+            // the u64::MAX never-written marker — is expired.
+            if slot.epoch <= epoch && slot.epoch + k > epoch {
+                fold(&mut init, &slot.data);
+            }
+        }
+        init
+    }
+
+    fn window(&self) -> Duration {
+        let slots = self.slots.lock().expect("window lock").len() as u64;
+        Duration::from_nanos(self.slot_ns.saturating_mul(slots))
+    }
+}
+
+/// A sliding-window event counter: [`RollingCounter::add_at`] lands in
+/// the sub-window the timestamp falls into, and
+/// [`RollingCounter::value_at`] sums the sub-windows still inside the
+/// window at that time.
+pub struct RollingCounter {
+    ring: Ring<u64>,
+}
+
+impl RollingCounter {
+    /// A counter over `window`, advancing in `window / sub_windows`
+    /// granules.
+    pub fn new(window: Duration, sub_windows: usize) -> RollingCounter {
+        RollingCounter {
+            ring: Ring::new(window, sub_windows),
+        }
+    }
+
+    /// Adds `n` events at time `now_ns`.
+    pub fn add_at(&self, now_ns: u64, n: u64) {
+        self.ring
+            .record(now_ns, |total| *total = total.saturating_add(n));
+    }
+
+    /// Events recorded within the window ending at `now_ns`.
+    pub fn value_at(&self, now_ns: u64) -> u64 {
+        self.ring
+            .fold(now_ns, 0u64, |sum, n| *sum = sum.saturating_add(*n))
+    }
+
+    /// The configured window span.
+    pub fn window(&self) -> Duration {
+        self.ring.window()
+    }
+}
+
+/// A sliding-window log2 histogram: each sub-window slot is a plain
+/// [`HistogramSnapshot`], and [`RollingHistogram::snapshot_at`] merges
+/// the live slots — so windowed quantiles, counts and means come from
+/// exactly the same snapshot machinery as the cumulative instruments,
+/// and a windowed snapshot merges cleanly into a cumulative one.
+pub struct RollingHistogram {
+    ring: Ring<HistogramSnapshot>,
+}
+
+impl RollingHistogram {
+    /// A histogram over `window`, advancing in `window / sub_windows`
+    /// granules.
+    pub fn new(window: Duration, sub_windows: usize) -> RollingHistogram {
+        RollingHistogram {
+            ring: Ring::new(window, sub_windows),
+        }
+    }
+
+    /// Records one observation at time `now_ns`.
+    pub fn record_at(&self, now_ns: u64, value: u64) {
+        self.ring.record(now_ns, |slot| slot.observe(value));
+    }
+
+    /// The merged snapshot of every sub-window still inside the window
+    /// ending at `now_ns`. Empty (count 0) when all slots have expired.
+    pub fn snapshot_at(&self, now_ns: u64) -> HistogramSnapshot {
+        self.ring
+            .fold(now_ns, HistogramSnapshot::default(), |acc, slot| {
+                acc.merge(slot)
+            })
+    }
+
+    /// The configured window span.
+    pub fn window(&self) -> Duration {
+        self.ring.window()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WINDOW: Duration = Duration::from_secs(30);
+    const SLOT_NS: u64 = 3_000_000_000; // 30 s / 10 sub-windows
+
+    #[test]
+    fn empty_windows_read_as_zero() {
+        let counter = RollingCounter::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        assert_eq!(counter.value_at(0), 0);
+        assert_eq!(counter.value_at(u64::MAX - 1), 0);
+        let histogram = RollingHistogram::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        let snapshot = histogram.snapshot_at(123_456);
+        assert_eq!(snapshot, HistogramSnapshot::default());
+        assert_eq!(snapshot.quantile(0.5), None);
+        assert_eq!(counter.window(), WINDOW);
+        assert_eq!(histogram.window(), WINDOW);
+    }
+
+    #[test]
+    fn records_are_visible_through_the_whole_window_then_expire() {
+        let counter = RollingCounter::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        counter.add_at(0, 5);
+        // Visible immediately and for every read inside the window.
+        assert_eq!(counter.value_at(0), 5);
+        assert_eq!(counter.value_at(SLOT_NS * 9), 5, "last live read");
+        // One slot later the write's sub-window ages out.
+        assert_eq!(counter.value_at(SLOT_NS * 10), 0, "expired");
+    }
+
+    #[test]
+    fn clock_step_over_multiple_sub_windows_expires_everything() {
+        let histogram = RollingHistogram::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        histogram.record_at(0, 100);
+        histogram.record_at(SLOT_NS, 200);
+        assert_eq!(histogram.snapshot_at(SLOT_NS).count, 2);
+        // A clock step far past the window: every slot is stale even
+        // though none was ever overwritten.
+        let later = SLOT_NS * 100;
+        assert_eq!(histogram.snapshot_at(later).count, 0);
+        // New records after the step land normally and do not resurrect
+        // the expired ones sharing a ring position.
+        histogram.record_at(later, 300);
+        let snapshot = histogram.snapshot_at(later);
+        assert_eq!((snapshot.count, snapshot.min, snapshot.max), (1, 300, 300));
+    }
+
+    #[test]
+    fn sub_windows_age_out_one_granule_at_a_time() {
+        let counter = RollingCounter::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        for slot in 0..10u64 {
+            counter.add_at(slot * SLOT_NS, 1);
+        }
+        assert_eq!(counter.value_at(9 * SLOT_NS), 10);
+        assert_eq!(counter.value_at(10 * SLOT_NS), 9, "oldest granule gone");
+        assert_eq!(counter.value_at(14 * SLOT_NS), 5);
+        assert_eq!(counter.value_at(19 * SLOT_NS), 0);
+    }
+
+    #[test]
+    fn ring_positions_are_reset_when_reused() {
+        let counter = RollingCounter::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        counter.add_at(0, 7);
+        // A full ring revolution later the same position is reused; the
+        // old 7 must not leak into the new window.
+        counter.add_at(10 * SLOT_NS, 2);
+        assert_eq!(counter.value_at(10 * SLOT_NS), 2);
+    }
+
+    #[test]
+    fn windowed_snapshots_merge_with_cumulative_snapshots() {
+        // A rolling snapshot is an ordinary HistogramSnapshot: merging
+        // it into a cumulative one keeps exact totals, as if the window
+        // had been recorded into the cumulative histogram too.
+        let rolling = RollingHistogram::new(WINDOW, DEFAULT_SUB_WINDOWS);
+        rolling.record_at(0, 64);
+        rolling.record_at(SLOT_NS, 4096);
+        let windowed = rolling.snapshot_at(SLOT_NS);
+        assert_eq!(windowed.count, 2);
+        assert_eq!(windowed.sum, 4160);
+
+        let metrics = crate::Metrics::new();
+        metrics.histogram("h").record(1);
+        let mut cumulative = metrics.snapshot().histogram("h").unwrap().clone();
+        cumulative.merge(&windowed);
+        assert_eq!(cumulative.count, 3);
+        assert_eq!(cumulative.sum, 4161);
+        assert_eq!((cumulative.min, cumulative.max), (1, 4096));
+        assert_eq!(cumulative.bucketed_count(), 3);
+    }
+
+    #[test]
+    fn observe_matches_the_atomic_core_exactly() {
+        // The snapshot-form accumulation the sub-windows use must agree
+        // with the atomic core bucket-for-bucket.
+        let values = [0u64, 1, 7, 64, 4095, 1u64 << 39, (1u64 << 45) + 17];
+        let metrics = crate::Metrics::new();
+        let reference = metrics.histogram("h");
+        let mut observed = HistogramSnapshot::default();
+        for &v in &values {
+            reference.record(v);
+            observed.observe(v);
+        }
+        assert_eq!(observed, metrics.snapshot().histogram("h").unwrap().clone());
+    }
+
+    #[test]
+    fn one_slot_window_degenerates_sanely() {
+        let counter = RollingCounter::new(Duration::from_secs(1), 1);
+        counter.add_at(0, 3);
+        assert_eq!(counter.value_at(999_999_999), 3);
+        assert_eq!(counter.value_at(1_000_000_000), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The tail-sampled flight recorder: recent and slow request traces.
+//!
+//! `GET /v1/trace` drains the global journal — useful, but a single
+//! slow request is gone the moment someone drains around it. The flight
+//! recorder keeps per-request traces addressable after the fact:
+//!
+//! * a ring of the **last N** finished requests (whatever they were),
+//! * plus a second ring of requests whose total latency exceeded a
+//!   threshold — the tail sample, retained even as fast traffic churns
+//!   the recent ring (until slow traffic itself overflows it).
+//!
+//! Each entry carries the request's correlation id, summary fields, and
+//! a per-hop [`TraceEvent`] timeline (queue wait, handler, write)
+//! rendered with the same JSONL machinery as the trace journal, so one
+//! id links the response header, the log line, the journal spans and
+//! the flight entry.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use whart_json::Json;
+use whart_trace::{TraceEvent, TraceLog};
+
+/// Default size of the recent-requests ring.
+pub const DEFAULT_RECENT: usize = 64;
+/// Default size of the retained-slow ring.
+pub const DEFAULT_SLOW: usize = 64;
+
+/// One finished request's summary and per-hop timeline.
+#[derive(Debug, Clone)]
+pub struct FlightEntry {
+    /// The request's correlation id (`X-Request-Id`).
+    pub id: String,
+    /// Request method.
+    pub method: String,
+    /// Route label (the registered path, or an error label).
+    pub route: String,
+    /// Response status code.
+    pub status: u16,
+    /// Wall-clock start, Unix milliseconds.
+    pub started_unix_ms: u64,
+    /// Time spent queued before a worker picked the connection up
+    /// (first request after dispatch only; 0 on pipelined follow-ups).
+    pub queue_ns: u64,
+    /// Total service time, read to written.
+    pub total_ns: u64,
+    /// Whether the connection had already served earlier requests.
+    pub reused_connection: bool,
+    /// The per-hop timeline (queue wait, handler, response write),
+    /// timestamped on the trace clock.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FlightEntry {
+    /// The one-line summary object for `GET /v1/debug/requests`.
+    pub fn summary_json(&self) -> Json {
+        Json::object([
+            ("id", Json::from(self.id.as_str())),
+            ("method", Json::from(self.method.as_str())),
+            ("route", Json::from(self.route.as_str())),
+            ("status", Json::from(self.status)),
+            ("started_unix_ms", Json::from(self.started_unix_ms)),
+            ("queue_ns", Json::from(self.queue_ns)),
+            ("total_ns", Json::from(self.total_ns)),
+            ("reused_connection", Json::from(self.reused_connection)),
+        ])
+    }
+
+    /// The full trace for `GET /v1/debug/requests/<id>`: the summary
+    /// plus the per-hop timeline as trace-journal JSONL.
+    pub fn detail_jsonl(&self) -> String {
+        let mut out = self.summary_json().to_compact();
+        out.push('\n');
+        let log = TraceLog {
+            events: self.events.clone(),
+            dropped: 0,
+        };
+        out.push_str(&log.to_jsonl());
+        out
+    }
+}
+
+struct Shared {
+    recent_capacity: usize,
+    slow_capacity: usize,
+    threshold_ns: u64,
+    recent: Mutex<VecDeque<FlightEntry>>,
+    slow: Mutex<VecDeque<FlightEntry>>,
+}
+
+/// A cloneable handle to the two rings. The default handle is disabled
+/// (a service that wants no recorder pays one branch per request).
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    shared: Option<Arc<Shared>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `recent_capacity` requests plus up
+    /// to `slow_capacity` requests slower than `threshold_ns`.
+    pub fn new(recent_capacity: usize, slow_capacity: usize, threshold_ns: u64) -> FlightRecorder {
+        FlightRecorder {
+            shared: Some(Arc::new(Shared {
+                recent_capacity: recent_capacity.max(1),
+                slow_capacity: slow_capacity.max(1),
+                threshold_ns,
+                recent: Mutex::new(VecDeque::new()),
+                slow: Mutex::new(VecDeque::new()),
+            })),
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { shared: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The tail-sampling latency threshold (`None` when disabled).
+    pub fn threshold_ns(&self) -> Option<u64> {
+        self.shared.as_ref().map(|s| s.threshold_ns)
+    }
+
+    /// Records one finished request: always into the recent ring, and
+    /// into the retained-slow ring when it exceeded the threshold.
+    pub fn record(&self, entry: FlightEntry) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if entry.total_ns > shared.threshold_ns {
+            let mut slow = shared.slow.lock().expect("flight slow ring");
+            if slow.len() == shared.slow_capacity {
+                slow.pop_front();
+            }
+            slow.push_back(entry.clone());
+        }
+        let mut recent = shared.recent.lock().expect("flight recent ring");
+        if recent.len() == shared.recent_capacity {
+            recent.pop_front();
+        }
+        recent.push_back(entry);
+    }
+
+    /// Summaries of everything currently held, newest first, slow
+    /// retentions before recent ones, deduplicated by id.
+    pub fn summaries(&self) -> Vec<FlightEntry> {
+        let Some(shared) = &self.shared else {
+            return Vec::new();
+        };
+        let mut out: Vec<FlightEntry> = Vec::new();
+        {
+            let slow = shared.slow.lock().expect("flight slow ring");
+            out.extend(slow.iter().rev().cloned());
+        }
+        let recent = shared.recent.lock().expect("flight recent ring");
+        for entry in recent.iter().rev() {
+            if !out.iter().any(|e| e.id == entry.id) {
+                out.push(entry.clone());
+            }
+        }
+        out
+    }
+
+    /// The full entry for `id`, if either ring still holds it.
+    pub fn lookup(&self, id: &str) -> Option<FlightEntry> {
+        let shared = self.shared.as_ref()?;
+        {
+            let slow = shared.slow.lock().expect("flight slow ring");
+            if let Some(entry) = slow.iter().rev().find(|e| e.id == id) {
+                return Some(entry.clone());
+            }
+        }
+        let recent = shared.recent.lock().expect("flight recent ring");
+        recent.iter().rev().find(|e| e.id == id).cloned()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("threshold_ns", &self.threshold_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, total_ns: u64) -> FlightEntry {
+        FlightEntry {
+            id: id.into(),
+            method: "POST".into(),
+            route: "/v1/analyze".into(),
+            status: 200,
+            started_unix_ms: 1_700_000_000_000,
+            queue_ns: 1_000,
+            total_ns,
+            reused_connection: false,
+            events: vec![TraceEvent {
+                name: "http_request".into(),
+                cat: "http",
+                ph: whart_trace::Phase::Complete { dur_ns: total_ns },
+                ts_ns: 5,
+                tid: 0,
+                args: vec![("request_id", id.into())],
+            }],
+        }
+    }
+
+    #[test]
+    fn recent_ring_evicts_but_slow_requests_are_retained() {
+        let recorder = FlightRecorder::new(2, 4, 1_000_000);
+        recorder.record(entry("fast-1", 10));
+        recorder.record(entry("slow-1", 5_000_000));
+        recorder.record(entry("fast-2", 20));
+        recorder.record(entry("fast-3", 30));
+        // fast-1 and slow-1 have been pushed out of the recent ring...
+        assert!(recorder.lookup("fast-1").is_none());
+        // ...but slow-1 survives via the tail sample.
+        let slow = recorder.lookup("slow-1").expect("tail-sampled");
+        assert_eq!(slow.total_ns, 5_000_000);
+        assert_eq!(recorder.lookup("fast-3").unwrap().id, "fast-3");
+
+        let ids: Vec<String> = recorder.summaries().into_iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            vec!["slow-1", "fast-3", "fast-2"],
+            "dedup, newest first"
+        );
+    }
+
+    #[test]
+    fn slow_ring_is_bounded_too() {
+        let recorder = FlightRecorder::new(1, 2, 0);
+        for i in 0..5u64 {
+            recorder.record(entry(&format!("slow-{i}"), 100 + i));
+        }
+        assert!(recorder.lookup("slow-0").is_none());
+        assert!(recorder.lookup("slow-4").is_some());
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let recorder = FlightRecorder::disabled();
+        recorder.record(entry("x", 10));
+        assert!(recorder.summaries().is_empty());
+        assert!(recorder.lookup("x").is_none());
+        assert_eq!(recorder.threshold_ns(), None);
+        assert!(!FlightRecorder::default().is_enabled());
+    }
+
+    #[test]
+    fn detail_jsonl_carries_the_summary_and_the_timeline() {
+        let recorder = FlightRecorder::new(4, 4, u64::MAX);
+        recorder.record(entry("req-1", 42));
+        let detail = recorder.lookup("req-1").unwrap().detail_jsonl();
+        let lines: Vec<&str> = detail.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let summary = Json::parse(lines[0]).unwrap();
+        assert_eq!(summary["id"].as_str(), Some("req-1"));
+        assert_eq!(summary["total_ns"].as_u64(), Some(42));
+        let hop = Json::parse(lines[1]).unwrap();
+        assert_eq!(hop["name"].as_str(), Some("http_request"));
+        assert_eq!(hop["args"]["request_id"].as_str(), Some("req-1"));
+    }
+}

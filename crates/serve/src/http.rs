@@ -79,6 +79,13 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// The request's correlation id. The server assigns or propagates
+    /// one before routing, so by the time a handler runs this is always
+    /// present; it is `None` only on a freshly parsed request.
+    pub fn request_id(&self) -> Option<&str> {
+        self.header("x-request-id")
+    }
+
     /// The first header named `key` (case-insensitive), if present.
     pub fn header(&self, key: &str) -> Option<&str> {
         let key = key.to_ascii_lowercase();

@@ -29,6 +29,18 @@
 //!   returns.
 //! * [`signal`] — SIGINT observation (no libc dependency) so Ctrl-C
 //!   triggers the same drain as `POST /admin/shutdown`.
+//! * [`flight`] — the tail-sampled flight recorder: per-request hop
+//!   timelines for the last N requests plus retained-slow outliers,
+//!   addressable by correlation id.
+//! * [`windows`] — per-route sliding-window rollups (requests, errors,
+//!   latency quantiles, SLO misses) for `/statusz` and the
+//!   `http.*.window30s` gauges.
+//!
+//! Every request is assigned (or propagates) an `X-Request-Id`
+//! correlation id, returned on all responses — including protocol
+//! errors and `503` queue-overflow rejections — and stamped on the
+//! request's trace span, its structured log event, and its flight
+//! recorder entry.
 //!
 //! ```no_run
 //! use whart_serve::{Response, Router, Server, ServerConfig};
@@ -47,13 +59,17 @@
 #![warn(missing_docs)]
 
 pub mod conn;
+pub mod flight;
 pub mod http;
 #[cfg(unix)]
 pub mod poll;
 pub mod router;
 pub mod server;
 pub mod signal;
+pub mod windows;
 
+pub use flight::{FlightEntry, FlightRecorder};
 pub use http::{Request, RequestError, Response};
 pub use router::{Handler, Router};
-pub use server::{Flag, Server, ServerConfig};
+pub use server::{next_request_id, Flag, Server, ServerConfig};
+pub use windows::{HttpWindows, RouteWindow};

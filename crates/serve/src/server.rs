@@ -45,18 +45,21 @@
 //! `http.queue_depth` (gauge) / `http.rejected_total{reason=queue_full}`.
 
 use crate::conn::{After, Conn};
-use crate::http::{RequestError, Response};
+use crate::flight::{FlightEntry, FlightRecorder};
+use crate::http::{Request, RequestError, Response};
 use crate::router::Router;
 use crate::signal;
+use crate::windows::HttpWindows;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use whart_log::{Level, Logger};
 use whart_obs::Metrics;
-use whart_trace::Trace;
+use whart_trace::{Phase, Trace, TraceEvent};
 
 #[cfg(unix)]
 use crate::poll;
@@ -73,6 +76,63 @@ const ACCEPT_POLL: Duration = Duration::from_millis(15);
 
 /// How long the event loop spends writing a queue-full rejection.
 const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Longest client-supplied `X-Request-Id` the server will propagate
+/// (anything longer, empty, or non-printable is replaced).
+const MAX_REQUEST_ID: usize = 128;
+
+/// Monotonic per-process request-id sequence.
+static NEXT_REQUEST_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Process-lifetime id prefix, so ids from different server runs do not
+/// collide in aggregated logs.
+fn request_id_prefix() -> u32 {
+    static PREFIX: OnceLock<u32> = OnceLock::new();
+    *PREFIX.get_or_init(|| {
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| {
+            d.subsec_nanos() as u128 | (d.as_secs() as u128) << 32
+        });
+        let pid = std::process::id();
+        (nanos as u32) ^ (nanos >> 32) as u32 ^ pid.rotate_left(16)
+    })
+}
+
+/// A fresh correlation id: `xxxxxxxx-nnnnnn` (process prefix, sequence).
+pub fn next_request_id() -> String {
+    format!(
+        "{:08x}-{:06}",
+        request_id_prefix(),
+        NEXT_REQUEST_SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Current wall clock, Unix milliseconds.
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// Nanoseconds since `started`, saturating.
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The request's correlation id: the client's `X-Request-Id` when it is
+/// present and sane, otherwise a freshly generated one, injected into
+/// the request headers so handlers downstream see the same id.
+fn effective_request_id(request: &mut Request) -> String {
+    let client_ok = request.header("x-request-id").is_some_and(|id| {
+        !id.is_empty() && id.len() <= MAX_REQUEST_ID && id.bytes().all(|b| b.is_ascii_graphic())
+    });
+    if client_ok {
+        return request.header("x-request-id").expect("checked").to_owned();
+    }
+    let id = next_request_id();
+    request.headers.retain(|(name, _)| name != "x-request-id");
+    request.headers.push(("x-request-id".into(), id.clone()));
+    id
+}
 
 /// A cloneable one-way boolean latch (readiness, shutdown).
 #[derive(Clone, Default)]
@@ -142,6 +202,9 @@ struct Ctx {
     router: Router,
     metrics: Metrics,
     trace: Trace,
+    log: Logger,
+    flight: FlightRecorder,
+    windows: Option<Arc<HttpWindows>>,
     ready: Flag,
     shutdown: Flag,
     in_flight: AtomicU64,
@@ -164,6 +227,9 @@ impl Ctx {
 struct Tracked {
     conn: Conn,
     ctx: Arc<Ctx>,
+    /// When the connection entered the dispatch queue (measures queue
+    /// wait for the first request a worker serves off it).
+    enqueued_at: Option<Instant>,
 }
 
 impl Deref for Tracked {
@@ -192,6 +258,9 @@ pub struct Server {
     router: Router,
     metrics: Metrics,
     trace: Trace,
+    log: Logger,
+    flight: FlightRecorder,
+    windows: Option<Arc<HttpWindows>>,
     ready: Flag,
     shutdown: Flag,
     threads: usize,
@@ -216,6 +285,9 @@ impl Server {
             router: Router::new(),
             metrics: Metrics::disabled(),
             trace: Trace::disabled(),
+            log: Logger::disabled(),
+            flight: FlightRecorder::disabled(),
+            windows: None,
             ready: Flag::new(),
             shutdown: Flag::new(),
             threads: config.threads.max(1),
@@ -239,6 +311,22 @@ impl Server {
     /// Points request middleware at a trace journal.
     pub fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
+    }
+
+    /// Points request middleware at a structured logger (one wide
+    /// `http_request` event per request).
+    pub fn set_log(&mut self, log: Logger) {
+        self.log = log;
+    }
+
+    /// Points request middleware at a flight recorder.
+    pub fn set_flight(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
+    }
+
+    /// Points request middleware at shared sliding-window statistics.
+    pub fn set_windows(&mut self, windows: Arc<HttpWindows>) {
+        self.windows = Some(windows);
     }
 
     /// The bound address (useful with port 0).
@@ -267,6 +355,9 @@ impl Server {
             router: std::mem::take(&mut self.router),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
+            log: self.log.clone(),
+            flight: self.flight.clone(),
+            windows: self.windows.clone(),
             ready: self.ready.clone(),
             shutdown: self.shutdown.clone(),
             in_flight: AtomicU64::new(0),
@@ -373,6 +464,7 @@ impl Server {
                                 idle.push(Tracked {
                                     conn,
                                     ctx: Arc::clone(&ctx),
+                                    enqueued_at: None,
                                 });
                             }
                         }
@@ -434,6 +526,7 @@ impl Server {
                             Tracked {
                                 conn,
                                 ctx: Arc::clone(&ctx),
+                                enqueued_at: None,
                             },
                             &work_tx,
                         );
@@ -466,11 +559,12 @@ impl std::fmt::Debug for Server {
 
 /// Admits a readable connection into the bounded work queue, or rejects
 /// it with `503` + `Retry-After` when the queue is full.
-fn dispatch(ctx: &Arc<Ctx>, tracked: Tracked, work_tx: &mpsc::SyncSender<Tracked>) {
+fn dispatch(ctx: &Arc<Ctx>, mut tracked: Tracked, work_tx: &mpsc::SyncSender<Tracked>) {
     // Count before sending so a worker's decrement can never observe
     // the queue below zero.
     let depth = ctx.queued.fetch_add(1, Ordering::SeqCst) + 1;
     ctx.metrics.gauge("http.queue_depth").set(depth);
+    tracked.enqueued_at = Some(Instant::now());
     match work_tx.try_send(tracked) {
         Ok(()) => {}
         Err(mpsc::TrySendError::Full(mut rejected)) => {
@@ -479,9 +573,21 @@ fn dispatch(ctx: &Arc<Ctx>, tracked: Tracked, work_tx: &mpsc::SyncSender<Tracked
             ctx.metrics
                 .counter("http.rejected_total{reason=queue_full}")
                 .increment();
+            // No request was parsed, so the overflow gets a fresh
+            // correlation id: the rejected client can still quote an id
+            // that the server's log line carries.
+            let request_id = next_request_id();
             let response = Response::text(503, "server busy: request queue is full\n")
-                .with_header("Retry-After", "1");
+                .with_header("Retry-After", "1")
+                .with_header("X-Request-Id", request_id.clone());
             let _ = rejected.write_response(&response, false, false, REJECT_WRITE_TIMEOUT);
+            ctx.log
+                .event(Level::Warn, "queue_overflow")
+                .field("request_id", request_id.as_str())
+                .field("code", 503u64)
+                .field("queue_depth", depth)
+                .emit();
+            ctx.log.flush();
         }
         Err(mpsc::TrySendError::Disconnected(_)) => {
             let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
@@ -517,7 +623,8 @@ fn worker_loop(
         };
         let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
         ctx.metrics.gauge("http.queue_depth").set(depth);
-        match serve_conn(ctx, &mut tracked.conn) {
+        let queue_ns = tracked.enqueued_at.take().map_or(0, elapsed_ns);
+        match serve_conn(ctx, &mut tracked.conn, queue_ns) {
             Disposition::Park => {
                 if park_tx.send(tracked).is_ok() {
                     waker.wake();
@@ -540,9 +647,10 @@ fn worker_loop_blocking(ctx: &Arc<Ctx>, work_rx: &Mutex<mpsc::Receiver<Tracked>>
         };
         let depth = ctx.queued.fetch_sub(1, Ordering::SeqCst) - 1;
         ctx.metrics.gauge("http.queue_depth").set(depth);
+        let queue_ns = tracked.enqueued_at.take().map_or(0, elapsed_ns);
         // serve_conn never returns Park off-Unix (idle waits loop
         // inside it at the keep-alive timeout).
-        let _ = serve_conn(ctx, &mut tracked.conn);
+        let _ = serve_conn(ctx, &mut tracked.conn, queue_ns);
     }
 }
 
@@ -571,9 +679,29 @@ fn builtin(ctx: &Ctx, method: &str, path: &str) -> Option<(&'static str, Respons
     }
 }
 
-/// Records the request middleware's metrics and trace span.
-fn instrument(ctx: &Ctx, label: &str, response: &Response, started: Instant) {
-    let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+/// Everything the middleware knows about one finished request beyond
+/// the response itself.
+struct RequestRecord<'a> {
+    label: &'a str,
+    request_id: &'a str,
+    method: &'a str,
+    /// Wall-clock start, Unix milliseconds.
+    started_unix_ms: u64,
+    /// Dispatch-queue wait before the worker picked the connection up.
+    queue_ns: u64,
+    /// Routing + handler time (excludes writing the response).
+    handler_ns: u64,
+    /// Whether the connection had served earlier requests.
+    reused: bool,
+    bytes_in: usize,
+}
+
+/// Records the request middleware's observability: cumulative metrics,
+/// rolling windows, the trace span, the wide log event, and the flight
+/// recorder entry — all stamped with the request's correlation id.
+fn instrument(ctx: &Ctx, record: &RequestRecord<'_>, response: &Response, started: Instant) {
+    let label = record.label;
+    let total_ns = elapsed_ns(started);
     ctx.metrics
         .counter(&format!(
             "http.requests_total{{route={label},code={}}}",
@@ -582,31 +710,120 @@ fn instrument(ctx: &Ctx, label: &str, response: &Response, started: Instant) {
         .increment();
     ctx.metrics
         .histogram(&format!("http.request_ns{{route={label}}}"))
-        .record(elapsed);
+        .record(total_ns);
+    if let Some(windows) = &ctx.windows {
+        windows.record(label, response.status, total_ns);
+    }
+
     let mut span = ctx.trace.span("http_request", "http");
+    span.arg("request_id", record.request_id);
     span.arg("route", label);
     span.arg("code", u64::from(response.status));
     for (key, value) in &response.trace_args {
         span.arg(key, value.clone());
     }
     span.finish();
+
+    let mut event = ctx
+        .log
+        .event(Level::Info, "http_request")
+        .field("request_id", record.request_id)
+        .field("method", record.method)
+        .field("route", label)
+        .field("code", u64::from(response.status))
+        .field("bytes_in", record.bytes_in as u64)
+        .field("bytes_out", response.body.len() as u64)
+        .field("queue_ns", record.queue_ns)
+        .field("total_ns", total_ns)
+        .field("reused_connection", record.reused);
+    for (key, value) in &response.trace_args {
+        event = event.field(key, value.to_json());
+    }
+    event.emit();
+
+    if ctx.flight.is_enabled() {
+        let id_arg = || ("request_id", record.request_id.into());
+        let mut handler_args: Vec<(&'static str, whart_trace::ArgValue)> = vec![id_arg()];
+        handler_args.extend(response.trace_args.iter().cloned());
+        let write_ns = total_ns.saturating_sub(record.handler_ns);
+        ctx.flight.record(FlightEntry {
+            id: record.request_id.to_owned(),
+            method: record.method.to_owned(),
+            route: label.to_owned(),
+            status: response.status,
+            started_unix_ms: record.started_unix_ms,
+            queue_ns: record.queue_ns,
+            total_ns,
+            reused_connection: record.reused,
+            events: vec![
+                TraceEvent {
+                    name: "queue_wait".into(),
+                    cat: "http",
+                    ph: Phase::Complete {
+                        dur_ns: record.queue_ns,
+                    },
+                    ts_ns: 0,
+                    tid: 0,
+                    args: vec![id_arg()],
+                },
+                TraceEvent {
+                    name: "handler".into(),
+                    cat: "http",
+                    ph: Phase::Complete {
+                        dur_ns: record.handler_ns,
+                    },
+                    ts_ns: record.queue_ns,
+                    tid: 0,
+                    args: handler_args,
+                },
+                TraceEvent {
+                    name: "write".into(),
+                    cat: "http",
+                    ph: Phase::Complete { dur_ns: write_ns },
+                    ts_ns: record.queue_ns + record.handler_ns,
+                    tid: 0,
+                    args: vec![id_arg()],
+                },
+            ],
+        });
+    }
+
     // Workers are long-lived, so publish this thread's buffered events
-    // now: a `GET /v1/trace` drain from another worker must observe
-    // every request that already completed.
+    // now: a `GET /v1/trace` drain (or a log tail) from another worker
+    // must observe every request that already completed.
     ctx.trace.flush();
+    ctx.log.flush();
 }
 
 /// Writes a protocol-error response (the connection closes after it).
-fn answer_error(ctx: &Ctx, conn: &mut Conn, label: &'static str, response: &Response) {
+/// No request was parsed, so the error gets a fresh correlation id.
+fn answer_error(ctx: &Ctx, conn: &mut Conn, label: &'static str, response: Response) {
     let started = Instant::now();
-    let _ = conn.write_response(response, false, false, ctx.write_timeout);
-    instrument(ctx, label, response, started);
+    let started_unix_ms = unix_ms();
+    let request_id = next_request_id();
+    let response = response.with_header("X-Request-Id", request_id.clone());
+    let _ = conn.write_response(&response, false, false, ctx.write_timeout);
+    instrument(
+        ctx,
+        &RequestRecord {
+            label,
+            request_id: &request_id,
+            method: "-",
+            started_unix_ms,
+            queue_ns: 0,
+            handler_ns: 0,
+            reused: conn.served > 0,
+            bytes_in: 0,
+        },
+        &response,
+        started,
+    );
 }
 
 /// Serves requests on one connection until it closes, errors, or goes
 /// idle (Unix: parked; elsewhere: waits in place up to the keep-alive
 /// timeout).
-fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
+fn serve_conn(ctx: &Ctx, conn: &mut Conn, mut queue_ns: u64) -> Disposition {
     // Whether the connection sits at a clean request boundary waiting
     // for the peer's *next* request (non-Unix in-place idling): a
     // timeout there is normal keep-alive expiry, not a client stall.
@@ -617,7 +834,7 @@ fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
         } else {
             ctx.read_timeout
         };
-        let request = match conn.next_request(timeout) {
+        let mut request = match conn.next_request(timeout) {
             Ok(request) => request,
             Err(RequestError::Closed) => return Disposition::Close,
             Err(RequestError::TimedOut) => {
@@ -626,7 +843,7 @@ fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
                         ctx,
                         conn,
                         "timeout",
-                        &Response::text(408, "request read timed out\n"),
+                        Response::text(408, "request read timed out\n"),
                     );
                 }
                 return Disposition::Close;
@@ -636,7 +853,7 @@ fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
                     ctx,
                     conn,
                     "oversized",
-                    &Response::text(413, format!("{message}\n")),
+                    Response::text(413, format!("{message}\n")),
                 );
                 return Disposition::Close;
             }
@@ -645,14 +862,15 @@ fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
                     ctx,
                     conn,
                     "malformed",
-                    &Response::text(400, format!("{message}\n")),
+                    Response::text(400, format!("{message}\n")),
                 );
                 return Disposition::Close;
             }
             Err(RequestError::Io(_)) => return Disposition::Close,
         };
         at_boundary = false;
-        if conn.served > 0 {
+        let reused = conn.served > 0;
+        if reused {
             ctx.metrics
                 .counter("http.keepalive.reuses_total")
                 .increment();
@@ -662,21 +880,48 @@ fn serve_conn(ctx: &Ctx, conn: &mut Conn) -> Disposition {
         let keep_alive = request.wants_keep_alive() && !ctx.draining();
         let allow_chunked = request.minor_version >= 1;
 
+        // Assign or propagate the correlation id before routing, so
+        // handlers (and the solves they run) see the same id the
+        // client gets back.
+        let request_id = effective_request_id(&mut request);
+
         let flight = ctx.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         let gauge = ctx.metrics.gauge("http.in_flight");
         gauge.set(flight);
         let started = Instant::now();
-        let (label, response) = match builtin(ctx, &request.method, &request.path) {
+        let started_unix_ms = unix_ms();
+        let (label, mut response) = match builtin(ctx, &request.method, &request.path) {
             Some(hit) => hit,
             None => ctx.router.dispatch(&request),
         };
+        let handler_ns = elapsed_ns(started);
+        // Every response — success or failure — returns the id the
+        // request was served under.
+        response.headers.push(("X-Request-Id", request_id.clone()));
         // Drain may have begun while the handler ran: the header the
         // client sees must match what the connection will actually do.
         let keep_alive = keep_alive && !ctx.draining();
         let wrote = conn
             .write_response(&response, keep_alive, allow_chunked, ctx.write_timeout)
             .is_ok();
-        instrument(ctx, label, &response, started);
+        instrument(
+            ctx,
+            &RequestRecord {
+                label,
+                request_id: &request_id,
+                method: &request.method,
+                started_unix_ms,
+                queue_ns,
+                handler_ns,
+                reused,
+                bytes_in: request.body.len(),
+            },
+            &response,
+            started,
+        );
+        // Queue wait belongs to the request that was actually waiting;
+        // pipelined follow-ups on the same dispatch never queued.
+        queue_ns = 0;
         let remaining = ctx.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
         gauge.set(remaining);
 
@@ -774,6 +1019,103 @@ mod tests {
         assert_eq!(latency.count, 1);
         assert_eq!(snapshot.gauge("http.in_flight"), Some(0), "drained");
         assert_eq!(snapshot.gauge("http.connections_open"), Some(0), "closed");
+    }
+
+    /// One raw request exchange returning (status, headers+body text).
+    fn raw_exchange(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        raw
+    }
+
+    fn response_header<'a>(raw: &'a str, name: &str) -> Option<&'a str> {
+        raw.split("\r\n\r\n")
+            .next()
+            .unwrap_or("")
+            .lines()
+            .find_map(|line| {
+                let (k, v) = line.split_once(':')?;
+                k.eq_ignore_ascii_case(name).then(|| v.trim())
+            })
+    }
+
+    #[test]
+    fn request_ids_are_assigned_propagated_and_returned() {
+        let router = Router::new().route("GET", "/id", |req| {
+            // Handlers observe the id the middleware injected.
+            Response::text(200, req.request_id().unwrap_or("missing").to_owned())
+        });
+        let (addr, _ready, shutdown, _metrics, handle) = start(router);
+
+        // Server-assigned: header present, matches what the handler saw.
+        let raw = raw_exchange(addr, "GET /id HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let id = response_header(&raw, "X-Request-Id")
+            .expect("assigned id")
+            .to_owned();
+        assert!(raw.ends_with(&id), "handler saw the same id: {raw}");
+        assert!(id.contains('-') && id.len() >= 10, "{id}");
+
+        // Client-supplied ids are propagated verbatim.
+        let raw = raw_exchange(
+            addr,
+            "GET /id HTTP/1.1\r\nX-Request-Id: client-abc-1\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(response_header(&raw, "X-Request-Id"), Some("client-abc-1"));
+        assert!(raw.ends_with("client-abc-1"));
+
+        // Garbage client ids are replaced, not echoed.
+        let raw = raw_exchange(
+            addr,
+            "GET /id HTTP/1.1\r\nX-Request-Id: bad id with spaces\r\nConnection: close\r\n\r\n",
+        );
+        let id = response_header(&raw, "X-Request-Id").unwrap();
+        assert_ne!(id, "bad id with spaces");
+
+        // Errors carry an id too.
+        let raw = raw_exchange(addr, "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(response_header(&raw, "X-Request-Id").is_some(), "{raw}");
+
+        shutdown.set();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn the_middleware_feeds_windows_and_the_flight_recorder() {
+        let router = Router::new().route("GET", "/w", |_| Response::text(200, "ok\n"));
+        let config = ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::bind(&config).unwrap();
+        server.set_router(router);
+        let windows = Arc::new(HttpWindows::new(
+            Duration::from_secs(30),
+            Duration::from_millis(5),
+        ));
+        server.set_windows(Arc::clone(&windows));
+        let flight = FlightRecorder::new(8, 8, u64::MAX);
+        server.set_flight(flight.clone());
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let raw = raw_exchange(addr, "GET /w HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let id = response_header(&raw, "X-Request-Id").unwrap().to_owned();
+        shutdown.set();
+        handle.join().unwrap();
+
+        let snapshot = windows.snapshot();
+        let route = snapshot.iter().find(|r| r.route == "/w").expect("windowed");
+        assert_eq!((route.requests, route.errors), (1, 0));
+        assert_eq!(route.latency.count, 1);
+
+        let entry = flight.lookup(&id).expect("flight entry by response id");
+        assert_eq!((entry.status, entry.route.as_str()), (200, "/w"));
+        let names: Vec<&str> = entry.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["queue_wait", "handler", "write"]);
+        assert!(entry.events[1].arg("request_id").is_some());
     }
 
     #[test]

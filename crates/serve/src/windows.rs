@@ -1,0 +1,211 @@
+//! Per-route sliding-window rollups for the live SLO view.
+//!
+//! The cumulative `http.*` metrics only ever grow; a live `/statusz`
+//! page and the `http.*.window30s` Prometheus gauges need "the last 30
+//! seconds". [`HttpWindows`] keeps one [`RollingHistogram`] (latency)
+//! and three [`RollingCounter`]s (requests, errors, SLO misses) per
+//! route label, all sharing one monotonic clock anchored at
+//! construction, and snapshots them on demand as [`RouteWindow`]
+//! values. Recording happens in the request middleware, so every route
+//! that has served traffic recently shows up; labels are the router's
+//! stable route labels, so cardinality stays bounded.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use whart_obs::{HistogramSnapshot, RollingCounter, RollingHistogram, DEFAULT_SUB_WINDOWS};
+
+/// Default rolling-window span.
+pub const DEFAULT_WINDOW: Duration = Duration::from_secs(30);
+
+/// One route's rolling instruments.
+struct RouteInstruments {
+    latency: RollingHistogram,
+    requests: RollingCounter,
+    errors: RollingCounter,
+    slo_misses: RollingCounter,
+}
+
+impl RouteInstruments {
+    fn new(window: Duration) -> RouteInstruments {
+        RouteInstruments {
+            latency: RollingHistogram::new(window, DEFAULT_SUB_WINDOWS),
+            requests: RollingCounter::new(window, DEFAULT_SUB_WINDOWS),
+            errors: RollingCounter::new(window, DEFAULT_SUB_WINDOWS),
+            slo_misses: RollingCounter::new(window, DEFAULT_SUB_WINDOWS),
+        }
+    }
+}
+
+/// A read-time snapshot of one route's last window of traffic.
+#[derive(Debug, Clone)]
+pub struct RouteWindow {
+    /// The route label (the registered path, or an error label).
+    pub route: String,
+    /// Requests finished inside the window.
+    pub requests: u64,
+    /// Responses with status >= 500 inside the window.
+    pub errors: u64,
+    /// Requests whose latency exceeded the SLO target.
+    pub slo_misses: u64,
+    /// Merged latency snapshot (quantiles, mean) for the window.
+    pub latency: HistogramSnapshot,
+}
+
+impl RouteWindow {
+    /// Errors as a fraction of windowed requests (0 when idle).
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.requests as f64
+        }
+    }
+
+    /// Error-budget burn rate against a 99% latency SLO: the fraction
+    /// of windowed requests over the target, divided by the 1% budget.
+    /// `1.0` means burning the budget exactly as fast as it accrues;
+    /// above 1.0 the SLO is being violated.
+    pub fn slo_burn_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.slo_misses as f64 / self.requests as f64) / 0.01
+        }
+    }
+}
+
+/// Sliding-window per-route statistics plus the SLO latency target they
+/// are judged against. One instance is shared by the request middleware
+/// (writes) and the `/statusz` / `/metrics` handlers (reads).
+pub struct HttpWindows {
+    start: Instant,
+    window: Duration,
+    slo_target_ns: u64,
+    routes: Mutex<BTreeMap<String, Arc<RouteInstruments>>>,
+}
+
+impl HttpWindows {
+    /// Windows of `window` span judging latency against `slo_target`.
+    pub fn new(window: Duration, slo_target: Duration) -> HttpWindows {
+        HttpWindows {
+            start: Instant::now(),
+            window,
+            slo_target_ns: u64::try_from(slo_target.as_nanos()).unwrap_or(u64::MAX),
+            routes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured window span.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// The latency target requests are judged against.
+    pub fn slo_target_ns(&self) -> u64 {
+        self.slo_target_ns
+    }
+
+    /// Nanoseconds on this instance's private monotonic clock. Exposed
+    /// so tests and read paths can reuse one clock read.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn instruments(&self, route: &str) -> Arc<RouteInstruments> {
+        let mut routes = self.routes.lock().expect("windows lock");
+        Arc::clone(
+            routes
+                .entry(route.to_owned())
+                .or_insert_with(|| Arc::new(RouteInstruments::new(self.window))),
+        )
+    }
+
+    /// Records one finished request at the current time.
+    pub fn record(&self, route: &str, status: u16, latency_ns: u64) {
+        self.record_at(self.now_ns(), route, status, latency_ns);
+    }
+
+    /// Records one finished request at an explicit clock reading
+    /// (deterministic tests).
+    pub fn record_at(&self, now_ns: u64, route: &str, status: u16, latency_ns: u64) {
+        let instruments = self.instruments(route);
+        instruments.latency.record_at(now_ns, latency_ns);
+        instruments.requests.add_at(now_ns, 1);
+        if status >= 500 {
+            instruments.errors.add_at(now_ns, 1);
+        }
+        if latency_ns > self.slo_target_ns {
+            instruments.slo_misses.add_at(now_ns, 1);
+        }
+    }
+
+    /// Snapshots every route's current window, in label order. Routes
+    /// whose entire window has expired report zero counts.
+    pub fn snapshot(&self) -> Vec<RouteWindow> {
+        let now_ns = self.now_ns();
+        let routes = self.routes.lock().expect("windows lock");
+        routes
+            .iter()
+            .map(|(route, instruments)| RouteWindow {
+                route: route.clone(),
+                requests: instruments.requests.value_at(now_ns),
+                errors: instruments.errors.value_at(now_ns),
+                slo_misses: instruments.slo_misses.value_at(now_ns),
+                latency: instruments.latency.snapshot_at(now_ns),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for HttpWindows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpWindows")
+            .field("window", &self.window)
+            .field("slo_target_ns", &self.slo_target_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_accumulate_and_expire_independently() {
+        let windows = HttpWindows::new(Duration::from_secs(30), Duration::from_millis(5));
+        let now = windows.now_ns();
+        windows.record_at(now, "/v1/analyze", 200, 1_000_000);
+        windows.record_at(now, "/v1/analyze", 200, 2_000_000);
+        windows.record_at(now, "/v1/analyze", 500, 80_000_000);
+        windows.record_at(now, "/v1/batch", 200, 3_000_000);
+
+        let snapshot = windows.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let analyze = &snapshot[0];
+        assert_eq!(analyze.route, "/v1/analyze");
+        assert_eq!(
+            (analyze.requests, analyze.errors, analyze.slo_misses),
+            (3, 1, 1)
+        );
+        assert!(analyze.error_rate() > 0.33 && analyze.error_rate() < 0.34);
+        // 1 of 3 over target burns the 1% budget ~33x.
+        assert!((analyze.slo_burn_rate() - 100.0 / 3.0).abs() < 1e-9);
+        assert_eq!(analyze.latency.count, 3);
+        assert!(analyze.latency.quantile(0.5).unwrap() >= 1_000_000.0);
+        let batch = &snapshot[1];
+        assert_eq!((batch.requests, batch.errors, batch.slo_misses), (1, 0, 0));
+        assert_eq!(batch.slo_burn_rate(), 0.0);
+    }
+
+    #[test]
+    fn statuses_below_500_are_not_errors() {
+        let windows = HttpWindows::new(Duration::from_secs(30), Duration::from_secs(1));
+        let now = windows.now_ns();
+        windows.record_at(now, "unmatched", 404, 10_000);
+        windows.record_at(now, "/v1/analyze", 400, 10_000);
+        for route in windows.snapshot() {
+            assert_eq!(route.errors, 0, "{}", route.route);
+        }
+    }
+}

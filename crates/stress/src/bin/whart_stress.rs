@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use whart_stress::report;
-use whart_stress::{run, StressConfig};
+use whart_stress::{run, StressConfig, StressOutcome};
 
 const USAGE: &str = "usage: whart-stress --addr HOST:PORT [--endpoint /v1/analyze] \
 [--method POST] [--body-file FILE] [--rate R] [--duration SECONDS] \
@@ -54,6 +54,27 @@ fn positive_seconds(args: &[String], flag: &str, default: f64) -> Result<Duratio
 }
 
 /// Runs the harness; `Ok(true)` = pass, `Ok(false)` = SLO violations.
+/// Prints one run's correlation-id notes: the slowest request and any
+/// failed requests, by `X-Request-Id` — the handles for looking them up
+/// in the server's request log and `GET /v1/debug/requests/<id>`.
+fn report_request_ids(label: &str, outcome: &StressOutcome) {
+    if let Some(slowest) = &outcome.slowest {
+        eprintln!(
+            "{label}: slowest request {:.3} ms (X-Request-Id {})",
+            slowest.latency.as_secs_f64() * 1e3,
+            slowest.id
+        );
+    }
+    if !outcome.error_ids.is_empty() {
+        eprintln!(
+            "{label}: {} error(s); X-Request-Id of the first {}: {}",
+            outcome.errors,
+            outcome.error_ids.len(),
+            outcome.error_ids.join(" ")
+        );
+    }
+}
+
 fn run_cli(args: &[String]) -> Result<bool, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
@@ -136,6 +157,7 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
     );
     let main_outcome = run(&config)?;
     let id = report::row_id(&config.endpoint, config.keep_alive, config.rate);
+    report_request_ids(&id, &main_outcome);
     lines.push_str(&report::stat_line(&id, &main_outcome));
     lines.push('\n');
 
@@ -155,6 +177,8 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
         let close_max = ceiling(false)?;
         let ka_id = report::row_id(&config.endpoint, true, None);
         let close_id = report::row_id(&config.endpoint, false, None);
+        report_request_ids(&ka_id, &keepalive_max);
+        report_request_ids(&close_id, &close_max);
         lines.push_str(&report::stat_line(&ka_id, &keepalive_max));
         lines.push('\n');
         lines.push_str(&report::stat_line(&close_id, &close_max));

@@ -20,6 +20,10 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Whether the server announced it will close the connection.
     pub close: bool,
+    /// The server's `X-Request-Id` correlation id, when present — the
+    /// handle for looking a request up in the server's request log and
+    /// flight recorder after the run.
+    pub request_id: Option<String>,
 }
 
 /// A benchmark connection to one server address.
@@ -203,6 +207,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpRespo
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
     let mut close = false;
+    let mut request_id = None;
     loop {
         let line = read_line(reader)?;
         if line.is_empty() {
@@ -222,6 +227,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpRespo
             }
             "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
             "connection" => close = value.eq_ignore_ascii_case("close"),
+            "x-request-id" => request_id = Some(value.to_string()),
             _ => {}
         }
     }
@@ -247,6 +253,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpRespo
         status,
         body,
         close,
+        request_id,
     })
 }
 
@@ -281,7 +288,9 @@ mod tests {
     #[test]
     fn decodes_content_length_and_chunked_responses() {
         let (addr, server) = canned_server(vec![
-            "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nConnection: keep-alive\r\n\r\nhello".into(),
+            "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nConnection: keep-alive\r\n\
+             X-Request-Id: 00ab12cd-000042\r\n\r\nhello"
+                .into(),
             "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
              3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n"
                 .into(),
@@ -293,9 +302,11 @@ mod tests {
             (200, b"hello".as_slice())
         );
         assert!(!first.close);
+        assert_eq!(first.request_id.as_deref(), Some("00ab12cd-000042"));
         let second = client.request("GET", "/b", b"").unwrap();
         assert_eq!(second.body, b"abcde");
         assert!(second.close);
+        assert_eq!(second.request_id, None);
         assert!(client.stream.is_none(), "close response drops the stream");
         server.join().unwrap();
     }

@@ -24,12 +24,12 @@ pub mod client;
 pub mod report;
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use whart_obs::{HistogramSnapshot, Metrics};
 
-use crate::client::HttpClient;
+use crate::client::{HttpClient, HttpResponse};
 
 /// One load-generation run against a single endpoint.
 #[derive(Debug, Clone)]
@@ -74,6 +74,21 @@ impl StressConfig {
     }
 }
 
+/// How many error correlation ids a run retains: enough to look the
+/// failures up in the server's request log and flight recorder, small
+/// enough to print.
+pub const MAX_ERROR_IDS: usize = 16;
+
+/// The slowest completed request of a run, by end-to-end latency.
+#[derive(Debug, Clone)]
+pub struct SlowestRequest {
+    /// Its measured latency.
+    pub latency: Duration,
+    /// Its `X-Request-Id` (`-` when the server sent none) — the handle
+    /// for `GET /v1/debug/requests/<id>` on the server.
+    pub id: String,
+}
+
 /// Aggregated result of one run.
 #[derive(Debug, Clone)]
 pub struct StressOutcome {
@@ -87,6 +102,11 @@ pub struct StressOutcome {
     pub duration: Duration,
     /// Connections the run used.
     pub connections: usize,
+    /// `X-Request-Id`s of failed (5xx) responses, first
+    /// [`MAX_ERROR_IDS`] seen. Transport errors carry no id.
+    pub error_ids: Vec<String>,
+    /// The slowest completed request, with its correlation id.
+    pub slowest: Option<SlowestRequest>,
 }
 
 impl StressOutcome {
@@ -116,6 +136,17 @@ struct Counters {
     metrics: Metrics,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Fast max-latency watermark so the notes mutex is only taken on a
+    /// new slowest request or an error, never on the hot path.
+    slowest_ns: AtomicU64,
+    notes: Mutex<Notes>,
+}
+
+/// Correlation-id bookkeeping, updated off the hot path.
+#[derive(Default)]
+struct Notes {
+    error_ids: Vec<String>,
+    slowest: Option<SlowestRequest>,
 }
 
 const LATENCY_HISTOGRAM: &str = "stress.latency_ns";
@@ -145,6 +176,8 @@ pub fn run(config: &StressConfig) -> Result<StressOutcome, String> {
         metrics: Metrics::new(),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        slowest_ns: AtomicU64::new(0),
+        notes: Mutex::new(Notes::default()),
     });
     let start = Instant::now();
     let workers: Vec<_> = (0..config.connections)
@@ -177,25 +210,43 @@ pub fn run(config: &StressConfig) -> Result<StressOutcome, String> {
         .histogram(LATENCY_HISTOGRAM)
         .cloned()
         .ok_or_else(|| "latency histogram missing from metrics snapshot".to_string())?;
+    let notes = std::mem::take(&mut *counters.notes.lock().map_err(|_| "notes poisoned")?);
     Ok(StressOutcome {
         latency,
         requests,
         errors,
         duration: elapsed,
         connections: config.connections,
+        error_ids: notes.error_ids,
+        slowest: notes.slowest,
     })
 }
 
 /// Records one completed exchange: non-5xx statuses count as successes.
-fn record(counters: &Counters, status: u16, latency: Duration) {
-    if status < 500 {
+/// Tracks the slowest request's correlation id and the ids of failed
+/// responses so a run's outliers can be looked up on the server.
+fn record(counters: &Counters, response: &HttpResponse, latency: Duration) {
+    let id = || response.request_id.clone().unwrap_or_else(|| "-".into());
+    if response.status < 500 {
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        counters
-            .metrics
-            .histogram(LATENCY_HISTOGRAM)
-            .record(latency.as_nanos() as u64);
+        let ns = latency.as_nanos() as u64;
+        counters.metrics.histogram(LATENCY_HISTOGRAM).record(ns);
+        if ns > counters.slowest_ns.fetch_max(ns, Ordering::Relaxed) {
+            let mut notes = counters.notes.lock().expect("stress notes");
+            let is_new_max = match &notes.slowest {
+                Some(slowest) => latency > slowest.latency,
+                None => true,
+            };
+            if is_new_max {
+                notes.slowest = Some(SlowestRequest { latency, id: id() });
+            }
+        }
     } else {
         counters.errors.fetch_add(1, Ordering::Relaxed);
+        let mut notes = counters.notes.lock().expect("stress notes");
+        if notes.error_ids.len() < MAX_ERROR_IDS {
+            notes.error_ids.push(id());
+        }
     }
 }
 
@@ -220,7 +271,7 @@ fn open_loop_worker(
             std::thread::sleep(scheduled - now);
         }
         match client.request(&config.method, &config.endpoint, &config.body) {
-            Ok(response) => record(counters, response.status, scheduled.elapsed()),
+            Ok(response) => record(counters, &response, scheduled.elapsed()),
             Err(_) => {
                 counters.errors.fetch_add(1, Ordering::Relaxed);
             }
@@ -270,7 +321,7 @@ fn closed_loop_worker(config: &StressConfig, start: Instant, counters: &Counters
         while pending > 0 {
             pending -= 1;
             match client.recv() {
-                Ok(response) => record(counters, response.status, sent.elapsed()),
+                Ok(response) => record(counters, &response, sent.elapsed()),
                 Err(_) => {
                     // The rest of the pipeline is lost with the connection.
                     counters
@@ -280,5 +331,74 @@ fn closed_loop_worker(config: &StressConfig, start: Instant, counters: &Counters
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(status: u16, request_id: Option<&str>) -> HttpResponse {
+        HttpResponse {
+            status,
+            body: Vec::new(),
+            close: false,
+            request_id: request_id.map(String::from),
+        }
+    }
+
+    #[test]
+    fn record_tracks_error_ids_and_the_slowest_request() {
+        let counters = Counters {
+            metrics: Metrics::new(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            slowest_ns: AtomicU64::new(0),
+            notes: Mutex::new(Notes::default()),
+        };
+        record(
+            &counters,
+            &response(200, Some("ok-1")),
+            Duration::from_millis(2),
+        );
+        record(
+            &counters,
+            &response(200, Some("ok-2")),
+            Duration::from_millis(9),
+        );
+        record(
+            &counters,
+            &response(200, Some("ok-3")),
+            Duration::from_millis(4),
+        );
+        record(
+            &counters,
+            &response(500, Some("boom-1")),
+            Duration::from_millis(1),
+        );
+        record(&counters, &response(503, None), Duration::from_millis(1));
+        for i in 0..(2 * MAX_ERROR_IDS) {
+            record(
+                &counters,
+                &response(500, Some(&format!("flood-{i}"))),
+                Duration::from_millis(1),
+            );
+        }
+
+        assert_eq!(counters.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            counters.errors.load(Ordering::Relaxed),
+            2 + 2 * MAX_ERROR_IDS as u64
+        );
+        let notes = counters.notes.lock().unwrap();
+        let slowest = notes.slowest.as_ref().expect("slowest recorded");
+        assert_eq!(slowest.id, "ok-2");
+        assert_eq!(slowest.latency, Duration::from_millis(9));
+        // Errors keep their ids (transport-less `-` for missing ones),
+        // capped at MAX_ERROR_IDS.
+        assert_eq!(notes.error_ids.len(), MAX_ERROR_IDS);
+        assert_eq!(notes.error_ids[0], "boom-1");
+        assert_eq!(notes.error_ids[1], "-");
+        assert_eq!(notes.error_ids[2], "flood-0");
     }
 }

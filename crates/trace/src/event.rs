@@ -30,7 +30,9 @@ pub enum ArgValue {
 }
 
 impl ArgValue {
-    fn to_json(&self) -> Json {
+    /// The value as JSON (used by the event serializer and by services
+    /// copying trace arguments onto structured log lines).
+    pub fn to_json(&self) -> Json {
         match self {
             ArgValue::U64(v) => Json::from(*v),
             ArgValue::F64(v) => Json::from(*v),

@@ -53,7 +53,7 @@ mod event;
 pub use event::{ArgValue, Phase, TraceEvent, TraceLog};
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
@@ -81,11 +81,28 @@ struct Shared {
     next_tid: AtomicU64,
     /// Flushed events awaiting a drain.
     sink: Mutex<Vec<TraceEvent>>,
+    /// Fast-path flag: whether [`Shared::context`] holds anything.
+    context_set: AtomicBool,
+    /// Ambient arguments stamped on every event created while a
+    /// [`ContextGuard`] is in scope (e.g. the request id a service
+    /// attaches around an engine drain, so solver spans on pool worker
+    /// threads carry it too).
+    context: Mutex<Vec<(&'static str, ArgValue)>>,
 }
 
 impl Shared {
     fn now_ns(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The current ambient context arguments (cheap when none are set:
+    /// one atomic load, no lock).
+    fn context_args(&self) -> Vec<(&'static str, ArgValue)> {
+        if self.context_set.load(Ordering::Acquire) {
+            self.context.lock().expect("trace context").clone()
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -197,6 +214,8 @@ impl Trace {
                 dropped: AtomicU64::new(0),
                 next_tid: AtomicU64::new(0),
                 sink: Mutex::new(Vec::new()),
+                context_set: AtomicBool::new(false),
+                context: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -228,8 +247,44 @@ impl Trace {
                 name: name.into(),
                 cat,
                 start_ns: shared.now_ns(),
-                args: Vec::new(),
+                args: shared.context_args(),
             }),
+        }
+    }
+
+    /// Installs ambient context arguments stamped on every span and
+    /// instant created — on any thread — until the returned guard
+    /// drops. The canonical use is request correlation: a service sets
+    /// `request_id` around an engine drain so every engine and solver
+    /// span it produces (including those on pool worker threads)
+    /// carries the id without threading it through the solver APIs.
+    ///
+    /// Scopes restore the previously installed context when they drop,
+    /// so nesting is safe; overlapping scopes from *concurrent* threads
+    /// are not distinguished — callers serialize scoped work (as the
+    /// serve layer does around its engine lock). No-op on disabled
+    /// handles; when no scope is active the per-event cost is one
+    /// atomic load.
+    pub fn context_scope<I>(&self, args: I) -> ContextGuard
+    where
+        I: IntoIterator<Item = (&'static str, ArgValue)>,
+    {
+        match &self.shared {
+            None => ContextGuard {
+                shared: None,
+                previous: Vec::new(),
+            },
+            Some(shared) => {
+                let mut context = shared.context.lock().expect("trace context");
+                let previous = std::mem::replace(&mut *context, args.into_iter().collect());
+                shared
+                    .context_set
+                    .store(!context.is_empty(), Ordering::Release);
+                ContextGuard {
+                    shared: Some(Arc::clone(shared)),
+                    previous,
+                }
+            }
         }
     }
 
@@ -245,13 +300,15 @@ impl Trace {
         I: IntoIterator<Item = (&'static str, ArgValue)>,
     {
         if let Some(shared) = &self.shared {
+            let mut all = shared.context_args();
+            all.extend(args);
             let event = TraceEvent {
                 name: name.into(),
                 cat,
                 ph: Phase::Instant,
                 ts_ns: shared.now_ns(),
                 tid: 0,
-                args: args.into_iter().collect(),
+                args: all,
             };
             emit(shared, event);
         }
@@ -312,6 +369,25 @@ impl std::fmt::Debug for Trace {
         f.debug_struct("Trace")
             .field("enabled", &self.is_enabled())
             .finish()
+    }
+}
+
+/// Guard for [`Trace::context_scope`]: restores the previously
+/// installed ambient context when dropped.
+pub struct ContextGuard {
+    shared: Option<Arc<Shared>>,
+    previous: Vec<(&'static str, ArgValue)>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            let mut context = shared.context.lock().expect("trace context");
+            *context = std::mem::take(&mut self.previous);
+            shared
+                .context_set
+                .store(!context.is_empty(), Ordering::Release);
+        }
     }
 }
 
@@ -481,6 +557,69 @@ mod tests {
         trace.clone().instant("a", "test", []);
         trace.instant("b", "test", []);
         assert_eq!(trace.drain().len(), 2);
+    }
+
+    #[test]
+    fn context_scope_stamps_events_on_every_thread() {
+        let trace = Trace::new();
+        {
+            let _scope = trace.context_scope([("request_id", "req-7".into())]);
+            let mut span = trace.span("drain", "engine");
+            span.arg("scenarios", 1u64);
+            drop(span);
+            std::thread::scope(|s| {
+                let worker = trace.clone();
+                s.spawn(move || worker.instant("hop", "solver.fast", [("slot", 3u64.into())]));
+            });
+        }
+        // After the scope: no stamping.
+        trace.instant("outside", "test", []);
+        let log = trace.drain();
+        assert_eq!(log.len(), 3);
+        for name in ["drain", "hop"] {
+            let event = log.named(name).next().unwrap();
+            assert_eq!(
+                event.arg("request_id").and_then(ArgValue::as_str),
+                Some("req-7"),
+                "{name} missing the ambient request id"
+            );
+        }
+        let span = log.named("drain").next().unwrap();
+        assert_eq!(span.arg("scenarios").and_then(ArgValue::as_u64), Some(1));
+        assert!(log.named("outside").next().unwrap().args.is_empty());
+    }
+
+    #[test]
+    fn context_scopes_nest_and_restore() {
+        let trace = Trace::new();
+        let outer = trace.context_scope([("request_id", "outer".into())]);
+        {
+            let _inner = trace.context_scope([("request_id", "inner".into())]);
+            trace.instant("a", "test", []);
+        }
+        trace.instant("b", "test", []);
+        drop(outer);
+        trace.instant("c", "test", []);
+        let log = trace.drain();
+        let id_of = |name: &str| {
+            log.named(name)
+                .next()
+                .unwrap()
+                .arg("request_id")
+                .and_then(ArgValue::as_str)
+                .map(str::to_owned)
+        };
+        assert_eq!(id_of("a").as_deref(), Some("inner"));
+        assert_eq!(id_of("b").as_deref(), Some("outer"));
+        assert_eq!(id_of("c"), None);
+    }
+
+    #[test]
+    fn context_scope_on_a_disabled_handle_is_a_no_op() {
+        let trace = Trace::disabled();
+        let _scope = trace.context_scope([("request_id", "x".into())]);
+        trace.instant("e", "test", []);
+        assert!(trace.drain().is_empty());
     }
 
     #[test]
