@@ -7,19 +7,24 @@
 //! ```
 //!
 //! Runs the engine-throughput groups (serial loop, cold and warm engine
-//! drains at 1/2/4/8 workers) over the 18-scenario acceptance fleet,
-//! derives one JSON line per group plus the first-class scaling-ratio
-//! rows (`scale/cold/N` vs the serial loop, `scale/warm/N` vs `warm/1`)
-//! from the `whart-obs` snapshot, and — with `--check` — fails (exit 1)
-//! when any group's serial-loop-normalized mean grew beyond the
-//! tolerance (default 0.25 = 25%), when a scaling ratio drifted beyond
-//! it, or when any scale row in the fresh run exceeds the hard 1.25
-//! ceiling (the parallel path losing outright to the code it replaces
-//! is a regression no baseline can excuse).
+//! drains at 1/2/4/8 workers, plus the profiler-attached `profiled/4`
+//! drain) over the 18-scenario acceptance fleet, derives one JSON line
+//! per group plus the first-class scaling-ratio rows (`scale/cold/N` vs
+//! the serial loop, `scale/warm/N` vs `warm/1`, `scale/profiled/4` vs
+//! `warm/4`) from the `whart-obs` snapshot, and — with `--check` —
+//! fails (exit 1) when any group's serial-loop-normalized mean grew
+//! beyond the tolerance (default 0.25 = 25%), when a scaling ratio
+//! drifted beyond it, or when any scale row in the fresh run exceeds
+//! its hard ceiling: 1.25 for the parallel-path rows (losing outright
+//! to the code it replaces is a regression no baseline can excuse),
+//! 1.05 for `scale/profiled/4` (a profiler too costly to leave on
+//! defeats its purpose). The self-profile captured during the warm
+//! phase is printed to stderr as a frame-attribution table.
 
 use std::process::ExitCode;
 use whart_bench::harness::{
-    bench_lines, check_regression, engine_fleet, run_engine_throughput, BenchConfig,
+    attribution_lines, bench_lines, check_regression, engine_fleet, run_engine_throughput,
+    BenchConfig,
 };
 
 fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
@@ -70,8 +75,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 
     let models = engine_fleet();
-    let snapshot = run_engine_throughput(config, &models);
+    let (snapshot, profile) = run_engine_throughput(config, &models);
     let lines = bench_lines(&snapshot, models.len() as u64);
+    eprint!("{}", attribution_lines(&profile));
     match out {
         Some(path) => {
             std::fs::write(&path, &lines).map_err(|e| format!("cannot write {path}: {e}"))?;

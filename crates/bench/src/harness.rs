@@ -11,7 +11,16 @@
 //! Groups match the Criterion benchmark of the same name:
 //! * `serial-loop` — `NetworkModel::evaluate` per scenario, no sharing;
 //! * `cold/{workers}` — a fresh engine per iteration;
-//! * `warm/{workers}` — a pre-warmed engine (pure cache traffic).
+//! * `warm/{workers}` — a pre-warmed engine (pure cache traffic);
+//! * `profiled/4` — the warm 4-worker drain with a `whart-prof`
+//!   profiler attached and a live capture sampling at the default rate,
+//!   pinning the facade's observed overhead (gated at
+//!   [`PROFILED_CEILING`] of the `warm/4` time).
+//!
+//! The harness run itself executes under that capture, so alongside the
+//! timings it returns a [`whart_prof::Profile`] attributing the warm
+//! phase's wall time to engine frames — the attribution table
+//! `bench-engine` prints to explain flat warm-scaling rows.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -22,13 +31,18 @@ use whart_model::NetworkModel;
 use whart_net::typical::TypicalNetwork;
 use whart_net::ReportingInterval;
 use whart_obs::{Metrics, MetricsSnapshot};
+use whart_prof::{Profile, Profiler};
 
 const AVAILABILITIES: [f64; 6] = [0.693, 0.774, 0.83, 0.903, 0.948, 0.989];
 const INTERVALS: [u32; 3] = [1, 2, 4];
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// Worker count of the `profiled/…` group (compared against the same
+/// worker count's `warm/…` group).
+const PROFILED_WORKERS: usize = 4;
+
 /// The benchmark groups, in the order their lines are emitted.
-pub const GROUPS: [&str; 9] = [
+pub const GROUPS: [&str; 10] = [
     "serial-loop",
     "cold/1",
     "cold/2",
@@ -38,6 +52,7 @@ pub const GROUPS: [&str; 9] = [
     "warm/2",
     "warm/4",
     "warm/8",
+    "profiled/4",
 ];
 
 /// Histogram-name prefix the harness records under.
@@ -48,6 +63,13 @@ const PREFIX: &str = "bench.engine_throughput/";
 /// the parallel execution path is slower than its denominator by more
 /// than measurement noise allows.
 pub const SCALE_CEILING: f64 = 1.25;
+
+/// Hard ceiling on the `scale/profiled/N` row: an attached profiler
+/// with a live default-rate capture may cost at most 5% over the same
+/// worker count's plain warm drain. The facade's sales pitch is
+/// "cheap enough to leave on in production"; this row is that pitch,
+/// measured on every CI run.
+pub const PROFILED_CEILING: f64 = 1.05;
 
 /// Iteration counts for one harness run.
 #[derive(Debug, Clone, Copy)]
@@ -143,7 +165,10 @@ fn time_one<F: FnOnce()>(metrics: &Metrics, group: &str, iteration: F) {
 /// land entirely on whichever group happened to run last and surface
 /// as a phantom scaling regression. Interleaving spreads that drift
 /// evenly over all the groups a ratio relates.
-pub fn run_engine_throughput(config: BenchConfig, models: &[Arc<NetworkModel>]) -> MetricsSnapshot {
+pub fn run_engine_throughput(
+    config: BenchConfig,
+    models: &[Arc<NetworkModel>],
+) -> (MetricsSnapshot, Profile) {
     let metrics = Metrics::new();
 
     let serial = || {
@@ -179,6 +204,19 @@ pub fn run_engine_throughput(config: BenchConfig, models: &[Arc<NetworkModel>]) 
             (workers, engine)
         })
         .collect();
+    // The profiled group: the same warm drain at PROFILED_WORKERS, but
+    // with a profiler attached and a live capture sampling at the
+    // default rate for the whole warm phase. Only this engine carries
+    // the profiler, so the returned profile attributes its drains alone.
+    let profiler = Profiler::new();
+    let mut profiled_engine = Engine::new(PROFILED_WORKERS);
+    profiled_engine.set_profiler(profiler.clone());
+    submit_fleet(&mut profiled_engine, models);
+    profiled_engine.drain().expect("valid");
+    let capture = profiler
+        .start_capture(whart_prof::DEFAULT_HZ)
+        .expect("enabled profiler starts a capture");
+
     let warm = |engine: &mut Engine| {
         submit_fleet(engine, models);
         black_box(engine.drain().expect("valid"));
@@ -187,14 +225,18 @@ pub fn run_engine_throughput(config: BenchConfig, models: &[Arc<NetworkModel>]) 
         for (_, engine) in &mut engines {
             warm(engine);
         }
+        warm(&mut profiled_engine);
     }
     for _ in 0..config.iterations {
         for (workers, engine) in &mut engines {
             time_one(&metrics, &format!("warm/{workers}"), || warm(engine));
         }
+        time_one(&metrics, &format!("profiled/{PROFILED_WORKERS}"), || {
+            warm(&mut profiled_engine)
+        });
     }
 
-    metrics.snapshot()
+    (metrics.snapshot(), capture.stop())
 }
 
 /// Renders the snapshot's harness histograms as `BENCH_engine.json`
@@ -233,6 +275,54 @@ pub fn bench_lines(snapshot: &MetricsSnapshot, elements: u64) -> String {
     out
 }
 
+/// Renders the harness's self-profile as a plain-text attribution
+/// table: capture parameters, the engine-worker share of all samples,
+/// then each frame's inclusive sample share, largest first. This is
+/// what `bench-engine` prints to explain a moved warm-scaling row —
+/// the flat rows say *that* the drain slowed down, the table says
+/// *where* the sampled time went.
+pub fn attribution_lines(profile: &Profile) -> String {
+    let total = profile.total_samples();
+    let mut out = format!(
+        "profiled/{PROFILED_WORKERS} attribution: {total} samples at {} Hz over {:.0} ms\n",
+        profile.hz,
+        profile.duration.as_secs_f64() * 1e3
+    );
+    if total == 0 {
+        out.push_str("  (no samples: the capture never caught a worker mid-drain)\n");
+        return out;
+    }
+    let pct = |count: u64| count as f64 * 100.0 / total as f64;
+    out.push_str(&format!(
+        "  engine workers (whart-worker-*): {} samples ({:.1}%)\n",
+        profile.thread_samples("whart-worker-"),
+        pct(profile.thread_samples("whart-worker-"))
+    ));
+    let mut inclusive: Vec<(&str, u64)> = Vec::new();
+    for thread in &profile.threads {
+        for (stack, count) in &thread.stacks {
+            let mut seen: Vec<&str> = Vec::with_capacity(stack.len());
+            for frame in stack {
+                if !seen.contains(&frame.as_str()) {
+                    seen.push(frame);
+                    match inclusive.iter_mut().find(|(f, _)| *f == frame) {
+                        Some((_, c)) => *c += count,
+                        None => inclusive.push((frame, *count)),
+                    }
+                }
+            }
+        }
+    }
+    inclusive.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    for (frame, count) in inclusive {
+        out.push_str(&format!(
+            "  {frame}: {count} samples ({:.1}%)\n",
+            pct(count)
+        ));
+    }
+    out
+}
+
 /// The per-thread-count scaling ratios as first-class rows:
 ///
 /// * `scale/cold/{N}` — the cold N-worker drain over the serial loop.
@@ -241,6 +331,9 @@ pub fn bench_lines(snapshot: &MetricsSnapshot, elements: u64) -> String {
 /// * `scale/warm/{N}` — the warm N-worker drain over `warm/1` (pure
 ///   cache traffic, so this isolates pool + shard contention with zero
 ///   solve work to hide it).
+/// * `scale/profiled/{N}` — the profiled warm drain over the same
+///   worker count's plain `warm/{N}` drain: the profiler facade's
+///   overhead in isolation, gated at [`PROFILED_CEILING`].
 ///
 /// Ratios divide the groups' **minimum** iteration times, not their
 /// means: preemption and scheduler noise only ever add time, so the
@@ -282,6 +375,16 @@ fn scale_rows(snapshot: &MetricsSnapshot) -> Vec<(String, f64, &'static str)> {
                 ));
             }
         }
+    }
+    if let (Some(profiled), Some(warm)) = (
+        best(&format!("profiled/{PROFILED_WORKERS}")),
+        best(&format!("warm/{PROFILED_WORKERS}")),
+    ) {
+        rows.push((
+            format!("engine_throughput/scale/profiled/{PROFILED_WORKERS}"),
+            profiled / warm,
+            "warm/4",
+        ));
     }
     rows
 }
@@ -341,6 +444,9 @@ fn parse_bench_lines(text: &str) -> Result<BenchRows, String> {
 ///    drain that costs more than 1.25x the serial loop, or a warm
 ///    N-worker drain more than 1.25x the warm 1-worker drain, means
 ///    the parallel path is actively losing to the code it replaces.
+///    `scale/profiled/N` rows use the tighter [`PROFILED_CEILING`]
+///    instead: an attached profiler must stay within 5% of the plain
+///    warm drain or it is too expensive to leave on.
 ///    When the baseline carries scale rows too, each one additionally
 ///    gates drift at `tolerance`, and a scale row missing from the
 ///    current run is a failure.
@@ -421,9 +527,14 @@ pub fn check_regression(
         }
     }
     for (id, ratio) in &cur_scales {
-        if *ratio > SCALE_CEILING {
+        let ceiling = if id.contains("/scale/profiled/") {
+            PROFILED_CEILING
+        } else {
+            SCALE_CEILING
+        };
+        if *ratio > ceiling {
             failures.push(format!(
-                "{id}: ratio {ratio:.3} exceeds the hard ceiling {SCALE_CEILING} \
+                "{id}: ratio {ratio:.3} exceeds the hard ceiling {ceiling} \
                  (the parallel path must not lose to its denominator)"
             ));
         }
@@ -469,11 +580,11 @@ mod tests {
             iterations: 1,
             warmup: 0,
         };
-        let snapshot = run_engine_throughput(config, &tiny_fleet());
+        let (snapshot, profile) = run_engine_throughput(config, &tiny_fleet());
         let lines = bench_lines(&snapshot, 1);
-        // 9 mean rows plus 7 scale rows: scale/cold/{1,2,4,8} and
-        // scale/warm/{2,4,8}.
-        assert_eq!(lines.lines().count(), GROUPS.len() + 7);
+        // 10 mean rows plus 8 scale rows: scale/cold/{1,2,4,8},
+        // scale/warm/{2,4,8} and scale/profiled/4.
+        assert_eq!(lines.lines().count(), GROUPS.len() + 8);
         for (line, group) in lines.lines().zip(GROUPS) {
             let value = Json::parse(line).unwrap();
             assert_eq!(
@@ -504,6 +615,7 @@ mod tests {
             "scale/warm/2",
             "scale/warm/4",
             "scale/warm/8",
+            "scale/profiled/4",
         ];
         for (line, id) in scale_lines.iter().zip(expected_ids) {
             let value = Json::parse(line).unwrap();
@@ -514,11 +626,20 @@ mod tests {
             assert!(value["ratio"].as_f64().unwrap() > 0.0, "{line}");
             let of = if id.starts_with("scale/cold") {
                 "serial-loop"
+            } else if id.starts_with("scale/profiled") {
+                "warm/4"
             } else {
                 "warm/1"
             };
             assert_eq!(value["of"].as_str().unwrap(), of, "{line}");
         }
+        // The self-profile renders an attribution table whether or not
+        // this single iteration happened to land under a sampler tick.
+        let attribution = attribution_lines(&profile);
+        assert!(
+            attribution.starts_with("profiled/4 attribution:"),
+            "{attribution}"
+        );
     }
 
     #[test]
@@ -640,6 +761,29 @@ mod tests {
         // A malformed scale row is an error, not a pass.
         let bad = "{\"id\":\"engine_throughput/scale/cold/8\",\"mean_ns\":1.0}";
         assert!(check_regression(&healthy, bad, 0.25).is_err());
+    }
+
+    #[test]
+    fn profiled_scale_row_uses_the_tighter_ceiling() {
+        let means = "\
+{\"id\":\"engine_throughput/serial-loop\",\"mean_ns\":1000.0,\"elements\":18}\n";
+        // 1.08x would sail under the general 1.25 ceiling, but a
+        // profiler costing 8% over the plain warm drain breaks the
+        // leave-it-on contract.
+        let costly = format!(
+            "{means}\
+{{\"id\":\"engine_throughput/scale/profiled/4\",\"ratio\":1.08,\"of\":\"warm/4\"}}\n"
+        );
+        let failures = check_regression(&costly, &costly, 0.25).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("scale/profiled/4"), "{failures:?}");
+        assert!(failures[0].contains("1.05"), "{failures:?}");
+        // Under the profiled ceiling: clean.
+        let cheap = format!(
+            "{means}\
+{{\"id\":\"engine_throughput/scale/profiled/4\",\"ratio\":1.02,\"of\":\"warm/4\"}}\n"
+        );
+        assert!(check_regression(&cheap, &cheap, 0.25).unwrap().is_empty());
     }
 
     #[test]

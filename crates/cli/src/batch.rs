@@ -27,7 +27,9 @@
 //! backend configuration share one memoizing engine, and output lines
 //! stay in submission order regardless.
 
-use crate::commands::{trace_for, write_metrics, write_trace, Backend};
+use crate::commands::{
+    profiler_for, trace_for, write_metrics, write_profile, write_trace, Backend,
+};
 use crate::spec::{node, LinkQuality, NetworkSpec};
 use whart_engine::{Engine, MeasureSet, Scenario, ScenarioResult};
 use whart_json::Json;
@@ -353,14 +355,21 @@ fn metrics_line(backend: &str, snapshot: &MetricsSnapshot) -> Json {
 /// is written there as JSON, and one `metrics` summary line per backend
 /// is appended to the output. With `trace_path`, all engines record
 /// into one journal (per-scenario spans, per-path solve spans, per-hop
-/// provenance) written there after the drains.
+/// provenance) written there after the drains. With `profile_path`, the
+/// whole run (decode through drain, on every engine's workers) executes
+/// under a `profile_hz` sampling capture written there afterwards.
 pub fn batch(
     text: &str,
     threads: usize,
     with_stats: bool,
     metrics_path: Option<&str>,
     trace_path: Option<&str>,
+    profile_path: Option<&str>,
+    profile_hz: u32,
 ) -> Result<String, String> {
+    let profiler = profiler_for(profile_path);
+    let capture = profiler.start_capture(profile_hz);
+    let batch_guard = profiler.enter(profiler.frame("cli.batch"));
     let entries = decode_fleet(text)?;
     let measure_sets: Vec<MeasureSet> = entries.iter().map(|e| e.measures).collect();
     // One engine per distinct backend configuration; scenarios sharing a
@@ -380,6 +389,7 @@ pub fn batch(
                 let mut engine = Engine::with_solver(threads, entry.backend.solver());
                 engine.set_metrics(metrics.clone());
                 engine.set_trace(trace.clone());
+                engine.set_profiler(profiler.clone());
                 engines.push((entry.backend, engine));
                 engines.len() - 1
             }
@@ -391,6 +401,7 @@ pub fn batch(
     for (_, engine) in &mut engines {
         drained.push(engine.drain().map_err(|e| e.to_string())?);
     }
+    drop(batch_guard);
     let mut out = String::new();
     for ((slot, index), measures) in placements.iter().zip(measure_sets) {
         out.push_str(&result_line(&drained[*slot][*index], measures).to_compact());
@@ -421,12 +432,60 @@ pub fn batch(
     if let Some(path) = trace_path {
         out.push_str(&write_trace(path, &trace)?);
     }
+    if let (Some(path), Some(capture)) = (profile_path, capture) {
+        out.push_str(&write_profile(path, &capture.stop())?);
+    }
     Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The shape most tests use: no profiling attached. Shadows the glob
+    /// import so existing call sites stay on the un-profiled path.
+    fn batch(
+        text: &str,
+        threads: usize,
+        with_stats: bool,
+        metrics_path: Option<&str>,
+        trace_path: Option<&str>,
+    ) -> Result<String, String> {
+        super::batch(
+            text,
+            threads,
+            with_stats,
+            metrics_path,
+            trace_path,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+    }
+
+    #[test]
+    fn batch_output_is_byte_identical_with_profiling_enabled() {
+        let dir = std::env::temp_dir().join("whart-batch-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.folded");
+        let plain = batch(&fleet_json(), 2, false, None, None).unwrap();
+        let profiled = super::batch(
+            &fleet_json(),
+            2,
+            false,
+            None,
+            None,
+            Some(path.to_str().unwrap()),
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
+        // The sampler only observes: every scenario line must match the
+        // un-profiled run byte for byte.
+        assert_eq!(plain, profiled);
+        // The artifact is valid folded text (possibly empty on a fast
+        // machine where the drain beats the first sampler tick).
+        let folded = std::fs::read_to_string(&path).unwrap();
+        whart_prof::parse_folded(&folded).unwrap();
+    }
 
     fn fleet_json() -> String {
         let scenarios: Vec<String> = [0.693, 0.83, 0.903]

@@ -8,6 +8,7 @@ use whart_model::{
     MeasurePlan, Solver, UtilizationConvention,
 };
 use whart_obs::Metrics;
+use whart_prof::Profiler;
 use whart_sim::{MonteCarloSolver, PhyMode, Simulator};
 use whart_trace::Trace;
 
@@ -51,6 +52,31 @@ pub fn trace_for(trace_path: Option<&str>) -> Trace {
         Some(_) => Trace::new(),
         None => Trace::disabled(),
     }
+}
+
+/// The profiler handle for an optional `--profile` argument: enabled
+/// exactly when a destination was given, so an absent flag keeps every
+/// instrumented site on the zero-cost disabled path.
+pub fn profiler_for(profile_path: Option<&str>) -> Profiler {
+    match profile_path {
+        Some(_) => Profiler::new(),
+        None => Profiler::disabled(),
+    }
+}
+
+/// Serializes a stopped capture to `path`: per-thread JSON when the path
+/// ends in `.json`, flamegraph collapsed-stack text (`a;b;c N` lines,
+/// `flamegraph.pl` / speedscope loadable) otherwise. `-` returns the
+/// text for stdout.
+pub fn write_profile(path: &str, profile: &whart_prof::Profile) -> Result<String, String> {
+    let text = if path != "-" && path.ends_with(".json") {
+        let mut text = profile.to_json().to_pretty();
+        text.push('\n');
+        text
+    } else {
+        profile.to_folded()
+    };
+    write_or_passthrough(path, text, "profile")
 }
 
 /// The solver backend selected on the command line (`--backend`) or in a
@@ -111,13 +137,17 @@ impl Backend {
 /// through the selected backend. With `metrics_path`, solver timings
 /// and counters are recorded and written there as snapshot JSON; with
 /// `trace_path`, the structured event journal (per-path solve spans,
-/// per-hop provenance) is recorded and written there.
+/// per-hop provenance) is recorded and written there; with
+/// `profile_path`, the whole command runs under a `profile_hz` sampling
+/// capture and the folded profile is written there.
 pub fn analyze(
     spec: &NetworkSpec,
     json: bool,
     backend: &Backend,
     metrics_path: Option<&str>,
     trace_path: Option<&str>,
+    profile_path: Option<&str>,
+    profile_hz: u32,
 ) -> Result<String, String> {
     let model = spec.to_model()?;
     let problem = model.compile().map_err(|e| e.to_string())?;
@@ -126,16 +156,26 @@ pub fn analyze(
         None => Metrics::disabled(),
     };
     let trace = trace_for(trace_path);
-    let eval = backend
-        .solver()
-        .solve_network_traced(&problem, MeasurePlan::default(), &metrics, &trace)
-        .map_err(|e| e.to_string())?;
+    let profiler = profiler_for(profile_path);
+    let capture = profiler.start_capture(profile_hz);
+    let solve_frame = profiler.frame(&format!("solver.{}", backend.solver().name()));
+    let eval = {
+        let _analyze = profiler.enter(profiler.frame("cli.analyze"));
+        let _solve = profiler.enter(solve_frame);
+        backend
+            .solver()
+            .solve_network_traced(&problem, MeasurePlan::default(), &metrics, &trace)
+            .map_err(|e| e.to_string())?
+    };
     let mut appended = String::new();
     if let Some(path) = metrics_path {
         appended.push_str(&write_metrics(path, &metrics)?);
     }
     if let Some(path) = trace_path {
         appended.push_str(&write_trace(path, &trace)?);
+    }
+    if let (Some(path), Some(capture)) = (profile_path, capture) {
+        appended.push_str(&write_profile(path, &capture.stop())?);
     }
     let mut out = render_analyze(json, backend, &eval);
     out.push_str(&appended);
@@ -545,6 +585,11 @@ pub struct OptimizeOptions {
     pub metrics_path: Option<String>,
     /// Trace journal destination.
     pub trace_path: Option<String>,
+    /// Sampled profile destination (`.json` for per-thread JSON, anything
+    /// else for folded stacks).
+    pub profile_path: Option<String>,
+    /// Sampling frequency for `profile_path` captures.
+    pub profile_hz: u32,
 }
 
 /// Runs `optimize`: generates a seeded random mesh, builds the greedy
@@ -558,9 +603,12 @@ pub fn optimize(options: &OptimizeOptions) -> Result<String, String> {
         None => Metrics::disabled(),
     };
     let trace = trace_for(options.trace_path.as_deref());
+    let profiler = profiler_for(options.profile_path.as_deref());
+    let capture = profiler.start_capture(options.profile_hz);
     let mut engine = whart_engine::Engine::new(options.threads);
     engine.set_metrics(metrics.clone());
     engine.set_trace(trace.clone());
+    engine.set_profiler(profiler);
     let result =
         whart_opt::optimize(&mut engine, &net, &options.search).map_err(|e| e.to_string())?;
 
@@ -577,6 +625,9 @@ pub fn optimize(options: &OptimizeOptions) -> Result<String, String> {
     }
     if let Some(path) = &options.trace_path {
         appended.push_str(&write_trace(path, &trace)?);
+    }
+    if let (Some(path), Some(capture)) = (&options.profile_path, capture) {
+        appended.push_str(&write_profile(path, &capture.stop())?);
     }
     let mut out = if options.json {
         let mut text = result.to_json().to_pretty();
@@ -678,7 +729,16 @@ mod tests {
     #[test]
     fn analyze_typical_text_output() {
         let spec = NetworkSpec::typical(0.83);
-        let out = analyze(&spec, false, &Backend::Fast, None, None).unwrap();
+        let out = analyze(
+            &spec,
+            false,
+            &Backend::Fast,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
         assert!(out.contains("overall mean delay E[Gamma] = 235"), "{out}");
         assert!(out.contains("network utilization U = 0.28"), "{out}");
         assert!(out.lines().count() >= 13);
@@ -689,7 +749,16 @@ mod tests {
     #[test]
     fn analyze_json_output_parses() {
         let spec = NetworkSpec::section_v(0.75);
-        let out = analyze(&spec, true, &Backend::Fast, None, None).unwrap();
+        let out = analyze(
+            &spec,
+            true,
+            &Backend::Fast,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
         let value = Json::parse(&out).unwrap();
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
         assert!((r - 0.9624).abs() < 1e-4);
@@ -697,10 +766,63 @@ mod tests {
     }
 
     #[test]
+    fn analyze_report_is_byte_identical_with_profiling_enabled() {
+        let spec = NetworkSpec::section_v(0.75);
+        let plain = analyze(
+            &spec,
+            true,
+            &Backend::Fast,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("whart-prof-parity-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("analyze.folded");
+        let profiled = analyze(
+            &spec,
+            true,
+            &Backend::Fast,
+            None,
+            None,
+            Some(out_path.to_str().unwrap()),
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
+        // The sampler only observes; the report must not change by a byte.
+        assert_eq!(plain, profiled);
+        // The artifact exists and is valid folded text (possibly empty:
+        // one fast solve can finish between sampler ticks).
+        let folded = std::fs::read_to_string(&out_path).unwrap();
+        whart_prof::parse_folded(&folded).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn analyze_explicit_backend_matches_fast() {
         let spec = NetworkSpec::section_v(0.75);
-        let fast = analyze(&spec, true, &Backend::Fast, None, None).unwrap();
-        let explicit = analyze(&spec, true, &Backend::Explicit, None, None).unwrap();
+        let fast = analyze(
+            &spec,
+            true,
+            &Backend::Fast,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
+        let explicit = analyze(
+            &spec,
+            true,
+            &Backend::Explicit,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
         let f = Json::parse(&fast).unwrap();
         let e = Json::parse(&explicit).unwrap();
         assert_eq!(e["backend"].as_str().unwrap(), "explicit");
@@ -716,9 +838,27 @@ mod tests {
             seed: 7,
             intervals: 50_000,
         };
-        let out = analyze(&spec, false, &backend, None, None).unwrap();
+        let out = analyze(
+            &spec,
+            false,
+            &backend,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
         assert!(out.starts_with("backend: sim (seed 7"), "{out}");
-        let json = analyze(&spec, true, &backend, None, None).unwrap();
+        let json = analyze(
+            &spec,
+            true,
+            &backend,
+            None,
+            None,
+            None,
+            whart_prof::DEFAULT_HZ,
+        )
+        .unwrap();
         let value = Json::parse(&json).unwrap();
         assert_eq!(value["backend"].as_str().unwrap(), "sim");
         let r = value["paths"][0]["reachability"].as_f64().unwrap();
@@ -843,6 +983,8 @@ mod tests {
             emit_spec: Some("-".into()),
             metrics_path: None,
             trace_path: None,
+            profile_path: None,
+            profile_hz: whart_prof::DEFAULT_HZ,
         };
         let out = optimize(&options).unwrap();
         // Two pretty JSON documents: the report, then the emitted spec.

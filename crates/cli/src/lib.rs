@@ -25,15 +25,15 @@ use spec::NetworkSpec;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>]
+  whart analyze  <spec.json> [--backend fast|explicit|sim] [--seed S] [--intervals N] [--json] [--metrics <out.json>] [--trace <out.json>] [--profile <out.folded>] [--profile-hz HZ]
   whart explain  <spec.json> [--path <i>] [--backend fast|sim] [--seed S] [--intervals N]
-  whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>]
-  whart serve    [--addr <ip:port>] [--threads N] [--keepalive-timeout S] [--max-queue N] [--metrics <out.json>] [--trace <out.json>] [--metrics-capacity N] [--trace-capacity N] [--log <out.jsonl>] [--log-level error|warn|info|debug] [--slo-target-ms MS] [--flight-threshold-ms MS]
+  whart batch    <scenarios.json> [--threads N] [--stats] [--metrics <out.json>] [--trace <out.json>] [--profile <out.folded>] [--profile-hz HZ]
+  whart serve    [--addr <ip:port>] [--threads N] [--keepalive-timeout S] [--max-queue N] [--metrics <out.json>] [--trace <out.json>] [--metrics-capacity N] [--trace-capacity N] [--log <out.jsonl>] [--log-level error|warn|info|debug] [--slo-target-ms MS] [--flight-threshold-ms MS] [--profile <out.folded>] [--profile-hz HZ]
   whart dot      <spec.json> --path <i>
   whart simulate <spec.json> [--intervals N] [--seed S] [--threads W] [--json]
   whart predict  <spec.json> --path <i> --snr <EbN0-linear>
   whart sensitivity <spec.json> [--step <delta>]
-  whart optimize [--seed S] [--nodes N] [--degree D] [--depth H] [--extra-links E] [--availability LO:HI] [--recovery P] [--slack K] [--interval Is] [--objective reachability|delay] [--rounds R] [--threads N] [--json] [--emit-spec <spec.json>] [--metrics <out.json>] [--trace <out.json>]
+  whart optimize [--seed S] [--nodes N] [--degree D] [--depth H] [--extra-links E] [--availability LO:HI] [--recovery P] [--slack K] [--interval Is] [--objective reachability|delay] [--rounds R] [--threads N] [--json] [--emit-spec <spec.json>] [--metrics <out.json>] [--trace <out.json>] [--profile <out.folded>] [--profile-hz HZ]
   whart example  <typical|section-v>
 
 node 0 denotes the gateway; paths are listed source-first and may omit the
@@ -53,8 +53,15 @@ given file; batch additionally appends one 'metrics' summary line per
 backend. --trace <out.json> records the structured event journal (solve
 spans, per-hop provenance, engine stages) as Chrome trace_event JSON
 (Perfetto-loadable), or as JSON Lines when the path ends in .jsonl.
-Both --metrics and --trace accept '-' to write to stdout (trace as
-JSON Lines), but not both at once — the two streams would interleave.
+--profile <out> runs a sampling profiler for the whole command and
+writes the capture as flamegraph-collapsed text ('frame;frame count'
+per line), or as a JSON profile with per-thread and per-frame totals
+when the path ends in .json; --profile-hz sets the sampling rate
+(default 997). Engine stages, solver backends, cache layers, serve
+handlers and optimizer rounds publish activity frames, so the profile
+attributes wall time without signals or debug info. --metrics, --trace
+and --profile each accept '-' to write to stdout, but only one at a
+time — the streams would interleave.
 serve holds a long-lived engine behind an HTTP API (default address
 127.0.0.1:9090): POST /v1/analyze and /v1/batch take the same JSON
 specs as the CLI, GET /metrics is Prometheus text exposition,
@@ -123,9 +130,38 @@ fn reject_stdout_interleave(streams: &[(&str, Option<&str>)]) -> Result<(), Stri
     Ok(())
 }
 
-/// The two-stream case every artifact-writing command shares.
-fn reject_dual_stdout(metrics: Option<&str>, trace: Option<&str>) -> Result<(), String> {
-    reject_stdout_interleave(&[("--metrics", metrics), ("--trace", trace)])
+/// The artifact-stream trio every profiling-capable command shares:
+/// any two of `--metrics`/`--trace`/`--profile` on stdout interleave.
+fn reject_artifact_stdout(
+    metrics: Option<&str>,
+    trace: Option<&str>,
+    profile: Option<&str>,
+) -> Result<(), String> {
+    reject_stdout_interleave(&[
+        ("--metrics", metrics),
+        ("--trace", trace),
+        ("--profile", profile),
+    ])
+}
+
+/// Largest accepted sampling rate: comfortably above useful resolution,
+/// low enough that the sampler thread cannot degenerate into a busy
+/// loop.
+const MAX_PROFILE_HZ: u32 = 50_000;
+
+/// Parses `--profile-hz` (default [`whart_prof::DEFAULT_HZ`]), bounding
+/// it to `1..=`[`MAX_PROFILE_HZ`].
+fn parse_profile_hz(args: &[String]) -> Result<u32, String> {
+    let hz: u32 = parse_or(args, "--profile-hz", whart_prof::DEFAULT_HZ)?;
+    if hz == 0 {
+        return Err("--profile-hz must be at least 1".into());
+    }
+    if hz > MAX_PROFILE_HZ {
+        return Err(format!(
+            "--profile-hz must be at most {MAX_PROFILE_HZ} (got {hz})"
+        ));
+    }
+    Ok(hz)
 }
 
 /// Runs one `whart` invocation and returns what it prints to stdout.
@@ -147,23 +183,28 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let threads = parse_threads(args, "--threads")?;
             let metrics = flag_value(args, "--metrics")?;
             let trace = flag_value(args, "--trace")?;
-            reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
+            let profile = flag_value(args, "--profile")?;
+            reject_artifact_stdout(metrics.as_deref(), trace.as_deref(), profile.as_deref())?;
             batch::batch(
                 &text,
                 threads,
                 has_flag(args, "--stats"),
                 metrics.as_deref(),
                 trace.as_deref(),
+                profile.as_deref(),
+                parse_profile_hz(args)?,
             )
         }
         "serve" => {
             let metrics = flag_value(args, "--metrics")?;
             let trace = flag_value(args, "--trace")?;
             let log = flag_value(args, "--log")?;
+            let profile = flag_value(args, "--profile")?;
             reject_stdout_interleave(&[
                 ("--metrics", metrics.as_deref()),
                 ("--trace", trace.as_deref()),
                 ("--log", log.as_deref()),
+                ("--profile", profile.as_deref()),
             ])?;
             let log_level = match flag_value(args, "--log-level")? {
                 Some(v) => Some(whart_log::Level::parse(&v)?),
@@ -219,16 +260,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 log_level,
                 slo_target_ms,
                 flight_threshold_ms,
+                profile_path: profile,
+                profile_hz: parse_profile_hz(args)?,
             };
             serve_app::serve(options)
         }
         "optimize" => {
             let metrics = flag_value(args, "--metrics")?;
             let trace = flag_value(args, "--trace")?;
-            reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
+            let profile = flag_value(args, "--profile")?;
+            reject_artifact_stdout(metrics.as_deref(), trace.as_deref(), profile.as_deref())?;
             let emit_spec = flag_value(args, "--emit-spec")?;
             if emit_spec.as_deref() == Some("-")
-                && (metrics.as_deref() == Some("-") || trace.as_deref() == Some("-"))
+                && (metrics.as_deref() == Some("-")
+                    || trace.as_deref() == Some("-")
+                    || profile.as_deref() == Some("-"))
             {
                 return Err("--emit-spec - shares stdout with another JSON stream and \
                      would interleave; give at least one of them a file path"
@@ -274,6 +320,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 emit_spec,
                 metrics_path: metrics,
                 trace_path: trace,
+                profile_path: profile,
+                profile_hz: parse_profile_hz(args)?,
             })
         }
         "analyze" | "explain" | "dot" | "simulate" | "predict" | "sensitivity" => {
@@ -289,13 +337,20 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     let backend = commands::Backend::parse(&name, seed, intervals)?;
                     let metrics = flag_value(args, "--metrics")?;
                     let trace = flag_value(args, "--trace")?;
-                    reject_dual_stdout(metrics.as_deref(), trace.as_deref())?;
+                    let profile = flag_value(args, "--profile")?;
+                    reject_artifact_stdout(
+                        metrics.as_deref(),
+                        trace.as_deref(),
+                        profile.as_deref(),
+                    )?;
                     commands::analyze(
                         &spec,
                         has_flag(args, "--json"),
                         &backend,
                         metrics.as_deref(),
                         trace.as_deref(),
+                        profile.as_deref(),
+                        parse_profile_hz(args)?,
                     )
                 }
                 "explain" => {
@@ -554,23 +609,33 @@ mod tests {
         std::fs::write(&spec, commands::example("section-v").unwrap()).unwrap();
         let file = spec.to_str().unwrap();
 
-        // Both '-' on analyze: rejected before any work happens.
-        let err = run(&s(&["analyze", file, "--metrics", "-", "--trace", "-"])).unwrap_err();
-        assert!(err.contains("interleave"), "{err}");
-        assert!(err.contains("--metrics"), "{err}");
+        // Any pair of stdout artifact streams on analyze: rejected
+        // before any work happens, naming both flags.
+        for (a, b) in [
+            ("--metrics", "--trace"),
+            ("--metrics", "--profile"),
+            ("--trace", "--profile"),
+        ] {
+            let err = run(&s(&["analyze", file, a, "-", b, "-"])).unwrap_err();
+            assert!(err.contains("interleave"), "{a}/{b}: {err}");
+            assert!(err.contains(a), "{a}/{b}: {err}");
+            assert!(err.contains(b), "{a}/{b}: {err}");
+        }
         // Same grammar on batch.
         let scenarios = dir.join("fleet.json");
         std::fs::write(&scenarios, "[{\"network\":\"section-v\"}]").unwrap();
-        let err = run(&s(&[
-            "batch",
-            scenarios.to_str().unwrap(),
-            "--metrics",
-            "-",
-            "--trace",
-            "-",
-        ]))
-        .unwrap_err();
-        assert!(err.contains("interleave"), "{err}");
+        for pair in [["--metrics", "--trace"], ["--trace", "--profile"]] {
+            let err = run(&s(&[
+                "batch",
+                scenarios.to_str().unwrap(),
+                pair[0],
+                "-",
+                pair[1],
+                "-",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("interleave"), "{err}");
+        }
         // One stdout stream plus one file stays allowed.
         let trace = dir.join("trace.json");
         let out = run(&s(&[
@@ -714,15 +779,23 @@ mod tests {
 
     #[test]
     fn serve_log_flags_are_validated_before_binding() {
-        // --log - joins the stdout-interleave family: any pair of
-        // stdout streams is rejected, naming both flags.
-        let err = run(&s(&["serve", "--log", "-", "--metrics", "-"])).unwrap_err();
-        assert!(err.contains("interleave"), "{err}");
-        assert!(err.contains("--log"), "{err}");
-        assert!(err.contains("--metrics"), "{err}");
-        let err = run(&s(&["serve", "--log", "-", "--trace", "-"])).unwrap_err();
-        assert!(err.contains("interleave"), "{err}");
-        assert!(err.contains("--trace"), "{err}");
+        // The full stdout-interleave matrix: any pair out of
+        // --metrics/--trace/--log/--profile on stdout is rejected
+        // uniformly, naming both flags.
+        let streams = ["--metrics", "--trace", "--log", "--profile"];
+        for (i, a) in streams.iter().enumerate() {
+            for b in &streams[i + 1..] {
+                let err = run(&s(&["serve", a, "-", b, "-"])).unwrap_err();
+                assert!(err.contains("interleave"), "{a}/{b}: {err}");
+                assert!(err.contains(a), "{a}/{b}: {err}");
+                assert!(err.contains(b), "{a}/{b}: {err}");
+            }
+        }
+        // --profile-hz shares the bounded-grammar treatment.
+        for bad in ["0", "abc", "-5", "999999"] {
+            let err = run(&s(&["serve", "--profile-hz", bad])).unwrap_err();
+            assert!(err.contains("--profile-hz"), "{bad}: {err}");
+        }
         // Level grammar is checked up front...
         let err = run(&s(&["serve", "--log-level", "loud"])).unwrap_err();
         assert!(err.contains("unknown log level"), "{err}");

@@ -30,6 +30,12 @@
 //!   requests plus retained-slow outliers), one JSON line each;
 //!   `GET /v1/debug/requests/<id>` replays one request's full per-hop
 //!   timeline by correlation id.
+//! * `GET /v1/debug/profile` — an on-demand sampling capture of the live
+//!   process: blocks for `?seconds=N` (default 1, capped), samples every
+//!   thread's activity stack at `?hz=`, and returns flamegraph folded
+//!   text (`?format=folded`, the default) or per-thread JSON
+//!   (`?format=json`). The profiler is always attached in serve mode, so
+//!   captures need no restart and cost nothing between requests.
 //! * `GET /healthz`, `GET /readyz` — built into `whart-serve`; readiness
 //!   flips only after a background self-check solve of the Section V
 //!   network succeeds.
@@ -38,7 +44,9 @@
 //!   `--metrics`/`--trace` artifacts, exit.
 
 use crate::batch::{decode_fleet, result_line, stats_line, BatchEntry};
-use crate::commands::{example, render_analyze, write_metrics, write_trace, Backend};
+use crate::commands::{
+    example, render_analyze, write_metrics, write_profile, write_trace, Backend,
+};
 use crate::spec::NetworkSpec;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -47,6 +55,7 @@ use whart_log::{Level, Logger};
 use whart_model::{MeasurePlan, NetworkModel};
 use whart_obs::prometheus::{self, DerivedGauge};
 use whart_obs::Metrics;
+use whart_prof::{Frame, Profiler, ResourceSampler};
 use whart_serve::flight::{DEFAULT_RECENT, DEFAULT_SLOW};
 use whart_serve::windows::DEFAULT_WINDOW;
 use whart_serve::{FlightRecorder, HttpWindows, Request, Response, Router, Server, ServerConfig};
@@ -82,7 +91,21 @@ pub(crate) struct ServeOptions {
     /// Flight-recorder tail-sampling threshold, milliseconds
     /// (`--flight-threshold-ms`).
     pub flight_threshold_ms: Option<f64>,
+    /// Where to write a whole-lifetime sampled profile at shutdown
+    /// (`--profile`). The live `/v1/debug/profile` endpoint works with
+    /// or without this.
+    pub profile_path: Option<String>,
+    /// Sampling frequency for the lifetime capture, and the default for
+    /// `/v1/debug/profile` (`--profile-hz`).
+    pub profile_hz: u32,
 }
+
+/// Longest `/v1/debug/profile` capture one request may hold a worker
+/// thread for.
+const MAX_PROFILE_SECONDS: u64 = 30;
+
+/// How often the background resource sampler re-reads `/proc/self`.
+const RESOURCE_PERIOD: std::time::Duration = std::time::Duration::from_secs(1);
 
 /// Default SLO latency target: the service promises p99 < 5 ms warm.
 const DEFAULT_SLO_TARGET_MS: f64 = 5.0;
@@ -100,6 +123,7 @@ struct EngineStore {
     cache_capacity: Option<usize>,
     metrics: Metrics,
     trace: Trace,
+    profiler: Profiler,
     engines: Vec<(Backend, Engine)>,
 }
 
@@ -109,12 +133,14 @@ impl EngineStore {
         cache_capacity: Option<usize>,
         metrics: Metrics,
         trace: Trace,
+        profiler: Profiler,
     ) -> EngineStore {
         EngineStore {
             threads,
             cache_capacity,
             metrics,
             trace,
+            profiler,
             engines: Vec::new(),
         }
     }
@@ -127,6 +153,7 @@ impl EngineStore {
         let mut engine = Engine::with_solver(self.threads, backend.solver());
         engine.set_metrics(self.metrics.clone());
         engine.set_trace(self.trace.clone());
+        engine.set_profiler(self.profiler.clone());
         engine.set_cache_capacities(self.cache_capacity, self.cache_capacity);
         self.engines.push((backend, engine));
         self.engines.len() - 1
@@ -234,6 +261,14 @@ fn memo_fingerprint(request: &Request) -> u64 {
     hasher.finish()
 }
 
+/// Handler-level activity frames, interned once at startup.
+#[derive(Clone, Copy)]
+struct ServeFrames {
+    analyze: Frame,
+    batch: Frame,
+    optimize: Frame,
+}
+
 /// Shared application state captured by every route handler.
 struct App {
     metrics: Metrics,
@@ -242,6 +277,15 @@ struct App {
     windows: Arc<HttpWindows>,
     flight: FlightRecorder,
     started: Instant,
+    /// Always enabled in serve mode so `/v1/debug/profile` can capture
+    /// without a restart; between captures the sampler is parked and
+    /// frame pushes are two relaxed atomic stores.
+    profiler: Profiler,
+    frames: ServeFrames,
+    /// Default `?hz=` for `/v1/debug/profile` (`--profile-hz`).
+    profile_hz: u32,
+    /// Background `/proc/self` reader behind the `process_*` gauges.
+    resources: ResourceSampler,
     engines: Mutex<EngineStore>,
     analyze_memo: Mutex<std::collections::VecDeque<MemoEntry>>,
 }
@@ -334,6 +378,7 @@ fn query_u64(request: &Request, key: &str, default: u64) -> Result<u64, String> 
 /// [`MemoEntry`] — so a repeated analysis replays the original bytes
 /// instead of re-solving.
 fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let _frame = app.profiler.enter(app.frames.analyze);
     let fingerprint = memo_fingerprint(request);
     if let Some(response) = app.memo_lookup(request, fingerprint) {
         return Ok(response);
@@ -392,6 +437,7 @@ fn analyze_handler(app: &App, request: &Request) -> Result<Response, String> {
 
 /// `POST /v1/batch`: the `batch` pipeline against the persistent engines.
 fn batch_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let _frame = app.profiler.enter(app.frames.batch);
     let entries = decode_fleet(request.body_text()?)?;
     let with_stats = matches!(request.query_param("stats"), Some("true") | Some("1"));
     let scenarios = entries.len();
@@ -427,6 +473,7 @@ fn batch_handler(app: &App, request: &Request) -> Result<Response, String> {
 /// monopolize the service; `?spec=true` wraps the report together with
 /// the optimized network's `analyze`/`batch`-compatible spec.
 fn optimize_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let _frame = app.profiler.enter(app.frames.optimize);
     let body = request.body_text()?;
     let value = if body.trim().is_empty() {
         whart_json::Json::object([] as [(&str, whart_json::Json); 0])
@@ -582,6 +629,31 @@ fn metrics_handler(app: &App) -> Result<Response, String> {
             }
         }
     }
+    // Process resource telemetry from the background `/proc/self`
+    // sampler, in the standard Prometheus process_* family names.
+    if let Some(process) = app.resources.latest() {
+        derived.push(DerivedGauge::new(
+            "process_cpu_percent",
+            process.cpu_percent,
+        ));
+        derived.push(DerivedGauge::new(
+            "process_rss_bytes",
+            process.rss_bytes as f64,
+        ));
+        derived.push(DerivedGauge::new("process_threads", process.threads as f64));
+        derived.push(DerivedGauge::new(
+            "process_open_fds",
+            process.open_fds as f64,
+        ));
+        derived.push(DerivedGauge::new(
+            "process_start_time_seconds",
+            process.start_time_seconds,
+        ));
+    }
+    derived.push(DerivedGauge::new(
+        "uptime_seconds",
+        app.started.elapsed().as_secs_f64(),
+    ));
     // Sliding-window gauges: what the last window of traffic looked
     // like, per route, alongside the cumulative series above.
     let window_s = app.windows.window().as_secs();
@@ -655,6 +727,19 @@ fn statusz_handler(app: &App) -> Result<Response, String> {
         app.flight.threshold_ns().unwrap_or(0) as f64 / 1e6
     );
     let _ = writeln!(out, "log_write_errors: {}", app.log.write_errors());
+    if let Some(process) = app.resources.latest() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "process:");
+        let _ = writeln!(out, "  cpu_percent: {:.1}", process.cpu_percent);
+        let _ = writeln!(out, "  rss_bytes: {}", process.rss_bytes);
+        let _ = writeln!(out, "  threads: {}", process.threads);
+        let _ = writeln!(out, "  open_fds: {}", process.open_fds);
+        let _ = writeln!(
+            out,
+            "  start_time_seconds: {:.0}",
+            process.start_time_seconds
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -707,6 +792,52 @@ fn debug_request_detail_handler(app: &App, request: &Request) -> Response {
     }
 }
 
+/// `GET /v1/debug/profile`: an on-demand sampling capture of the live
+/// process. Blocks the handling worker for `?seconds=N` (default 1,
+/// capped at [`MAX_PROFILE_SECONDS`]) while the sampler aggregates every
+/// thread's activity stack at `?hz=` (default `--profile-hz`), then
+/// returns the capture as flamegraph folded text or per-thread JSON
+/// (`?format=folded|json`).
+fn debug_profile_handler(app: &App, request: &Request) -> Result<Response, String> {
+    let seconds = query_u64(request, "seconds", 1)?;
+    if seconds == 0 || seconds > MAX_PROFILE_SECONDS {
+        return Err(format!(
+            "'seconds' must be between 1 and {MAX_PROFILE_SECONDS}"
+        ));
+    }
+    let hz = query_u64(request, "hz", app.profile_hz as u64)?;
+    if hz == 0 || hz > crate::MAX_PROFILE_HZ as u64 {
+        return Err(format!(
+            "'hz' must be between 1 and {}",
+            crate::MAX_PROFILE_HZ
+        ));
+    }
+    let json = match request.query_param("format") {
+        None | Some("folded") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(format!(
+                "unknown format '{other}' (expected folded or json)"
+            ))
+        }
+    };
+    let capture = app
+        .profiler
+        .start_capture(hz as u32)
+        .ok_or("profiler is not attached")?;
+    std::thread::sleep(std::time::Duration::from_secs(seconds));
+    let profile = capture.stop();
+    if json {
+        let mut text = profile.to_json().to_pretty();
+        text.push('\n');
+        Ok(maybe_chunked(Response::json(200, text))
+            .with_trace_arg("samples", profile.total_samples()))
+    } else {
+        Ok(maybe_chunked(Response::text(200, profile.to_folded()))
+            .with_trace_arg("samples", profile.total_samples()))
+    }
+}
+
 /// Wraps a fallible handler into the router's infallible signature.
 fn wrap(result: Result<Response, String>) -> Response {
     result.unwrap_or_else(|e| bad_request(&e))
@@ -721,6 +852,7 @@ fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
     let statusz_app = Arc::clone(app);
     let debug_list_app = Arc::clone(app);
     let debug_detail_app = Arc::clone(app);
+    let debug_profile_app = Arc::clone(app);
     Router::new()
         .route("POST", "/v1/analyze", move |req| {
             wrap(analyze_handler(&analyze_app, req))
@@ -742,6 +874,9 @@ fn build_router(app: &Arc<App>, shutdown: whart_serve::Flag) -> Router {
         })
         .route("GET", "/v1/debug/requests", move |_req| {
             debug_requests_handler(&debug_list_app)
+        })
+        .route("GET", "/v1/debug/profile", move |req| {
+            wrap(debug_profile_handler(&debug_profile_app, req))
         })
         .prefix_route(
             "GET",
@@ -811,6 +946,19 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
     server.set_log(log.clone());
     server.set_windows(Arc::clone(&windows));
     server.set_flight(flight.clone());
+    // The profiler rides along for the whole process lifetime so the
+    // debug endpoint can capture at any moment; an explicit `--profile`
+    // additionally runs one lifetime capture written at shutdown.
+    let profiler = Profiler::new();
+    let lifetime_capture = options
+        .profile_path
+        .as_ref()
+        .and_then(|_| profiler.start_capture(options.profile_hz));
+    let frames = ServeFrames {
+        analyze: profiler.frame("serve.analyze"),
+        batch: profiler.frame("serve.batch"),
+        optimize: profiler.frame("serve.optimize"),
+    };
     let app = Arc::new(App {
         metrics: metrics.clone(),
         trace: trace.clone(),
@@ -818,11 +966,16 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
         windows,
         flight,
         started: Instant::now(),
+        profiler: profiler.clone(),
+        frames,
+        profile_hz: options.profile_hz,
+        resources: ResourceSampler::spawn(RESOURCE_PERIOD),
         engines: Mutex::new(EngineStore::new(
             threads,
             options.cache_capacity,
             metrics.clone(),
             trace.clone(),
+            profiler,
         )),
         analyze_memo: Mutex::new(std::collections::VecDeque::new()),
     });
@@ -862,6 +1015,9 @@ pub(crate) fn serve(options: ServeOptions) -> Result<String, String> {
     }
     if let Some(path) = &options.trace_path {
         out.push_str(&write_trace(path, &trace)?);
+    }
+    if let (Some(path), Some(capture)) = (&options.profile_path, lifetime_capture) {
+        out.push_str(&write_profile(path, &capture.stop())?);
     }
     Ok(out)
 }

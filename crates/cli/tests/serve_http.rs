@@ -685,6 +685,106 @@ fn structured_logging_does_not_change_report_bytes() {
     }
 }
 
+#[test]
+fn debug_profile_captures_live_and_process_gauges_are_exposed() {
+    let serve = spawn_serve(&[]);
+    await_ready(&serve.addr);
+    let spec = section_v_spec();
+
+    // Process resource telemetry is on /metrics from startup (the
+    // sampler seeds its first reading synchronously) and on /statusz.
+    let (status, text) = http(&serve.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let exposition = whart_obs::prometheus::parse(&text).expect("parse exposition");
+    exposition.validate().expect("valid exposition");
+    assert!(
+        exposition.value("process_rss_bytes").unwrap_or(0.0) > 0.0,
+        "process_rss_bytes missing or zero:\n{text}"
+    );
+    assert!(exposition.value("process_threads").unwrap_or(0.0) >= 1.0);
+    assert!(exposition.value("process_open_fds").unwrap_or(0.0) >= 1.0);
+    assert!(
+        exposition
+            .value("process_start_time_seconds")
+            .unwrap_or(0.0)
+            > 0.0
+    );
+    assert!(exposition.value("process_cpu_percent").is_some());
+    assert!(exposition.value("uptime_seconds").is_some());
+    let (status, page) = http(&serve.addr, "GET", "/statusz", "");
+    assert_eq!(status, 200);
+    assert!(page.contains("process:"), "{page}");
+    assert!(page.contains("rss_bytes:"), "{page}");
+
+    // Keep the service busy with slow solves so the capture window
+    // observes handler activity.
+    let addr = serve.addr.clone();
+    let busy_spec = spec.clone();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_bg = std::sync::Arc::clone(&stop);
+    let traffic = std::thread::spawn(move || {
+        while !stop_bg.load(std::sync::atomic::Ordering::Relaxed) {
+            let _ = http(
+                &addr,
+                "POST",
+                "/v1/analyze?backend=sim&seed=1&intervals=20000",
+                &busy_spec,
+            );
+        }
+    });
+
+    // A capture under traffic eventually samples the analyze handler
+    // frame; each attempt is a fresh 1 s window at a generous rate.
+    let mut saw_handler_frame = false;
+    let mut last = String::new();
+    for _ in 0..5 {
+        let (status, folded) = http(
+            &serve.addr,
+            "GET",
+            "/v1/debug/profile?seconds=1&hz=4000",
+            "",
+        );
+        assert_eq!(status, 200, "{folded}");
+        let stacks = whart_prof::parse_folded(&folded).expect("folded output parses");
+        last = folded;
+        if stacks
+            .iter()
+            .any(|(stack, _)| stack.iter().any(|f| f == "serve.analyze"))
+        {
+            saw_handler_frame = true;
+            break;
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    traffic.join().expect("traffic thread");
+    assert!(
+        saw_handler_frame,
+        "no serve.analyze frame in 5 captures; last:\n{last}"
+    );
+
+    // The JSON rendering parses and reports the capture parameters.
+    let (status, json) = http(
+        &serve.addr,
+        "GET",
+        "/v1/debug/profile?seconds=1&format=json",
+        "",
+    );
+    assert_eq!(status, 200);
+    let value = whart_json::Json::parse(&json).expect("profile JSON parses");
+    assert!(value["hz"].as_u64().is_some(), "{json}");
+    assert!(value["duration_ms"].as_f64().is_some(), "{json}");
+
+    // Bad parameters answer 400 instead of capturing.
+    let (status, _) = http(&serve.addr, "GET", "/v1/debug/profile?seconds=0", "");
+    assert_eq!(status, 400);
+    let (status, _) = http(&serve.addr, "GET", "/v1/debug/profile?seconds=9999", "");
+    assert_eq!(status, 400);
+    let (status, _) = http(&serve.addr, "GET", "/v1/debug/profile?format=xml", "");
+    assert_eq!(status, 400);
+    let (status, _) = http(&serve.addr, "GET", "/v1/debug/profile?hz=999999", "");
+    assert_eq!(status, 400);
+}
+
 /// `Child::wait_with_output` with a watchdog: a hung drain should fail
 /// the test, not wedge the suite.
 trait WaitWithTimeout {

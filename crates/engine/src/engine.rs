@@ -11,6 +11,7 @@ use whart_model::{
     Result, Solver,
 };
 use whart_obs::Metrics;
+use whart_prof::{Frame, Profiler};
 use whart_trace::Trace;
 
 use crate::cache::{LinkCache, LinkKey, PathCache};
@@ -135,6 +136,35 @@ pub struct Engine {
     stats: EngineStats,
     metrics: Metrics,
     trace: Trace,
+    profiler: Profiler,
+    frames: EngineFrames,
+}
+
+/// The engine's interned activity-frame labels, resolved once when a
+/// profiler is attached so the hot paths never touch the frame table.
+#[derive(Clone, Copy)]
+struct EngineFrames {
+    plan: Frame,
+    execute: Frame,
+    assemble: Frame,
+    solver: Frame,
+    path_get: Frame,
+    link_get: Frame,
+    link_insert: Frame,
+}
+
+impl EngineFrames {
+    fn resolve(profiler: &Profiler, backend: &str) -> EngineFrames {
+        EngineFrames {
+            plan: profiler.frame("engine.plan"),
+            execute: profiler.frame("engine.execute"),
+            assemble: profiler.frame("engine.assemble"),
+            solver: profiler.frame(&format!("solver.{backend}")),
+            path_get: profiler.frame("cache.path_get"),
+            link_get: profiler.frame("cache.link_get"),
+            link_insert: profiler.frame("cache.link_insert"),
+        }
+    }
 }
 
 impl Engine {
@@ -172,6 +202,8 @@ impl Engine {
             },
             metrics: Metrics::disabled(),
             trace: Trace::disabled(),
+            profiler: Profiler::disabled(),
+            frames: EngineFrames::resolve(&Profiler::disabled(), "none"),
         }
     }
 
@@ -203,6 +235,24 @@ impl Engine {
     /// installed an enabled one).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Attaches a sampling profiler; every subsequent [`Engine::drain`]
+    /// publishes per-stage (`engine.plan` / `engine.execute` /
+    /// `engine.assemble`), per-solver (`solver.{backend}`) and cache
+    /// (`cache.*`) activity frames on the coordinating and worker
+    /// threads, so a concurrent capture can attribute wall time. The
+    /// default is the disabled handle, under which every frame push is
+    /// a no-op branch.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.frames = EngineFrames::resolve(&profiler, self.solver.name());
+        self.profiler = profiler;
+    }
+
+    /// The engine's profiler handle (disabled unless
+    /// [`Engine::set_profiler`] installed an enabled one).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Bounds the entry counts of the path and link caches (`None`
@@ -241,11 +291,15 @@ impl Engine {
     /// Propagates invalid channel parameters.
     pub fn link_model(&self, spec: &LinkQualitySpec) -> Result<LinkModel> {
         let key = LinkKey::of(spec);
-        if let Some(model) = self.link_cache.get(&key) {
-            self.metrics.counter("engine.link_cache.hits").increment();
-            return Ok(model);
+        {
+            let _get = self.profiler.enter(self.frames.link_get);
+            if let Some(model) = self.link_cache.get(&key) {
+                self.metrics.counter("engine.link_cache.hits").increment();
+                return Ok(model);
+            }
         }
         self.metrics.counter("engine.link_cache.misses").increment();
+        let _insert = self.profiler.enter(self.frames.link_insert);
         let model = match *spec {
             LinkQualitySpec::Transitions { p_fl, p_rc } => LinkModel::new(p_fl, p_rc)?,
             LinkQualitySpec::Ber {
@@ -310,6 +364,7 @@ impl Engine {
         let path_misses = obs.counter("engine.path_cache.misses");
         let compile_hist = obs.histogram("engine.compile_ns");
         let plan_start = Instant::now();
+        let plan_guard = self.profiler.enter(self.frames.plan);
         let mut plan_span = self.trace.span("plan", "engine");
         let mut planned_jobs = Vec::with_capacity(scenarios.len());
         let mut resolved: HashMap<PathKey, Arc<PathEvaluation>> = HashMap::new();
@@ -337,6 +392,9 @@ impl Engine {
             };
             compile_span.stop();
             let mut signatures = Vec::with_capacity(problems.len());
+            // One frame per scenario, not per path: the loop body is
+            // dominated by signature derivation and path-cache lookups.
+            let cache_guard = self.profiler.enter(self.frames.path_get);
             for problem in problems {
                 // The trajectory plan records per-slot rows, which a
                 // slot shift would visibly move — only scalar solves
@@ -379,6 +437,7 @@ impl Engine {
                 }
                 signatures.push((key, rebase));
             }
+            drop(cache_guard);
             if scenario_span.is_recording() {
                 scenario_span.arg("label", scenario.label.as_str());
                 scenario_span.arg("paths", signatures.len());
@@ -391,6 +450,7 @@ impl Engine {
         plan_span.arg("scenarios", planned_jobs.len());
         plan_span.arg("distinct_solves", tasks.len());
         plan_span.finish();
+        drop(plan_guard);
         let plan_elapsed = plan_start.elapsed();
         self.stats.plan_wall += plan_elapsed;
         obs.histogram("engine.plan_ns")
@@ -403,11 +463,18 @@ impl Engine {
         let solver = Arc::clone(&self.solver);
         let enabled = obs.is_enabled();
         let trace = self.trace.clone();
+        let profiler = self.profiler.clone();
+        let frames = self.frames;
         let (solved, pool_stats) = pool::run(
             self.effective_workers,
             tasks,
             |((signature, _), _): &(PathKey, PathProblem)| signature.affinity(),
+            // Every executing thread publishes `engine.execute` for its
+            // whole task loop, so sampled worker ticks — solving,
+            // claiming, stealing — always attribute to the engine.
+            |_worker| profiler.enter(frames.execute),
             |((_, plan), problem)| {
+                let _solve = profiler.enter(frames.solver);
                 let start = enabled.then(Instant::now);
                 let result = solver.solve_path_traced(problem, *plan, &obs, &trace);
                 (result, start.map(|s| s.elapsed()).unwrap_or_default())
@@ -459,6 +526,7 @@ impl Engine {
 
         // Assemble: per-scenario results in submission order.
         let assemble_start = Instant::now();
+        let assemble_guard = self.profiler.enter(self.frames.assemble);
         let mut assemble_span = self.trace.span("assemble", "engine");
         let scenario_hist = obs.histogram(&format!("engine.{backend}.scenario_solve_ns"));
         let mut results = Vec::with_capacity(planned_jobs.len());
@@ -532,6 +600,7 @@ impl Engine {
         }
         assemble_span.arg("scenarios", results.len());
         assemble_span.finish();
+        drop(assemble_guard);
         let assemble_elapsed = assemble_start.elapsed();
         self.stats.assemble_wall += assemble_elapsed;
         obs.histogram("engine.assemble_ns")

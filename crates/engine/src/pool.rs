@@ -78,10 +78,19 @@ impl Share {
 /// items onto workers (`affinity % workers`): items sharing an affinity
 /// value always start on the same worker, so signature-affine work
 /// shares that worker's warm cache lines unless stealing rebalances.
-pub(crate) fn run<T, R, F, A>(
+///
+/// `worker_scope` runs once per executing thread before it claims any
+/// work and its return value is held for the thread's whole task loop —
+/// the engine uses it to publish an `engine.execute` profiler frame, so
+/// every sampled tick on a worker (solving, claiming, stealing) is
+/// attributed to the execute stage. On the serial fallback it wraps the
+/// in-place loop on the calling thread. Worker threads are named
+/// `whart-worker-{i}` so profiles and debuggers can tell them apart.
+pub(crate) fn run<T, R, F, A, S, G>(
     workers: usize,
     items: Vec<T>,
     affinity: A,
+    worker_scope: S,
     f: F,
 ) -> (Vec<R>, PoolStats)
 where
@@ -89,11 +98,14 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
     A: Fn(&T) -> u64,
+    S: Fn(usize) -> G + Sync,
 {
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
+        let scope = worker_scope(0);
         let results = items.iter().map(&f).collect();
+        drop(scope);
         return (
             results,
             PoolStats {
@@ -124,7 +136,10 @@ where
             let stolen_tasks = &stolen_tasks;
             let f = &f;
             let items = &items;
-            handles.push(scope.spawn(move || {
+            let worker_scope = &worker_scope;
+            let builder = std::thread::Builder::new().name(format!("whart-worker-{me}"));
+            let handle = builder.spawn_scoped(scope, move || {
+                let _scope = worker_scope(me);
                 let mut out: Vec<(usize, R)> = Vec::new();
                 // Drain the worker's own share first (affinity order).
                 while let Some(chunk) = shares[me].claim() {
@@ -150,7 +165,8 @@ where
                     }
                 }
                 out
-            }));
+            });
+            handles.push(handle.expect("spawn pool worker thread"));
         }
         // Scatter every worker's results into the pre-sized slice — the
         // only writer is this thread, after the workers have joined, so
@@ -186,14 +202,14 @@ mod tests {
     #[test]
     fn preserves_item_order() {
         let items: Vec<u64> = (0..100).collect();
-        let (results, stats) = run(4, items, round_robin, |&x| x * x);
+        let (results, stats) = run(4, items, round_robin, |_| (), |&x| x * x);
         assert_eq!(results, (0..100).map(|x| x * x).collect::<Vec<_>>());
         assert!(stats.max_queue_depth >= 25);
     }
 
     #[test]
     fn serial_fallback_matches() {
-        let (results, stats) = run(1, vec![1, 2, 3], |&x| x, |&x| x + 1);
+        let (results, stats) = run(1, vec![1, 2, 3], |&x| x, |_| (), |&x| x + 1);
         assert_eq!(results, vec![2, 3, 4]);
         assert_eq!(stats.steals, 0);
         assert_eq!(stats.stolen_tasks, 0);
@@ -201,9 +217,9 @@ mod tests {
 
     #[test]
     fn empty_and_single_item_batches() {
-        let (results, _) = run(8, Vec::<u32>::new(), |&x| x.into(), |&x| x);
+        let (results, _) = run(8, Vec::<u32>::new(), |&x| x.into(), |_| (), |&x| x);
         assert!(results.is_empty());
-        let (results, _) = run(8, vec![7u32], |&x| x.into(), |&x| x * 2);
+        let (results, _) = run(8, vec![7u32], |&x| x.into(), |_| (), |&x| x * 2);
         assert_eq!(results, vec![14]);
     }
 
@@ -212,7 +228,7 @@ mod tests {
         // All items share one affinity class, so one worker owns the
         // whole batch up front and the peak queue depth is the batch.
         let items: Vec<u64> = (0..64).collect();
-        let (results, stats) = run(4, items, |_| 7, |&x| x + 1);
+        let (results, stats) = run(4, items, |_| 7, |_| (), |&x| x + 1);
         assert_eq!(results, (1..=64).collect::<Vec<_>>());
         assert_eq!(stats.max_queue_depth, 64);
     }
@@ -222,12 +238,18 @@ mod tests {
         // Worker 0's own tasks are slow; the cheap ones land elsewhere but
         // finish instantly, so its siblings steal from it.
         let items: Vec<u64> = (0..32).collect();
-        let (results, stats) = run(4, items, round_robin, |&x| {
-            if x % 4 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-            }
-            x
-        });
+        let (results, stats) = run(
+            4,
+            items,
+            round_robin,
+            |_| (),
+            |&x| {
+                if x % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x
+            },
+        );
         assert_eq!(results, (0..32).collect::<Vec<_>>());
         // Chunk counts and task counts stay consistent: every stolen
         // chunk moves at least one task.

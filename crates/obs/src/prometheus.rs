@@ -737,4 +737,38 @@ h_count 1
         assert!(parsed.samples.is_empty());
         parsed.validate().unwrap();
     }
+
+    #[test]
+    fn process_resource_gauges_render_under_their_exact_names() {
+        // The serve /metrics handler publishes whart-prof's resource
+        // sampler through these derived gauges. Their names are a wire
+        // contract with dashboards and promcheck: already underscored,
+        // they must render verbatim (no dot-to-underscore rewriting,
+        // no prefixing) and round-trip through the parser.
+        let derived = [
+            DerivedGauge::new("process_cpu_percent", 12.5),
+            DerivedGauge::new("process_rss_bytes", 104_857_600.0),
+            DerivedGauge::new("process_threads", 9.0),
+            DerivedGauge::new("process_open_fds", 32.0),
+            DerivedGauge::new("process_start_time_seconds", 1_754_000_000.0),
+            DerivedGauge::new("uptime_seconds", 42.5),
+        ];
+        let text = render_with(&MetricsSnapshot::default(), &derived);
+        for gauge in &derived {
+            assert!(
+                text.contains(&format!("# TYPE {} gauge", gauge.name)),
+                "{text}"
+            );
+        }
+        let parsed = parse(&text).unwrap();
+        parsed.validate().unwrap();
+        for gauge in &derived {
+            assert_eq!(
+                parsed.value(&gauge.name),
+                Some(gauge.value),
+                "{}",
+                gauge.name
+            );
+        }
+    }
 }

@@ -580,7 +580,9 @@ fn evaluate_batch(
 /// the `opt.best_objective` gauge in micro-units and the
 /// `opt.cache_hit_ratio` gauge in parts per million) are recorded into
 /// the engine's metrics handle; one `opt.round` span per round goes to
-/// its trace handle.
+/// its trace handle, and each round publishes an `opt.round` activity
+/// frame on the engine's profiler so sampling captures attribute search
+/// time round-by-round.
 ///
 /// # Errors
 ///
@@ -599,6 +601,8 @@ pub fn optimize(
     }
     let metrics = engine.metrics().clone();
     let trace = engine.trace().clone();
+    let profiler = engine.profiler().clone();
+    let round_frame = profiler.frame("opt.round");
     let candidates_counter = metrics.counter("opt.candidates_evaluated");
     let accepted_counter = metrics.counter("opt.accepted_moves");
     let best_gauge = metrics.gauge("opt.best_objective");
@@ -630,6 +634,7 @@ pub fn optimize(
     let mut rounds = Vec::new();
 
     for round in 1..=config.max_rounds {
+        let _round_guard = profiler.enter(round_frame);
         let mut span = trace.span("opt.round", "opt");
         span.arg("round", round);
         let moves = enumerate_moves(net, &state, config.objective);

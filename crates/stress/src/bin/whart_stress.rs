@@ -6,7 +6,7 @@
 //!              [--rate R] [--duration D] [--connections C]
 //!              [--pipeline P] [--warmup W] [--compare-close]
 //!              [--out BENCH_serve.json] [--check BENCH_serve.json]
-//!              [--tolerance 0.25]
+//!              [--tolerance 0.25] [--profile client.folded]
 //! ```
 //!
 //! With `--rate R` the run is open loop at R requests/second; without
@@ -14,18 +14,22 @@
 //! short closed-loop runs (keep-alive and `Connection: close`) plus the
 //! keep-alive speedup row. `--check` gates the fresh run against a
 //! committed baseline and exits nonzero on violation, exactly like
-//! `bench-engine --check`.
+//! `bench-engine --check`. `--profile` samples the *generator's own*
+//! worker threads for the whole invocation and writes a flamegraph
+//! collapsed profile (or JSON, with a `.json` path) — the evidence that
+//! a flat throughput number saturated the server and not the client.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use whart_prof::Profiler;
 use whart_stress::report;
-use whart_stress::{run, StressConfig, StressOutcome};
+use whart_stress::{run_with_profiler, StressConfig, StressOutcome};
 
 const USAGE: &str = "usage: whart-stress --addr HOST:PORT [--endpoint /v1/analyze] \
 [--method POST] [--body-file FILE] [--rate R] [--duration SECONDS] \
 [--connections N] [--pipeline N] [--warmup SECONDS] [--compare-close] \
-[--out FILE] [--check BASELINE] [--tolerance 0.25]";
+[--out FILE] [--check BASELINE] [--tolerance 0.25] [--profile FILE]";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -113,6 +117,7 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
     let out = flag_value(args, "--out");
     let check = flag_value(args, "--check");
     let tolerance: f64 = parse_flag(args, "--tolerance", 0.25)?;
+    let profile_path = flag_value(args, "--profile");
     if let (Some(out), Some(check)) = (out, check) {
         if out == check {
             return Err(format!(
@@ -134,15 +139,27 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
         pipeline,
     };
 
+    // Self-profiling covers the whole invocation (warmup, main run and
+    // the --compare-close ceilings) so the written profile attributes
+    // every worker's time across all the passes.
+    let profiler = match profile_path {
+        Some(_) => Profiler::new(),
+        None => Profiler::disabled(),
+    };
+    let capture = profiler.start_capture(whart_prof::DEFAULT_HZ);
+
     if let Some(warmup) = warmup {
         // Untimed closed-loop pass: fills caches and gets past the
         // first-request JIT-like costs (allocator warm-up, page faults).
         eprintln!("warming up for {:.1}s ...", warmup.as_secs_f64());
-        run(&StressConfig {
-            rate: None,
-            duration: warmup,
-            ..config.clone()
-        })?;
+        run_with_profiler(
+            &StressConfig {
+                rate: None,
+                duration: warmup,
+                ..config.clone()
+            },
+            &profiler,
+        )?;
     }
 
     let mut lines = String::new();
@@ -155,7 +172,7 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
         config.duration.as_secs_f64(),
         config.connections,
     );
-    let main_outcome = run(&config)?;
+    let main_outcome = run_with_profiler(&config, &profiler)?;
     let id = report::row_id(&config.endpoint, config.keep_alive, config.rate);
     report_request_ids(&id, &main_outcome);
     lines.push_str(&report::stat_line(&id, &main_outcome));
@@ -165,12 +182,15 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
         // Short closed-loop ceiling runs in both connection modes; the
         // ratio of their throughputs is the keep-alive speedup row.
         let ceiling = |keep_alive: bool| {
-            run(&StressConfig {
-                rate: None,
-                duration: Duration::from_secs(3),
-                keep_alive,
-                ..config.clone()
-            })
+            run_with_profiler(
+                &StressConfig {
+                    rate: None,
+                    duration: Duration::from_secs(3),
+                    keep_alive,
+                    ..config.clone()
+                },
+                &profiler,
+            )
         };
         eprintln!("comparing keep-alive vs Connection: close at max rate ...");
         let keepalive_max = ceiling(true)?;
@@ -203,6 +223,22 @@ fn run_cli(args: &[String]) -> Result<bool, String> {
             eprintln!("wrote {path}");
         }
         None => print!("{lines}"),
+    }
+
+    if let (Some(path), Some(capture)) = (profile_path, capture) {
+        let profile = capture.stop();
+        let text = if path.ends_with(".json") {
+            let mut text = profile.to_json().to_pretty();
+            text.push('\n');
+            text
+        } else {
+            profile.to_folded()
+        };
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote client profile to {path} ({} samples)",
+            profile.total_samples()
+        );
     }
 
     if let Some(baseline_path) = check {

@@ -16,6 +16,13 @@
 //! carries the snapshot plus request/error counts. `report` turns
 //! outcomes into `BENCH_serve.json` lines and gates them against a
 //! committed baseline, mirroring `bench-engine --check`.
+//!
+//! The generator is itself instrumented with `whart-prof` activity
+//! frames (`stress.open_loop` / `stress.closed_loop` on named
+//! `whart-stress-{i}` worker threads): [`run_with_profiler`] under a
+//! live capture shows where the *client* spends its time, which is how
+//! you prove a disappointing throughput number is the server's fault
+//! and not the harness saturating first.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use whart_obs::{HistogramSnapshot, Metrics};
+use whart_prof::Profiler;
 
 use crate::client::{HttpClient, HttpResponse};
 
@@ -160,6 +168,23 @@ const LATENCY_HISTOGRAM: &str = "stress.latency_ns";
 /// wrong or the server is down, and deserves a hard error rather than a
 /// 100% error-rate report.
 pub fn run(config: &StressConfig) -> Result<StressOutcome, String> {
+    run_with_profiler(config, &Profiler::disabled())
+}
+
+/// [`run`], with the generator's own hot loops published to `profiler`
+/// as activity frames. Each worker thread is named `whart-stress-{i}`
+/// and spends its life inside a `stress.open_loop` or
+/// `stress.closed_loop` frame, so a capture taken during the run
+/// attributes every sampled tick to the generation mode that burned it.
+/// With a disabled profiler this is exactly [`run`].
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_profiler(
+    config: &StressConfig,
+    profiler: &Profiler,
+) -> Result<StressOutcome, String> {
     if config.connections == 0 {
         return Err("connections must be at least 1".to_string());
     }
@@ -179,15 +204,28 @@ pub fn run(config: &StressConfig) -> Result<StressOutcome, String> {
         slowest_ns: AtomicU64::new(0),
         notes: Mutex::new(Notes::default()),
     });
+    // Interned once, outside the workers: Frame is Copy and enter() on
+    // the hot path is lock-free.
+    let mode_frame = match config.rate {
+        Some(_) => profiler.frame("stress.open_loop"),
+        None => profiler.frame("stress.closed_loop"),
+    };
     let start = Instant::now();
     let workers: Vec<_> = (0..config.connections)
         .map(|worker| {
             let config = config.clone();
             let counters = Arc::clone(&counters);
-            std::thread::spawn(move || match config.rate {
-                Some(rate) => open_loop_worker(&config, rate, worker, start, &counters),
-                None => closed_loop_worker(&config, start, &counters),
-            })
+            let profiler = profiler.clone();
+            std::thread::Builder::new()
+                .name(format!("whart-stress-{worker}"))
+                .spawn(move || {
+                    let _mode = profiler.enter(mode_frame);
+                    match config.rate {
+                        Some(rate) => open_loop_worker(&config, rate, worker, start, &counters),
+                        None => closed_loop_worker(&config, start, &counters),
+                    }
+                })
+                .expect("spawn stress worker thread")
         })
         .collect();
     for worker in workers {
@@ -400,5 +438,63 @@ mod tests {
         assert_eq!(notes.error_ids[0], "boom-1");
         assert_eq!(notes.error_ids[1], "-");
         assert_eq!(notes.error_ids[2], "flood-0");
+    }
+
+    #[test]
+    fn profiled_run_attributes_worker_time_to_stress_frames() {
+        use std::io::{Read as _, Write as _};
+        // A minimal keep-alive server: answer every request head on one
+        // connection until the client hangs up.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let mut pending: Vec<u8> = Vec::new();
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => pending.extend_from_slice(&buf[..n]),
+                }
+                while let Some(end) = pending.windows(4).position(|w| w == b"\r\n\r\n") {
+                    pending.drain(..end + 4);
+                    let response =
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+                    if stream.write_all(response).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+
+        let profiler = Profiler::new();
+        let capture = profiler.start_capture(4000).expect("enabled profiler");
+        let config = StressConfig {
+            addr,
+            endpoint: "/x".to_string(),
+            method: "GET".to_string(),
+            body: Vec::new(),
+            rate: None,
+            duration: Duration::from_millis(300),
+            connections: 1,
+            keep_alive: true,
+            pipeline: 1,
+        };
+        let outcome = run_with_profiler(&config, &profiler).unwrap();
+        let profile = capture.stop();
+        server.join().unwrap();
+
+        assert!(outcome.requests > 0, "{outcome:?}");
+        // The worker lives inside the mode frame on a named thread, so
+        // a 300 ms capture at 4 kHz cannot miss it.
+        assert!(
+            profile.frame_total("stress.closed_loop") > 0,
+            "{}",
+            profile.to_folded()
+        );
+        assert!(profile.thread_samples("whart-stress-") > 0);
+        // The plain entry point stays unprofiled: same run, inert handle.
+        let disabled = Profiler::disabled();
+        assert!(disabled.start_capture(4000).is_none());
     }
 }
